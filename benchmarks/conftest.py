@@ -1,0 +1,32 @@
+"""Benchmark-suite fixtures: result reporting to benchmarks/results/."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Write a named result table to benchmarks/results/<name>.txt and stdout.
+
+    Each benchmark regenerates a paper table/figure; the text artifact
+    survives pytest's output capture so EXPERIMENTS.md can quote it.
+    """
+
+    def _report(name: str, lines) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n".join(str(line) for line in lines) + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print(f"\n=== {name} ===\n{text}")
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time a heavy experiment exactly once (training runs are not
+    repeatable at benchmark granularity)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,39 @@
+"""Sec. 4.4 — n-phase clocking JJ reduction + 3-phase memory saving.
+
+Shape targets: reductions grow with the phase count, reach the >= 20%
+band at 8 phases on the buffer-heavy circuits (paper: >= 20.8% at 8,
+27.3% at 16), and the BCM saves exactly 20% from the 3-phase clock.
+"""
+
+from conftest import run_once
+
+from repro.experiments.clocking import best_reduction, clocking_optimization_report
+
+
+def test_clocking_scheme_optimization(benchmark, report):
+    result = run_once(benchmark, clocking_optimization_report)
+
+    lines = [f"{'circuit':<15} {'4-phase JJ':>11} {'8-phase':>9} {'16-phase':>9}"]
+    for name, circuit in result["circuits"].items():
+        lines.append(
+            f"{name:<15} {circuit[4]['total_jj']:>11.0f} "
+            f"{circuit[8]['reduction_vs_4phase'] * 100:>8.1f}% "
+            f"{circuit[16]['reduction_vs_4phase'] * 100:>8.1f}%"
+        )
+    lines.append(
+        f"best reduction: {best_reduction(result, 8) * 100:.1f}% @ 8 phases, "
+        f"{best_reduction(result, 16) * 100:.1f}% @ 16 phases "
+        "(paper: >= 20.8% and 27.3%)"
+    )
+    lines.append(
+        f"BCM 3-phase memory saving: {result['memory_reduction'] * 100:.1f}% "
+        "(paper: 20%)"
+    )
+    report("clocking_ablation", lines)
+
+    assert best_reduction(result, 8) > 0.18
+    assert best_reduction(result, 16) > best_reduction(result, 8)
+    assert abs(result["memory_reduction"] - 0.20) < 1e-9
+    for circuit in result["circuits"].values():
+        assert circuit[8]["reduction_vs_4phase"] >= 0
+        assert circuit[16]["reduction_vs_4phase"] >= circuit[8]["reduction_vs_4phase"]

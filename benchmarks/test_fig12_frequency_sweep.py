@@ -1,0 +1,44 @@
+"""Fig. 12 — energy efficiency vs frequency: AQFP vs (Cryo-)CMOS.
+
+Shape targets (paper Sec. 6.5): ~4 orders of magnitude over Cryo-CMOS on
+device power alone, 2-3 orders once both coolers are charged; AQFP
+efficiency improves toward lower clocks (adiabatic scaling).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig12 import efficiency_frequency_sweep
+
+
+def test_fig12_efficiency_vs_frequency(benchmark, report):
+    result = run_once(benchmark, efficiency_frequency_sweep, epochs=8)
+
+    lines = [
+        f"{'GHz':>6} {'AQFP':>12} {'AQFP+cool':>12} {'CryoCMOS*':>12} "
+        f"{'CryoCMOS*+cool':>15}"
+    ]
+    for row in result["rows"]:
+        best_cryo = max(
+            v
+            for k, v in row.items()
+            if k.startswith("cryo_") and not k.endswith("_cooled")
+        )
+        best_cooled = max(
+            v for k, v in row.items() if k.startswith("cryo_") and k.endswith("_cooled")
+        )
+        lines.append(
+            f"{row['frequency_ghz']:>6.1f} {row['aqfp']:>12.3g} "
+            f"{row['aqfp_cooled']:>12.3g} {best_cryo:>12.3g} {best_cooled:>15.3g}"
+        )
+    lines.append("(* best Cryo-CMOS series at each frequency; TOPS/W)")
+    lines.append(
+        f"gap at 1 GHz: {result['gap_device_orders']:.1f} orders device-only, "
+        f"{result['gap_cooled_orders']:.1f} orders with cooling "
+        "(paper: ~4 and 2-3)"
+    )
+    report("fig12_frequency_sweep", lines)
+
+    assert 2.5 < result["gap_device_orders"] < 5.5
+    assert 1.5 < result["gap_cooled_orders"] < 4.0
+    aqfp = [row["aqfp"] for row in result["rows"]]
+    assert all(a > b for a, b in zip(aqfp, aqfp[1:]))  # adiabatic slope

@@ -1,0 +1,31 @@
+"""Fig. 4 — P('1') vs input current on the AQFP buffer.
+
+Regenerates the probability curve and checks the paper's observation
+that randomized switching is confined to roughly +-2 uA.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig4 import gray_zone_response
+
+
+def test_fig4_gray_zone_response(benchmark, report):
+    result = run_once(benchmark, gray_zone_response, n_points=33, n_samples=4000)
+
+    lines = [
+        f"{'Iin (uA)':>9} {'P(1) analytic':>14} {'P(1) sampled':>13}",
+    ]
+    for point in result["points"][::4]:
+        lines.append(
+            f"{point['input_ua']:>9.2f} {point['probability']:>14.4f} "
+            f"{point['sampled']:>13.4f}"
+        )
+    lines.append(
+        f"randomized-switching boundary: +-{result['boundary_ua']:.2f} uA "
+        "(paper Fig. 4: ~ +-2 uA)"
+    )
+    report("fig4_gray_zone", lines)
+
+    assert 1.5 < result["boundary_ua"] < 2.5
+    for point in result["points"]:
+        assert abs(point["sampled"] - point["probability"]) < 0.05

@@ -1,0 +1,26 @@
+"""Fig. 5 — crossbar current attenuation and the Eq. 2 power-law fit."""
+
+from conftest import run_once
+
+from repro.experiments.fig5 import attenuation_curve
+
+
+def test_fig5_attenuation_curve(benchmark, report):
+    result = run_once(benchmark, attenuation_curve)
+
+    lines = [f"{'Cs':>5} {'measured (uA)':>14} {'fitted (uA)':>12}"]
+    for point in result["points"]:
+        lines.append(
+            f"{point['crossbar_size']:>5d} {point['measured_ua']:>14.3f} "
+            f"{point['fitted_ua']:>12.3f}"
+        )
+    lines.append(
+        f"fit: I1(Cs) = {result['amplitude_ua']:.2f} * Cs^-{result['exponent']:.3f} "
+        f"(max rel. error {result['max_relative_fit_error'] * 100:.1f}%)"
+    )
+    report("fig5_attenuation", lines)
+
+    measured = [p["measured_ua"] for p in result["points"]]
+    assert all(a > b for a, b in zip(measured, measured[1:]))  # attenuates
+    assert result["max_relative_fit_error"] < 0.15  # Eq. 2 is a good fit
+    assert result["exponent"] > 0  # B positive, as the paper states

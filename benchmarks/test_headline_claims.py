@@ -1,0 +1,40 @@
+"""Headline claims — the abstract's efficiency ratios, recomputed.
+
+Paper: ~7.8e4x over ReRAM IMB; 205.8x over IMB with cooling charged;
+>= 2 orders over RSFQ/ERSFQ; 153x over SC-AQFP. Shape targets: same
+direction, within ~an order of magnitude of each ratio.
+"""
+
+from conftest import run_once
+
+from repro.experiments.headline import headline_claims
+
+
+def test_headline_claims(benchmark, report):
+    result = run_once(benchmark, headline_claims, cifar_epochs=20, mnist_epochs=15)
+    measured = result["measured"]
+    paper = result["paper"]
+
+    lines = [f"{'claim':<22} {'measured':>12} {'paper':>12}"]
+    lines.append(
+        f"{'vs IMB (x)':<22} {measured['vs_imb']:>12.3g} {paper['vs_imb']:>12.3g}"
+    )
+    lines.append(
+        f"{'vs IMB cooled (x)':<22} {measured['vs_imb_cooled']:>12.3g} "
+        f"{paper['vs_imb_cooled']:>12.3g}"
+    )
+    lines.append(
+        f"{'vs ERSFQ (orders)':<22} {measured['vs_ersfq_min_orders']:>12.2f} "
+        f">={paper['vs_ersfq_min_orders']:>10.1f}"
+    )
+    lines.append(
+        f"{'vs SC-AQFP (x)':<22} {measured['vs_sc_aqfp']:>12.3g} "
+        f"{paper['vs_sc_aqfp']:>12.3g}"
+    )
+    report("headline_claims", lines)
+
+    # Direction + rough magnitude of every headline claim.
+    assert measured["vs_imb"] > 1e2  # paper: 7.8e4
+    assert measured["vs_imb_cooled"] > 1.0  # paper: 205.8
+    assert measured["vs_ersfq_min_orders"] >= 1.5  # paper: >= 2 orders
+    assert measured["vs_sc_aqfp"] > 50.0  # paper: 153

@@ -1,0 +1,56 @@
+"""Microbenchmarks of the simulation kernels (repeatable, timed hot).
+
+Not a paper artifact — these track the cost of the library's inner loops
+(crossbar sampling, SC counting, binary convolution) so performance
+regressions in the simulator itself are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.circuits.apc import ApproximateParallelCounter
+from repro.hardware.accelerator import TiledLinearLayer
+from repro.hardware.config import HardwareConfig
+from repro.hardware.crossbar import CrossbarArray
+
+
+@pytest.fixture(scope="module")
+def pm(request):
+    rng = np.random.default_rng(0)
+
+    def make(shape):
+        return np.where(rng.random(shape) < 0.5, 1.0, -1.0)
+
+    return make
+
+
+def test_perf_crossbar_sample_window(benchmark, pm):
+    cfg = HardwareConfig(crossbar_size=72, window_bits=16)
+    xbar = CrossbarArray(cfg, pm((72, 72)), seed=0)
+    activations = pm((64, 72))
+    result = benchmark(xbar.sample_window, activations)
+    assert result.shape == (16, 64, 72)
+
+
+def test_perf_tiled_layer_forward(benchmark, pm):
+    cfg = HardwareConfig(crossbar_size=36, window_bits=8)
+    layer = TiledLinearLayer(cfg, pm((144, 64)), seed=0)
+    activations = pm((32, 144))
+    result = benchmark(layer.forward, activations)
+    assert result.shape == (32, 64)
+
+
+def test_perf_apc_count(benchmark, pm):
+    apc = ApproximateParallelCounter(0)
+    bits = (np.random.default_rng(1).random((64, 16, 256)) < 0.5).astype(np.int64)
+    result = benchmark(apc.count, bits, axis=1)
+    assert result.shape == (64, 256)
+
+
+def test_perf_binary_conv2d(benchmark, pm):
+    x = Tensor(pm((16, 12, 16, 16)))
+    w = Tensor(pm((16, 12, 3, 3)))
+    result = benchmark(lambda: F.conv2d(x, w, padding=1))
+    assert result.shape == (16, 16, 16, 16)

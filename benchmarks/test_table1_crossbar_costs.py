@@ -1,0 +1,28 @@
+"""Table 1 — latency / #JJs / energy per crossbar size (exact rows)."""
+
+from conftest import run_once
+
+from repro.experiments.table1 import PAPER_TABLE1, crossbar_hardware_table
+
+
+def test_table1_crossbar_costs(benchmark, report):
+    rows = run_once(benchmark, crossbar_hardware_table)
+
+    lines = [
+        f"{'area':>9} {'latency(ps)':>12} {'#JJs':>8} {'energy(aJ)':>11}"
+        f" | paper: {'lat':>5} {'#JJs':>8} {'aJ':>8}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['crossbar_area']:>9} {row['latency_ps']:>12.0f} "
+            f"{row['jj_count']:>8d} {row['energy_aj']:>11.2f}"
+            f" | {row['paper_latency_ps']:>12.0f} {row['paper_jj_count']:>8d} "
+            f"{row['paper_energy_aj']:>8.2f}"
+        )
+    report("table1_crossbar_costs", lines)
+
+    for row in rows:
+        paper = PAPER_TABLE1[row["size"]]
+        assert row["latency_ps"] == paper["latency_ps"]
+        assert row["jj_count"] == paper["jj_count"]
+        assert abs(row["energy_aj"] - paper["energy_aj"]) < 1e-6

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""End-to-end CIFAR workload: VGG-small on the AQFP accelerator.
+
+The paper's flagship evaluation (Table 2): train the binarized VGG-small
+with randomized-aware cells, deploy on tiled crossbars, and trade
+accuracy against energy efficiency by sweeping the SC window length.
+
+Run:  python examples/cifar_vgg_accelerator.py        (~3-4 minutes)
+      python examples/cifar_vgg_accelerator.py --fast (~1 minute)
+"""
+
+import argparse
+
+from repro import (
+    AcceleratorCostModel,
+    HardwareConfig,
+    Trainer,
+    TrainingConfig,
+    VggSmall,
+    compile_model,
+    evaluate_accuracy,
+    network_workloads,
+)
+from repro.data import DataLoader, make_cifar_like
+
+
+def main(fast: bool = False) -> None:
+    epochs = 8 if fast else 25
+    dataset = make_cifar_like(n_samples=1200, seed=3)
+    train, test = dataset.split(0.8, seed=1)
+
+    hardware = HardwareConfig(crossbar_size=72, gray_zone_ua=10.0, window_bits=16)
+    model = VggSmall(image_size=16, hardware=hardware, seed=0)
+    trainer = Trainer(model, TrainingConfig(epochs=epochs, warmup_epochs=3))
+    trainer.fit(
+        DataLoader(train, 64, seed=2),
+        DataLoader(test, 256, shuffle=False),
+        verbose=True,
+    )
+    print(f"\nsoftware accuracy: {trainer.best_test_accuracy:.3f}")
+
+    images, labels = test.images[:96], test.labels[:96]
+    print("\noperating points (accuracy vs efficiency, Table 2 style):")
+    print(f"{'L':>4} {'accuracy':>9} {'TOPS/W':>12} {'cooled':>10} "
+          f"{'power uW':>9} {'img/ms':>8}")
+    for window in (32, 16, 4, 1):
+        deploy = hardware.with_(window_bits=window)
+        network = compile_model(model, deploy)
+        acc = evaluate_accuracy(network, images, labels)
+        cost = AcceleratorCostModel(
+            deploy, network_workloads(network, train.image_shape)
+        )
+        s = cost.summary()
+        print(
+            f"{window:>4} {acc:>9.3f} {s['tops_per_w']:>12.3g} "
+            f"{s['tops_per_w_cooled']:>10.3g} {s['power_mw'] * 1e3:>9.2f} "
+            f"{s['throughput_images_per_ms']:>8.1f}"
+        )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--fast", action="store_true", help="train fewer epochs")
+    main(parser.parse_args().fast)

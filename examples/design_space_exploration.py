@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Algorithm/hardware co-optimization (paper Sec. 5.4).
+
+Explores the hardware design space the way the paper does:
+
+* computes the average mismatch error (AME, Eq. 18) over a
+  (gray-zone x crossbar-size) grid,
+* constrains crossbar size by a per-cycle energy budget (Table 1),
+* picks the AME-minimizing configuration,
+* then validates the choice by deploying a trained model across the
+  grid and comparing hardware accuracy against the AME landscape.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import numpy as np
+
+from repro import HardwareConfig, compile_model, evaluate_accuracy
+from repro.core.coopt import average_mismatch_error, optimize_hardware_config
+from repro.experiments.common import trained_mlp
+from repro.hardware.cost import CrossbarCost
+
+
+def main() -> None:
+    gray_zones = [0.6, 1.2, 2.4, 5.0, 10.0, 20.0]
+    sizes = [8, 16, 36, 72]
+
+    # --- AME landscape under an energy constraint -----------------------
+    budget_aj = 350.0  # excludes 144x144 (1278 aJ) but allows 72x72
+    print(f"energy budget: {budget_aj} aJ/cycle")
+    for cs in sizes + [144]:
+        cost = CrossbarCost(cs)
+        tag = "ok" if cost.energy_per_cycle_aj <= budget_aj else "EXCLUDED"
+        print(f"  Cs={cs:4d}: {cost.energy_per_cycle_aj:8.2f} aJ  [{tag}]")
+
+    result = optimize_hardware_config(
+        gray_zones, sizes + [144], max_energy_per_cycle_aj=budget_aj
+    )
+    best = result.best_config
+    print(
+        f"\nAME-optimal config: Cs={best.crossbar_size}, "
+        f"dIin={best.gray_zone_ua} uA (AME={result.best_ame:.4f})"
+    )
+
+    print("\nAME grid (rows = dIin, cols = Cs):")
+    header = "dIin\\Cs " + "".join(f"{cs:>10d}" for cs in sizes)
+    print(header)
+    for gz in gray_zones:
+        row = [average_mismatch_error(cs, gz) for cs in sizes]
+        print(f"{gz:7.1f} " + "".join(f"{v:10.4f}" for v in row))
+
+    # --- validate with deployed accuracy --------------------------------
+    print("\nhardware accuracy at selected grid points (L=8):")
+    train_hw = HardwareConfig(crossbar_size=16, window_bits=16)
+    model, _, test, sw_acc = trained_mlp(train_hw, epochs=15)
+    images, labels = test.images[:200], test.labels[:200]
+    print(f"software reference accuracy: {sw_acc:.3f}")
+    for gz in (0.6, 2.4, 10.0):
+        for cs in (8, 16, 72):
+            deploy = train_hw.with_(gray_zone_ua=gz, crossbar_size=cs, window_bits=8)
+            net = compile_model(model, deploy)
+            acc = evaluate_accuracy(net, images, labels)
+            ame = average_mismatch_error(cs, gz)
+            print(f"  dIin={gz:5.1f} Cs={cs:3d}: acc={acc:.3f}  (AME={ame:.4f})")
+
+
+if __name__ == "__main__":
+    main()

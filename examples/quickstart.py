@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: train a randomized BNN, deploy it on the AQFP accelerator.
+
+This walks the full SupeRBNN pipeline on a small MLP:
+
+1. generate a synthetic MNIST-like task,
+2. train with the AQFP randomized-aware recipe (erf backward, ReCU,
+   warmup + cosine LR),
+3. compile to hardware — BN matching folds every BatchNorm into
+   per-column threshold currents, filters are tiled over crossbars,
+4. run hardware-faithful inference (stochastic buffers + SC
+   accumulation) and compare against the ideal noise-free device,
+5. report the hardware cost (JJs, power, TOPS/W).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AcceleratorCostModel,
+    HardwareConfig,
+    Mlp,
+    Trainer,
+    TrainingConfig,
+    compile_model,
+    evaluate_accuracy,
+    network_workloads,
+)
+from repro.data import DataLoader, make_mnist_like
+
+
+def main() -> None:
+    # 1. Data ----------------------------------------------------------
+    dataset = make_mnist_like(n_samples=2000, seed=0)
+    train, test = dataset.split(train_fraction=0.8, seed=1)
+    print(f"dataset: {len(train)} train / {len(test)} test, "
+          f"images {train.image_shape}")
+
+    # 2. Hardware-aware training ----------------------------------------
+    hardware = HardwareConfig(crossbar_size=16, gray_zone_ua=10.0, window_bits=16)
+    print(f"hardware: Cs={hardware.crossbar_size}, "
+          f"I1={hardware.unit_current_ua:.2f} uA, "
+          f"dVin={hardware.value_gray_zone:.3f}")
+
+    model = Mlp(in_features=144, hidden=(64, 32), hardware=hardware, seed=0)
+    trainer = Trainer(model, TrainingConfig(epochs=20, warmup_epochs=3))
+    trainer.fit(
+        DataLoader(train, batch_size=64, seed=2),
+        DataLoader(test, batch_size=256, shuffle=False),
+        verbose=True,
+    )
+    print(f"software accuracy (ideal device): {trainer.best_test_accuracy:.3f}")
+
+    # 3. Compile: BN matching + tiling ----------------------------------
+    network = compile_model(model)
+    for i, layer in enumerate(network.tiled_layers):
+        print(f"layer {i}: {layer}")
+
+    # 4. Hardware-faithful inference ------------------------------------
+    acc_ideal = evaluate_accuracy(network, test.images, test.labels, mode="ideal")
+    acc_hw = evaluate_accuracy(network, test.images, test.labels, mode="stochastic")
+    print(f"hardware accuracy: ideal={acc_ideal:.3f}  stochastic={acc_hw:.3f}")
+
+    # 5. Cost report -----------------------------------------------------
+    cost = AcceleratorCostModel(hardware, network_workloads(network, train.image_shape))
+    summary = cost.summary()
+    print(
+        f"cost: power={summary['power_mw'] * 1e3:.2f} uW, "
+        f"throughput={summary['throughput_images_per_ms']:.1f} img/ms, "
+        f"efficiency={summary['tops_per_w']:.3g} TOPS/W "
+        f"({summary['tops_per_w_cooled']:.3g} with 400x cooling)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim for offline editable installs (no `wheel` available)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""A compact reverse-mode automatic differentiation engine on numpy.
+
+This package is the training substrate for SupeRBNN: PyTorch is not
+available offline, so the library ships its own tensor/autograd framework
+with the layers, optimizers, and initializers the paper's training recipe
+needs (conv nets, batch norm, HardTanh, SGD + cosine annealing).
+
+Public surface:
+
+* :class:`Tensor` — numpy-backed tensor with ``backward()``
+* :class:`Function` — base class for ops with custom gradients
+* :func:`no_grad` — context manager disabling graph construction
+* ``Module`` / ``Parameter`` and the layer zoo in :mod:`repro.autograd.layers`
+* optimizers and LR schedules in :mod:`repro.autograd.optim`
+"""
+
+from repro.autograd.tensor import Function, Tensor, is_grad_enabled, no_grad
+from repro.autograd.module import Module, Parameter, Sequential
+from repro.autograd import functional
+from repro.autograd.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    HardTanh,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.autograd.optim import SGD, ConstantLR, CosineAnnealingLR, WarmupCosineLR
+
+__all__ = [
+    "Tensor",
+    "Function",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "functional",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "HardTanh",
+    "ReLU",
+    "Identity",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Flatten",
+    "SGD",
+    "ConstantLR",
+    "CosineAnnealingLR",
+    "WarmupCosineLR",
+]

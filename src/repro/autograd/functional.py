@@ -1,0 +1,209 @@
+"""Neural-network functional ops: convolution, pooling, losses.
+
+Convolution is implemented with im2col/col2im so the heavy lifting stays in
+BLAS matmuls; gradients are exact.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Function, Tensor
+
+
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold NCHW input into columns of shape (N, C*K*K, H_out*W_out)."""
+    n, c, h, w = x.shape
+    h_out = _conv_output_size(h, kernel, stride, padding)
+    w_out = _conv_output_size(w, kernel, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    cols = np.empty((n, c, kernel, kernel, h_out, w_out), dtype=x.dtype)
+    for ki in range(kernel):
+        i_end = ki + stride * h_out
+        for kj in range(kernel):
+            j_end = kj + stride * w_out
+            cols[:, :, ki, kj, :, :] = x[:, :, ki:i_end:stride, kj:j_end:stride]
+    return cols.reshape(n, c * kernel * kernel, h_out * w_out), (h_out, w_out)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold columns back, accumulating overlaps (adjoint of :func:`im2col`)."""
+    n, c, h, w = input_shape
+    h_out = _conv_output_size(h, kernel, stride, padding)
+    w_out = _conv_output_size(w, kernel, stride, padding)
+    cols = cols.reshape(n, c, kernel, kernel, h_out, w_out)
+    h_pad, w_pad = h + 2 * padding, w + 2 * padding
+    x = np.zeros((n, c, h_pad, w_pad), dtype=cols.dtype)
+    for ki in range(kernel):
+        i_end = ki + stride * h_out
+        for kj in range(kernel):
+            j_end = kj + stride * w_out
+            x[:, :, ki:i_end:stride, kj:j_end:stride] += cols[:, :, ki, kj, :, :]
+    if padding > 0:
+        x = x[:, :, padding:-padding, padding:-padding]
+    return x
+
+
+class _Conv2dFn(Function):
+    @staticmethod
+    def forward(ctx, x, weight, bias=None, stride=1, padding=0):
+        n = x.shape[0]
+        c_out, c_in, k, _ = weight.shape
+        cols, (h_out, w_out) = im2col(x, k, stride, padding)
+        w_mat = weight.reshape(c_out, c_in * k * k)
+        out = np.einsum("ok,nkp->nop", w_mat, cols, optimize=True)
+        if bias is not None:
+            out = out + bias.reshape(1, c_out, 1)
+        ctx.save(
+            cols=cols,
+            w_mat=w_mat,
+            x_shape=x.shape,
+            weight_shape=weight.shape,
+            stride=stride,
+            padding=padding,
+            has_bias=bias is not None,
+        )
+        return out.reshape(n, c_out, h_out, w_out)
+
+    @staticmethod
+    def backward(ctx, grad):
+        cols = ctx["cols"]
+        w_mat = ctx["w_mat"]
+        c_out, c_in, k, _ = ctx["weight_shape"]
+        n = grad.shape[0]
+        g = grad.reshape(n, c_out, -1)
+        grad_w = np.einsum("nop,nkp->ok", g, cols, optimize=True).reshape(
+            ctx["weight_shape"]
+        )
+        grad_cols = np.einsum("ok,nop->nkp", w_mat, g, optimize=True)
+        grad_x = col2im(grad_cols, ctx["x_shape"], k, ctx["stride"], ctx["padding"])
+        if ctx["has_bias"]:
+            grad_b = g.sum(axis=(0, 2))
+            return grad_x, grad_w, grad_b
+        return grad_x, grad_w
+
+
+def conv2d(x: Tensor, weight: Tensor, bias=None, stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution over NCHW input (no dilation/groups)."""
+    if bias is None:
+        return _Conv2dFn.apply(x, weight, stride=stride, padding=padding)
+    return _Conv2dFn.apply(x, weight, bias, stride=stride, padding=padding)
+
+
+class _MaxPool2dFn(Function):
+    @staticmethod
+    def forward(ctx, x, kernel=2, stride=None):
+        stride = stride or kernel
+        n, c, h, w = x.shape
+        h_out = (h - kernel) // stride + 1
+        w_out = (w - kernel) // stride + 1
+        cols, _ = im2col(x.reshape(n * c, 1, h, w), kernel, stride, 0)
+        cols = cols.reshape(n * c, kernel * kernel, h_out * w_out)
+        arg = cols.argmax(axis=1)
+        out = np.take_along_axis(cols, arg[:, None, :], axis=1)[:, 0, :]
+        ctx.save(
+            arg=arg,
+            cols_shape=cols.shape,
+            x_shape=x.shape,
+            kernel=kernel,
+            stride=stride,
+        )
+        return out.reshape(n, c, h_out, w_out)
+
+    @staticmethod
+    def backward(ctx, grad):
+        n, c, h, w = ctx["x_shape"]
+        kernel, stride = ctx["kernel"], ctx["stride"]
+        grad_cols = np.zeros(ctx["cols_shape"], dtype=grad.dtype)
+        flat = grad.reshape(n * c, -1)
+        np.put_along_axis(grad_cols, ctx["arg"][:, None, :], flat[:, None, :], axis=1)
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel, stride, 0)
+        return (grad_x.reshape(n, c, h, w),)
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: int = None) -> Tensor:
+    """Max pooling over NCHW input."""
+    return _MaxPool2dFn.apply(x, kernel=kernel, stride=stride)
+
+
+class _AvgPool2dFn(Function):
+    @staticmethod
+    def forward(ctx, x, kernel=2, stride=None):
+        stride = stride or kernel
+        n, c, h, w = x.shape
+        h_out = (h - kernel) // stride + 1
+        w_out = (w - kernel) // stride + 1
+        cols, _ = im2col(x.reshape(n * c, 1, h, w), kernel, stride, 0)
+        out = cols.mean(axis=1)
+        ctx.save(x_shape=x.shape, kernel=kernel, stride=stride, cols_shape=cols.shape)
+        return out.reshape(n, c, h_out, w_out)
+
+    @staticmethod
+    def backward(ctx, grad):
+        n, c, h, w = ctx["x_shape"]
+        kernel, stride = ctx["kernel"], ctx["stride"]
+        flat = grad.reshape(n * c, 1, -1) / (kernel * kernel)
+        grad_cols = np.broadcast_to(flat, ctx["cols_shape"]).copy()
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel, stride, 0)
+        return (grad_x.reshape(n, c, h, w),)
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2, stride: int = None) -> Tensor:
+    """Average pooling over NCHW input."""
+    return _AvgPool2dFn.apply(x, kernel=kernel, stride=stride)
+
+
+class _CrossEntropyFn(Function):
+    """Fused log-softmax + NLL, numerically stable."""
+
+    @staticmethod
+    def forward(ctx, logits, targets):
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        n = logits.shape[0]
+        idx = targets.astype(int)
+        losses = -np.log(np.maximum(probs[np.arange(n), idx], 1e-300))
+        ctx.save(probs=probs, idx=idx, n=n)
+        return np.array(losses.mean())
+
+    @staticmethod
+    def backward(ctx, grad):
+        probs, idx, n = ctx["probs"], ctx["idx"], ctx["n"]
+        g = probs.copy()
+        g[np.arange(n), idx] -= 1.0
+        return (g * (float(grad) / n),)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between logits (N, C) and integer targets (N,)."""
+    targets = np.asarray(targets)
+    return _CrossEntropyFn.apply(logits, targets)
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax built from differentiable primitives."""
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def accuracy(logits: Tensor, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    pred = logits.data.argmax(axis=1)
+    return float((pred == np.asarray(targets)).mean())

@@ -1,0 +1,183 @@
+"""Standard layers: Linear, Conv2d, BatchNorm, activations, pooling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd import init
+from repro.autograd.module import Module, Parameter
+from repro.autograd.tensor import Tensor
+from repro.utils.rng import SeedLike
+
+
+class Linear(Module):
+    """Fully connected layer: ``y = x @ W.T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed: SeedLike = None) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_normal((out_features, in_features), seed))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW tensors."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kernel_size, kernel_size), seed)
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class _BatchNormBase(Module):
+    """Shared batch-norm machinery for the 1-D and 2-D variants."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)))  # gamma
+        self.bias = Parameter(init.zeros((num_features,)))  # beta
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+        # Statistics of the most recent forward (batch stats in training,
+        # running stats in eval); consumed by the randomized binarization
+        # cell to build its value-domain scale.
+        self.last_mean = np.zeros(num_features)
+        self.last_var = np.ones(num_features)
+
+    def _normalize(self, x: Tensor, axes, shape) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=axes, keepdims=True)
+            self.last_mean = mean.data.reshape(-1).copy()
+            self.last_var = var.data.reshape(-1).copy()
+            # Update running stats with the batch statistics (biased var,
+            # matching the inference-time use).
+            m = self.momentum
+            self.update_buffer(
+                "running_mean",
+                (1 - m) * self.running_mean + m * mean.data.reshape(-1),
+            )
+            self.update_buffer(
+                "running_var",
+                (1 - m) * self.running_var + m * var.data.reshape(-1),
+            )
+            inv_std = (var + self.eps) ** -0.5
+            x_hat = centered * inv_std
+        else:
+            mean = Tensor(self.running_mean.reshape(shape))
+            var = Tensor(self.running_var.reshape(shape))
+            x_hat = (x - mean) * ((var + self.eps) ** -0.5)
+            self.last_mean = self.running_mean.copy()
+            self.last_var = self.running_var.copy()
+        gamma = self.weight.reshape(shape)
+        beta = self.bias.reshape(shape)
+        return x_hat * gamma + beta
+
+    def inference_affine(self):
+        """Return (scale, shift) of the folded inference-time transform.
+
+        BN at inference is ``y = scale * x + shift`` with
+        ``scale = gamma / sqrt(var + eps)`` and
+        ``shift = beta - gamma * mu / sqrt(var + eps)``. The BN-matching
+        compiler consumes these (paper Sec. 5.2).
+        """
+        std = np.sqrt(self.running_var + self.eps)
+        scale = self.weight.data / std
+        shift = self.bias.data - self.weight.data * self.running_mean / std
+        return scale, shift
+
+
+class BatchNorm1d(_BatchNormBase):
+    """Batch norm over (N, C) activations."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2:
+            raise ValueError(f"BatchNorm1d expects (N, C), got {x.shape}")
+        return self._normalize(x, axes=0, shape=(1, self.num_features))
+
+
+class BatchNorm2d(_BatchNormBase):
+    """Batch norm over (N, C, H, W) activations."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects (N, C, H, W), got {x.shape}")
+        return self._normalize(x, axes=(0, 2, 3), shape=(1, self.num_features, 1, 1))
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class HardTanh(Module):
+    """Clamp to [low, high]; the activation used before binarization."""
+
+    def __init__(self, low: float = -1.0, high: float = 1.0) -> None:
+        super().__init__()
+        self.low = low
+        self.high = high
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.hardtanh(self.low, self.high)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int = 2, stride: int = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int = 2, stride: int = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)

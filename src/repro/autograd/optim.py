@@ -1,0 +1,131 @@
+"""Optimizers and learning-rate schedules used by the SupeRBNN recipe.
+
+The paper trains with SGD, a 5-epoch warmup, and cosine annealing
+(Sec. 6.1); ``WarmupCosineLR`` implements exactly that schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.autograd.module import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                update = v
+            else:
+                update = grad
+            p.data = p.data - self.lr * update
+
+
+class ConstantLR:
+    """No-op schedule (keeps the optimizer's initial LR)."""
+
+    def __init__(self, optimizer: SGD) -> None:
+        self.optimizer = optimizer
+
+    def step(self) -> None:
+        pass
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.lr
+
+
+class CosineAnnealingLR:
+    """Cosine decay from the initial LR to ``eta_min`` over ``t_max`` steps."""
+
+    def __init__(self, optimizer: SGD, t_max: int, eta_min: float = 0.0) -> None:
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        self.optimizer = optimizer
+        self.t_max = t_max
+        self.eta_min = eta_min
+        self.base_lr = optimizer.lr
+        self._step_count = 0
+
+    def step(self) -> None:
+        self._step_count = min(self._step_count + 1, self.t_max)
+        cos = 0.5 * (1 + math.cos(math.pi * self._step_count / self.t_max))
+        self.optimizer.lr = self.eta_min + (self.base_lr - self.eta_min) * cos
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.lr
+
+
+class WarmupCosineLR:
+    """Linear warmup for ``warmup_steps`` then cosine annealing to ``eta_min``.
+
+    Matches the paper's training setup: LR 0.1, 5 warmup epochs, cosine
+    decay over the remaining epochs.
+    """
+
+    def __init__(
+        self,
+        optimizer: SGD,
+        warmup_steps: int,
+        total_steps: int,
+        eta_min: float = 0.0,
+    ) -> None:
+        if total_steps <= warmup_steps:
+            raise ValueError("total_steps must exceed warmup_steps")
+        self.optimizer = optimizer
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.eta_min = eta_min
+        self.base_lr = optimizer.lr
+        self._step_count = 0
+        if warmup_steps > 0:
+            self.optimizer.lr = self.base_lr / warmup_steps
+
+    def step(self) -> None:
+        self._step_count = min(self._step_count + 1, self.total_steps)
+        if self._step_count < self.warmup_steps:
+            self.optimizer.lr = self.base_lr * (self._step_count + 1) / self.warmup_steps
+            return
+        progress = (self._step_count - self.warmup_steps) / (
+            self.total_steps - self.warmup_steps
+        )
+        cos = 0.5 * (1 + math.cos(math.pi * progress))
+        self.optimizer.lr = self.eta_min + (self.base_lr - self.eta_min) * cos
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.lr

@@ -1,0 +1,538 @@
+"""Numpy-backed tensor with reverse-mode automatic differentiation.
+
+The graph is built eagerly: every differentiable op records its parents and
+a closure computing the parent gradients. ``Tensor.backward()`` runs a
+topological sort and accumulates gradients. Broadcasting follows numpy
+semantics; gradients are un-broadcast back to the parent shapes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import special
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """True when ops should record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw data, got Tensor")
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A numpy array plus gradient bookkeeping.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; stored as ``float64``.
+    requires_grad:
+        Whether gradients should flow to this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_grad_fn", "_op")
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents: Tuple[Tensor, ...] = ()
+        self._grad_fn: Optional[Callable[[np.ndarray], Sequence[Optional[np.ndarray]]]] = None
+        self._op = ""
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        grad_fn: Callable[[np.ndarray], Sequence[Optional[np.ndarray]]],
+        op: str,
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._grad_fn = grad_fn
+            out._op = op
+        return out
+
+    @staticmethod
+    def ensure(value, requires_grad: bool = False) -> "Tensor":
+        """Coerce a scalar/array/Tensor to Tensor."""
+        if isinstance(value, Tensor):
+            return value
+        return Tensor(value, requires_grad=requires_grad)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Detached copy of the payload."""
+        return self.data.copy()
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """A tensor sharing data but cut from the graph."""
+        out = Tensor(self.data)
+        return out
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag}, op={self._op!r})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (only valid for scalar outputs, mirroring
+        the usual loss.backward() idiom).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        order = self._topological_order()
+        grads = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            # Leaf accumulation: anything without a grad_fn is a leaf.
+            if node._grad_fn is None:
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            parent_grads = node._grad_fn(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+    def _topological_order(self) -> List["Tensor"]:
+        """Reverse topological order starting at self (iterative DFS)."""
+        visited = set()
+        order: List[Tensor] = []
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = Tensor.ensure(other)
+        a, b = self, other
+
+        def grad_fn(g):
+            return (_unbroadcast(g, a.shape), _unbroadcast(g, b.shape))
+
+        return Tensor._make(a.data + b.data, (a, b), grad_fn, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = Tensor.ensure(other)
+        a, b = self, other
+
+        def grad_fn(g):
+            return (_unbroadcast(g, a.shape), _unbroadcast(-g, b.shape))
+
+        return Tensor._make(a.data - b.data, (a, b), grad_fn, "sub")
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor.ensure(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = Tensor.ensure(other)
+        a, b = self, other
+
+        def grad_fn(g):
+            return (
+                _unbroadcast(g * b.data, a.shape),
+                _unbroadcast(g * a.data, b.shape),
+            )
+
+        return Tensor._make(a.data * b.data, (a, b), grad_fn, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = Tensor.ensure(other)
+        a, b = self, other
+
+        def grad_fn(g):
+            return (
+                _unbroadcast(g / b.data, a.shape),
+                _unbroadcast(-g * a.data / (b.data**2), b.shape),
+            )
+
+        return Tensor._make(a.data / b.data, (a, b), grad_fn, "div")
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor.ensure(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        a = self
+
+        def grad_fn(g):
+            return (-g,)
+
+        return Tensor._make(-a.data, (a,), grad_fn, "neg")
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        a = self
+        p = float(exponent)
+
+        def grad_fn(g):
+            return (g * p * np.power(a.data, p - 1.0),)
+
+        return Tensor._make(np.power(a.data, p), (a,), grad_fn, "pow")
+
+    def __matmul__(self, other) -> "Tensor":
+        other = Tensor.ensure(other)
+        a, b = self, other
+
+        def grad_fn(g):
+            ga = g @ np.swapaxes(b.data, -1, -2)
+            gb = np.swapaxes(a.data, -1, -2) @ g
+            return (_unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape))
+
+        return Tensor._make(a.data @ b.data, (a, b), grad_fn, "matmul")
+
+    # ------------------------------------------------------------------
+    # Nonlinear elementwise ops
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        a = self
+        out_data = np.exp(a.data)
+
+        def grad_fn(g):
+            return (g * out_data,)
+
+        return Tensor._make(out_data, (a,), grad_fn, "exp")
+
+    def log(self) -> "Tensor":
+        a = self
+
+        def grad_fn(g):
+            return (g / a.data,)
+
+        return Tensor._make(np.log(a.data), (a,), grad_fn, "log")
+
+    def sqrt(self) -> "Tensor":
+        a = self
+        out_data = np.sqrt(a.data)
+
+        def grad_fn(g):
+            return (g * 0.5 / out_data,)
+
+        return Tensor._make(out_data, (a,), grad_fn, "sqrt")
+
+    def tanh(self) -> "Tensor":
+        a = self
+        out_data = np.tanh(a.data)
+
+        def grad_fn(g):
+            return (g * (1.0 - out_data**2),)
+
+        return Tensor._make(out_data, (a,), grad_fn, "tanh")
+
+    def erf(self) -> "Tensor":
+        """Error function; d/dx erf(x) = 2/sqrt(pi) * exp(-x^2).
+
+        This is the smooth surrogate SupeRBNN differentiates through in the
+        randomized-aware backward pass (paper Eq. 10).
+        """
+        a = self
+
+        def grad_fn(g):
+            return (g * (2.0 / np.sqrt(np.pi)) * np.exp(-a.data**2),)
+
+        return Tensor._make(special.erf(a.data), (a,), grad_fn, "erf")
+
+    def abs(self) -> "Tensor":
+        a = self
+
+        def grad_fn(g):
+            return (g * np.sign(a.data),)
+
+        return Tensor._make(np.abs(a.data), (a,), grad_fn, "abs")
+
+    def relu(self) -> "Tensor":
+        a = self
+        mask = a.data > 0
+
+        def grad_fn(g):
+            return (g * mask,)
+
+        return Tensor._make(a.data * mask, (a,), grad_fn, "relu")
+
+    def hardtanh(self, low: float = -1.0, high: float = 1.0) -> "Tensor":
+        a = self
+        mask = (a.data > low) & (a.data < high)
+
+        def grad_fn(g):
+            return (g * mask,)
+
+        return Tensor._make(np.clip(a.data, low, high), (a,), grad_fn, "hardtanh")
+
+    def clamp(self, low: float, high: float) -> "Tensor":
+        return self.hardtanh(low, high)
+
+    # ------------------------------------------------------------------
+    # Reductions and shape ops
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+
+        def grad_fn(g):
+            g = np.asarray(g)
+            if axis is None:
+                return (np.broadcast_to(g, a.shape).copy(),)
+            ax = axis if isinstance(axis, tuple) else (axis,)
+            if not keepdims:
+                g = np.expand_dims(g, ax)
+            return (np.broadcast_to(g, a.shape).copy(),)
+
+        return Tensor._make(a.data.sum(axis=axis, keepdims=keepdims), (a,), grad_fn, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        if axis is None:
+            count = a.data.size
+        else:
+            ax = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([a.shape[i] for i in ax]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.max(axis=axis, keepdims=True)
+
+        def grad_fn(g):
+            g = np.asarray(g)
+            if axis is not None and not keepdims:
+                ax = axis if isinstance(axis, tuple) else (axis,)
+                g = np.expand_dims(g, ax)
+            mask = a.data == out_data
+            # Split gradient between ties like numpy's subgradient convention.
+            counts = mask.sum(axis=axis, keepdims=True)
+            return (np.broadcast_to(g, a.shape) * mask / counts,)
+
+        final = out_data if keepdims else np.squeeze(out_data, axis=axis)
+        return Tensor._make(final, (a,), grad_fn, "max")
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        old_shape = a.shape
+
+        def grad_fn(g):
+            return (g.reshape(old_shape),)
+
+        return Tensor._make(a.data.reshape(shape), (a,), grad_fn, "reshape")
+
+    def transpose(self, axes: Optional[Iterable[int]] = None) -> "Tensor":
+        a = self
+        axes_t = tuple(axes) if axes is not None else tuple(reversed(range(a.ndim)))
+        inverse = tuple(np.argsort(axes_t))
+
+        def grad_fn(g):
+            return (g.transpose(inverse),)
+
+        return Tensor._make(a.data.transpose(axes_t), (a,), grad_fn, "transpose")
+
+    def __getitem__(self, index) -> "Tensor":
+        a = self
+
+        def grad_fn(g):
+            out = np.zeros_like(a.data)
+            np.add.at(out, index, g)
+            return (out,)
+
+        return Tensor._make(a.data[index], (a,), grad_fn, "getitem")
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the last two axes symmetrically (NCHW layout)."""
+        if padding == 0:
+            return self
+        a = self
+        pad_width = [(0, 0)] * (a.ndim - 2) + [(padding, padding), (padding, padding)]
+
+        def grad_fn(g):
+            slices = tuple(
+                slice(None) if before == 0 else slice(before, -after or None)
+                for before, after in pad_width
+            )
+            return (g[slices],)
+
+        return Tensor._make(np.pad(a.data, pad_width), (a,), grad_fn, "pad2d")
+
+    # ------------------------------------------------------------------
+    # Comparison / misc helpers (non-differentiable, return arrays)
+    # ------------------------------------------------------------------
+    def argmax(self, axis=None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    tensors = [Tensor.ensure(t) for t in tensors]
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def grad_fn(g):
+        grads = []
+        for i in range(len(tensors)):
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(int(offsets[i]), int(offsets[i + 1]))
+            grads.append(g[tuple(slicer)])
+        return tuple(grads)
+
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    return Tensor._make(data, tuple(tensors), grad_fn, "concat")
+
+
+class Function:
+    """Base class for ops with hand-written gradients.
+
+    Subclasses implement ``forward(ctx, *arrays, **kwargs) -> np.ndarray``
+    and ``backward(ctx, grad) -> tuple`` (one entry per tensor input; use
+    ``None`` for non-differentiable inputs). ``ctx`` is a plain namespace
+    for stashing values between the passes. Invoke with ``Apply = MyFn.apply``.
+    """
+
+    @staticmethod
+    def forward(ctx, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @staticmethod
+    def backward(ctx, grad):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    class _Context:
+        __slots__ = ("saved",)
+
+        def __init__(self) -> None:
+            self.saved = {}
+
+        def save(self, **kwargs) -> None:
+            self.saved.update(kwargs)
+
+        def __getitem__(self, key):
+            return self.saved[key]
+
+    @classmethod
+    def apply(cls, *args, **kwargs) -> Tensor:
+        tensor_args = [a for a in args if isinstance(a, Tensor)]
+        raw_args = [a.data if isinstance(a, Tensor) else a for a in args]
+        ctx = cls._Context()
+        out_data = cls.forward(ctx, *raw_args, **kwargs)
+
+        def grad_fn(g):
+            grads = cls.backward(ctx, g)
+            if not isinstance(grads, tuple):
+                grads = (grads,)
+            # Map returned grads back onto tensor inputs (positional).
+            result = []
+            grad_iter = iter(grads)
+            for a in args:
+                if isinstance(a, Tensor):
+                    result.append(next(grad_iter, None))
+            return tuple(result)
+
+        return Tensor._make(
+            np.asarray(out_data, dtype=np.float64),
+            tuple(tensor_args),
+            grad_fn,
+            cls.__name__,
+        )

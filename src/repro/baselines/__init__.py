@@ -1,0 +1,34 @@
+"""Comparison baselines (paper Tables 2-3, Fig. 12).
+
+The paper compares SupeRBNN against *published* operating points of
+other accelerators (CMOS, ReRAM, MRAM, RSFQ/ERSFQ, SC-AQFP) plus
+analytic cryo-CMOS scaling laws. :mod:`repro.baselines.specs` encodes
+those operating points as data; :mod:`repro.baselines.cryo` implements
+the temperature/frequency scaling used in Fig. 12.
+"""
+
+from repro.baselines.specs import (
+    CIFAR10_BASELINES,
+    MNIST_BASELINES,
+    BaselineSpec,
+    get_baseline,
+)
+from repro.baselines.cryo import (
+    CRYO_COOLING_OVERHEAD_77K,
+    CRYO_EFFICIENCY_GAIN_77K,
+    aqfp_efficiency_vs_frequency,
+    cmos_efficiency_vs_frequency,
+    cryo_cmos_efficiency,
+)
+
+__all__ = [
+    "BaselineSpec",
+    "CIFAR10_BASELINES",
+    "MNIST_BASELINES",
+    "get_baseline",
+    "cryo_cmos_efficiency",
+    "aqfp_efficiency_vs_frequency",
+    "cmos_efficiency_vs_frequency",
+    "CRYO_EFFICIENCY_GAIN_77K",
+    "CRYO_COOLING_OVERHEAD_77K",
+]

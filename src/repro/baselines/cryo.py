@@ -1,0 +1,114 @@
+"""Cryogenic scaling laws for the device-level comparison (Fig. 12).
+
+Paper Sec. 6.5: at 77 K (liquid nitrogen), Cryo-CMOS gains about 1.5x
+energy efficiency over room-temperature CMOS, while cooling costs about
+9.65x the device power — so cooled efficiency divides by 10.65. Our AQFP
+point at 4.2 K pays the 400x helium-cryocooler overhead instead.
+
+Frequency dependence: AQFP is *adiabatic* — dissipation per operation
+scales roughly linearly with clock rate (slower switching is more
+adiabatic), so TOPS/W improves as the clock drops. CMOS dynamic energy
+per op is frequency-independent to first order, but leakage makes very
+low clocks less efficient; we model a mild leakage penalty. These two
+laws reproduce the shape of Fig. 12: a flat-ish CMOS band, a Cryo-CMOS
+band 1.5x above it (an order below once cooling is charged), and the
+AQFP curve 4+ orders higher, rising toward low frequency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.hardware.cost import COOLING_OVERHEAD_FACTOR
+
+#: Cryo-CMOS (77 K) efficiency gain over 300 K CMOS (paper Sec. 6.5).
+CRYO_EFFICIENCY_GAIN_77K = 1.5
+#: Cooling watts per device watt at 77 K (paper Sec. 6.5).
+CRYO_COOLING_OVERHEAD_77K = 9.65
+
+#: Reference clock of our AQFP design.
+AQFP_REFERENCE_FREQUENCY_HZ = 5e9
+#: Fraction of CMOS power that is leakage at the design frequency; sets
+#: how quickly CMOS efficiency degrades when clocked down.
+CMOS_LEAKAGE_FRACTION = 0.1
+
+
+def cryo_cmos_efficiency(
+    room_temperature_tops_per_w: float, with_cooling: bool = False
+) -> float:
+    """77 K Cryo-CMOS efficiency from a 300 K baseline."""
+    if room_temperature_tops_per_w <= 0:
+        raise ValueError("baseline efficiency must be positive")
+    eff = room_temperature_tops_per_w * CRYO_EFFICIENCY_GAIN_77K
+    if with_cooling:
+        eff /= 1.0 + CRYO_COOLING_OVERHEAD_77K
+    return eff
+
+
+def aqfp_efficiency_vs_frequency(
+    tops_per_w_at_reference: float,
+    frequency_hz: float,
+    with_cooling: bool = False,
+) -> float:
+    """AQFP TOPS/W at an arbitrary clock (energy/op scales with f)."""
+    if tops_per_w_at_reference <= 0 or frequency_hz <= 0:
+        raise ValueError("efficiency and frequency must be positive")
+    eff = tops_per_w_at_reference * (AQFP_REFERENCE_FREQUENCY_HZ / frequency_hz)
+    if with_cooling:
+        eff /= COOLING_OVERHEAD_FACTOR
+    return eff
+
+
+def cmos_efficiency_vs_frequency(
+    tops_per_w_at_design: float,
+    frequency_hz: float,
+    design_frequency_hz: float,
+) -> float:
+    """CMOS TOPS/W vs clock with a leakage penalty at low frequency.
+
+    ``eff(f) = eff0 * (1 + leak) / (1 + leak * f0 / f)`` — flat near and
+    above the design point, degrading as leakage dominates at low f.
+    """
+    if min(tops_per_w_at_design, frequency_hz, design_frequency_hz) <= 0:
+        raise ValueError("all arguments must be positive")
+    leak = CMOS_LEAKAGE_FRACTION
+    return (
+        tops_per_w_at_design
+        * (1.0 + leak)
+        / (1.0 + leak * design_frequency_hz / frequency_hz)
+    )
+
+
+def frequency_sweep(
+    aqfp_tops_per_w_at_5ghz: float,
+    frequencies_ghz: Iterable[float] = (0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0),
+    cmos_points: Dict[str, Dict] = None,
+) -> List[Dict[str, float]]:
+    """Build the Fig. 12 dataset.
+
+    ``cmos_points`` maps a label to ``{"tops_per_w": ..., "frequency_hz":
+    ...}`` design points (defaults to CMOS-BNN and HERMES from the
+    paper). Returns one row per frequency with every series.
+    """
+    if cmos_points is None:
+        cmos_points = {
+            "CMOS-BNN": {"tops_per_w": 617.0, "frequency_hz": 622e6},
+            "HERMES": {"tops_per_w": 10.5, "frequency_hz": 1e9},
+        }
+    rows: List[Dict[str, float]] = []
+    for f_ghz in frequencies_ghz:
+        f_hz = f_ghz * 1e9
+        row: Dict[str, float] = {"frequency_ghz": f_ghz}
+        row["aqfp"] = aqfp_efficiency_vs_frequency(aqfp_tops_per_w_at_5ghz, f_hz)
+        row["aqfp_cooled"] = aqfp_efficiency_vs_frequency(
+            aqfp_tops_per_w_at_5ghz, f_hz, with_cooling=True
+        )
+        for label, spec in cmos_points.items():
+            base = cmos_efficiency_vs_frequency(
+                spec["tops_per_w"], f_hz, spec["frequency_hz"]
+            )
+            row[f"cmos_{label}"] = base
+            row[f"cryo_{label}"] = cryo_cmos_efficiency(base)
+            row[f"cryo_{label}_cooled"] = cryo_cmos_efficiency(base, with_cooling=True)
+        rows.append(row)
+    return rows

@@ -1,0 +1,145 @@
+"""Published baseline operating points (paper Tables 2-3).
+
+Numbers are copied from the paper's tables; ``None`` marks entries the
+paper leaves blank. Energy efficiencies are TOPS/W; power mW; throughput
+images/ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BaselineSpec:
+    """One published accelerator operating point."""
+
+    name: str
+    technology: str
+    scheme: str  # "full-precision" or "binary"
+    dataset: str
+    accuracy: float
+    tops_per_w: Optional[float] = None
+    tops_per_w_cooled: Optional[float] = None
+    power_mw: Optional[float] = None
+    throughput_images_per_ms: Optional[float] = None
+    frequency_hz: Optional[float] = None
+    reference: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy <= 100.0:
+            raise ValueError(f"accuracy must be a percentage, got {self.accuracy}")
+
+
+#: Table 2 — CIFAR-10 comparisons.
+CIFAR10_BASELINES: Tuple[BaselineSpec, ...] = (
+    BaselineSpec(
+        name="DDN",
+        technology="CMOS digital (DaDianNao)",
+        scheme="full-precision",
+        dataset="cifar10",
+        accuracy=92.5,
+        tops_per_w=0.28,
+        reference="[16]",
+    ),
+    BaselineSpec(
+        name="IMB",
+        technology="ReRAM crossbar",
+        scheme="binary",
+        dataset="cifar10",
+        accuracy=87.7,
+        tops_per_w=82.6,
+        power_mw=12.5,
+        throughput_images_per_ms=1.3,
+        reference="[40]",
+    ),
+    BaselineSpec(
+        name="STT-BNN",
+        technology="STT-MRAM in-memory",
+        scheme="binary",
+        dataset="cifar10",
+        accuracy=80.1,
+        tops_per_w=311.0,
+        reference="[54]",
+    ),
+    BaselineSpec(
+        name="CMOS-BNN",
+        technology="10nm FinFET CMOS (13 MHz)",
+        scheme="binary",
+        dataset="cifar10",
+        accuracy=92.0,
+        tops_per_w=617.0,
+        frequency_hz=13e6,
+        reference="[42]",
+    ),
+)
+
+#: Table 3 — MNIST comparisons (all on the JBNN MLP architecture).
+MNIST_BASELINES: Tuple[BaselineSpec, ...] = (
+    BaselineSpec(
+        name="SyncBNN",
+        technology="CMOS",
+        scheme="binary",
+        dataset="mnist",
+        accuracy=98.4,
+        tops_per_w=36.6,
+        tops_per_w_cooled=36.6,
+        reference="[27]",
+    ),
+    BaselineSpec(
+        name="RSFQ",
+        technology="RSFQ superconducting",
+        scheme="binary",
+        dataset="mnist",
+        accuracy=97.9,
+        tops_per_w=2.4e3,
+        tops_per_w_cooled=8.1,
+        reference="[27]",
+    ),
+    BaselineSpec(
+        name="ERSFQ",
+        technology="ERSFQ superconducting",
+        scheme="binary",
+        dataset="mnist",
+        accuracy=97.9,
+        tops_per_w=1.5e4,
+        tops_per_w_cooled=50.0,
+        reference="[27]",
+    ),
+    BaselineSpec(
+        name="SC-AQFP",
+        technology="AQFP pure stochastic computing",
+        scheme="binary",
+        dataset="mnist",
+        accuracy=96.9,
+        tops_per_w=9.8e3,
+        tops_per_w_cooled=24.5,
+        reference="[13]",
+    ),
+)
+
+#: The paper's own reported rows (for EXPERIMENTS.md comparisons).
+PAPER_SUPERBNN_CIFAR10: Tuple[Dict, ...] = (
+    {"model": "VGG-Small", "accuracy": 91.7, "tops_per_w": 1.9e5, "tops_per_w_cooled": 4.8e2, "power_mw": 6.2e-3, "throughput_images_per_ms": 2.0},
+    {"model": "VGG-Small", "accuracy": 90.6, "tops_per_w": 3.8e5, "tops_per_w_cooled": 9.5e2, "power_mw": 6.3e-3, "throughput_images_per_ms": 3.9},
+    {"model": "VGG-Small", "accuracy": 89.2, "tops_per_w": 1.5e6, "tops_per_w_cooled": 3.8e3, "power_mw": 6.4e-3, "throughput_images_per_ms": 15.2},
+    {"model": "VGG-Small", "accuracy": 87.4, "tops_per_w": 6.8e6, "tops_per_w_cooled": 1.7e4, "power_mw": 7.6e-3, "throughput_images_per_ms": 47.4},
+    {"model": "ResNet-18", "accuracy": 92.2, "tops_per_w": 1.9e5, "tops_per_w_cooled": 4.8e2, "power_mw": 6.2e-3, "throughput_images_per_ms": 2.2},
+)
+
+PAPER_SUPERBNN_MNIST: Dict = {
+    "model": "MLP",
+    "accuracy": 98.1,
+    "tops_per_w": 1.5e6,
+    "tops_per_w_cooled": 3.8e3,
+}
+
+
+def get_baseline(name: str, dataset: str) -> BaselineSpec:
+    """Look up a baseline by name and dataset (case-insensitive)."""
+    pool = CIFAR10_BASELINES if dataset.lower() == "cifar10" else MNIST_BASELINES
+    for spec in pool:
+        if spec.name.lower() == name.lower():
+            return spec
+    raise KeyError(f"no baseline {name!r} for dataset {dataset!r}")

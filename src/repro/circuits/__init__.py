@@ -1,0 +1,52 @@
+"""Gate-level AQFP circuits: netlists, clocking, counters, comparators.
+
+These are the digital peripherals of the accelerator (paper Sec. 4.3-4.4):
+
+* :mod:`repro.circuits.netlist` — DAG of standard cells with levelization
+  and path-balancing buffer insertion.
+* :mod:`repro.circuits.clocking` — n-phase clocking schemes and the JJ
+  reduction analysis of Sec. 4.4.
+* :mod:`repro.circuits.apc` — (approximate) parallel counters that sum
+  stochastic bit-streams.
+* :mod:`repro.circuits.comparator` — binary comparator used as the step
+  function after the APC.
+* :mod:`repro.circuits.memory` — buffer-chain memory (BCM).
+"""
+
+from repro.circuits.netlist import Gate, Netlist
+from repro.circuits.clocking import (
+    ClockingScheme,
+    jj_reduction_vs_four_phase,
+    path_balance,
+)
+from repro.circuits.apc import (
+    ApproximateParallelCounter,
+    ExactPopcount,
+    build_apc_netlist,
+)
+from repro.circuits.comparator import BinaryComparator, build_comparator_netlist
+from repro.circuits.memory import BufferChainMemory
+from repro.circuits.splitters import (
+    SplitterReport,
+    compute_fanout,
+    fanout_violations,
+    insert_splitters,
+)
+
+__all__ = [
+    "Gate",
+    "Netlist",
+    "ClockingScheme",
+    "path_balance",
+    "jj_reduction_vs_four_phase",
+    "ExactPopcount",
+    "ApproximateParallelCounter",
+    "build_apc_netlist",
+    "BinaryComparator",
+    "build_comparator_netlist",
+    "BufferChainMemory",
+    "insert_splitters",
+    "compute_fanout",
+    "fanout_violations",
+    "SplitterReport",
+]

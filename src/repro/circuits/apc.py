@@ -1,0 +1,209 @@
+"""(Approximate) parallel counters — the SC accumulation workhorse.
+
+The SC-based accumulation module (paper Sec. 4.3, Fig. 6b) sums the
+stochastic bits arriving from the neuron circuits of multiple crossbars
+with an *approximate parallel counter* (APC, Kim et al. 2015 — the
+paper's [41]): the first compression layer replaces full adders with
+plain AND/OR pairs. Because ``a + b == (a | b) + (a & b)`` exactly, the
+AND/OR pair is a lossless 2:2 compressor that is much cheaper in AQFP
+cells than a full adder; the *approximate* variant drops the AND outputs
+(each dropped AND undercounts by ``a & b``), trading a small counting
+error for fewer gates.
+
+Two layers of functionality live here:
+
+* :class:`ExactPopcount` / :class:`ApproximateParallelCounter` — fast
+  vectorized counting used inside the accelerator simulator.
+* :func:`build_apc_netlist` — a structural gate-level netlist (with
+  explicit splitters for fanout) used by the cost model and the clocking
+  ablation of Sec. 4.4.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.device.cells import CELL_LIBRARY
+
+
+class ExactPopcount:
+    """Reference counter: number of ones among the input bits."""
+
+    def count(self, bits: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Count ones along ``axis``; input may be 0/1 or +-1 encoded."""
+        b = np.asarray(bits)
+        ones = (b > 0).astype(np.int64)
+        return ones.sum(axis=axis)
+
+
+class ApproximateParallelCounter:
+    """APC with a configurable number of approximate OR-only layers.
+
+    ``approximate_layers = 0`` reproduces the exact count. Each
+    approximate layer halves the live lines using OR gates only, which
+    undercounts pairs of simultaneous ones. Hardware uses 1 approximate
+    layer (the paper's choice); the ablation bench sweeps it.
+    """
+
+    def __init__(self, approximate_layers: int = 1) -> None:
+        if approximate_layers < 0:
+            raise ValueError(
+                f"approximate_layers must be >= 0, got {approximate_layers}"
+            )
+        self.approximate_layers = approximate_layers
+
+    def count(self, bits: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Count ones along ``axis`` with the approximate compression.
+
+        Each OR layer merges pairs into single lines, so coincident ones
+        are counted once — the approximation *undercounts*, saturating at
+        ``n / 2^layers``.
+        """
+        b = np.asarray(bits)
+        ones = (b > 0).astype(np.int64)
+        ones = np.moveaxis(ones, axis, -1)
+        for _ in range(self.approximate_layers):
+            n = ones.shape[-1]
+            if n < 2:
+                break
+            even = ones[..., 0 : n - n % 2 : 2]
+            odd = ones[..., 1 : n - n % 2 : 2]
+            compressed = even | odd
+            if n % 2:
+                compressed = np.concatenate(
+                    [compressed, ones[..., -1:]], axis=-1
+                )
+            ones = compressed
+        return ones.sum(axis=-1)
+
+    def max_undercount(self, n_inputs: int) -> int:
+        """Worst-case undercount for ``n_inputs`` lines (all ones input)."""
+        if n_inputs < 0:
+            raise ValueError(f"n_inputs must be >= 0, got {n_inputs}")
+        count_all_ones = self.count(np.ones(n_inputs, dtype=np.int64))
+        return n_inputs - int(count_all_ones)
+
+
+# ----------------------------------------------------------------------
+# Structural netlist generation
+# ----------------------------------------------------------------------
+class _NetlistBuilder:
+    """Helper managing unique ids and explicit splitter insertion."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self._counter = 0
+
+    def fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    def split2(self, node: str) -> Tuple[str, str]:
+        """Duplicate a signal through an explicit splitter cell."""
+        s = self.netlist.add_gate(self.fresh("split"), "splitter", [node])
+        # A physical splitter has two output transformers; structurally we
+        # let both consumers reference the same splitter gate.
+        return s, s
+
+    def half_adder(self, a: str, b: str) -> Tuple[str, str]:
+        a1, a2 = self.split2(a)
+        b1, b2 = self.split2(b)
+        s = self.netlist.add_gate(self.fresh("ha_sum"), "xor2", [a1, b1])
+        c = self.netlist.add_gate(self.fresh("ha_carry"), "and2", [a2, b2])
+        return s, c
+
+    def full_adder(self, a: str, b: str, cin: str) -> Tuple[str, str]:
+        a1, a2 = self.split2(a)
+        b1, b2 = self.split2(b)
+        t = self.netlist.add_gate(self.fresh("fa_t"), "xor2", [a1, b1])
+        t1, t2 = self.split2(t)
+        c1, c2 = self.split2(cin)
+        s = self.netlist.add_gate(self.fresh("fa_sum"), "xor2", [t1, c1])
+        carry = self.netlist.add_gate(self.fresh("fa_carry"), "majority3", [a2, b2, c2])
+        return s, carry
+
+    def add_numbers(self, num_a: List[str], num_b: List[str]) -> List[str]:
+        """Ripple-carry addition of two LSB-first bit vectors."""
+        width = max(len(num_a), len(num_b))
+        result: List[str] = []
+        carry: Optional[str] = None
+        for i in range(width):
+            a = num_a[i] if i < len(num_a) else None
+            b = num_b[i] if i < len(num_b) else None
+            operands = [x for x in (a, b, carry) if x is not None]
+            if len(operands) == 3:
+                s, carry = self.full_adder(*operands)
+            elif len(operands) == 2:
+                s, carry = self.half_adder(*operands)
+            elif len(operands) == 1:
+                s, carry = operands[0], None
+            else:
+                break
+            result.append(s)
+        if carry is not None:
+            result.append(carry)
+        return result
+
+
+def build_apc_netlist(
+    n_inputs: int,
+    approximate_layers: int = 1,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Generate the gate-level netlist of an APC over ``n_inputs`` bits.
+
+    Structure: ``approximate_layers`` OR-compression layers, then a
+    balanced adder tree (half/full adders with explicit splitters) summing
+    the surviving lines into a binary number. Outputs are the count bits,
+    LSB first. The returned netlist evaluates correctly under
+    :meth:`Netlist.evaluate` (matching
+    :meth:`ApproximateParallelCounter.count`).
+    """
+    if n_inputs < 1:
+        raise ValueError(f"n_inputs must be >= 1, got {n_inputs}")
+    netlist = Netlist(name=name or f"apc{n_inputs}_a{approximate_layers}")
+    builder = _NetlistBuilder(netlist)
+    lines = [netlist.add_input(f"in_{i}") for i in range(n_inputs)]
+
+    for layer in range(approximate_layers):
+        if len(lines) < 2:
+            break
+        compressed: List[str] = []
+        for i in range(0, len(lines) - 1, 2):
+            out = netlist.add_gate(
+                builder.fresh(f"orc{layer}"), "or2", [lines[i], lines[i + 1]]
+            )
+            compressed.append(out)
+        if len(lines) % 2:
+            compressed.append(lines[-1])
+        lines = compressed
+
+    # Adder tree: treat each line as a 1-bit number, reduce pairwise.
+    numbers: List[List[str]] = [[line] for line in lines]
+    while len(numbers) > 1:
+        next_round: List[List[str]] = []
+        for i in range(0, len(numbers) - 1, 2):
+            next_round.append(builder.add_numbers(numbers[i], numbers[i + 1]))
+        if len(numbers) % 2:
+            next_round.append(numbers[-1])
+        numbers = next_round
+
+    for bit in numbers[0]:
+        netlist.mark_output(bit)
+    return netlist
+
+
+def apc_output_width(n_inputs: int) -> int:
+    """Bits needed to represent counts 0..n_inputs."""
+    if n_inputs < 1:
+        raise ValueError(f"n_inputs must be >= 1, got {n_inputs}")
+    return int(math.floor(math.log2(n_inputs))) + 1
+
+
+def apc_jj_count(n_inputs: int, approximate_layers: int = 1) -> int:
+    """Logic-JJ count of the APC netlist (no path-balancing buffers)."""
+    return build_apc_netlist(n_inputs, approximate_layers).logic_jj_count()

@@ -1,0 +1,71 @@
+"""Binary comparator: the step function after the APC (paper Fig. 6b).
+
+The comparator receives the APC's binary count and a programmed reference
+and emits the 1-bit activation for the next BNN layer: '1' when
+``count >= reference``. Functionally this is a threshold; structurally we
+synthesize a ripple magnitude comparator from XNOR/AND/OR cells so the
+cost model and clocking ablation can account for it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+
+
+class BinaryComparator:
+    """Vectorized functional comparator.
+
+    Parameters
+    ----------
+    reference:
+        Threshold value; output is +1 when the input count is >= this,
+        else -1 (bipolar encoding matches the crossbar input convention).
+    """
+
+    def __init__(self, reference: float) -> None:
+        self.reference = float(reference)
+
+    def compare(self, counts) -> np.ndarray:
+        """+1 where ``counts >= reference``, -1 otherwise."""
+        c = np.asarray(counts)
+        return np.where(c >= self.reference, 1.0, -1.0)
+
+    def __call__(self, counts) -> np.ndarray:
+        return self.compare(counts)
+
+
+def build_comparator_netlist(width: int, name: Optional[str] = None) -> Netlist:
+    """Ripple magnitude comparator: ``V >= R`` for two ``width``-bit inputs.
+
+    Inputs: ``v_0..v_{w-1}`` and ``r_0..r_{w-1}`` (LSB first). Output is
+    a single bit. Recurrence from LSB to MSB:
+
+        ge_i = (v_i AND NOT r_i) OR (XNOR(v_i, r_i) AND ge_{i-1})
+
+    with ``ge_{-1} = 1`` (equal values compare as >=).
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    netlist = Netlist(name=name or f"cmp{width}")
+    v_bits = [netlist.add_input(f"v_{i}") for i in range(width)]
+    r_bits = [netlist.add_input(f"r_{i}") for i in range(width)]
+    ge = netlist.add_constant("ge_init", 1)
+    for i in range(width):
+        v_split = netlist.add_gate(f"vsplit_{i}", "splitter", [v_bits[i]])
+        r_split = netlist.add_gate(f"rsplit_{i}", "splitter", [r_bits[i]])
+        r_not = netlist.add_gate(f"rnot_{i}", "inverter", [r_split])
+        gt = netlist.add_gate(f"gt_{i}", "and2", [v_split, r_not])
+        eq = netlist.add_gate(f"eq_{i}", "xnor2", [v_split, r_split])
+        keep = netlist.add_gate(f"keep_{i}", "and2", [eq, ge])
+        ge = netlist.add_gate(f"ge_{i}", "or2", [gt, keep])
+    netlist.mark_output(ge)
+    return netlist
+
+
+def comparator_jj_count(width: int) -> int:
+    """Logic-JJ count of the ripple comparator."""
+    return build_comparator_netlist(width).logic_jj_count()

@@ -1,0 +1,201 @@
+"""Cell-level netlists with levelization for AQFP synchronization.
+
+AQFP logic is globally clocked: every gate occupies one logic stage and
+data must advance exactly one stage per clock phase group. A gate whose
+fanins sit more than one stage earlier needs path-balancing buffers on the
+short paths — the dominant area overhead the clocking optimization of
+paper Sec. 4.4 attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.device.cells import CELL_LIBRARY, CellLibrary
+
+
+@dataclass
+class Gate:
+    """One instance of a standard cell.
+
+    ``fanins`` are gate ids (or input names) feeding this gate; primary
+    inputs are represented by ids registered via :meth:`Netlist.add_input`.
+    """
+
+    gate_id: str
+    cell: str
+    fanins: Tuple[str, ...] = field(default_factory=tuple)
+
+
+class Netlist:
+    """A DAG of gates over a cell library.
+
+    Provides levelization (longest-path stage assignment) and JJ
+    accounting. Buffer insertion for path balancing lives in
+    :mod:`repro.circuits.clocking` because it depends on the clocking
+    scheme.
+    """
+
+    def __init__(self, library: CellLibrary = CELL_LIBRARY, name: str = "netlist") -> None:
+        self.library = library
+        self.name = name
+        self._gates: Dict[str, Gate] = {}
+        self._inputs: List[str] = []
+        self._outputs: List[str] = []
+        self._constants: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, input_id: str) -> str:
+        if input_id in self._gates or input_id in self._inputs:
+            raise ValueError(f"duplicate node id {input_id!r}")
+        self._inputs.append(input_id)
+        return input_id
+
+    def add_gate(self, gate_id: str, cell: str, fanins: Sequence[str]) -> str:
+        if gate_id in self._gates or gate_id in self._inputs:
+            raise ValueError(f"duplicate node id {gate_id!r}")
+        if cell not in self.library:
+            raise KeyError(f"cell {cell!r} not in library")
+        for f in fanins:
+            if f not in self._gates and f not in self._inputs:
+                raise ValueError(f"gate {gate_id!r} references unknown fanin {f!r}")
+        self._gates[gate_id] = Gate(gate_id, cell, tuple(fanins))
+        return gate_id
+
+    def mark_output(self, node_id: str) -> None:
+        if node_id not in self._gates and node_id not in self._inputs:
+            raise ValueError(f"unknown node {node_id!r}")
+        self._outputs.append(node_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def gates(self) -> List[Gate]:
+        return list(self._gates.values())
+
+    @property
+    def inputs(self) -> List[str]:
+        return list(self._inputs)
+
+    @property
+    def outputs(self) -> List[str]:
+        return list(self._outputs)
+
+    def gate(self, gate_id: str) -> Gate:
+        return self._gates[gate_id]
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def cell_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for g in self._gates.values():
+            counts[g.cell] = counts.get(g.cell, 0) + 1
+        return counts
+
+    def logic_jj_count(self) -> int:
+        """JJs in logic gates only (no path-balancing buffers)."""
+        return self.library.total_jj(self.cell_counts())
+
+    # ------------------------------------------------------------------
+    # Levelization
+    # ------------------------------------------------------------------
+    def levelize(self) -> Dict[str, int]:
+        """Assign each node its logic stage (longest path from inputs).
+
+        Primary inputs are stage 0. A gate with ``stages`` > 1 occupies
+        that many consecutive stages and its output appears at the last.
+        Raises ``ValueError`` on combinational cycles.
+        """
+        levels: Dict[str, int] = {i: 0 for i in self._inputs}
+        remaining = dict(self._gates)
+        # Kahn-style iteration; bounded by gate count per round.
+        while remaining:
+            progressed = False
+            for gate_id in list(remaining):
+                gate = remaining[gate_id]
+                if all(f in levels for f in gate.fanins):
+                    depth = self.library[gate.cell].stages
+                    base = max((levels[f] for f in gate.fanins), default=0)
+                    levels[gate_id] = base + depth
+                    del remaining[gate_id]
+                    progressed = True
+            if not progressed:
+                raise ValueError(
+                    f"netlist {self.name!r} contains a cycle among "
+                    f"{sorted(remaining)[:5]}..."
+                )
+        return levels
+
+    def depth(self) -> int:
+        """Number of logic stages from inputs to the deepest output."""
+        levels = self.levelize()
+        if not levels:
+            return 0
+        nodes = self._outputs or list(levels)
+        return max(levels[n] for n in nodes)
+
+    # ------------------------------------------------------------------
+    # Functional simulation
+    # ------------------------------------------------------------------
+    _SEMANTICS = {
+        "buffer": lambda ins: ins[0],
+        "splitter": lambda ins: ins[0],
+        "readout": lambda ins: ins[0],
+        "inverter": lambda ins: 1 - ins[0],
+        "and2": lambda ins: ins[0] & ins[1],
+        "or2": lambda ins: ins[0] | ins[1],
+        "xor2": lambda ins: ins[0] ^ ins[1],
+        "xnor2": lambda ins: 1 - (ins[0] ^ ins[1]),
+        "majority3": lambda ins: 1 if sum(ins) >= 2 else 0,
+    }
+
+    def evaluate(self, input_values: Dict[str, int]) -> Dict[str, int]:
+        """Simulate the netlist over 0/1 inputs; returns all node values.
+
+        Constants registered via :meth:`add_constant` supply their fixed
+        value. Raises ``KeyError`` when a primary input is missing and
+        ``ValueError`` for cells without boolean semantics.
+        """
+        values: Dict[str, int] = dict(self._constants)
+        for inp in self._inputs:
+            if inp in values:
+                continue
+            if inp not in input_values:
+                raise KeyError(f"missing value for primary input {inp!r}")
+            values[inp] = int(input_values[inp]) & 1
+        levels = self.levelize()
+        for gate_id in sorted(self._gates, key=lambda g: levels[g]):
+            gate = self._gates[gate_id]
+            fn = self._SEMANTICS.get(gate.cell)
+            if fn is None:
+                raise ValueError(f"cell {gate.cell!r} has no boolean semantics")
+            values[gate_id] = fn([values[f] for f in gate.fanins])
+        return values
+
+    def add_constant(self, const_id: str, value: int) -> str:
+        """Register a constant-driving cell (logic 0 or 1)."""
+        if value not in (0, 1):
+            raise ValueError(f"constant must be 0 or 1, got {value}")
+        self.add_input(const_id)
+        self._constants[const_id] = value
+        return const_id
+
+    def edges_with_gaps(self) -> List[Tuple[str, str, int]]:
+        """All (src, dst, stage gap) edges; gap >= 1 for a levelized DAG."""
+        levels = self.levelize()
+        edges = []
+        for gate in self._gates.values():
+            arrival = levels[gate.gate_id] - self.library[gate.cell].stages
+            for fanin in gate.fanins:
+                edges.append((fanin, gate.gate_id, arrival - levels[fanin] + 1))
+        # Outputs must also be aligned to the final stage for read-out.
+        final = self.depth()
+        for out in self._outputs:
+            if levels[out] < final:
+                edges.append((out, f"__readout_{out}", final - levels[out] + 1))
+        return edges

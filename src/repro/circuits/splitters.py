@@ -1,0 +1,123 @@
+"""Fanout legalization: splitter-tree insertion for AQFP netlists.
+
+AQFP gates drive exactly one load; any signal with fanout f > 1 must be
+duplicated through a tree of 1-to-2 splitter cells (f - 1 splitters,
+about ceil(log2 f) extra stages). The paper leans on exactly this pass
+from the AQFP EDA literature (its refs [12, 28, 35]); here it legalizes
+the generated APC/comparator netlists so their JJ and depth accounting
+reflects physical fanout.
+
+Conventions: an ordinary gate output provides ``max_fanout`` taps
+(1 for strict AQFP); a splitter cell provides exactly 2 taps. The pass
+is functional — the legalized netlist evaluates identically to the
+input (splitters are logical identity) — and adds exactly
+``fanout - max_fanout`` splitters per overloaded signal when
+``max_fanout == 1``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.circuits.netlist import Netlist
+
+#: Output ports of one splitter cell.
+_SPLITTER_PORTS = 2
+
+
+@dataclass(frozen=True)
+class SplitterReport:
+    """Statistics of one legalization run."""
+
+    splitters_added: int
+    jj_added: int
+    max_fanout_before: int
+    violations_after: int
+    depth_before: int
+    depth_after: int
+
+
+def compute_fanout(netlist: Netlist) -> Dict[str, int]:
+    """Number of loads on every node (primary outputs count as loads)."""
+    fanout: Dict[str, int] = {node: 0 for node in netlist.inputs}
+    for gate in netlist.gates:
+        fanout.setdefault(gate.gate_id, 0)
+        for fanin in gate.fanins:
+            fanout[fanin] = fanout.get(fanin, 0) + 1
+    for out in netlist.outputs:
+        fanout[out] = fanout.get(out, 0) + 1
+    return fanout
+
+
+def fanout_violations(netlist: Netlist, max_fanout: int = 1) -> int:
+    """Signals driving more loads than their ports allow."""
+    fanout = compute_fanout(netlist)
+    splitter_ids = {g.gate_id for g in netlist.gates if g.cell == "splitter"}
+    violations = 0
+    for node, loads in fanout.items():
+        limit = _SPLITTER_PORTS if node in splitter_ids else max_fanout
+        if loads > limit:
+            violations += 1
+    return violations
+
+
+def insert_splitters(
+    netlist: Netlist, max_fanout: int = 1
+) -> Tuple[Netlist, SplitterReport]:
+    """Return a fanout-legal copy of ``netlist`` plus a report.
+
+    Each overloaded signal feeds a breadth-first (balanced) binary
+    splitter tree whose taps drive the original consumers.
+    """
+    if max_fanout < 1:
+        raise ValueError(f"max_fanout must be >= 1, got {max_fanout}")
+
+    fanout = compute_fanout(netlist)
+    max_before = max(fanout.values(), default=0)
+    depth_before = netlist.depth()
+
+    legal = Netlist(library=netlist.library, name=f"{netlist.name}_split")
+    for node in netlist.inputs:
+        legal.add_input(node)
+        if node in netlist._constants:  # preserve constant drivers
+            legal._constants[node] = netlist._constants[node]
+
+    taps: Dict[str, deque] = {}
+    splitters_added = 0
+
+    def _build_taps(source: str) -> deque:
+        """Queue of legal taps covering all of ``source``'s loads."""
+        nonlocal splitters_added
+        loads = max(fanout.get(source, 0), 1)
+        queue = deque([source] * max_fanout)
+        while len(queue) < loads:
+            feeder = queue.popleft()
+            sid = f"__sp{splitters_added}"
+            splitters_added += 1
+            legal.add_gate(sid, "splitter", [feeder])
+            queue.extend([sid] * _SPLITTER_PORTS)
+        return queue
+
+    def _tap(source: str) -> str:
+        if source not in taps:
+            taps[source] = _build_taps(source)
+        return taps[source].popleft()
+
+    # Rebuild gates in topological order so fanins already exist.
+    levels = netlist.levelize()
+    for gate in sorted(netlist.gates, key=lambda g: levels[g.gate_id]):
+        legal.add_gate(gate.gate_id, gate.cell, [_tap(f) for f in gate.fanins])
+    for out in netlist.outputs:
+        legal.mark_output(_tap(out))
+
+    report = SplitterReport(
+        splitters_added=splitters_added,
+        jj_added=splitters_added * netlist.library["splitter"].jj_count,
+        max_fanout_before=max_before,
+        violations_after=fanout_violations(legal, max_fanout),
+        depth_before=depth_before,
+        depth_after=legal.depth(),
+    )
+    return legal, report

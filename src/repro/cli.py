@@ -1,0 +1,167 @@
+"""Command-line interface: regenerate the cheap paper artifacts.
+
+Usage::
+
+    python -m repro.cli table1            # crossbar cost table
+    python -m repro.cli fig4              # buffer probability curve
+    python -m repro.cli fig5              # attenuation fit
+    python -m repro.cli clocking          # Sec. 4.4 JJ reductions
+    python -m repro.cli coopt             # AME grid + optimum
+    python -m repro.cli fig12 --tops 9e5  # efficiency vs frequency
+
+Training-based artifacts (Figs. 10-11, Tables 2-3) run through the
+benchmark suite instead: ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(args) -> int:
+    from repro.experiments.table1 import crossbar_hardware_table
+
+    print(f"{'area':>9} {'latency(ps)':>12} {'#JJs':>9} {'energy(aJ)':>11}")
+    for row in crossbar_hardware_table(args.sizes):
+        print(
+            f"{row['crossbar_area']:>9} {row['latency_ps']:>12.0f} "
+            f"{row['jj_count']:>9d} {row['energy_aj']:>11.2f}"
+        )
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from repro.experiments.fig4 import gray_zone_response
+
+    result = gray_zone_response(gray_zone_ua=args.gray_zone)
+    print(f"{'Iin(uA)':>8} {'P(1)':>8} {'sampled':>8}")
+    for point in result["points"][:: args.stride]:
+        print(
+            f"{point['input_ua']:>8.2f} {point['probability']:>8.4f} "
+            f"{point['sampled']:>8.4f}"
+        )
+    print(f"boundary: +-{result['boundary_ua']:.2f} uA")
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from repro.experiments.fig5 import attenuation_curve
+
+    result = attenuation_curve()
+    print(f"{'Cs':>5} {'measured(uA)':>13} {'fitted(uA)':>11}")
+    for point in result["points"]:
+        print(
+            f"{point['crossbar_size']:>5d} {point['measured_ua']:>13.3f} "
+            f"{point['fitted_ua']:>11.3f}"
+        )
+    print(
+        f"I1(Cs) = {result['amplitude_ua']:.2f} * Cs^-{result['exponent']:.3f} "
+        f"(max err {result['max_relative_fit_error'] * 100:.1f}%)"
+    )
+    return 0
+
+
+def _cmd_clocking(args) -> int:
+    from repro.experiments.clocking import clocking_optimization_report
+
+    report = clocking_optimization_report()
+    print(f"{'circuit':<15} {'4-ph JJ':>8} {'8-ph':>7} {'16-ph':>7}")
+    for name, circuit in report["circuits"].items():
+        print(
+            f"{name:<15} {circuit[4]['total_jj']:>8.0f} "
+            f"{circuit[8]['reduction_vs_4phase'] * 100:>6.1f}% "
+            f"{circuit[16]['reduction_vs_4phase'] * 100:>6.1f}%"
+        )
+    print(f"BCM 3-phase saving: {report['memory_reduction'] * 100:.1f}%")
+    return 0
+
+
+def _cmd_coopt(args) -> int:
+    from repro.core.coopt import optimize_hardware_config
+
+    result = optimize_hardware_config(
+        gray_zones_ua=args.gray_zones,
+        crossbar_sizes=args.sizes,
+        max_energy_per_cycle_aj=args.energy_budget,
+    )
+    print(f"{'dIin(uA)':>9} {'Cs':>5} {'AME':>10}")
+    for cell in result.grid:
+        print(
+            f"{cell['gray_zone_ua']:>9.1f} {cell['crossbar_size']:>5d} "
+            f"{cell['ame']:>10.4f}"
+        )
+    best = result.best_config
+    print(
+        f"optimum: Cs={best.crossbar_size}, dIin={best.gray_zone_ua} uA "
+        f"(AME={result.best_ame:.4f})"
+    )
+    return 0
+
+
+def _cmd_fig12(args) -> int:
+    from repro.baselines.cryo import frequency_sweep
+
+    rows = frequency_sweep(args.tops)
+    print(f"{'GHz':>6} {'AQFP':>12} {'AQFP+cool':>12}")
+    for row in rows:
+        print(
+            f"{row['frequency_ghz']:>6.1f} {row['aqfp']:>12.3g} "
+            f"{row['aqfp_cooled']:>12.3g}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SupeRBNN reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="crossbar cost table (Table 1)")
+    p.add_argument(
+        "--sizes", type=int, nargs="+", default=[4, 8, 16, 18, 36, 72, 144]
+    )
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("fig4", help="buffer probability curve (Fig. 4)")
+    p.add_argument("--gray-zone", type=float, default=2.4, dest="gray_zone")
+    p.add_argument("--stride", type=int, default=4)
+    p.set_defaults(func=_cmd_fig4)
+
+    p = sub.add_parser("fig5", help="attenuation fit (Fig. 5)")
+    p.set_defaults(func=_cmd_fig5)
+
+    p = sub.add_parser("clocking", help="n-phase clocking reductions (Sec. 4.4)")
+    p.set_defaults(func=_cmd_clocking)
+
+    p = sub.add_parser("coopt", help="AME grid search (Sec. 5.4)")
+    p.add_argument(
+        "--gray-zones",
+        type=float,
+        nargs="+",
+        default=[1.0, 5.0, 20.0, 100.0],
+        dest="gray_zones",
+    )
+    p.add_argument("--sizes", type=int, nargs="+", default=[8, 16, 36, 72])
+    p.add_argument(
+        "--energy-budget", type=float, default=None, dest="energy_budget"
+    )
+    p.set_defaults(func=_cmd_coopt)
+
+    p = sub.add_parser("fig12", help="efficiency vs frequency (Fig. 12)")
+    p.add_argument("--tops", type=float, default=9e5, help="TOPS/W at 5 GHz")
+    p.set_defaults(func=_cmd_fig12)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""SupeRBNN's primary contribution: randomized-aware BNN training and
+algorithm/hardware co-optimization.
+
+* :mod:`repro.core.binarization` — sign/STE weight binarization (Eq. 6,
+  9) and the AQFP randomized activation binarization with the erf
+  expectation backward (Eq. 7, 10).
+* :mod:`repro.core.layers` — :class:`RandomizedBinaryConv2d` /
+  :class:`RandomizedBinaryLinear` cells (conv -> alpha -> BN -> HardTanh
+  -> randomized binarize, Fig. 8) and deterministic baselines.
+* :mod:`repro.core.recu` — weight rectified clamp (Eq. 17) with the
+  tau annealing schedule.
+* :mod:`repro.core.bn_matching` — fold BN into per-column threshold
+  currents (Eq. 16).
+* :mod:`repro.core.trainer` — the full training recipe (warmup, cosine
+  LR, ReCU annealing).
+* :mod:`repro.core.coopt` — AME (Eq. 18) and the gray-zone/crossbar-size
+  co-optimization.
+"""
+
+from repro.core.binarization import (
+    binarize_weights,
+    randomized_sign,
+    deterministic_sign,
+)
+from repro.core.layers import (
+    BinaryConv2d,
+    BinaryLinear,
+    RandomizedBinaryConv2d,
+    RandomizedBinaryLinear,
+)
+from repro.core.recu import ReCU, TauSchedule
+from repro.core.bn_matching import BnMatchResult, match_batch_norm
+from repro.core.trainer import Trainer, TrainingConfig
+from repro.core.noise_baselines import (
+    WeightNoiseInjector,
+    perturb_weights,
+    weight_noise_comparison,
+)
+from repro.core.coopt import (
+    average_mismatch_error,
+    optimize_hardware_config,
+    sweep_bitstream_lengths,
+)
+
+__all__ = [
+    "binarize_weights",
+    "randomized_sign",
+    "deterministic_sign",
+    "RandomizedBinaryConv2d",
+    "RandomizedBinaryLinear",
+    "BinaryConv2d",
+    "BinaryLinear",
+    "ReCU",
+    "TauSchedule",
+    "match_batch_norm",
+    "BnMatchResult",
+    "Trainer",
+    "TrainingConfig",
+    "average_mismatch_error",
+    "optimize_hardware_config",
+    "sweep_bitstream_lengths",
+    "WeightNoiseInjector",
+    "perturb_weights",
+    "weight_noise_comparison",
+]

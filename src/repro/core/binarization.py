@@ -1,0 +1,144 @@
+"""Binarization operators with custom gradients.
+
+Weights (paper Eq. 6, 9): ``wb = sign(wr)`` forward, straight-through
+estimator backward (gradient clipped outside [-1, 1], the standard
+BinaryConnect refinement).
+
+Activations (paper Eq. 7, 10): the AQFP buffer *samples*
+
+    ab = +1 with probability Pv(ar),  -1 otherwise,
+    Pv(ar) = 0.5 + 0.5 erf( sqrt(pi) (ar - Vth) / dVin(Cs) )
+
+and the backward pass differentiates the expectation
+
+    E[ab] = erf( sqrt(pi) (ar - Vth) / dVin(Cs) ),
+
+which is smooth — no piecewise STE surrogate is needed. The per-channel
+``scale`` argument maps the network-domain activation into the crossbar
+value domain (see :mod:`repro.core.layers`); its gradient is detached,
+matching the paper's treatment of hardware constants.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special
+
+from repro.autograd.tensor import Function, Tensor
+from repro.utils.rng import SeedLike, new_rng
+
+_SQRT_PI = math.sqrt(math.pi)
+
+
+class _WeightBinarize(Function):
+    """sign() with clipped straight-through gradient."""
+
+    @staticmethod
+    def forward(ctx, w):
+        ctx.save(mask=(np.abs(w) <= 1.0))
+        return np.where(w >= 0, 1.0, -1.0)
+
+    @staticmethod
+    def backward(ctx, grad):
+        return (grad * ctx["mask"],)
+
+
+def binarize_weights(weights: Tensor) -> Tensor:
+    """+-1 weights with STE backward (paper Eq. 6 / Eq. 9)."""
+    return _WeightBinarize.apply(weights)
+
+
+class _RandomizedSign(Function):
+    """Sampled binarization with the erf expectation gradient (Eq. 7/10)."""
+
+    @staticmethod
+    def forward(ctx, x, scale, gray_zone, threshold, rng, stochastic, window_bits):
+        z = _SQRT_PI * (x * scale - threshold) / gray_zone
+        if stochastic:
+            p = 0.5 + 0.5 * special.erf(z)
+            if window_bits == 1:
+                out = np.where(rng.random(x.shape) < p, 1.0, -1.0)
+            else:
+                # SC observation window: majority over L device samples
+                # (ties resolve to +1, matching count >= L/2 comparators).
+                bits = rng.random((window_bits,) + x.shape) < p
+                out = np.where(2 * bits.sum(axis=0) >= window_bits, 1.0, -1.0)
+        else:
+            out = np.where(z >= 0, 1.0, -1.0)
+        ctx.save(z=z, scale=scale, gray_zone=gray_zone)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        z, scale, gray_zone = ctx["z"], ctx["scale"], ctx["gray_zone"]
+        # d/dx erf(z(x)) = 2/sqrt(pi) * exp(-z^2) * sqrt(pi) * scale / dVin
+        dexp = 2.0 * np.exp(-np.square(z)) * scale / gray_zone
+        return (grad * dexp,)
+
+
+def randomized_sign(
+    x: Tensor,
+    gray_zone: float,
+    scale=1.0,
+    threshold=0.0,
+    rng=None,
+    stochastic: bool = True,
+    window_bits: int = 1,
+    seed: SeedLike = None,
+) -> Tensor:
+    """AQFP randomized binarization of activations.
+
+    Parameters
+    ----------
+    x:
+        Real-valued activations (network domain).
+    gray_zone:
+        ``dVin(Cs)`` — value-domain gray zone.
+    scale:
+        Per-channel (broadcastable) factor mapping ``x`` into the
+        crossbar value domain; signed (a negative BN gamma flips the
+        output probability, paper Eq. 15). Gradient is not propagated
+        into ``scale``.
+    threshold:
+        ``Vth`` in the crossbar value domain (0 once BN matching has
+        absorbed it into ``Ith``).
+    stochastic:
+        If False, returns the deterministic sign of the scaled input —
+        the ideal (noise-free) device.
+    window_bits:
+        SC observation window length; >1 emits the majority of L device
+        samples (the cell-level model of the SC accumulation module).
+    """
+    if gray_zone <= 0:
+        raise ValueError(f"gray_zone must be positive, got {gray_zone}")
+    if window_bits < 1:
+        raise ValueError(f"window_bits must be >= 1, got {window_bits}")
+    rng = new_rng(seed) if rng is None else rng
+    scale_arr = np.asarray(scale, dtype=np.float64)
+    threshold_arr = np.asarray(threshold, dtype=np.float64)
+    return _RandomizedSign.apply(
+        x,
+        scale_arr,
+        float(gray_zone),
+        threshold_arr,
+        rng,
+        bool(stochastic),
+        int(window_bits),
+    )
+
+
+def deterministic_sign(x: Tensor) -> Tensor:
+    """Plain sign with clipped STE — the non-randomized BNN baseline."""
+    return _WeightBinarize.apply(x)
+
+
+def expected_binary_activation(
+    values: np.ndarray, gray_zone: float, threshold: float = 0.0
+) -> np.ndarray:
+    """E[ab] = erf(sqrt(pi)(v - Vth)/dVin) on raw arrays (no autograd)."""
+    if gray_zone <= 0:
+        raise ValueError(f"gray_zone must be positive, got {gray_zone}")
+    v = np.asarray(values, dtype=np.float64)
+    return special.erf(_SQRT_PI * (v - threshold) / gray_zone)

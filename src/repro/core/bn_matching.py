@@ -1,0 +1,105 @@
+"""Batch-normalization matching (paper Sec. 5.2, Eq. 16).
+
+At inference, BN is the affine ``y = gamma (x - mu) / sqrt(var + eps) +
+beta``. For a BNN cell, the entire BN + HardTanh + binarization tail
+reduces to a *threshold* on the raw binary-conv output ``xconv``:
+
+    sign(BN(alpha * xconv)) = sign(xconv - t),
+    t = mu / alpha - beta * sqrt(var + eps) / (gamma * alpha)
+
+when ``gamma > 0`` (output flipped when ``gamma < 0`` — Eq. 15). The
+AQFP buffer realizes the threshold for free by programming its threshold
+current
+
+    Ith = t * I1(Cs)                                        (Eq. 16)
+
+and the flip by negating the column weights and threshold. When a filter
+spans K crossbars the threshold current is divided evenly (Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BnMatchResult:
+    """Per-output-channel hardware programming derived from BN.
+
+    Attributes
+    ----------
+    threshold_values:
+        ``Vth`` in the crossbar value domain (raw popcount units).
+    threshold_currents_ua:
+        ``Ith = Vth * I1(Cs)`` to program into the column buffers.
+    flip:
+        Boolean mask of channels with ``gamma < 0``; the compiler negates
+        those columns' weights and thresholds.
+    """
+
+    threshold_values: np.ndarray
+    threshold_currents_ua: np.ndarray
+    flip: np.ndarray
+
+    def split_across(self, n_crossbars: int) -> np.ndarray:
+        """Per-crossbar threshold currents when tiled over K arrays."""
+        if n_crossbars < 1:
+            raise ValueError(f"n_crossbars must be >= 1, got {n_crossbars}")
+        return self.threshold_currents_ua / n_crossbars
+
+
+def match_batch_norm(
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    alpha: np.ndarray,
+    eps: float,
+    unit_current_ua: float,
+) -> BnMatchResult:
+    """Fold BN + binarization into threshold currents (Eq. 16).
+
+    All arguments are per-output-channel arrays except ``eps`` and
+    ``unit_current_ua`` (= ``I1(Cs)``). Channels with ``|gamma|`` below
+    1e-12 would make the cell output constant; they are treated as
+    ``gamma = +1e-12`` and reported via the flip mask as non-flipped.
+    """
+    gamma = np.asarray(gamma, dtype=np.float64)
+    beta = np.asarray(beta, dtype=np.float64)
+    mean = np.asarray(mean, dtype=np.float64)
+    var = np.asarray(var, dtype=np.float64)
+    alpha = np.asarray(alpha, dtype=np.float64)
+    shapes = {gamma.shape, beta.shape, mean.shape, var.shape, alpha.shape}
+    if len(shapes) != 1:
+        raise ValueError(f"per-channel arrays must share a shape, got {shapes}")
+    if np.any(var < 0):
+        raise ValueError("variance must be non-negative")
+    if np.any(alpha == 0):
+        raise ValueError("alpha must be non-zero")
+    if unit_current_ua <= 0:
+        raise ValueError(f"unit current must be positive, got {unit_current_ua}")
+
+    # The binarization condition is ``gamma*alpha*xconv >= gamma*mu -
+    # beta*std``; dividing by the signed slope gives one threshold formula
+    # and a flip whenever the slope is negative.
+    std = np.sqrt(var + eps)
+    slope = np.where(np.abs(gamma) < 1e-12, 1e-12, gamma) * alpha
+    threshold = (gamma * mean - beta * std) / slope
+    flip = slope < 0
+    return BnMatchResult(
+        threshold_values=threshold,
+        threshold_currents_ua=threshold * unit_current_ua,
+        flip=flip,
+    )
+
+
+def software_reference_output(
+    xconv: np.ndarray,
+    result: BnMatchResult,
+) -> np.ndarray:
+    """+-1 output of the folded cell (ideal, noise-free) — test oracle."""
+    x = np.asarray(xconv, dtype=np.float64)
+    base = np.where(x - result.threshold_values >= 0, 1.0, -1.0)
+    return np.where(result.flip, -base, base)

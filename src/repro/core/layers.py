@@ -1,0 +1,269 @@
+"""BNN cells: the AQFP randomized cell (paper Fig. 8b) and baselines.
+
+A SupeRBNN cell is
+
+    binary conv (Eq. 8) -> per-channel alpha -> BatchNorm -> HardTanh
+    -> AQFP randomized binarization (Eq. 7/14)
+
+Where the gray zone applies is selectable per cell (``noise_domain``):
+
+* ``"normalized"`` — the paper's Eq. 7 as written: ``Pv`` with
+  ``dVin(Cs)`` acts on the post-BN/HardTanh activation. The erf
+  backward (Eq. 10) then has an O(1) pass-band and deep models train
+  well; this is the default and what the accuracy experiments use.
+* ``"value"`` — ``Pv`` acts on the raw crossbar popcount ``D`` of
+  Eq. 14. The activation is rescaled by the signed per-channel factor
+  ``s = sqrt(var + eps) / (gamma * alpha)`` (detached; a negative BN
+  gamma flips the probability, Eq. 15), making training noise *exactly*
+  the deployed device noise; the software/hardware equivalence tests
+  rely on this mode.
+
+``stochastic=False`` turns every cell into the deterministic STE
+baseline ("training a BNN normally"), used for the ablation study.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.layers import BatchNorm1d, BatchNorm2d
+from repro.autograd.module import Module, Parameter
+from repro.autograd.tensor import Tensor
+from repro.autograd import init
+from repro.core.binarization import binarize_weights, randomized_sign
+from repro.hardware.config import HardwareConfig
+from repro.utils.rng import RngMixin, SeedLike
+
+#: Guard against division by a vanishing BN gamma when building the
+#: value-domain scale.
+_MIN_SLOPE = 1e-3
+
+
+def _value_domain_scale(
+    gamma: np.ndarray, alpha: np.ndarray, var: np.ndarray, eps: float
+) -> np.ndarray:
+    """Signed s = sqrt(var + eps) / (gamma * alpha), clipped away from 0."""
+    slope = gamma * alpha
+    sign = np.where(slope >= 0, 1.0, -1.0)
+    slope = sign * np.maximum(np.abs(slope), _MIN_SLOPE)
+    return np.sqrt(var + eps) / slope
+
+
+class _RandomizedCellBase(Module, RngMixin):
+    """Shared machinery of the conv/linear randomized cells.
+
+    ``noise_domain`` selects where the gray zone applies:
+
+    * ``"normalized"`` (default) — literal paper Eq. 7: ``Pv`` acts on the
+      post-BN/HardTanh activation with ``dVin(Cs)``. This keeps the erf
+      backward (Eq. 10) well-conditioned and is what the accuracy
+      experiments (Figs. 10-11) are trained with.
+    * ``"value"`` — ``Pv`` acts on the raw crossbar popcount (the
+      activation is rescaled by the signed BN slope before binarization),
+      which matches the deployed device noise *exactly* and is used by
+      the software/hardware equivalence tests.
+    """
+
+    NOISE_DOMAINS = ("normalized", "value")
+
+    def __init__(
+        self,
+        out_features: int,
+        hardware: HardwareConfig,
+        stochastic: bool,
+        binarize_output: bool,
+        noise_domain: str,
+        seed: SeedLike,
+    ) -> None:
+        Module.__init__(self)
+        RngMixin.__init__(self, seed)
+        if noise_domain not in self.NOISE_DOMAINS:
+            raise ValueError(
+                f"noise_domain must be one of {self.NOISE_DOMAINS}, got {noise_domain!r}"
+            )
+        self.hardware = hardware
+        self.stochastic = stochastic
+        self.noise_domain = noise_domain
+        #: sample the randomized device in eval() too (hardware-faithful
+        #: software evaluation); default False = ideal sign at eval.
+        self.sample_in_eval = False
+        #: observation-window length used when sampling at eval; training
+        #: always samples single bits (Eq. 7).
+        self.eval_window_bits = hardware.window_bits
+        self.binarize_output = binarize_output
+        self.alpha = Parameter(init.ones((out_features,)))
+
+    def _binarize_activation(self, z: Tensor, bn) -> Tensor:
+        if self.noise_domain == "value":
+            scale = _value_domain_scale(
+                bn.weight.data, self.alpha.data, bn.last_var, bn.eps
+            )
+            shape = (1, -1) + (1,) * (z.ndim - 2)
+            scale = scale.reshape(shape)
+        else:
+            scale = 1.0
+        sampling = self.stochastic and (self.training or self.sample_in_eval)
+        window = 1 if self.training else self.eval_window_bits
+        return randomized_sign(
+            z,
+            gray_zone=self.hardware.value_gray_zone,
+            scale=scale,
+            rng=self.rng,
+            stochastic=sampling,
+            window_bits=window,
+        )
+
+
+class RandomizedBinaryConv2d(_RandomizedCellBase):
+    """AQFP randomized BNN convolution cell.
+
+    Input and output are +-1 activation maps (NCHW). Set
+    ``binarize_output=False`` for a tail cell that emits real values.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        hardware: Optional[HardwareConfig] = None,
+        stochastic: bool = True,
+        binarize_output: bool = True,
+        noise_domain: str = "normalized",
+        seed: SeedLike = None,
+    ) -> None:
+        hardware = hardware or HardwareConfig()
+        super().__init__(
+            out_channels, hardware, stochastic, binarize_output, noise_domain, seed
+        )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_normal(
+                (out_channels, in_channels, kernel_size, kernel_size), seed
+            )
+        )
+        self.bn = BatchNorm2d(out_channels)
+
+    @property
+    def fan_in(self) -> int:
+        return self.in_channels * self.kernel_size * self.kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        wb = binarize_weights(self.weight)
+        y = F.conv2d(x, wb, stride=self.stride, padding=self.padding)
+        y = y * self.alpha.reshape(1, -1, 1, 1)
+        z = self.bn(y)
+        z = z.hardtanh()
+        if not self.binarize_output:
+            return z
+        return self._binarize_activation(z, self.bn)
+
+
+class RandomizedBinaryLinear(_RandomizedCellBase):
+    """AQFP randomized BNN fully connected cell (for the MLP of Table 3)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        hardware: Optional[HardwareConfig] = None,
+        stochastic: bool = True,
+        binarize_output: bool = True,
+        noise_domain: str = "normalized",
+        seed: SeedLike = None,
+    ) -> None:
+        hardware = hardware or HardwareConfig()
+        super().__init__(
+            out_features, hardware, stochastic, binarize_output, noise_domain, seed
+        )
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_normal((out_features, in_features), seed))
+        self.bn = BatchNorm1d(out_features)
+
+    @property
+    def fan_in(self) -> int:
+        return self.in_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        wb = binarize_weights(self.weight)
+        y = x @ wb.T
+        y = y * self.alpha
+        z = self.bn(y)
+        z = z.hardtanh()
+        if not self.binarize_output:
+            return z
+        return self._binarize_activation(z, self.bn)
+
+
+class BinaryConv2d(Module):
+    """Deterministic STE BNN conv cell — the non-randomized baseline."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        binarize_output: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.stride = stride
+        self.padding = padding
+        self.binarize_output = binarize_output
+        self.weight = Parameter(
+            init.kaiming_normal(
+                (out_channels, in_channels, kernel_size, kernel_size), seed
+            )
+        )
+        self.alpha = Parameter(init.ones((out_channels,)))
+        self.bn = BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        wb = binarize_weights(self.weight)
+        y = F.conv2d(x, wb, stride=self.stride, padding=self.padding)
+        y = y * self.alpha.reshape(1, -1, 1, 1)
+        z = self.bn(y).hardtanh()
+        if not self.binarize_output:
+            return z
+        return binarize_weights(z)  # sign + clipped STE
+
+
+class BinaryLinear(Module):
+    """Deterministic STE BNN linear cell (classifier head by default).
+
+    With ``binarize_output=False`` (default) this is the logits layer:
+    binary weights, real-valued outputs scaled by alpha.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        binarize_output: bool = False,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.binarize_output = binarize_output
+        self.weight = Parameter(init.kaiming_normal((out_features, in_features), seed))
+        self.alpha = Parameter(init.ones((out_features,)))
+        self.bn = BatchNorm1d(out_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        wb = binarize_weights(self.weight)
+        y = (x @ wb.T) * self.alpha
+        y = self.bn(y)
+        if self.binarize_output:
+            return binarize_weights(y)
+        return y

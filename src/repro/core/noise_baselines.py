@@ -1,0 +1,173 @@
+"""Data-independent device-noise baselines (paper Sec. 3).
+
+ReRAM/PCM noise-aware training (the paper's [38]) perturbs the *weights*
+— programming noise and drift are fixed once a model is mapped to a
+device, independent of the input data. The paper contrasts this with
+AQFP randomness, which is *data-dependent*: it acts on every
+computation's accumulated current through ``Pv(Iin)``.
+
+This module implements the weight-noise paradigm so the two can be
+compared on the same substrate:
+
+* :func:`perturb_weights` — one "mapping" draw: additive Gaussian noise
+  on the real weights (before sign binarization flips near-zero weights).
+* :class:`WeightNoiseInjector` — apply fresh weight noise each training
+  step (noise-aware training a la [38]).
+* :func:`weight_noise_comparison` — train with weight noise, deploy on
+  the AQFP stochastic hardware, and compare against the randomized-aware
+  recipe: weight-noise training does not model the data-dependent
+  device, so it recovers less hardware accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.autograd.module import Module, Parameter
+from repro.utils.rng import SeedLike, new_rng
+
+
+def perturb_weights(
+    weights: np.ndarray,
+    relative_sigma: float,
+    rng: Optional[np.random.Generator] = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """One mapping draw: w + sigma * std(w) * N(0, 1).
+
+    ``relative_sigma`` is the noise scale relative to the layer's weight
+    standard deviation (the convention of noise-aware ReRAM training).
+    """
+    if relative_sigma < 0:
+        raise ValueError(f"relative_sigma must be >= 0, got {relative_sigma}")
+    w = np.asarray(weights, dtype=np.float64)
+    if relative_sigma == 0:
+        return w.copy()
+    rng = rng if rng is not None else new_rng(seed)
+    scale = w.std()
+    return w + relative_sigma * scale * rng.normal(size=w.shape)
+
+
+class WeightNoiseInjector:
+    """Noise-aware training hook: jitter weights before each forward.
+
+    Call :meth:`inject` before the forward pass and :meth:`restore`
+    after the optimizer step; gradients then see a weight sample, making
+    the trained model robust to mapping noise — the [38] recipe.
+    """
+
+    def __init__(self, relative_sigma: float = 0.1, seed: SeedLike = None) -> None:
+        if relative_sigma < 0:
+            raise ValueError(f"relative_sigma must be >= 0, got {relative_sigma}")
+        self.relative_sigma = relative_sigma
+        self._rng = new_rng(seed)
+        self._saved: Dict[int, np.ndarray] = {}
+
+    def inject(self, module: Module) -> None:
+        """Perturb every multi-dim weight in place (originals saved)."""
+        if self._saved:
+            raise RuntimeError("inject() called twice without restore()")
+        for _, sub in module.named_modules():
+            weight = getattr(sub, "weight", None)
+            if isinstance(weight, Parameter) and weight.data.ndim >= 2:
+                self._saved[id(weight)] = weight.data
+                weight.data = perturb_weights(
+                    weight.data, self.relative_sigma, rng=self._rng
+                )
+
+    def restore(self, module: Module) -> None:
+        """Put the clean weights back (gradients remain on the sample)."""
+        for _, sub in module.named_modules():
+            weight = getattr(sub, "weight", None)
+            if isinstance(weight, Parameter) and id(weight) in self._saved:
+                weight.data = self._saved.pop(id(weight))
+        self._saved.clear()
+
+
+def weight_noise_comparison(
+    relative_sigma: float = 0.2,
+    crossbar_size: int = 16,
+    window_bits: int = 4,
+    epochs: int = 12,
+    n_eval: int = 200,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Weight-noise training vs AQFP randomized-aware training.
+
+    Both models deploy on the same stochastic AQFP hardware; returns
+    software/hardware accuracies per variant. The AQFP-aware model
+    should recover more hardware accuracy because its training noise has
+    the right (data-dependent) structure — the paper's Sec. 3 argument.
+    """
+    from repro.core.trainer import Trainer, TrainingConfig
+    from repro.data.loaders import DataLoader
+    from repro.data.synthetic import make_mnist_like
+    from repro.experiments.common import training_gray_zone
+    from repro.hardware.config import HardwareConfig
+    from repro.mapping.compiler import compile_model
+    from repro.mapping.executor import evaluate_accuracy
+    from repro.models.mlp import Mlp
+
+    data = make_mnist_like(n_samples=1200, seed=seed)
+    train, test = data.split(0.8, seed=1)
+    hardware = HardwareConfig(
+        crossbar_size=crossbar_size,
+        gray_zone_ua=training_gray_zone(crossbar_size),
+        window_bits=window_bits,
+    )
+    deploy = hardware.with_(
+        gray_zone_ua=training_gray_zone(crossbar_size, dvin_target=8.0)
+    )
+
+    results: Dict[str, Dict[str, float]] = {}
+
+    def _evaluate(model, software_acc):
+        model.eval()
+        network = compile_model(model, deploy)
+        hw_acc = evaluate_accuracy(
+            network, test.images[:n_eval], test.labels[:n_eval]
+        )
+        return {
+            "software_accuracy": software_acc,
+            "hardware_accuracy": hw_acc,
+            "degradation": software_acc - hw_acc,
+        }
+
+    # AQFP randomized-aware training (the paper's method).
+    model = Mlp(in_features=144, hidden=(48,), hardware=hardware, seed=seed)
+    trainer = Trainer(model, TrainingConfig(epochs=epochs, warmup_epochs=2))
+    trainer.fit(DataLoader(train, 64, seed=2))
+    sw = trainer.evaluate(DataLoader(test, 256, shuffle=False, seed=0))
+    results["aqfp_randomized"] = _evaluate(model, sw)
+
+    # Weight-noise (data-independent) training on a deterministic model.
+    model = Mlp(
+        in_features=144, hidden=(48,), hardware=hardware, stochastic=False, seed=seed
+    )
+    trainer = Trainer(model, TrainingConfig(epochs=epochs, warmup_epochs=2))
+    injector = WeightNoiseInjector(relative_sigma, seed=seed)
+    loader = DataLoader(train, 64, seed=2)
+    from repro.autograd.optim import WarmupCosineLR
+
+    scheduler = WarmupCosineLR(trainer.optimizer, 2, epochs)
+    from repro.autograd import Tensor
+    from repro.autograd import functional as F
+
+    for epoch in range(epochs):
+        model.train()
+        for images, labels in loader:
+            if trainer.recu is not None:
+                trainer.recu.apply_to_module(model, epoch)
+            injector.inject(model)
+            logits = model(Tensor(images))
+            loss = F.cross_entropy(logits, labels)
+            trainer.optimizer.zero_grad()
+            loss.backward()
+            injector.restore(model)
+            trainer.optimizer.step()
+        scheduler.step()
+    sw = trainer.evaluate(DataLoader(test, 256, shuffle=False, seed=0))
+    results["weight_noise"] = _evaluate(model, sw)
+    return results

@@ -1,0 +1,13 @@
+"""Synthetic datasets and batching.
+
+The paper trains on MNIST and CIFAR-10; those archives are unavailable
+offline, so :mod:`repro.data.synthetic` generates deterministic
+structured image classification tasks with matching tensor layouts
+(documented substitution — see DESIGN.md). :mod:`repro.data.loaders`
+provides the minimal shuffling batch iterator the trainer consumes.
+"""
+
+from repro.data.synthetic import Dataset, make_cifar_like, make_mnist_like
+from repro.data.loaders import DataLoader
+
+__all__ = ["Dataset", "make_mnist_like", "make_cifar_like", "DataLoader"]

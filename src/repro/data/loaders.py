@@ -1,0 +1,43 @@
+"""Minimal shuffling batch iterator."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.data.synthetic import Dataset
+from repro.utils.rng import SeedLike, new_rng
+
+
+class DataLoader:
+    """Iterate (images, labels) numpy batches over a :class:`Dataset`.
+
+    Reshuffles each epoch when ``shuffle=True`` (deterministically from
+    the seed, advancing per epoch).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        seed: SeedLike = 0,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self._rng = new_rng(seed)
+
+    def __len__(self) -> int:
+        return math.ceil(len(self.dataset) / self.batch_size)
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.dataset.images[idx], self.dataset.labels[idx]

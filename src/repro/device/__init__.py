@@ -1,0 +1,48 @@
+"""AQFP device physics: Josephson junctions, buffers, attenuation, cells.
+
+This package models the analog behaviour the paper measures on fabricated
+hardware (Sec. 4.2, Figs. 4-5) so that the rest of the stack can run
+offline:
+
+* :mod:`repro.device.josephson` — junction energetics and the
+  thermal/quantum gray-zone width.
+* :mod:`repro.device.aqfp` — the AQFP buffer as a stochastic comparator
+  (paper Eq. 1) and its value-domain form (Eq. 3-4).
+* :mod:`repro.device.attenuation` — crossbar current attenuation: the
+  inductive-ladder "measurement" and the power-law fit ``I1 = A * Cs^-B``
+  (Eq. 2).
+* :mod:`repro.device.cells` — the AQFP standard-cell library with JJ
+  counts and per-cycle switching energy, calibrated to Table 1.
+"""
+
+from repro.device.josephson import (
+    FLUX_QUANTUM_WB,
+    JosephsonJunction,
+    gray_zone_width,
+    thermal_current_scale,
+)
+from repro.device.aqfp import AqfpBuffer, ValueDomainBuffer
+from repro.device.attenuation import (
+    AttenuationModel,
+    InductiveLadder,
+    fit_attenuation,
+)
+from repro.device.cells import CELL_LIBRARY, AqfpCell, CellLibrary
+from repro.device.transient import QfpPotential, TransientBuffer
+
+__all__ = [
+    "FLUX_QUANTUM_WB",
+    "JosephsonJunction",
+    "gray_zone_width",
+    "thermal_current_scale",
+    "AqfpBuffer",
+    "ValueDomainBuffer",
+    "AttenuationModel",
+    "InductiveLadder",
+    "fit_attenuation",
+    "AqfpCell",
+    "CellLibrary",
+    "CELL_LIBRARY",
+    "QfpPotential",
+    "TransientBuffer",
+]

@@ -1,0 +1,194 @@
+"""The AQFP buffer as a stochastic current comparator.
+
+Paper Eq. (1): the probability of emitting logic '1' (a positive output
+current pulse) given input current ``Iin`` is
+
+    P(Iin) = 0.5 + 0.5 * erf( sqrt(pi) * (Iin - Ith) / dIin )
+
+where ``Ith`` is the adjustable threshold current and ``dIin`` the thermal
+gray-zone width. Eq. (3)-(4) re-express the same law in the BNN value
+domain through the attenuated unit current ``I1(Cs)``:
+
+    Pv(Vin) = 0.5 + 0.5 * erf( sqrt(pi) * (Vin - Vth) / dVin(Cs) ),
+    dVin(Cs) = dIin / I1(Cs).
+
+:class:`AqfpBuffer` works in the current domain (micro-amperes);
+:class:`ValueDomainBuffer` works directly on BNN pre-activation values.
+Both support vectorized probability evaluation and Monte-Carlo sampling of
+the +-1 outputs, which is how the hardware executor and the randomized
+training layer consume them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+from scipy import special
+
+from repro.device.josephson import DEFAULT_GRAY_ZONE_UA
+from repro.utils.rng import RngMixin, SeedLike
+
+_SQRT_PI = math.sqrt(math.pi)
+
+
+class AqfpBuffer(RngMixin):
+    """Stochastic sign detector for an analog input current.
+
+    Parameters
+    ----------
+    gray_zone_ua:
+        Gray-zone width ``dIin`` in micro-amperes (default: the paper's
+        4.2 K value, 2.4 uA).
+    threshold_ua:
+        Threshold current ``Ith`` in micro-amperes. BN matching programs
+        this per column (paper Eq. 16).
+    seed:
+        RNG seed for output sampling.
+    """
+
+    def __init__(
+        self,
+        gray_zone_ua: float = DEFAULT_GRAY_ZONE_UA,
+        threshold_ua: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(seed)
+        if gray_zone_ua <= 0:
+            raise ValueError(f"gray-zone width must be positive, got {gray_zone_ua}")
+        self.gray_zone_ua = float(gray_zone_ua)
+        self.threshold_ua = float(threshold_ua)
+
+    # ------------------------------------------------------------------
+    def probability_of_one(self, input_current_ua) -> np.ndarray:
+        """P(output = '1') for input current(s) in uA — paper Eq. (1)."""
+        i = np.asarray(input_current_ua, dtype=np.float64)
+        z = _SQRT_PI * (i - self.threshold_ua) / self.gray_zone_ua
+        return 0.5 + 0.5 * special.erf(z)
+
+    def expected_output(self, input_current_ua) -> np.ndarray:
+        """E[output] with outputs encoded +-1: ``erf(sqrt(pi)(I-Ith)/dI)``."""
+        i = np.asarray(input_current_ua, dtype=np.float64)
+        return special.erf(_SQRT_PI * (i - self.threshold_ua) / self.gray_zone_ua)
+
+    def sample(self, input_current_ua, size: Optional[tuple] = None) -> np.ndarray:
+        """Draw +-1 outputs. ``size`` optionally broadcasts extra draws.
+
+        With ``size=None`` one output per input element is drawn; with
+        ``size=(L,) + input.shape`` an observation window of L bits is
+        produced (the raw material of the SC accumulation module).
+        """
+        p = self.probability_of_one(input_current_ua)
+        shape = p.shape if size is None else size
+        u = self.rng.random(shape)
+        return np.where(u < p, 1.0, -1.0)
+
+    def sample_window(self, input_current_ua, window_bits: int) -> np.ndarray:
+        """Observe the buffer for ``window_bits`` clock cycles.
+
+        Returns an array of shape ``(window_bits,) + input.shape`` of +-1
+        values — a bipolar stochastic number (paper Fig. 6a).
+        """
+        if window_bits <= 0:
+            raise ValueError(f"window_bits must be positive, got {window_bits}")
+        p = self.probability_of_one(input_current_ua)
+        u = self.rng.random((window_bits,) + p.shape)
+        return np.where(u < p, 1.0, -1.0)
+
+    def gray_zone_boundary_ua(self, confidence: float = 0.99) -> float:
+        """|Iin - Ith| beyond which P('1') is within ``confidence`` of 0/1.
+
+        With the default 2.4 uA width this is ~2 uA at 99% — matching the
+        paper's observation (Fig. 4) that randomized switching is confined
+        to roughly +-2 uA.
+        """
+        if not 0.5 < confidence < 1.0:
+            raise ValueError(f"confidence must be in (0.5, 1), got {confidence}")
+        # Solve 0.5 + 0.5 erf(sqrt(pi) x / dI) = confidence for x.
+        return float(special.erfinv(2 * confidence - 1) * self.gray_zone_ua / _SQRT_PI)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AqfpBuffer(gray_zone_ua={self.gray_zone_ua}, "
+            f"threshold_ua={self.threshold_ua})"
+        )
+
+
+class ValueDomainBuffer(RngMixin):
+    """AQFP buffer expressed in BNN value units — paper Eq. (3)-(4).
+
+    A crossbar column carrying mathematical pre-activation ``Vin`` (the
+    signed popcount, in [-Cs, +Cs]) produces current ``Vin * I1(Cs)``.
+    Dividing Eq. (1) through by ``I1(Cs)`` yields a value-domain gray zone
+    ``dVin = dIin / I1(Cs)`` and threshold ``Vth = Ith / I1(Cs)``.
+
+    Parameters
+    ----------
+    gray_zone_value:
+        ``dVin(Cs)`` in value units.
+    threshold_value:
+        ``Vth`` in value units.
+    """
+
+    def __init__(
+        self,
+        gray_zone_value: float,
+        threshold_value: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(seed)
+        if gray_zone_value <= 0:
+            raise ValueError(
+                f"gray-zone width must be positive, got {gray_zone_value}"
+            )
+        self.gray_zone_value = float(gray_zone_value)
+        self.threshold_value = float(threshold_value)
+
+    @classmethod
+    def from_current_domain(
+        cls,
+        buffer: AqfpBuffer,
+        unit_current_ua: float,
+        seed: SeedLike = None,
+    ) -> "ValueDomainBuffer":
+        """Convert a current-domain buffer given ``I1(Cs)`` (Eq. 4)."""
+        if unit_current_ua <= 0:
+            raise ValueError(f"unit current must be positive, got {unit_current_ua}")
+        return cls(
+            gray_zone_value=buffer.gray_zone_ua / unit_current_ua,
+            threshold_value=buffer.threshold_ua / unit_current_ua,
+            seed=seed,
+        )
+
+    def probability_of_one(self, value) -> np.ndarray:
+        """``Pv(Vin)`` — paper Eq. (3)."""
+        v = np.asarray(value, dtype=np.float64)
+        z = _SQRT_PI * (v - self.threshold_value) / self.gray_zone_value
+        return 0.5 + 0.5 * special.erf(z)
+
+    def expected_output(self, value) -> np.ndarray:
+        """E[binary output] = ``erf(sqrt(pi)(Vin - Vth)/dVin)`` (Eq. 10)."""
+        v = np.asarray(value, dtype=np.float64)
+        return special.erf(
+            _SQRT_PI * (v - self.threshold_value) / self.gray_zone_value
+        )
+
+    def sample(self, value) -> np.ndarray:
+        """Draw one +-1 output per element."""
+        p = self.probability_of_one(value)
+        return np.where(self.rng.random(p.shape) < p, 1.0, -1.0)
+
+    def sample_window(self, value, window_bits: int) -> np.ndarray:
+        """L-bit observation window: shape ``(L,) + value.shape`` of +-1."""
+        if window_bits <= 0:
+            raise ValueError(f"window_bits must be positive, got {window_bits}")
+        p = self.probability_of_one(value)
+        u = self.rng.random((window_bits,) + p.shape)
+        return np.where(u < p, 1.0, -1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ValueDomainBuffer(gray_zone_value={self.gray_zone_value:.4g}, "
+            f"threshold_value={self.threshold_value:.4g})"
+        )

@@ -1,0 +1,205 @@
+"""Transient (Langevin) simulation of the AQFP buffer decision.
+
+The paper verifies its circuits with a modified Jsim that injects
+thermal noise (Sec. 6.1). This module is the corresponding substrate
+here: a stochastic transient simulation of the quantum-flux-parametron
+decision from device dynamics, used to *derive* the erf probability law
+(Eq. 1) rather than assume it.
+
+Model. During excitation the QFP's potential over its order parameter
+``phi`` (the normalized loop flux) deforms from a single well into a
+double well; the input current tilts the landscape:
+
+    U(phi, t) = -a(t) phi^2 / 2 + b phi^4 / 4 - i_in phi,
+    a(t) ramping from a_start < 0 to a_end > 0.
+
+Overdamped Langevin dynamics with Johnson noise then govern the escape
+into the left/right well:
+
+    eta dphi/dt = -dU/dphi + xi(t),   <xi(t) xi(t')> = 2 eta kT delta.
+
+The sign of ``phi`` after the ramp is the logic output. Monte-Carlo over
+thermal histories yields P('1' | i_in); for small noise this is
+numerically indistinguishable from the erf law with a gray-zone width
+that grows with temperature — exactly the behaviour the analytic
+:class:`repro.device.aqfp.AqfpBuffer` assumes. All quantities are in
+normalized device units; calibration to micro-amperes happens through
+the fitted gray zone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import special
+
+from repro.utils.rng import SeedLike, new_rng
+
+_SQRT_PI = math.sqrt(math.pi)
+
+
+@dataclass(frozen=True)
+class QfpPotential:
+    """Quartic double-well potential with an excitation ramp.
+
+    Parameters
+    ----------
+    a_start, a_end:
+        Quadratic coefficient at the start (< 0: single well) and end
+        (> 0: double well) of the excitation ramp.
+    b:
+        Quartic stiffness (> 0).
+    """
+
+    a_start: float = -1.0
+    a_end: float = 4.0
+    b: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.b <= 0:
+            raise ValueError(f"quartic stiffness must be positive, got {self.b}")
+        if self.a_end <= 0:
+            raise ValueError("a_end must be positive (double well required)")
+        if self.a_start >= self.a_end:
+            raise ValueError("excitation must ramp a upward")
+
+    def quadratic(self, progress: float) -> float:
+        """a(t) at ramp progress in [0, 1] (linear ramp)."""
+        return self.a_start + (self.a_end - self.a_start) * progress
+
+    def force(self, phi: np.ndarray, progress: float, input_bias) -> np.ndarray:
+        """-dU/dphi at the given ramp progress."""
+        a = self.quadratic(progress)
+        return a * phi - self.b * phi**3 + input_bias
+
+    def well_positions(self) -> Tuple[float, float]:
+        """Minima of the final (untilted) double well: +-sqrt(a_end/b)."""
+        root = math.sqrt(self.a_end / self.b)
+        return -root, root
+
+    def barrier_height(self) -> float:
+        """Energy barrier between the final wells at zero input."""
+        return self.a_end**2 / (4.0 * self.b)
+
+
+class TransientBuffer:
+    """Monte-Carlo transient simulator of one AQFP buffer decision.
+
+    Parameters
+    ----------
+    potential:
+        The excitation-ramped double-well landscape.
+    noise_temperature:
+        Dimensionless kT in device units; the thermal gray zone scales
+        with it.
+    damping:
+        Langevin friction ``eta``.
+    n_steps:
+        Euler-Maruyama steps across the excitation ramp.
+    dt:
+        Integration step.
+    """
+
+    def __init__(
+        self,
+        potential: Optional[QfpPotential] = None,
+        noise_temperature: float = 0.08,
+        damping: float = 1.0,
+        n_steps: int = 160,
+        dt: float = 0.05,
+        seed: SeedLike = None,
+    ) -> None:
+        if noise_temperature < 0:
+            raise ValueError(f"temperature must be >= 0, got {noise_temperature}")
+        if damping <= 0 or dt <= 0 or n_steps < 1:
+            raise ValueError("damping, dt must be positive; n_steps >= 1")
+        self.potential = potential or QfpPotential()
+        self.noise_temperature = noise_temperature
+        self.damping = damping
+        self.n_steps = n_steps
+        self.dt = dt
+        self._rng = new_rng(seed)
+
+    # ------------------------------------------------------------------
+    def simulate_outputs(self, input_bias: float, n_trials: int) -> np.ndarray:
+        """+-1 decisions of ``n_trials`` independent thermal histories."""
+        if n_trials < 1:
+            raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+        phi = np.zeros(n_trials)
+        noise_scale = math.sqrt(
+            2.0 * self.noise_temperature * self.dt / self.damping
+        )
+        for step in range(self.n_steps):
+            progress = (step + 1) / self.n_steps
+            drift = self.potential.force(phi, progress, input_bias) / self.damping
+            phi = phi + drift * self.dt
+            if noise_scale > 0:
+                phi = phi + noise_scale * self._rng.normal(size=n_trials)
+        # Ties (phi exactly 0) are measure-zero; break toward +1.
+        return np.where(phi >= 0, 1.0, -1.0)
+
+    def probability_of_one(self, input_bias: float, n_trials: int = 2000) -> float:
+        """Monte-Carlo estimate of P('1' | input)."""
+        outputs = self.simulate_outputs(input_bias, n_trials)
+        return float((outputs > 0).mean())
+
+    def response_curve(
+        self,
+        biases: Sequence[float],
+        n_trials: int = 2000,
+    ) -> np.ndarray:
+        """P('1') over a bias sweep, shape (len(biases),)."""
+        return np.array([self.probability_of_one(b, n_trials) for b in biases])
+
+    # ------------------------------------------------------------------
+    def fit_gray_zone(
+        self,
+        bias_range: float = 0.5,
+        n_points: int = 13,
+        n_trials: int = 2000,
+    ) -> Tuple[float, float]:
+        """Fit the erf law (Eq. 1) to the simulated response.
+
+        Probit regression: ``erfinv(2P - 1) = sqrt(pi) (i - Ith) / dI``
+        is linear in the bias, so a least-squares line through the
+        transformed response yields ``(dI, Ith)``. Returns
+        ``(gray_zone, threshold)`` in device units.
+        """
+        biases = np.linspace(-bias_range, bias_range, n_points)
+        probs = self.response_curve(biases, n_trials)
+        # Keep points away from the saturated tails (erfinv blows up).
+        mask = (probs > 0.02) & (probs < 0.98)
+        if mask.sum() < 3:
+            raise RuntimeError(
+                "response saturates across the sweep; widen bias_range "
+                "or raise the temperature"
+            )
+        z = special.erfinv(2.0 * probs[mask] - 1.0)
+        slope, intercept = np.polyfit(biases[mask], z, 1)
+        if slope <= 0:
+            raise RuntimeError("non-monotone response; increase n_trials")
+        gray_zone = _SQRT_PI / slope
+        threshold = -intercept / slope
+        return float(gray_zone), float(threshold)
+
+    def erf_fit_residual(
+        self,
+        bias_range: float = 0.5,
+        n_points: int = 13,
+        n_trials: int = 2000,
+    ) -> float:
+        """Max |simulated P - fitted erf P| over the sweep.
+
+        Small residuals validate the paper's Eq. 1 functional form from
+        the transient physics.
+        """
+        gray_zone, threshold = self.fit_gray_zone(bias_range, n_points, n_trials)
+        biases = np.linspace(-bias_range, bias_range, n_points)
+        simulated = self.response_curve(biases, n_trials)
+        fitted = 0.5 + 0.5 * special.erf(
+            _SQRT_PI * (biases - threshold) / gray_zone
+        )
+        return float(np.abs(simulated - fitted).max())

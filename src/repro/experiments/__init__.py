@@ -1,0 +1,58 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each function returns the rows/series the paper reports (as plain
+dictionaries) so the benchmark suite can print and check them, and
+EXPERIMENTS.md can record paper-vs-measured values. Training runs are
+scaled down (synthetic data, small models, few epochs) but execute the
+complete method end to end.
+
+| paper artifact | module |
+|---|---|
+| Fig. 4 (buffer probability)        | :mod:`repro.experiments.fig4` |
+| Fig. 5 (current attenuation)       | :mod:`repro.experiments.fig5` |
+| Table 1 (crossbar costs)           | :mod:`repro.experiments.table1` |
+| Fig. 10 (bit-stream length)        | :mod:`repro.experiments.fig10` |
+| Fig. 11 (gray-zone x size surface) | :mod:`repro.experiments.fig11` |
+| Fig. 12 (efficiency vs frequency)  | :mod:`repro.experiments.fig12` |
+| Table 2 (CIFAR-10 comparison)      | :mod:`repro.experiments.table2` |
+| Table 3 (MNIST comparison)         | :mod:`repro.experiments.table3` |
+| Sec. 4.4 (clocking optimization)   | :mod:`repro.experiments.clocking` |
+| headline claims                    | :mod:`repro.experiments.headline` |
+| design-choice ablations            | :mod:`repro.experiments.ablations` |
+"""
+
+from repro.experiments import common
+from repro.experiments.fig4 import gray_zone_response
+from repro.experiments.fig5 import attenuation_curve
+from repro.experiments.table1 import crossbar_hardware_table
+from repro.experiments.fig10 import bitstream_length_sweep
+from repro.experiments.fig11 import accuracy_surface
+from repro.experiments.fig12 import efficiency_frequency_sweep
+from repro.experiments.table2 import cifar10_comparison
+from repro.experiments.table3 import mnist_comparison
+from repro.experiments.clocking import clocking_optimization_report
+from repro.experiments.headline import headline_claims
+from repro.experiments.temperature import temperature_sweep
+from repro.experiments.ablations import (
+    accumulation_ablation,
+    randomized_training_ablation,
+    recu_ablation,
+)
+
+__all__ = [
+    "common",
+    "gray_zone_response",
+    "attenuation_curve",
+    "crossbar_hardware_table",
+    "bitstream_length_sweep",
+    "accuracy_surface",
+    "efficiency_frequency_sweep",
+    "cifar10_comparison",
+    "mnist_comparison",
+    "clocking_optimization_report",
+    "headline_claims",
+    "randomized_training_ablation",
+    "recu_ablation",
+    "accumulation_ablation",
+    "temperature_sweep",
+]

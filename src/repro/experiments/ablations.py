@@ -1,0 +1,123 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+* randomized-aware training vs plain STE, evaluated on the stochastic
+  hardware — the core claim of Sec. 5.1;
+* ReCU clamp on vs off (Sec. 5.3);
+* exact vs approximate APC counting in the SC accumulation module
+  (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.circuits.apc import ApproximateParallelCounter, build_apc_netlist
+from repro.experiments.common import trained_mlp, training_gray_zone
+from repro.hardware.config import HardwareConfig
+from repro.mapping.compiler import compile_model
+from repro.mapping.executor import evaluate_accuracy
+from repro.utils.rng import new_rng
+
+
+def randomized_training_ablation(
+    crossbar_size: int = 16,
+    gray_zone_ua: float = 10.0,
+    window_bits: int = 8,
+    epochs: int = 15,
+    n_eval: int = 200,
+    seed: int = 0,
+) -> Dict:
+    """Randomized-aware vs deterministic-STE training on noisy hardware.
+
+    Returns software and hardware accuracies for both variants; the
+    randomized-aware model should hold up better on hardware (smaller
+    software -> hardware drop).
+    """
+    hardware = HardwareConfig(
+        crossbar_size=crossbar_size,
+        gray_zone_ua=gray_zone_ua,
+        window_bits=window_bits,
+    )
+    results: Dict[str, Dict[str, float]] = {}
+    for label, stochastic in (("randomized", True), ("deterministic", False)):
+        model, _, test, sw_acc = trained_mlp(
+            hardware, epochs=epochs, stochastic=stochastic, seed=seed
+        )
+        network = compile_model(model, hardware)
+        hw_acc = evaluate_accuracy(
+            network, test.images[:n_eval], test.labels[:n_eval], mode="stochastic"
+        )
+        results[label] = {
+            "software_accuracy": sw_acc,
+            "hardware_accuracy": hw_acc,
+            "degradation": sw_acc - hw_acc,
+        }
+    return results
+
+
+def recu_ablation(
+    epochs: int = 15,
+    seed: int = 0,
+) -> Dict:
+    """ReCU on vs off: test accuracy and weight-tail statistics."""
+    hardware = HardwareConfig(crossbar_size=16, window_bits=16)
+    results: Dict[str, Dict[str, float]] = {}
+    for label, use_recu in (("recu", True), ("no_recu", False)):
+        model, _, _, acc = trained_mlp(
+            hardware, epochs=epochs, use_recu=use_recu, seed=seed
+        )
+        weights = np.concatenate(
+            [
+                p.data.ravel()
+                for name, p in model.named_parameters()
+                if name.endswith("weight") and p.data.ndim >= 2
+            ]
+        )
+        scale = np.abs(weights).mean()
+        results[label] = {
+            "accuracy": acc,
+            "weight_kurtosis_excess": float(
+                ((weights / weights.std()) ** 4).mean() - 3.0
+            ),
+            "max_over_mean_abs": float(np.abs(weights).max() / max(scale, 1e-12)),
+        }
+    return results
+
+
+def accumulation_ablation(
+    n_inputs: int = 16,
+    probabilities: Iterable[float] = (0.2, 0.5, 0.8),
+    n_trials: int = 2000,
+    seed: int = 0,
+) -> Dict:
+    """Exact vs approximate APC: counting error and JJ cost.
+
+    The OR-only approximate layer undercounts coincident ones; the bench
+    quantifies the bias against the JJ saving.
+    """
+    rng = new_rng(seed)
+    exact = ApproximateParallelCounter(0)
+    approx = ApproximateParallelCounter(1)
+    rows = []
+    for p in probabilities:
+        bits = (rng.random((n_trials, n_inputs)) < p).astype(np.int64)
+        true_counts = bits.sum(axis=1)
+        approx_counts = approx.count(bits, axis=1)
+        rows.append(
+            {
+                "probability": p,
+                "mean_true": float(true_counts.mean()),
+                "mean_approx": float(approx_counts.mean()),
+                "mean_abs_error": float(np.abs(approx_counts - true_counts).mean()),
+            }
+        )
+    jj_exact = build_apc_netlist(n_inputs, 0).logic_jj_count()
+    jj_approx = build_apc_netlist(n_inputs, 1).logic_jj_count()
+    return {
+        "rows": rows,
+        "jj_exact": jj_exact,
+        "jj_approx": jj_approx,
+        "jj_saving_fraction": (jj_exact - jj_approx) / jj_exact,
+    }

@@ -1,0 +1,64 @@
+"""Sec. 4.4 — clocking scheme adjustment-based circuit optimization.
+
+The paper reports >= 20.8% total-JJ reduction at 8-phase clocking and
+27.3% at 16-phase for the computing circuits, plus a 20% memory-JJ
+saving from a 3-phase buffer-chain-memory clock. We synthesize the SC
+accumulation module's gate-level netlists (APC + comparator) and run the
+same analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.circuits.apc import apc_output_width, build_apc_netlist
+from repro.circuits.clocking import clocking_report
+from repro.circuits.comparator import build_comparator_netlist
+from repro.circuits.memory import BufferChainMemory
+
+#: Paper-reported reductions, for comparison.
+PAPER_REDUCTIONS = {8: 0.208, 16: 0.273}
+PAPER_MEMORY_REDUCTION = 0.20
+
+
+def clocking_optimization_report(
+    apc_inputs: Iterable[int] = (8, 16, 32),
+    phase_options: Iterable[int] = (4, 8, 16),
+    memory_width: int = 64,
+) -> Dict:
+    """Clocking analysis over the accumulation-module circuits.
+
+    Returns per-circuit reports plus the memory (BCM) 3-phase saving:
+    ``{"circuits": {name: {phases: {...}}}, "memory_reduction": float,
+    "paper": {...}}``.
+    """
+    phase_options = tuple(phase_options)
+    circuits: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for n in apc_inputs:
+        netlist = build_apc_netlist(n, approximate_layers=0)
+        circuits[f"apc{n}"] = clocking_report(netlist, phase_options)
+        cmp_netlist = build_comparator_netlist(apc_output_width(n))
+        circuits[f"comparator{apc_output_width(n)}"] = clocking_report(
+            cmp_netlist, phase_options
+        )
+    memory = BufferChainMemory(memory_width)
+    return {
+        "circuits": circuits,
+        "memory_reduction": memory.jj_reduction_three_phase(),
+        "paper": {
+            "reductions": dict(PAPER_REDUCTIONS),
+            "memory_reduction": PAPER_MEMORY_REDUCTION,
+        },
+    }
+
+
+def best_reduction(report: Dict, phases: int) -> float:
+    """Largest reduction achieved at ``phases`` across the circuits."""
+    values: List[float] = [
+        circuit[phases]["reduction_vs_4phase"]
+        for circuit in report["circuits"].values()
+        if phases in circuit
+    ]
+    if not values:
+        raise ValueError(f"no circuits analysed at {phases} phases")
+    return max(values)

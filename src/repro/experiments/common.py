@@ -1,0 +1,148 @@
+"""Shared infrastructure for the experiment harnesses.
+
+Provides deterministic synthetic datasets and memoized reference model
+training so that several experiments (and benchmark repetitions) can
+reuse one trained model per configuration within a process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.trainer import Trainer, TrainingConfig
+from repro.data.loaders import DataLoader
+from repro.data.synthetic import Dataset, make_cifar_like, make_mnist_like
+from repro.hardware.config import HardwareConfig
+from repro.models.mlp import Mlp
+from repro.models.vgg import VggSmall
+
+_MODEL_CACHE: Dict[Tuple, Tuple] = {}
+
+
+def training_gray_zone(
+    crossbar_size: int,
+    dvin_target: float = 1.0,
+    attenuation=None,
+) -> float:
+    """Gray-zone current giving a fixed *normalized* training noise.
+
+    The randomized cells apply ``Pv`` with ``dVin(Cs) = dIin / I1(Cs)``
+    to the normalized activation (Eq. 7). Because ``I1`` falls with
+    crossbar size, a fixed ``dIin`` makes the training noise explode at
+    large ``Cs`` and the model cannot learn. The experiments therefore
+    train each size at ``dIin = dvin_target * I1(Cs)`` (constant noise in
+    the activation domain) and sweep the *deployment* gray zone
+    separately.
+    """
+    from repro.device.attenuation import AttenuationModel
+
+    attenuation = attenuation or AttenuationModel()
+    return float(dvin_target * attenuation.unit_current_ua(crossbar_size))
+
+
+def mnist_datasets(n_samples: int = 1500, seed: int = 0) -> Tuple[Dataset, Dataset]:
+    """Deterministic synthetic-MNIST train/test split."""
+    return make_mnist_like(n_samples=n_samples, seed=seed).split(0.8, seed=1)
+
+
+def cifar_datasets(n_samples: int = 1200, seed: int = 3) -> Tuple[Dataset, Dataset]:
+    """Deterministic synthetic-CIFAR train/test split."""
+    return make_cifar_like(n_samples=n_samples, seed=seed).split(0.8, seed=1)
+
+
+def trained_mlp(
+    hardware: HardwareConfig,
+    epochs: int = 15,
+    n_samples: int = 1500,
+    hidden: Tuple[int, ...] = (64, 32),
+    stochastic: bool = True,
+    use_recu: bool = True,
+    seed: int = 0,
+):
+    """Train (or fetch cached) the reference MLP for a hardware config.
+
+    Returns ``(model, train_set, test_set, software_accuracy)``.
+    """
+    key = (
+        "mlp",
+        hardware.crossbar_size,
+        round(hardware.gray_zone_ua, 6),
+        epochs,
+        n_samples,
+        hidden,
+        stochastic,
+        use_recu,
+        seed,
+    )
+    if key in _MODEL_CACHE:
+        return _MODEL_CACHE[key]
+    train, test = mnist_datasets(n_samples=n_samples, seed=seed)
+    in_features = int(
+        train.images.shape[1] * train.images.shape[2] * train.images.shape[3]
+    )
+    model = Mlp(
+        in_features=in_features,
+        hidden=hidden,
+        hardware=hardware,
+        stochastic=stochastic,
+        seed=seed,
+    )
+    trainer = Trainer(
+        model, TrainingConfig(epochs=epochs, warmup_epochs=3, use_recu=use_recu)
+    )
+    trainer.fit(DataLoader(train, 64, seed=2))
+    accuracy = trainer.evaluate(DataLoader(test, 256, shuffle=False, seed=0))
+    model.eval()
+    result = (model, train, test, accuracy)
+    _MODEL_CACHE[key] = result
+    return result
+
+
+def trained_vgg(
+    hardware: HardwareConfig,
+    epochs: int = 25,
+    n_samples: int = 1200,
+    width_multiplier: float = 0.125,
+    stochastic: bool = True,
+    use_recu: bool = True,
+    seed: int = 0,
+):
+    """Train (or fetch cached) the reference VGG-small.
+
+    Returns ``(model, train_set, test_set, software_accuracy)``.
+    """
+    key = (
+        "vgg",
+        hardware.crossbar_size,
+        round(hardware.gray_zone_ua, 6),
+        epochs,
+        n_samples,
+        width_multiplier,
+        stochastic,
+        use_recu,
+        seed,
+    )
+    if key in _MODEL_CACHE:
+        return _MODEL_CACHE[key]
+    train, test = cifar_datasets(n_samples=n_samples)
+    model = VggSmall(
+        image_size=train.images.shape[2],
+        width_multiplier=width_multiplier,
+        hardware=hardware,
+        stochastic=stochastic,
+        seed=seed,
+    )
+    trainer = Trainer(
+        model, TrainingConfig(epochs=epochs, warmup_epochs=3, use_recu=use_recu)
+    )
+    trainer.fit(DataLoader(train, 64, seed=2))
+    accuracy = trainer.evaluate(DataLoader(test, 256, shuffle=False, seed=0))
+    model.eval()
+    result = (model, train, test, accuracy)
+    _MODEL_CACHE[key] = result
+    return result
+
+
+def clear_model_cache() -> None:
+    """Drop memoized models (tests use this for isolation)."""
+    _MODEL_CACHE.clear()

@@ -1,0 +1,65 @@
+"""Fig. 10 — model accuracy vs SC bit-stream length.
+
+The paper sweeps the observation-window length L for several crossbar
+sizes (dIin = 2.4 uA) and finds accuracy rises then saturates around
+L = 16-32. We deploy a trained reference model on the hardware executor
+at each (Cs, L) and measure top-1 accuracy. The gray zone defaults to
+the dithering regime (where the SC window is informative — see
+DESIGN.md); ``gray_zone_ua=2.4`` reproduces the paper's setting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.coopt import saturation_length
+from repro.experiments.common import trained_mlp, training_gray_zone
+from repro.hardware.config import HardwareConfig
+from repro.mapping.compiler import compile_model
+from repro.mapping.executor import evaluate_accuracy
+
+
+def bitstream_length_sweep(
+    crossbar_sizes: Iterable[int] = (8, 16, 36, 72),
+    lengths: Iterable[int] = (1, 2, 4, 8, 16, 32, 64),
+    gray_zone_ua: float = 10.0,
+    epochs: int = 15,
+    n_eval: int = 200,
+    saturation_tolerance: float = 0.03,
+    seed: int = 0,
+) -> Dict:
+    """Accuracy vs window length per crossbar size.
+
+    Returns ``{"series": {Cs: [{"window_bits", "accuracy"}...]},
+    "saturation": {Cs: L_sat}, "software_accuracy": {...}}``.
+    """
+    lengths = list(lengths)
+    series: Dict[int, List[Dict[str, float]]] = {}
+    saturation: Dict[int, int] = {}
+    software: Dict[int, float] = {}
+    for cs in crossbar_sizes:
+        # Train at a fixed normalized noise level; deploy at the swept
+        # gray zone (see experiments.common.training_gray_zone).
+        train_hw = HardwareConfig(
+            crossbar_size=cs,
+            gray_zone_ua=training_gray_zone(cs),
+            window_bits=16,
+        )
+        hardware = train_hw.with_(gray_zone_ua=gray_zone_ua)
+        model, _, test, sw_acc = trained_mlp(train_hw, epochs=epochs, seed=seed)
+        software[cs] = sw_acc
+        images = test.images[:n_eval]
+        labels = test.labels[:n_eval]
+        sweep = []
+        for length in lengths:
+            network = compile_model(model, hardware.with_(window_bits=length))
+            acc = evaluate_accuracy(network, images, labels, mode="stochastic")
+            sweep.append({"window_bits": length, "accuracy": acc})
+        series[cs] = sweep
+        saturation[cs] = saturation_length(sweep, tolerance=saturation_tolerance)
+    return {
+        "series": series,
+        "saturation": saturation,
+        "software_accuracy": software,
+        "gray_zone_ua": gray_zone_ua,
+    }

@@ -1,0 +1,91 @@
+"""Fig. 11 — accuracy over the (gray-zone, crossbar-size) plane at L = 1.
+
+The paper's surface shows accuracy depending non-monotonically on both
+dIin and Cs, with multiple local peaks — the basis for the AME-driven
+co-optimization of Sec. 5.4. We deploy the per-size reference models at
+every grid point and measure hardware accuracy, plus the corresponding
+analytic AME for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.coopt import average_mismatch_error
+from repro.experiments.common import trained_mlp, training_gray_zone
+from repro.hardware.config import HardwareConfig
+from repro.mapping.compiler import compile_model
+from repro.mapping.executor import evaluate_accuracy
+
+
+def accuracy_surface(
+    gray_zones_ua: Iterable[float] = (0.6, 2.4, 10.0, 40.0),
+    crossbar_sizes: Iterable[int] = (8, 16, 36, 72),
+    window_bits: int = 1,
+    epochs: int = 15,
+    n_eval: int = 200,
+    seed: int = 0,
+) -> Dict:
+    """Hardware accuracy and AME on the (dIin, Cs) grid.
+
+    Returns ``{"grid": [{"gray_zone_ua", "crossbar_size", "accuracy",
+    "ame"}...], "peaks": int}`` where ``peaks`` counts grid-local maxima
+    of accuracy (the paper's "multiple accuracy peaks").
+    """
+    gray_zones = list(gray_zones_ua)
+    sizes = list(crossbar_sizes)
+    grid: List[Dict[str, float]] = []
+    accuracy_matrix: List[List[float]] = []
+    for cs in sizes:
+        train_hw = HardwareConfig(
+            crossbar_size=cs,
+            gray_zone_ua=training_gray_zone(cs),
+            window_bits=16,
+        )
+        model, _, test, _ = trained_mlp(train_hw, epochs=epochs, seed=seed)
+        images = test.images[:n_eval]
+        labels = test.labels[:n_eval]
+        row = []
+        for gz in gray_zones:
+            deploy = train_hw.with_(gray_zone_ua=gz, window_bits=window_bits)
+            network = compile_model(model, deploy)
+            acc = evaluate_accuracy(network, images, labels, mode="stochastic")
+            ame = average_mismatch_error(cs, gz, attenuation=deploy.attenuation)
+            grid.append(
+                {
+                    "gray_zone_ua": gz,
+                    "crossbar_size": cs,
+                    "accuracy": acc,
+                    "ame": ame,
+                }
+            )
+            row.append(acc)
+        accuracy_matrix.append(row)
+    return {
+        "grid": grid,
+        "peaks": _count_local_maxima(accuracy_matrix),
+        "gray_zones_ua": gray_zones,
+        "crossbar_sizes": sizes,
+    }
+
+
+def _count_local_maxima(matrix: List[List[float]]) -> int:
+    """Grid points >= all 4-neighbours (plateau ties count once each)."""
+    peaks = 0
+    n_rows = len(matrix)
+    n_cols = len(matrix[0]) if matrix else 0
+    for i in range(n_rows):
+        for j in range(n_cols):
+            value = matrix[i][j]
+            neighbours = []
+            if i > 0:
+                neighbours.append(matrix[i - 1][j])
+            if i < n_rows - 1:
+                neighbours.append(matrix[i + 1][j])
+            if j > 0:
+                neighbours.append(matrix[i][j - 1])
+            if j < n_cols - 1:
+                neighbours.append(matrix[i][j + 1])
+            if all(value >= n for n in neighbours):
+                peaks += 1
+    return peaks

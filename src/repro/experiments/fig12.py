@@ -1,0 +1,61 @@
+"""Fig. 12 — energy efficiency vs clock frequency, AQFP vs (Cryo-)CMOS.
+
+Builds the whole figure dataset: our accelerator's TOPS/W across
+0.1-10 GHz (adiabatic scaling), room-temperature CMOS points, and their
+77 K Cryo-CMOS counterparts with and without cooling. The shape targets:
+AQFP sits ~4 orders above Cryo-CMOS device-only and 2-3 orders above it
+once both coolers are charged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.baselines.cryo import frequency_sweep
+from repro.experiments.common import trained_mlp, training_gray_zone
+from repro.hardware.config import HardwareConfig
+from repro.hardware.cost import AcceleratorCostModel
+from repro.mapping.compiler import compile_model
+from repro.mapping.executor import network_workloads
+
+
+def efficiency_frequency_sweep(
+    frequencies_ghz: Iterable[float] = (0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0),
+    crossbar_size: int = 72,
+    window_bits: int = 16,
+    epochs: int = 10,
+    seed: int = 0,
+) -> Dict:
+    """Fig. 12 rows plus the gap statistics.
+
+    Returns ``{"rows": [...], "gap_device_orders": float,
+    "gap_cooled_orders": float}`` where the gaps compare AQFP to the best
+    Cryo-CMOS series at 1 GHz, in orders of magnitude.
+    """
+    import math
+
+    hardware = HardwareConfig(
+        crossbar_size=crossbar_size,
+        gray_zone_ua=training_gray_zone(crossbar_size),
+        window_bits=window_bits,
+    )
+    model, train, _, _ = trained_mlp(hardware, epochs=epochs, seed=seed)
+    network = compile_model(model, hardware)
+    workloads = network_workloads(network, train.image_shape)
+    cost = AcceleratorCostModel(hardware, workloads)
+    ours_at_5ghz = cost.energy_efficiency_tops_per_w()
+
+    rows = frequency_sweep(ours_at_5ghz, frequencies_ghz)
+    at_1ghz = next(r for r in rows if abs(r["frequency_ghz"] - 1.0) < 1e-9)
+    best_cryo_device = max(
+        v for k, v in at_1ghz.items() if k.startswith("cryo_") and not k.endswith("_cooled")
+    )
+    best_cryo_cooled = max(
+        v for k, v in at_1ghz.items() if k.startswith("cryo_") and k.endswith("_cooled")
+    )
+    return {
+        "rows": rows,
+        "ours_at_5ghz_tops_per_w": ours_at_5ghz,
+        "gap_device_orders": math.log10(at_1ghz["aqfp"] / best_cryo_device),
+        "gap_cooled_orders": math.log10(at_1ghz["aqfp_cooled"] / best_cryo_cooled),
+    }

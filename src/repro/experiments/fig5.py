@@ -1,0 +1,45 @@
+"""Fig. 5 — crossbar current attenuation vs array size.
+
+Measures the inductive-ladder merging circuit at the paper's crossbar
+sizes and fits the power law ``I1(Cs) = A * Cs^-B`` (Eq. 2), returning
+both series plus the fit quality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.device.attenuation import InductiveLadder, fit_attenuation
+
+
+def attenuation_curve(
+    sizes: Iterable[int] = (4, 8, 16, 18, 36, 72, 144),
+    noise_fraction: float = 0.02,
+    seed: int = 0,
+) -> Dict:
+    """Measured vs fitted output current per crossbar size.
+
+    Returns ``{"points": [...], "amplitude_ua": A, "exponent": B,
+    "max_relative_fit_error": float}``.
+    """
+    ladder = InductiveLadder()
+    xs, measured = ladder.measure(sizes, noise_fraction=noise_fraction, seed=seed)
+    model = fit_attenuation(xs, measured)
+    fitted = model.unit_current_ua(xs)
+    rel_err = np.abs(fitted - measured) / measured
+    points: List[Dict[str, float]] = [
+        {
+            "crossbar_size": int(c),
+            "measured_ua": float(m),
+            "fitted_ua": float(f),
+        }
+        for c, m, f in zip(xs, measured, fitted)
+    ]
+    return {
+        "points": points,
+        "amplitude_ua": model.amplitude_ua,
+        "exponent": model.exponent,
+        "max_relative_fit_error": float(rel_err.max()),
+    }

@@ -1,0 +1,60 @@
+"""Headline claims — the abstract's comparison ratios.
+
+* ~7.8e4 x higher energy efficiency than the ReRAM IMB framework at a
+  similar accuracy (Table 2),
+* 205.8 x over IMB even after charging 400x cryocooling,
+* >= 2 orders of magnitude over RSFQ/ERSFQ superconducting designs,
+* 153 x over SC-AQFP (Table 3).
+
+We recompute each ratio from our measured rows and report it next to
+the paper's value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.specs import get_baseline
+from repro.experiments.table2 import cifar10_comparison
+from repro.experiments.table3 import mnist_comparison
+
+PAPER_CLAIMS = {
+    "vs_imb": 7.8e4,
+    "vs_imb_cooled": 205.8,
+    "vs_ersfq_min_orders": 2.0,
+    "vs_sc_aqfp": 153.0,
+}
+
+
+def headline_claims(
+    cifar_epochs: int = 20,
+    mnist_epochs: int = 15,
+    seed: int = 0,
+) -> Dict:
+    """Measured ratios next to the paper's claims."""
+    table2 = cifar10_comparison(epochs=cifar_epochs, seed=seed)
+    table3 = mnist_comparison(epochs=mnist_epochs, seed=seed)
+
+    # Use our *most accurate* operating point (the paper's comparison at
+    # "similar model accuracy" is its L=32-class row).
+    best_row = max(table2["ours"], key=lambda r: r["accuracy_pct"])
+    imb = get_baseline("IMB", "cifar10")
+    ersfq = get_baseline("ERSFQ", "mnist")
+    sc_aqfp = get_baseline("SC-AQFP", "mnist")
+
+    import math
+
+    measured = {
+        "vs_imb": best_row["tops_per_w"] / imb.tops_per_w,
+        "vs_imb_cooled": best_row["tops_per_w_cooled"] / imb.tops_per_w,
+        "vs_ersfq_min_orders": math.log10(
+            table3["ours"]["tops_per_w"] / ersfq.tops_per_w
+        ),
+        "vs_sc_aqfp": table3["ours"]["tops_per_w"] / sc_aqfp.tops_per_w,
+    }
+    return {
+        "measured": measured,
+        "paper": dict(PAPER_CLAIMS),
+        "our_best_row": best_row,
+        "our_mnist_row": table3["ours"],
+    }

@@ -1,0 +1,66 @@
+"""Table 3 — MNIST MLP: ours vs SyncBNN / RSFQ / ERSFQ / SC-AQFP.
+
+Ours: train the MLP, deploy on the hardware executor, measure accuracy,
+and compute TOPS/W (with and without the 400x cooling charge) from the
+cost model over the compiled workloads. Baselines are the published
+numbers. The shape targets: 2-4 orders of magnitude over the CMOS /
+RSFQ / ERSFQ rows and >100x over SC-AQFP at similar accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines.specs import MNIST_BASELINES, PAPER_SUPERBNN_MNIST
+from repro.experiments.common import trained_mlp, training_gray_zone
+from repro.hardware.config import HardwareConfig
+from repro.hardware.cost import AcceleratorCostModel
+from repro.mapping.compiler import compile_model
+from repro.mapping.executor import evaluate_accuracy, network_workloads
+
+
+def mnist_comparison(
+    crossbar_size: int = 72,
+    gray_zone_ua: Optional[float] = None,
+    window_bits: int = 16,
+    epochs: int = 15,
+    n_eval: int = 300,
+    seed: int = 0,
+) -> Dict:
+    """Our MNIST row plus published baselines and the paper's own row."""
+    if gray_zone_ua is None:
+        gray_zone_ua = training_gray_zone(crossbar_size)
+    hardware = HardwareConfig(
+        crossbar_size=crossbar_size,
+        gray_zone_ua=gray_zone_ua,
+        window_bits=window_bits,
+    )
+    model, train, test, software_acc = trained_mlp(hardware, epochs=epochs, seed=seed)
+    # Deploy at the co-optimized (dithering-regime) gray zone.
+    deploy = hardware.with_(
+        gray_zone_ua=training_gray_zone(crossbar_size, dvin_target=8.0)
+    )
+    network = compile_model(model, deploy)
+    accuracy = evaluate_accuracy(
+        network, test.images[:n_eval], test.labels[:n_eval], mode="stochastic"
+    )
+    workloads = network_workloads(network, train.image_shape)
+    cost = AcceleratorCostModel(hardware, workloads)
+
+    ours = {
+        "design": "SupeRBNN (MLP)",
+        "accuracy_pct": accuracy * 100.0,
+        "software_accuracy_pct": software_acc * 100.0,
+        "tops_per_w": cost.energy_efficiency_tops_per_w(),
+        "tops_per_w_cooled": cost.energy_efficiency_tops_per_w(with_cooling=True),
+    }
+    baselines: List[Dict] = [
+        {
+            "design": spec.name,
+            "accuracy_pct": spec.accuracy,
+            "tops_per_w": spec.tops_per_w,
+            "tops_per_w_cooled": spec.tops_per_w_cooled,
+        }
+        for spec in MNIST_BASELINES
+    ]
+    return {"ours": ours, "baselines": baselines, "paper_row": dict(PAPER_SUPERBNN_MNIST)}

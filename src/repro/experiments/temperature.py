@@ -1,0 +1,64 @@
+"""Extension study: operating temperature vs accuracy.
+
+The paper fixes 4.2 K (liquid helium) and notes (Sec. 4.2, citing [73])
+that the gray zone grows with temperature in the thermal regime and
+saturates at a quantum floor as T -> 0. This extension sweeps the
+operating point: the device model converts temperature to a gray-zone
+width (``repro.device.josephson.gray_zone_width``) and the deployed
+accuracy is measured on the hardware executor — quantifying how much
+accuracy a warmer (cheaper-to-cool) operating point costs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.device.josephson import gray_zone_width
+from repro.experiments.common import trained_mlp, training_gray_zone
+from repro.hardware.config import HardwareConfig
+from repro.mapping.compiler import compile_model
+from repro.mapping.executor import evaluate_accuracy
+
+
+def temperature_sweep(
+    temperatures_k: Iterable[float] = (0.1, 1.0, 4.2, 10.0, 20.0, 40.0),
+    crossbar_size: int = 16,
+    window_bits: int = 8,
+    gray_zone_at_4p2k_ua: float = None,
+    epochs: int = 15,
+    n_eval: int = 200,
+    seed: int = 0,
+) -> Dict:
+    """Accuracy and gray-zone width across operating temperatures.
+
+    The 4.2 K gray zone defaults to the co-optimized dithering point
+    (``dVin = 8``); other temperatures scale it by the thermal law.
+    Returns ``{"rows": [{"temperature_k", "gray_zone_ua", "accuracy"}],
+    "reference_accuracy": float}``.
+    """
+    if gray_zone_at_4p2k_ua is None:
+        gray_zone_at_4p2k_ua = training_gray_zone(crossbar_size, dvin_target=8.0)
+    train_hw = HardwareConfig(
+        crossbar_size=crossbar_size,
+        gray_zone_ua=training_gray_zone(crossbar_size),
+        window_bits=window_bits,
+    )
+    model, _, test, software_acc = trained_mlp(train_hw, epochs=epochs, seed=seed)
+    images, labels = test.images[:n_eval], test.labels[:n_eval]
+
+    rows: List[Dict[str, float]] = []
+    for temperature in temperatures_k:
+        zone = gray_zone_width(
+            temperature, width_at_4p2k_ua=gray_zone_at_4p2k_ua
+        )
+        deploy = train_hw.with_(gray_zone_ua=zone, temperature_k=temperature)
+        network = compile_model(model, deploy)
+        accuracy = evaluate_accuracy(network, images, labels)
+        rows.append(
+            {
+                "temperature_k": float(temperature),
+                "gray_zone_ua": float(zone),
+                "accuracy": float(accuracy),
+            }
+        )
+    return {"rows": rows, "reference_accuracy": software_acc}

@@ -1,0 +1,37 @@
+"""Architecture-level model of the AQFP BNN accelerator (paper Sec. 4).
+
+* :mod:`repro.hardware.config` — :class:`HardwareConfig`, the knob bundle
+  the co-optimization tunes (crossbar size, gray zone, window bits...).
+* :mod:`repro.hardware.crossbar` — the LiM crossbar synapse array with
+  analog column summation, attenuation, and stochastic AQFP neurons.
+* :mod:`repro.hardware.accelerator` — tiled multi-crossbar execution with
+  the SC accumulation module.
+* :mod:`repro.hardware.cost` — JJ/latency/energy/power/TOPS/W accounting
+  (regenerates Table 1 and the efficiency columns of Tables 2-3).
+"""
+
+from repro.hardware.config import HardwareConfig
+from repro.hardware.crossbar import CrossbarArray
+from repro.hardware.accelerator import AqfpAccelerator, TiledLinearLayer
+from repro.hardware.scheduler import BankScheduler, ScheduleResult
+from repro.hardware.cost import (
+    COOLING_OVERHEAD_FACTOR,
+    AcceleratorCostModel,
+    CrossbarCost,
+    LayerWorkload,
+    crossbar_cost_table,
+)
+
+__all__ = [
+    "HardwareConfig",
+    "CrossbarArray",
+    "AqfpAccelerator",
+    "TiledLinearLayer",
+    "CrossbarCost",
+    "crossbar_cost_table",
+    "AcceleratorCostModel",
+    "LayerWorkload",
+    "COOLING_OVERHEAD_FACTOR",
+    "BankScheduler",
+    "ScheduleResult",
+]

@@ -1,0 +1,185 @@
+"""Tiled multi-crossbar execution with SC accumulation (paper Fig. 6b).
+
+A BNN layer whose fan-in exceeds one crossbar is split across K row
+tiles; each tile's stochastic neuron outputs are observed for L clocks
+and merged by the SC accumulation module. Column tiling handles layers
+with more filters than crossbar columns.
+
+BN matching (paper Sec. 5.2) programs per-column threshold currents; when
+a filter spans K crossbars the threshold is divided evenly among them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.config import HardwareConfig
+from repro.hardware.crossbar import CrossbarArray
+from repro.sc.accumulate import ScAccumulationModule
+from repro.utils.rng import RngMixin, SeedLike, spawn_rng
+
+
+class TiledLinearLayer(RngMixin):
+    """One BNN layer (as a +-1 matrix) mapped onto a grid of crossbars.
+
+    Parameters
+    ----------
+    config:
+        Hardware configuration shared by all tiles.
+    weights:
+        +-1 matrix of shape ``(in_features, out_features)``.
+    threshold_ua:
+        Per-output threshold currents (from BN matching); scalar or
+        shape ``(out_features,)``. Divided evenly across the K row tiles.
+    """
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        weights: np.ndarray,
+        threshold_ua=0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(seed)
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got {w.shape}")
+        if not np.all(np.isin(w, (-1.0, 1.0))):
+            raise ValueError("layer weights must be +-1")
+        self.config = config
+        self.in_features, self.out_features = w.shape
+        cs = config.crossbar_size
+        self.n_row_tiles = math.ceil(self.in_features / cs)
+        self.n_col_tiles = math.ceil(self.out_features / cs)
+        thresholds = np.broadcast_to(
+            np.asarray(threshold_ua, dtype=np.float64), (self.out_features,)
+        )
+
+        child_rngs = spawn_rng(self.rng, self.n_row_tiles * self.n_col_tiles)
+        self.tiles: List[List[CrossbarArray]] = []
+        for i in range(self.n_row_tiles):
+            row: List[CrossbarArray] = []
+            rows_slice = slice(i * cs, min((i + 1) * cs, self.in_features))
+            for j in range(self.n_col_tiles):
+                cols_slice = slice(j * cs, min((j + 1) * cs, self.out_features))
+                tile = CrossbarArray(
+                    config,
+                    w[rows_slice, cols_slice],
+                    # Eq. 16 threshold split evenly over the K row tiles.
+                    threshold_ua=thresholds[cols_slice] / self.n_row_tiles,
+                    seed=child_rngs[i * self.n_col_tiles + j],
+                )
+                row.append(tile)
+            self.tiles.append(row)
+
+        self.module = ScAccumulationModule(
+            n_crossbars=self.n_row_tiles, window_bits=config.window_bits
+        )
+        # Execution statistics for the cost model.
+        self.n_passes = 0
+        self.n_inferences = 0
+
+    # ------------------------------------------------------------------
+    def _split_activations(self, activations: np.ndarray) -> List[np.ndarray]:
+        a = np.asarray(activations, dtype=np.float64)
+        if a.ndim == 1:
+            a = a[None, :]
+        if a.shape[-1] != self.in_features:
+            raise ValueError(
+                f"activations last dim {a.shape[-1]} != in_features {self.in_features}"
+            )
+        cs = self.config.crossbar_size
+        return [
+            a[:, i * cs : min((i + 1) * cs, self.in_features)]
+            for i in range(self.n_row_tiles)
+        ]
+
+    def forward(self, activations: np.ndarray) -> np.ndarray:
+        """Hardware-faithful stochastic output, +-1 of shape (N, out)."""
+        chunks = self._split_activations(activations)
+        n = chunks[0].shape[0]
+        outputs = []
+        for j in range(self.n_col_tiles):
+            streams = np.stack(
+                [
+                    self.tiles[i][j].sample_window(chunks[i])
+                    for i in range(self.n_row_tiles)
+                ],
+                axis=0,
+            )  # (K, L, N, cols)
+            outputs.append(self.module.accumulate(streams))
+        self.n_passes += self.n_row_tiles * self.n_col_tiles
+        self.n_inferences += n
+        return np.concatenate(outputs, axis=-1)
+
+    def expected_preactivation(self, activations: np.ndarray) -> np.ndarray:
+        """Deterministic E[total count] - reference (diagnostic path)."""
+        chunks = self._split_activations(activations)
+        outputs = []
+        for j in range(self.n_col_tiles):
+            probs = np.stack(
+                [
+                    self.tiles[i][j].output_probabilities(chunks[i])
+                    for i in range(self.n_row_tiles)
+                ],
+                axis=0,
+            )
+            expected = self.module.expected_value(probs)
+            outputs.append(expected - self.module.reference)
+        return np.concatenate(outputs, axis=-1)
+
+    def ideal_output(self, activations: np.ndarray) -> np.ndarray:
+        """Noise-free reference: sign of the exact integer pre-activation."""
+        a = np.asarray(activations, dtype=np.float64)
+        if a.ndim == 1:
+            a = a[None, :]
+        full = np.concatenate(
+            [np.concatenate([t.weights for t in row], axis=1) for row in self.tiles],
+            axis=0,
+        )
+        thresholds = np.concatenate(
+            [t.threshold_ua for t in self.tiles[0]]
+        ) * self.n_row_tiles
+        vth = thresholds / self.config.unit_current_ua
+        return np.where(a @ full >= vth, 1.0, -1.0)
+
+    def __call__(self, activations: np.ndarray) -> np.ndarray:
+        return self.forward(activations)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TiledLinearLayer({self.in_features}->{self.out_features}, "
+            f"tiles={self.n_row_tiles}x{self.n_col_tiles}, "
+            f"Cs={self.config.crossbar_size}, L={self.config.window_bits})"
+        )
+
+
+class AqfpAccelerator:
+    """A pipeline of tiled layers — the full in-memory BNN engine.
+
+    The accelerator executes +-1 activations through each
+    :class:`TiledLinearLayer` in order. Convolution lowering (im2col) and
+    BN matching are handled by the compiler in :mod:`repro.mapping`; the
+    accelerator itself is dataflow only.
+    """
+
+    def __init__(self, layers: Optional[Sequence[TiledLinearLayer]] = None) -> None:
+        self.layers: List[TiledLinearLayer] = list(layers or [])
+
+    def append(self, layer: TiledLinearLayer) -> None:
+        self.layers.append(layer)
+
+    def forward(self, activations: np.ndarray) -> np.ndarray:
+        x = activations
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __call__(self, activations: np.ndarray) -> np.ndarray:
+        return self.forward(activations)
+
+    def __len__(self) -> int:
+        return len(self.layers)

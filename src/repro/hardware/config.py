@@ -1,0 +1,76 @@
+"""Hardware configuration bundle — the co-optimization search space.
+
+The paper jointly tunes (Sec. 5.4): crossbar synapse array size ``Cs``,
+SC bit-stream length (here ``window_bits``), and the gray-zone width
+``dIin``; the buffer threshold current ``Ith`` is programmed per column
+by BN matching rather than tuned globally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.device.attenuation import AttenuationModel
+from repro.device.josephson import DEFAULT_GRAY_ZONE_UA, OPERATING_TEMPERATURE_K
+from repro.device.cells import CLOCK_RATE_HZ
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """All AQFP accelerator knobs in one immutable record.
+
+    Parameters
+    ----------
+    crossbar_size:
+        ``Cs`` — the crossbar is ``Cs x Cs`` (rows = inputs, columns =
+        filters).
+    gray_zone_ua:
+        ``dIin`` of the AQFP buffer at the operating temperature.
+    window_bits:
+        SC observation window / bit-stream length ``L``.
+    attenuation:
+        The fitted ``I1(Cs)`` power law.
+    clock_rate_hz, temperature_k:
+        Operating point (5 GHz, 4.2 K in the paper).
+    """
+
+    crossbar_size: int = 16
+    gray_zone_ua: float = DEFAULT_GRAY_ZONE_UA
+    window_bits: int = 16
+    attenuation: AttenuationModel = field(default_factory=AttenuationModel)
+    clock_rate_hz: float = CLOCK_RATE_HZ
+    temperature_k: float = OPERATING_TEMPERATURE_K
+
+    def __post_init__(self) -> None:
+        if self.crossbar_size < 1:
+            raise ValueError(f"crossbar_size must be >= 1, got {self.crossbar_size}")
+        if self.gray_zone_ua <= 0:
+            raise ValueError(f"gray_zone_ua must be > 0, got {self.gray_zone_ua}")
+        if self.window_bits < 1:
+            raise ValueError(f"window_bits must be >= 1, got {self.window_bits}")
+        if self.clock_rate_hz <= 0:
+            raise ValueError(f"clock_rate_hz must be > 0, got {self.clock_rate_hz}")
+        if self.temperature_k < 0:
+            raise ValueError(f"temperature_k must be >= 0, got {self.temperature_k}")
+
+    # ------------------------------------------------------------------
+    # Derived device quantities
+    # ------------------------------------------------------------------
+    @property
+    def unit_current_ua(self) -> float:
+        """``I1(Cs)`` — current representing one unit of value (Eq. 2)."""
+        return float(self.attenuation.unit_current_ua(self.crossbar_size))
+
+    @property
+    def value_gray_zone(self) -> float:
+        """``dVin(Cs) = dIin / I1(Cs)`` (Eq. 4)."""
+        return self.gray_zone_ua / self.unit_current_ua
+
+    def value_threshold(self, threshold_ua: float = 0.0) -> float:
+        """``Vth = Ith / I1(Cs)`` for a programmed threshold current."""
+        return threshold_ua / self.unit_current_ua
+
+    def with_(self, **overrides) -> "HardwareConfig":
+        """Copy with fields replaced (convenience for sweeps)."""
+        return replace(self, **overrides)

@@ -1,0 +1,289 @@
+"""JJ / latency / energy / power / TOPS/W accounting.
+
+Calibration (see :mod:`repro.device.cells`): an ``n x n`` crossbar costs
+
+* ``JJ(n) = 12 n^2 + 48 n``   (LiM cell 12 JJ; 24 JJ row driver + 24 JJ
+  column neuron per line),
+* ``latency(n) = n * 3 stages * 5 ps`` (delay-line clocking),
+* ``energy/cycle = JJ(n) * 5 zJ``.
+
+These regenerate the paper's Table 1 bit-exactly. On top of the crossbar
+block, the accelerator charges the SC accumulation modules, buffer-chain
+memory, and a whole-network execution schedule to produce power,
+throughput, and energy efficiency (Tables 2-3, Fig. 12).
+
+Cooling: superconducting digital circuits at 4.2 K pay roughly 400x the
+chip power in refrigeration (paper [34]); ``with_cooling`` divides
+efficiency by :data:`COOLING_OVERHEAD_FACTOR`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.device.cells import (
+    CLOCK_RATE_HZ,
+    DELAY_LINE_STAGE_DELAY_S,
+    ENERGY_PER_JJ_PER_CYCLE_J,
+)
+from repro.hardware.config import HardwareConfig
+
+#: Cryocooler overhead at 4.2 K (paper [34]): watts at the wall per
+#: watt dissipated on chip.
+COOLING_OVERHEAD_FACTOR = 400.0
+
+#: JJs per LiM cell / per row driver / per column neuron (Table 1 fit).
+LIM_CELL_JJ = 12
+ROW_PERIPHERAL_JJ = 24
+COLUMN_PERIPHERAL_JJ = 24
+
+#: Stages a signal crosses per crossbar line (drive, merge, read).
+_STAGES_PER_LINE = 3
+
+
+@dataclass(frozen=True)
+class CrossbarCost:
+    """Hardware cost of one ``n x n`` crossbar block (Table 1 row)."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"size must be >= 1, got {self.size}")
+
+    @property
+    def jj_count(self) -> int:
+        """``12 n^2 + 48 n`` Josephson junctions."""
+        n = self.size
+        return LIM_CELL_JJ * n * n + (ROW_PERIPHERAL_JJ + COLUMN_PERIPHERAL_JJ) * n
+
+    @property
+    def latency_s(self) -> float:
+        """Input-to-output latency of one pass through the array."""
+        return self.size * _STAGES_PER_LINE * DELAY_LINE_STAGE_DELAY_S
+
+    @property
+    def latency_ps(self) -> float:
+        return self.latency_s * 1e12
+
+    @property
+    def energy_per_cycle_j(self) -> float:
+        return self.jj_count * ENERGY_PER_JJ_PER_CYCLE_J
+
+    @property
+    def energy_per_cycle_aj(self) -> float:
+        return self.energy_per_cycle_j * 1e18
+
+
+def crossbar_cost_table(sizes: Sequence[int] = (4, 8, 16, 18, 36, 72, 144)) -> List[Dict]:
+    """Regenerate Table 1: latency (ps), #JJs, energy (aJ) per size."""
+    rows = []
+    for n in sizes:
+        cost = CrossbarCost(n)
+        rows.append(
+            {
+                "crossbar_area": f"{n}x{n}",
+                "size": n,
+                "latency_ps": cost.latency_ps,
+                "jj_count": cost.jj_count,
+                "energy_aj": cost.energy_per_cycle_aj,
+            }
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """Shape of one BNN layer's matrix workload after conv lowering.
+
+    ``in_features x out_features`` GEMV repeated ``positions`` times per
+    image (= H_out * W_out for convolutions, 1 for FC layers).
+    """
+
+    in_features: int
+    out_features: int
+    positions: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.in_features, self.out_features, self.positions) < 1:
+            raise ValueError("workload dimensions must be >= 1")
+
+    @property
+    def macs(self) -> int:
+        return self.in_features * self.out_features * self.positions
+
+    @property
+    def ops(self) -> int:
+        """2 ops per MAC (multiply + accumulate), the TOPS convention."""
+        return 2 * self.macs
+
+    def tile_grid(self, crossbar_size: int) -> tuple:
+        rows = math.ceil(self.in_features / crossbar_size)
+        cols = math.ceil(self.out_features / crossbar_size)
+        return rows, cols
+
+    def tile_geometries(self, crossbar_size: int):
+        """Occupied (rows, cols) of every tile in the grid.
+
+        Edge tiles are smaller than ``Cs x Cs``; the energy model charges
+        arrays cut to the occupied geometry (a deployment provisions
+        right-sized subarrays rather than burning AC power in empty
+        LiM cells).
+        """
+        geometries = []
+        for i in range(0, self.in_features, crossbar_size):
+            rows = min(crossbar_size, self.in_features - i)
+            for j in range(0, self.out_features, crossbar_size):
+                cols = min(crossbar_size, self.out_features - j)
+                geometries.append((rows, cols))
+        return geometries
+
+
+def occupied_tile_jj(rows: int, cols: int) -> int:
+    """JJs of an ``rows x cols`` (possibly non-square) crossbar tile."""
+    if rows < 1 or cols < 1:
+        raise ValueError("tile dimensions must be >= 1")
+    return LIM_CELL_JJ * rows * cols + ROW_PERIPHERAL_JJ * rows + COLUMN_PERIPHERAL_JJ * cols
+
+
+class AcceleratorCostModel:
+    """Whole-accelerator performance/energy model.
+
+    Execution schedule: the K row tiles of a column tile run in
+    parallel (they are distinct crossbar blocks feeding one SC module);
+    column tiles and spatial positions are time-multiplexed. Each pass
+    holds the input for ``window_bits`` clock cycles.
+
+    Energy per pass charges every parallel crossbar for the full window
+    plus the SC accumulation module and the memory traffic; AQFP is
+    AC-powered, so idle gates on the active clock also pay — modeled by
+    the ``clock_overhead`` multiplier.
+
+    Parameters
+    ----------
+    config:
+        Hardware configuration (crossbar size, window bits, clock).
+    workloads:
+        Per-layer workloads of the network being accelerated.
+    sc_module_jj_per_tilerow:
+        JJ cost of one SC accumulation module input leg (APC slice +
+        comparator share + interface).
+    memory_jj_per_weight_bit:
+        Amortized BCM JJs per resident weight bit.
+    clock_overhead:
+        Multiplier >= 1 for clock/bias distribution losses.
+    """
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        workloads: Sequence[LayerWorkload],
+        sc_module_jj_per_tilerow: int = 220,
+        memory_jj_per_weight_bit: float = 0.5,
+        clock_overhead: float = 1.15,
+    ) -> None:
+        if not workloads:
+            raise ValueError("need at least one layer workload")
+        if clock_overhead < 1:
+            raise ValueError(f"clock_overhead must be >= 1, got {clock_overhead}")
+        self.config = config
+        self.workloads = list(workloads)
+        self.sc_module_jj_per_tilerow = sc_module_jj_per_tilerow
+        self.memory_jj_per_weight_bit = memory_jj_per_weight_bit
+        self.clock_overhead = clock_overhead
+        self.crossbar = CrossbarCost(config.crossbar_size)
+
+    # ------------------------------------------------------------------
+    # Schedule
+    # ------------------------------------------------------------------
+    def passes_per_image(self) -> int:
+        """Total (column-tile x position) passes across layers."""
+        total = 0
+        for w in self.workloads:
+            _, cols = w.tile_grid(self.config.crossbar_size)
+            total += cols * w.positions
+        return total
+
+    def cycles_per_image(self) -> int:
+        """Clock cycles to process one image (window per pass)."""
+        return self.passes_per_image() * self.config.window_bits
+
+    def latency_per_image_s(self) -> float:
+        pipeline_fill = self.crossbar.latency_s * len(self.workloads)
+        return self.cycles_per_image() / self.config.clock_rate_hz + pipeline_fill
+
+    def throughput_images_per_s(self) -> float:
+        return self.config.clock_rate_hz / self.cycles_per_image()
+
+    def throughput_images_per_ms(self) -> float:
+        return self.throughput_images_per_s() / 1e3
+
+    # ------------------------------------------------------------------
+    # Energy
+    # ------------------------------------------------------------------
+    def total_weight_bits(self) -> int:
+        return sum(w.in_features * w.out_features for w in self.workloads)
+
+    def energy_per_image_j(self) -> float:
+        """Chip energy (no cooling) to run one inference."""
+        cs = self.config.crossbar_size
+        window = self.config.window_bits
+        crossbar_energy = 0.0
+        sc_energy = 0.0
+        for w in self.workloads:
+            rows, _ = w.tile_grid(cs)
+            # Every tile is active for the full window at each spatial
+            # position; energy follows the *occupied* tile geometry.
+            tile_jj = sum(occupied_tile_jj(r, c) for r, c in w.tile_geometries(cs))
+            crossbar_energy += (
+                w.positions * window * tile_jj * ENERGY_PER_JJ_PER_CYCLE_J
+            )
+            _, cols = w.tile_grid(cs)
+            passes = cols * w.positions
+            sc_energy += (
+                passes
+                * rows
+                * self.sc_module_jj_per_tilerow
+                * window
+                * ENERGY_PER_JJ_PER_CYCLE_J
+            )
+        memory_energy = (
+            self.total_weight_bits()
+            * self.memory_jj_per_weight_bit
+            * ENERGY_PER_JJ_PER_CYCLE_J
+            * self.cycles_per_image()
+        )
+        return (crossbar_energy + sc_energy + memory_energy) * self.clock_overhead
+
+    def power_w(self) -> float:
+        """Average chip power at the configured clock rate."""
+        return self.energy_per_image_j() * self.throughput_images_per_s()
+
+    def power_mw(self) -> float:
+        return self.power_w() * 1e3
+
+    # ------------------------------------------------------------------
+    # Efficiency
+    # ------------------------------------------------------------------
+    def ops_per_image(self) -> int:
+        return sum(w.ops for w in self.workloads)
+
+    def energy_efficiency_tops_per_w(self, with_cooling: bool = False) -> float:
+        """TOPS/W = ops per joule / 1e12, optionally divided by cooling."""
+        efficiency = self.ops_per_image() / self.energy_per_image_j() / 1e12
+        if with_cooling:
+            efficiency /= COOLING_OVERHEAD_FACTOR
+        return efficiency
+
+    def summary(self) -> Dict[str, float]:
+        """One-line report used by the comparison tables."""
+        return {
+            "crossbar_size": self.config.crossbar_size,
+            "window_bits": self.config.window_bits,
+            "power_mw": self.power_mw(),
+            "throughput_images_per_ms": self.throughput_images_per_ms(),
+            "tops_per_w": self.energy_efficiency_tops_per_w(),
+            "tops_per_w_cooled": self.energy_efficiency_tops_per_w(with_cooling=True),
+        }

@@ -1,0 +1,146 @@
+"""The AQFP crossbar synapse array (paper Sec. 4.1-4.2, Fig. 3).
+
+Each logic-in-memory (LiM) cell stores one binary weight and XNORs it
+with the row activation; the per-cell output currents merge in the
+analog domain down each column, attenuated by the growing inductance
+(``I1(Cs)``). An AQFP buffer per column detects the sign of the merged
+current — stochastically, per Eq. (1) — acting as sign function + ADC.
+
+The simulation is fully vectorized: a batch of activation vectors is
+multiplied against the stored weight matrix, scaled to micro-amperes,
+and pushed through the buffer's probability law.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+from scipy import special
+
+from repro.hardware.config import HardwareConfig
+from repro.utils.rng import RngMixin, SeedLike
+
+_SQRT_PI = math.sqrt(math.pi)
+
+
+class CrossbarArray(RngMixin):
+    """One ``Cs x Cs`` crossbar programmed with +-1 weights.
+
+    Parameters
+    ----------
+    config:
+        Hardware configuration (size, gray zone, attenuation...).
+    weights:
+        +-1 matrix of shape ``(rows, cols)`` with ``rows, cols <= Cs``.
+        Unused rows contribute no current; attenuation is set by the
+        *physical* array size ``Cs``, not the occupied rows.
+    threshold_ua:
+        Per-column threshold currents ``Ith`` (BN matching programs
+        these); scalar or shape ``(cols,)``.
+    """
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        weights: np.ndarray,
+        threshold_ua=0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(seed)
+        self.config = config
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got shape {w.shape}")
+        if w.shape[0] > config.crossbar_size or w.shape[1] > config.crossbar_size:
+            raise ValueError(
+                f"weights {w.shape} exceed crossbar size {config.crossbar_size}"
+            )
+        if not np.all(np.isin(w, (-1.0, 1.0))):
+            raise ValueError("crossbar weights must be +-1")
+        self.weights = w
+        thr = np.broadcast_to(
+            np.asarray(threshold_ua, dtype=np.float64), (w.shape[1],)
+        ).copy()
+        self.threshold_ua = thr
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self.weights.shape[1]
+
+    def _check_activations(self, activations: np.ndarray) -> np.ndarray:
+        a = np.asarray(activations, dtype=np.float64)
+        if a.ndim == 1:
+            a = a[None, :]
+        if a.shape[-1] != self.rows:
+            raise ValueError(
+                f"activations last dim {a.shape[-1]} != rows {self.rows}"
+            )
+        # 0 is allowed: a zero-padding row injects no current (the LiM
+        # cell sees no input pulse), which is how conv zero-padding maps
+        # onto the crossbar.
+        if not np.all(np.isin(a, (-1.0, 0.0, 1.0))):
+            raise ValueError("crossbar activations must be in {-1, 0, +1}")
+        return a
+
+    # ------------------------------------------------------------------
+    # Analog behaviour
+    # ------------------------------------------------------------------
+    def column_values(self, activations) -> np.ndarray:
+        """Mathematical column sums (signed popcounts), shape (N, cols)."""
+        a = self._check_activations(activations)
+        return a @ self.weights
+
+    def column_currents_ua(self, activations) -> np.ndarray:
+        """Merged (attenuated) column currents in micro-amperes."""
+        return self.column_values(activations) * self.config.unit_current_ua
+
+    def output_probabilities(self, activations) -> np.ndarray:
+        """P(column buffer emits '1') — Eq. (1) on the merged current."""
+        i_in = self.column_currents_ua(activations)
+        z = _SQRT_PI * (i_in - self.threshold_ua) / self.config.gray_zone_ua
+        return 0.5 + 0.5 * special.erf(z)
+
+    def expected_output(self, activations) -> np.ndarray:
+        """E[+-1 output] per column."""
+        return 2.0 * self.output_probabilities(activations) - 1.0
+
+    # ------------------------------------------------------------------
+    # Stochastic behaviour
+    # ------------------------------------------------------------------
+    def sample_output(self, activations) -> np.ndarray:
+        """One clock of +-1 neuron outputs, shape (N, cols)."""
+        p = self.output_probabilities(activations)
+        return np.where(self.rng.random(p.shape) < p, 1.0, -1.0)
+
+    def sample_window(self, activations, window_bits: Optional[int] = None) -> np.ndarray:
+        """L-bit observation window: shape (L, N, cols) of +-1.
+
+        The crossbar input is held constant while the neuron is observed
+        for L clock cycles (paper Fig. 6a); the bits are i.i.d. because
+        the buffer's thermal noise is white at the clock timescale.
+        """
+        bits = self.config.window_bits if window_bits is None else window_bits
+        if bits < 1:
+            raise ValueError(f"window_bits must be >= 1, got {bits}")
+        p = self.output_probabilities(activations)
+        u = self.rng.random((bits,) + p.shape)
+        return np.where(u < p, 1.0, -1.0)
+
+    def ideal_sign_output(self, activations) -> np.ndarray:
+        """Noise-free reference: sign of the column value vs threshold."""
+        v = self.column_values(activations)
+        vth = self.threshold_ua / self.config.unit_current_ua
+        return np.where(v >= vth, 1.0, -1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CrossbarArray(Cs={self.config.crossbar_size}, "
+            f"occupied={self.rows}x{self.cols})"
+        )

@@ -1,0 +1,151 @@
+"""Bank-constrained execution schedule for the accelerator.
+
+The default cost model (:class:`AcceleratorCostModel`) provisions one
+physical crossbar per tile — maximal parallelism, the weights-stationary
+regime. Real deployments (including the paper's prototype, whose
+throughput implies heavy time multiplexing) own a limited number of
+physical crossbar *banks* and stream weights from the buffer-chain
+memory. This module schedules a compiled network onto ``n_banks``
+physical arrays:
+
+* the K row tiles of one column tile must be resident simultaneously
+  (their outputs merge in one SC accumulation module);
+* switching a bank to a different tile costs a weight-reload of
+  ``Cs`` cycles (one row per cycle from the BCM);
+* passes of the same column tile across spatial positions reuse the
+  resident weights (weights-stationary inner loop).
+
+The schedule yields cycles/image, bank utilization, and reload
+overhead; feeding its cycle count back through the energy model gives
+the throughput/power trade the paper's Table 2 rows sit on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.hardware.config import HardwareConfig
+from repro.hardware.cost import AcceleratorCostModel, LayerWorkload
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling one network onto a bank pool."""
+
+    n_banks: int
+    cycles_per_image: int
+    reload_cycles: int
+    compute_cycles: int
+    utilization: float
+    throughput_images_per_s: float
+
+    @property
+    def reload_overhead(self) -> float:
+        """Fraction of cycles spent reloading weights."""
+        total = self.compute_cycles + self.reload_cycles
+        return self.reload_cycles / total if total else 0.0
+
+
+class BankScheduler:
+    """Schedule layer workloads onto a fixed pool of crossbar banks.
+
+    Parameters
+    ----------
+    config:
+        Hardware configuration (crossbar size, window, clock).
+    n_banks:
+        Physical crossbar arrays available. Must cover the widest row
+        tiling (max K across layers), otherwise the SC accumulation
+        module cannot see all partial sums at once.
+    reload_cycles_per_tile:
+        Cycles to (re)program one bank; defaults to ``Cs`` (one row per
+        cycle from the BCM).
+    """
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        n_banks: int,
+        reload_cycles_per_tile: int = None,
+    ) -> None:
+        if n_banks < 1:
+            raise ValueError(f"n_banks must be >= 1, got {n_banks}")
+        self.config = config
+        self.n_banks = n_banks
+        self.reload_cycles_per_tile = (
+            config.crossbar_size
+            if reload_cycles_per_tile is None
+            else reload_cycles_per_tile
+        )
+        if self.reload_cycles_per_tile < 0:
+            raise ValueError("reload cycles must be >= 0")
+
+    def minimum_banks(self, workloads: Sequence[LayerWorkload]) -> int:
+        """Smallest legal pool: the widest row tiling in the network."""
+        return max(w.tile_grid(self.config.crossbar_size)[0] for w in workloads)
+
+    def schedule(self, workloads: Sequence[LayerWorkload]) -> ScheduleResult:
+        """Greedy weights-stationary schedule; returns cycle accounting.
+
+        Column-tile groups are processed in order; each group loads its
+        K row tiles into banks (parallel reload across banks: the
+        reload latency is paid once per group wave, not per tile), then
+        sweeps all spatial positions with the window held per position.
+        ``floor(n_banks / K)`` groups are resident concurrently, so a
+        larger pool overlaps more groups.
+        """
+        if not workloads:
+            raise ValueError("need at least one workload")
+        window = self.config.window_bits
+        needed = self.minimum_banks(workloads)
+        if self.n_banks < needed:
+            raise ValueError(
+                f"{self.n_banks} banks cannot host the widest layer "
+                f"(needs {needed} resident row tiles)"
+            )
+
+        compute_cycles = 0
+        reload_cycles = 0
+        busy_bank_cycles = 0
+        for w in workloads:
+            rows, cols = w.tile_grid(self.config.crossbar_size)
+            concurrent_groups = max(self.n_banks // rows, 1)
+            group_waves = math.ceil(cols / concurrent_groups)
+            # Each wave: parallel reload of its resident tiles, then the
+            # spatial sweep with the window per position.
+            wave_compute = w.positions * window
+            compute_cycles += group_waves * wave_compute
+            reload_cycles += group_waves * self.reload_cycles_per_tile
+            busy_bank_cycles += cols * rows * (w.positions * window)
+
+        total_cycles = compute_cycles + reload_cycles
+        utilization = (
+            busy_bank_cycles / (total_cycles * self.n_banks) if total_cycles else 0.0
+        )
+        return ScheduleResult(
+            n_banks=self.n_banks,
+            cycles_per_image=total_cycles,
+            reload_cycles=reload_cycles,
+            compute_cycles=compute_cycles,
+            utilization=min(utilization, 1.0),
+            throughput_images_per_s=self.config.clock_rate_hz / total_cycles,
+        )
+
+    def sweep_bank_counts(
+        self,
+        workloads: Sequence[LayerWorkload],
+        bank_counts: Sequence[int],
+    ) -> List[ScheduleResult]:
+        """Throughput/utilization across pool sizes (skips illegal ones)."""
+        results = []
+        needed = self.minimum_banks(workloads)
+        for count in bank_counts:
+            if count < needed:
+                continue
+            scheduler = BankScheduler(
+                self.config, count, self.reload_cycles_per_tile
+            )
+            results.append(scheduler.schedule(workloads))
+        return results

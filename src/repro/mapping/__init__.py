@@ -1,0 +1,23 @@
+"""Compile trained SupeRBNN models onto the AQFP accelerator.
+
+* :mod:`repro.mapping.tiling` — conv-to-matrix lowering shared by the
+  compiler and the cost model.
+* :mod:`repro.mapping.compiler` — BN matching (Eq. 16), gamma-flip
+  handling (Eq. 15), and tiling into :class:`TiledLinearLayer` grids.
+* :mod:`repro.mapping.executor` — hardware-faithful inference over the
+  compiled network (stochastic device + SC accumulation), plus an ideal
+  noise-free mode that must agree with the software model bit-for-bit.
+"""
+
+from repro.mapping.tiling import conv_weight_to_matrix, conv_output_geometry
+from repro.mapping.compiler import CompiledNetwork, compile_model
+from repro.mapping.executor import evaluate_accuracy, network_workloads
+
+__all__ = [
+    "conv_weight_to_matrix",
+    "conv_output_geometry",
+    "compile_model",
+    "CompiledNetwork",
+    "evaluate_accuracy",
+    "network_workloads",
+]

@@ -1,0 +1,223 @@
+"""Model -> accelerator compiler (BN matching + tiling).
+
+For every randomized binary cell the compiler:
+
+1. binarizes the trained real weights (sign),
+2. folds BN + HardTanh + binarization into per-column threshold currents
+   via Eq. 16 (:func:`repro.core.bn_matching.match_batch_norm`), using the
+   *running* BN statistics (inference-time behaviour),
+3. handles negative-slope channels (Eq. 15) by negating the column's
+   weights and threshold — an output inversion costs nothing in AQFP,
+4. tiles the resulting +-1 matrix over ``Cs x Cs`` crossbars with the
+   threshold current divided evenly across row tiles (Sec. 5.2).
+
+Supported topologies: :class:`repro.models.Mlp` and
+:class:`repro.models.VggSmall` (sequential pipelines). The binarized
+ResNet-18's value-domain skip connections need an adder outside the
+crossbar dataflow; its hardware cost is modeled in
+:mod:`repro.hardware.cost`, but cycle-accurate execution is out of scope
+(documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.core.bn_matching import match_batch_norm
+from repro.core.layers import BinaryLinear, RandomizedBinaryConv2d, RandomizedBinaryLinear
+from repro.hardware.accelerator import TiledLinearLayer
+from repro.hardware.config import HardwareConfig
+from repro.mapping.tiling import conv_output_geometry, conv_weight_to_matrix
+from repro.models.common import InputBinarize, ThermometerEncode
+from repro.models.mlp import Mlp
+from repro.models.vgg import VggSmall
+from repro.utils.rng import SeedLike, new_rng, spawn_rng
+
+
+# ----------------------------------------------------------------------
+# Stage records
+# ----------------------------------------------------------------------
+@dataclass
+class SignStage:
+    """Input sign binarization."""
+
+
+@dataclass
+class ThermometerStage:
+    """Input thermometer encoding (+-1 planes)."""
+
+    thresholds: np.ndarray
+
+
+@dataclass
+class LinearStage:
+    """A fully connected binary layer on crossbars."""
+
+    layer: TiledLinearLayer
+
+
+@dataclass
+class ConvStage:
+    """A convolutional binary layer on crossbars (im2col lowering)."""
+
+    layer: TiledLinearLayer
+    kernel: int
+    stride: int
+    padding: int
+    out_channels: int
+
+
+@dataclass
+class PoolStage:
+    """2x2 max pooling (digital OR of +-1 activations in hardware)."""
+
+    kernel: int
+
+
+@dataclass
+class HeadStage:
+    """Software classifier head: binary weights, real logits, BN affine."""
+
+    weight: np.ndarray  # +-1, (out, in)
+    alpha: np.ndarray
+    gamma: np.ndarray
+    beta: np.ndarray
+    mean: np.ndarray
+    var: np.ndarray
+    eps: float
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        y = (x @ self.weight.T) * self.alpha
+        std = np.sqrt(self.var + self.eps)
+        return self.gamma * (y - self.mean) / std + self.beta
+
+
+Stage = Union[SignStage, ThermometerStage, LinearStage, ConvStage, PoolStage, HeadStage]
+
+
+def _compile_cell_matrix(
+    weights_matrix: np.ndarray,
+    alpha: np.ndarray,
+    bn,
+    config: HardwareConfig,
+    seed,
+) -> TiledLinearLayer:
+    """Shared Eq. 15/16 handling for FC and lowered conv cells."""
+    match = match_batch_norm(
+        gamma=bn.weight.data,
+        beta=bn.bias.data,
+        mean=bn.running_mean,
+        var=bn.running_var,
+        alpha=alpha,
+        eps=bn.eps,
+        unit_current_ua=config.unit_current_ua,
+    )
+    w = weights_matrix.copy()
+    thresholds = match.threshold_currents_ua.copy()
+    # Eq. 15: negative-slope channels invert — negate column + threshold.
+    w[:, match.flip] = -w[:, match.flip]
+    thresholds[match.flip] = -thresholds[match.flip]
+    return TiledLinearLayer(config, w, threshold_ua=thresholds, seed=seed)
+
+
+class CompiledNetwork:
+    """Executable hardware pipeline produced by :func:`compile_model`."""
+
+    def __init__(self, stages: List[Stage], config: HardwareConfig) -> None:
+        self.stages = stages
+        self.config = config
+
+    @property
+    def tiled_layers(self) -> List[TiledLinearLayer]:
+        return [
+            s.layer for s in self.stages if isinstance(s, (LinearStage, ConvStage))
+        ]
+
+    # Execution lives in repro.mapping.executor (kept separate so the
+    # compiler has no runtime dependencies); re-exported here for
+    # ergonomics.
+    def forward(self, images: np.ndarray, mode: str = "stochastic") -> np.ndarray:
+        from repro.mapping.executor import run_network
+
+        return run_network(self, images, mode=mode)
+
+    def predict(self, images: np.ndarray, mode: str = "stochastic") -> np.ndarray:
+        return self.forward(images, mode=mode).argmax(axis=1)
+
+
+def compile_model(
+    model,
+    config: Optional[HardwareConfig] = None,
+    seed: SeedLike = 0,
+) -> CompiledNetwork:
+    """Compile a trained :class:`Mlp` or :class:`VggSmall` to hardware.
+
+    ``config`` defaults to the hardware the model was trained against
+    (``model.hardware``); override it to study train/deploy mismatch.
+    """
+    config = config or model.hardware
+    rng = new_rng(seed)
+    stages: List[Stage] = []
+
+    if isinstance(model, Mlp):
+        cells = list(model.cells)
+    elif isinstance(model, VggSmall):
+        cells = list(model.features)
+    else:
+        raise TypeError(
+            f"unsupported model type {type(model).__name__}; "
+            "compile_model handles Mlp and VggSmall"
+        )
+
+    front = model.input_binarize
+    if isinstance(front, ThermometerEncode):
+        stages.append(ThermometerStage(thresholds=front.thresholds.copy()))
+    elif isinstance(front, InputBinarize):
+        stages.append(SignStage())
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown input stage {type(front).__name__}")
+
+    seeds = spawn_rng(rng, len(cells) + 1)
+    for cell, cell_seed in zip(cells, seeds):
+        if isinstance(cell, RandomizedBinaryLinear):
+            wb = np.where(cell.weight.data >= 0, 1.0, -1.0).T  # (in, out)
+            layer = _compile_cell_matrix(
+                wb, cell.alpha.data, cell.bn, config, cell_seed
+            )
+            stages.append(LinearStage(layer=layer))
+        elif isinstance(cell, RandomizedBinaryConv2d):
+            wb = np.where(cell.weight.data >= 0, 1.0, -1.0)
+            matrix = conv_weight_to_matrix(wb)
+            layer = _compile_cell_matrix(
+                matrix, cell.alpha.data, cell.bn, config, cell_seed
+            )
+            stages.append(
+                ConvStage(
+                    layer=layer,
+                    kernel=cell.kernel_size,
+                    stride=cell.stride,
+                    padding=cell.padding,
+                    out_channels=cell.out_channels,
+                )
+            )
+        elif type(cell).__name__ == "MaxPool2d":
+            stages.append(PoolStage(kernel=cell.kernel_size))
+        else:
+            raise TypeError(f"cannot compile cell {type(cell).__name__}")
+
+    head: BinaryLinear = model.head
+    stages.append(
+        HeadStage(
+            weight=np.where(head.weight.data >= 0, 1.0, -1.0),
+            alpha=head.alpha.data.copy(),
+            gamma=head.bn.weight.data.copy(),
+            beta=head.bn.bias.data.copy(),
+            mean=head.bn.running_mean.copy(),
+            var=head.bn.running_var.copy(),
+            eps=head.bn.eps,
+        )
+    )
+    return CompiledNetwork(stages, config)

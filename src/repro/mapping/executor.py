@@ -1,0 +1,155 @@
+"""Hardware-faithful inference over a compiled network.
+
+Two modes:
+
+* ``"stochastic"`` — every crossbar column samples its AQFP buffer over
+  the L-bit observation window and the SC accumulation module merges the
+  tiles: the deployed behaviour.
+* ``"ideal"`` — noise-free sign of the exact pre-activation: must agree
+  bit-for-bit with the software model evaluated deterministically (the
+  equivalence tests assert this).
+
+Convolutions are executed by im2col: each spatial position becomes one
+crossbar pass; positions are folded into the batch dimension for
+vectorization. Max pooling of +-1 maps is a digital OR.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.autograd.functional import im2col
+from repro.hardware.cost import LayerWorkload
+from repro.mapping.compiler import (
+    CompiledNetwork,
+    ConvStage,
+    HeadStage,
+    LinearStage,
+    PoolStage,
+    SignStage,
+    ThermometerStage,
+)
+from repro.mapping.tiling import conv_output_geometry
+
+_MODES = ("stochastic", "ideal")
+
+
+def _apply_tiled(layer, flat: np.ndarray, mode: str) -> np.ndarray:
+    if mode == "stochastic":
+        return layer.forward(flat)
+    return layer.ideal_output(flat)
+
+
+def _run_conv(stage: ConvStage, x: np.ndarray, mode: str) -> np.ndarray:
+    n, _, h, w = x.shape
+    h_out, w_out = conv_output_geometry(h, w, stage.kernel, stage.stride, stage.padding)
+    cols, _ = im2col(x, stage.kernel, stage.stride, stage.padding)
+    # (N, fan_in, P) -> (N * P, fan_in)
+    fan_in = cols.shape[1]
+    flat = cols.transpose(0, 2, 1).reshape(-1, fan_in)
+    out = _apply_tiled(stage.layer, flat, mode)  # (N*P, C_out)
+    out = out.reshape(n, h_out * w_out, stage.out_channels).transpose(0, 2, 1)
+    return out.reshape(n, stage.out_channels, h_out, w_out)
+
+
+def _run_pool(stage: PoolStage, x: np.ndarray) -> np.ndarray:
+    n, c, h, w = x.shape
+    k = stage.kernel
+    if h % k or w % k:
+        raise ValueError(f"pooling {k} does not divide spatial dims {(h, w)}")
+    view = x.reshape(n, c, h // k, k, w // k, k)
+    return view.max(axis=(3, 5))
+
+
+def run_network(
+    network: CompiledNetwork, images: np.ndarray, mode: str = "stochastic"
+) -> np.ndarray:
+    """Run a batch of images; returns logits (N, n_classes)."""
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    x = np.asarray(images, dtype=np.float64)
+    for stage in network.stages:
+        if isinstance(stage, SignStage):
+            x = np.where(x >= 0, 1.0, -1.0)
+        elif isinstance(stage, ThermometerStage):
+            planes = [
+                np.where(x - t >= 0, 1.0, -1.0) for t in stage.thresholds
+            ]
+            x = np.concatenate(planes, axis=1)
+        elif isinstance(stage, ConvStage):
+            x = _run_conv(stage, x, mode)
+        elif isinstance(stage, LinearStage):
+            if x.ndim > 2:
+                x = x.reshape(x.shape[0], -1)
+            x = _apply_tiled(stage.layer, x, mode)
+        elif isinstance(stage, PoolStage):
+            x = _run_pool(stage, x)
+        elif isinstance(stage, HeadStage):
+            if x.ndim > 2:
+                x = x.reshape(x.shape[0], -1)
+            x = stage.logits(x)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown stage {type(stage).__name__}")
+    return x
+
+
+def evaluate_accuracy(
+    network: CompiledNetwork,
+    images: np.ndarray,
+    labels: np.ndarray,
+    mode: str = "stochastic",
+    batch_size: int = 64,
+) -> float:
+    """Top-1 accuracy of the compiled network on a labelled set."""
+    labels = np.asarray(labels)
+    correct = 0
+    for start in range(0, len(labels), batch_size):
+        batch = images[start : start + batch_size]
+        pred = network.predict(batch, mode=mode)
+        correct += int((pred == labels[start : start + batch_size]).sum())
+    return correct / max(len(labels), 1)
+
+
+def network_workloads(
+    network: CompiledNetwork, image_shape
+) -> List[LayerWorkload]:
+    """Per-layer :class:`LayerWorkload` records for the cost model.
+
+    ``image_shape`` is the (C, H, W) input geometry *before* the input
+    encoding stage.
+    """
+    c, h, w = image_shape
+    workloads: List[LayerWorkload] = []
+    for stage in network.stages:
+        if isinstance(stage, ThermometerStage):
+            c = c * len(stage.thresholds)
+        elif isinstance(stage, ConvStage):
+            h, w = conv_output_geometry(h, w, stage.kernel, stage.stride, stage.padding)
+            workloads.append(
+                LayerWorkload(
+                    in_features=stage.layer.in_features,
+                    out_features=stage.layer.out_features,
+                    positions=h * w,
+                )
+            )
+            c = stage.out_channels
+        elif isinstance(stage, PoolStage):
+            h //= stage.kernel
+            w //= stage.kernel
+        elif isinstance(stage, LinearStage):
+            workloads.append(
+                LayerWorkload(
+                    in_features=stage.layer.in_features,
+                    out_features=stage.layer.out_features,
+                )
+            )
+        elif isinstance(stage, HeadStage):
+            workloads.append(
+                LayerWorkload(
+                    in_features=stage.weight.shape[1],
+                    out_features=stage.weight.shape[0],
+                )
+            )
+    return workloads

@@ -1,0 +1,42 @@
+"""Convolution-to-matrix lowering for crossbar mapping.
+
+A conv layer with +-1 weights ``(C_out, C_in, k, k)`` becomes the matrix
+``(C_in * k * k, C_out)`` whose row order matches the im2col unfolding in
+:func:`repro.autograd.functional.im2col`, so
+
+    im2col(x)^T @ conv_weight_to_matrix(w) == conv2d(x, w)
+
+position by position. Each output channel is one crossbar column; each
+spatial position is one crossbar pass.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_weight_to_matrix(weight: np.ndarray) -> np.ndarray:
+    """Reshape (C_out, C_in, k, k) conv weights to (C_in*k*k, C_out)."""
+    w = np.asarray(weight)
+    if w.ndim != 4:
+        raise ValueError(f"conv weight must be 4-D, got {w.shape}")
+    c_out = w.shape[0]
+    return w.reshape(c_out, -1).T.copy()
+
+
+def conv_output_geometry(
+    height: int, width: int, kernel: int, stride: int, padding: int
+) -> Tuple[int, int]:
+    """(H_out, W_out) of a convolution."""
+    if min(height, width, kernel, stride) < 1 or padding < 0:
+        raise ValueError("invalid convolution geometry")
+    h_out = (height + 2 * padding - kernel) // stride + 1
+    w_out = (width + 2 * padding - kernel) // stride + 1
+    if h_out < 1 or w_out < 1:
+        raise ValueError(
+            f"convolution geometry collapses: {(height, width)} k={kernel} "
+            f"s={stride} p={padding}"
+        )
+    return h_out, w_out

@@ -1,0 +1,18 @@
+"""Network architectures used in the paper's evaluation.
+
+* :class:`Mlp` — the JBNN-style MLP compared on MNIST (Table 3).
+* :class:`VggSmall` — VGG-small for CIFAR-10 (Table 2, Figs. 10-11).
+* :class:`ResNet18` — the binarized ResNet-18 of Table 2's last row.
+
+All models accept a :class:`repro.hardware.HardwareConfig` so the
+randomized binarization inside every cell reflects the target device,
+and a ``stochastic`` switch to fall back to the deterministic STE
+baseline for ablations. ``width_multiplier``/``hidden`` arguments scale
+the models down for offline CPU training.
+"""
+
+from repro.models.mlp import Mlp
+from repro.models.vgg import VggSmall
+from repro.models.resnet import ResNet18
+
+__all__ = ["Mlp", "VggSmall", "ResNet18"]

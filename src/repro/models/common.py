@@ -1,0 +1,61 @@
+"""Bits shared by the model zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.module import Module
+from repro.autograd.tensor import Tensor
+from repro.core.binarization import deterministic_sign
+
+
+class InputBinarize(Module):
+    """Sign-binarize the network input (+-1), with clipped STE backward.
+
+    The crossbar consumes +-1 current pulses, so images in [-1, 1] are
+    thresholded at zero on entry. Keeping the op differentiable (STE)
+    lets gradients reach nothing upstream here, but preserves uniformity
+    when cells are composed.
+    """
+
+    def forward(self, x: Tensor) -> Tensor:
+        return deterministic_sign(x)
+
+
+class ThermometerEncode(Module):
+    """Thermometer-encode each input channel into ``levels`` +-1 planes.
+
+    Plane k is ``sign(x - t_k)`` with thresholds evenly spaced in
+    (-1, 1). All planes are +-1, so they remain valid crossbar inputs
+    while preserving amplitude information that a single sign plane
+    destroys — the standard input treatment for BNN accelerators whose
+    first layer must also be binary.
+    """
+
+    def __init__(self, levels: int = 4) -> None:
+        super().__init__()
+        if levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        self.levels = levels
+        self.thresholds = np.array(
+            [-1.0 + 2.0 * (k + 1) / (levels + 1) for k in range(levels)]
+        )
+
+    @property
+    def channel_multiplier(self) -> int:
+        return self.levels
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"expected NCHW input, got shape {x.shape}")
+        planes = [deterministic_sign(x - float(t)) for t in self.thresholds]
+        from repro.autograd.tensor import concatenate
+
+        return concatenate(planes, axis=1)
+
+
+def set_sample_in_eval(model: Module, enabled: bool) -> None:
+    """Toggle stochastic device sampling during eval on all cells."""
+    for _, module in model.named_modules():
+        if hasattr(module, "sample_in_eval"):
+            module.sample_in_eval = enabled

@@ -1,0 +1,67 @@
+"""The MNIST MLP (paper Table 3; same architecture family as JBNN [27])."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.autograd.module import Module
+from repro.autograd.tensor import Tensor
+from repro.core.layers import BinaryLinear, RandomizedBinaryLinear
+from repro.hardware.config import HardwareConfig
+from repro.models.common import InputBinarize
+from repro.utils.rng import SeedLike, new_rng, spawn_rng
+
+
+class Mlp(Module):
+    """Binarized multi-layer perceptron with randomized AQFP cells.
+
+    Structure: input sign -> K randomized binary FC cells -> real-valued
+    binary-weight classifier head.
+
+    Parameters
+    ----------
+    in_features:
+        Flattened input size (784 for real MNIST; the synthetic stand-in
+        uses 144 by default).
+    hidden:
+        Hidden layer widths; the paper-scale model uses (256, 100).
+    """
+
+    def __init__(
+        self,
+        in_features: int = 144,
+        hidden: Sequence[int] = (128, 64),
+        n_classes: int = 10,
+        hardware: Optional[HardwareConfig] = None,
+        stochastic: bool = True,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        if not hidden:
+            raise ValueError("need at least one hidden layer")
+        hardware = hardware or HardwareConfig()
+        rng = new_rng(seed)
+        seeds = spawn_rng(rng, len(hidden) + 1)
+        self.hardware = hardware
+        self.input_binarize = InputBinarize()
+        dims = [in_features, *hidden]
+        self.cells = []
+        for i in range(len(hidden)):
+            cell = RandomizedBinaryLinear(
+                dims[i],
+                dims[i + 1],
+                hardware=hardware,
+                stochastic=stochastic,
+                seed=seeds[i],
+            )
+            setattr(self, f"cell{i}", cell)
+            self.cells.append(cell)
+        self.head = BinaryLinear(dims[-1], n_classes, seed=seeds[-1])
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 4:
+            x = x.reshape(x.shape[0], -1)
+        x = self.input_binarize(x)
+        for cell in self.cells:
+            x = cell(x)
+        return self.head(x)

@@ -1,0 +1,196 @@
+"""Binarized ResNet-18 (paper Table 2, last row).
+
+Residual networks binarize badly without real-valued shortcuts, so the
+blocks follow the Bi-Real-style construction: the convolution branches
+are binarized AQFP cells while the skip connection stays in the value
+domain; the block output is re-normalized and passed through the AQFP
+randomized binarization before feeding the next block.
+
+``width_multiplier`` scales the 64-128-256-512 plan (default 1/8 for CPU
+training on the synthetic CIFAR stand-in).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autograd.layers import AvgPool2d, BatchNorm2d
+from repro.autograd.module import Module
+from repro.autograd.tensor import Tensor
+from repro.core.binarization import randomized_sign
+from repro.core.layers import BinaryLinear, RandomizedBinaryConv2d, _value_domain_scale
+from repro.hardware.config import HardwareConfig
+from repro.models.common import InputBinarize, ThermometerEncode
+from repro.utils.rng import RngMixin, SeedLike, new_rng, spawn_rng
+
+import numpy as np
+
+
+class _OutputBinarize(Module, RngMixin):
+    """BN -> HardTanh -> AQFP randomized binarization for block outputs."""
+
+    def __init__(
+        self,
+        channels: int,
+        hardware: HardwareConfig,
+        stochastic: bool,
+        noise_domain: str = "normalized",
+        seed: SeedLike = None,
+    ) -> None:
+        Module.__init__(self)
+        RngMixin.__init__(self, seed)
+        self.bn = BatchNorm2d(channels)
+        self.hardware = hardware
+        self.stochastic = stochastic
+        self.noise_domain = noise_domain
+        self.sample_in_eval = False
+        self.eval_window_bits = hardware.window_bits
+
+    def forward(self, x: Tensor) -> Tensor:
+        z = self.bn(x).hardtanh()
+        if self.noise_domain == "value":
+            scale = _value_domain_scale(
+                self.bn.weight.data,
+                np.ones_like(self.bn.weight.data),
+                self.bn.last_var,
+                self.bn.eps,
+            ).reshape(1, -1, 1, 1)
+        else:
+            scale = 1.0
+        return randomized_sign(
+            z,
+            gray_zone=self.hardware.value_gray_zone,
+            scale=scale,
+            rng=self.rng,
+            stochastic=self.stochastic and (self.training or self.sample_in_eval),
+            window_bits=1 if self.training else self.eval_window_bits,
+        )
+
+
+class BasicBlock(Module):
+    """Two binarized 3x3 convolutions with a value-domain shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int,
+        hardware: HardwareConfig,
+        stochastic: bool,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(seed)
+        seeds = spawn_rng(rng, 4)
+        self.cell1 = RandomizedBinaryConv2d(
+            in_channels,
+            out_channels,
+            kernel_size=3,
+            stride=stride,
+            padding=1,
+            hardware=hardware,
+            stochastic=stochastic,
+            seed=seeds[0],
+        )
+        self.cell2 = RandomizedBinaryConv2d(
+            out_channels,
+            out_channels,
+            kernel_size=3,
+            padding=1,
+            hardware=hardware,
+            stochastic=stochastic,
+            binarize_output=False,
+            seed=seeds[1],
+        )
+        self.needs_projection = stride != 1 or in_channels != out_channels
+        if self.needs_projection:
+            self.projection = RandomizedBinaryConv2d(
+                in_channels,
+                out_channels,
+                kernel_size=1,
+                stride=stride,
+                hardware=hardware,
+                stochastic=stochastic,
+                binarize_output=False,
+                seed=seeds[2],
+            )
+        self.output_binarize = _OutputBinarize(
+            out_channels, hardware, stochastic, seed=seeds[3]
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        branch = self.cell2(self.cell1(x))
+        shortcut = self.projection(x) if self.needs_projection else x
+        return self.output_binarize(branch + shortcut)
+
+
+class ResNet18(Module):
+    """Binarized ResNet-18: 4 stages of 2 basic blocks."""
+
+    STAGE_PLAN = (64, 128, 256, 512)
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        image_size: int = 16,
+        n_classes: int = 10,
+        width_multiplier: float = 0.125,
+        hardware: Optional[HardwareConfig] = None,
+        stochastic: bool = True,
+        input_levels: int = 4,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        if width_multiplier <= 0:
+            raise ValueError(f"width_multiplier must be > 0, got {width_multiplier}")
+        hardware = hardware or HardwareConfig()
+        self.hardware = hardware
+        rng = new_rng(seed)
+        seeds = spawn_rng(rng, 11)
+
+        widths = [max(int(w * width_multiplier), 8) for w in self.STAGE_PLAN]
+        self.input_binarize = (
+            ThermometerEncode(input_levels) if input_levels > 1 else InputBinarize()
+        )
+        self.stem = RandomizedBinaryConv2d(
+            in_channels * max(input_levels, 1),
+            widths[0],
+            kernel_size=3,
+            padding=1,
+            hardware=hardware,
+            stochastic=stochastic,
+            seed=seeds[0],
+        )
+        self.blocks = []
+        channels = widths[0]
+        spatial = image_size
+        seed_idx = 1
+        for stage, width in enumerate(widths):
+            for block_idx in range(2):
+                stride = 2 if (stage > 0 and block_idx == 0) else 1
+                block = BasicBlock(
+                    channels,
+                    width,
+                    stride,
+                    hardware,
+                    stochastic,
+                    seed=seeds[seed_idx],
+                )
+                seed_idx += 1
+                setattr(self, f"stage{stage}_block{block_idx}", block)
+                self.blocks.append(block)
+                channels = width
+                spatial //= stride
+        if spatial < 1:
+            raise ValueError(f"image_size {image_size} too small for 4 stages")
+        self.pool = AvgPool2d(spatial)
+        self.head = BinaryLinear(channels, n_classes, seed=seeds[10])
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.input_binarize(x)
+        x = self.stem(x)
+        for block in self.blocks:
+            x = block(x)
+        x = self.pool(x)
+        x = x.reshape(x.shape[0], -1)
+        return self.head(x)

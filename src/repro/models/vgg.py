@@ -1,0 +1,93 @@
+"""VGG-small for CIFAR-10 (paper Table 2, Figs. 10-11).
+
+The paper-scale VGG-small is 128-128-M-256-256-M-512-512-M with two FC
+layers. ``width_multiplier`` scales the channel counts for CPU training
+(default 1/8 scale: 16-16-M-32-32-M-64-64-M).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autograd.layers import MaxPool2d
+from repro.autograd.module import Module
+from repro.autograd.tensor import Tensor
+from repro.core.layers import BinaryLinear, RandomizedBinaryConv2d
+from repro.hardware.config import HardwareConfig
+from repro.models.common import InputBinarize, ThermometerEncode
+from repro.utils.rng import SeedLike, new_rng, spawn_rng
+
+#: Paper-scale channel plan ("M" = 2x2 max pool).
+PAPER_PLAN = (128, 128, "M", 256, 256, "M", 512, 512, "M")
+
+
+class VggSmall(Module):
+    """Binarized VGG-small with AQFP randomized cells.
+
+    Parameters
+    ----------
+    in_channels, image_size:
+        Input geometry; the synthetic CIFAR stand-in is 3 x 16 x 16.
+    width_multiplier:
+        Scales the 128/256/512 channel plan (1.0 = paper scale).
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        image_size: int = 16,
+        n_classes: int = 10,
+        width_multiplier: float = 0.125,
+        hardware: Optional[HardwareConfig] = None,
+        stochastic: bool = True,
+        input_levels: int = 4,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        if width_multiplier <= 0:
+            raise ValueError(f"width_multiplier must be > 0, got {width_multiplier}")
+        hardware = hardware or HardwareConfig()
+        self.hardware = hardware
+        rng = new_rng(seed)
+        seeds = spawn_rng(rng, sum(1 for p in PAPER_PLAN if p != "M") + 1)
+
+        self.input_binarize = (
+            ThermometerEncode(input_levels) if input_levels > 1 else InputBinarize()
+        )
+        self.features = []
+        channels = in_channels * max(input_levels, 1)
+        spatial = image_size
+        conv_index = 0
+        for item in PAPER_PLAN:
+            if item == "M":
+                layer = MaxPool2d(2)
+                spatial //= 2
+            else:
+                out_channels = max(int(item * width_multiplier), 8)
+                layer = RandomizedBinaryConv2d(
+                    channels,
+                    out_channels,
+                    kernel_size=3,
+                    padding=1,
+                    hardware=hardware,
+                    stochastic=stochastic,
+                    seed=seeds[conv_index],
+                )
+                channels = out_channels
+                conv_index += 1
+            name = f"feat{len(self.features)}"
+            setattr(self, name, layer)
+            self.features.append(layer)
+        if spatial < 1:
+            raise ValueError(
+                f"image_size {image_size} too small for the VGG pooling plan"
+            )
+        self.flat_features = channels * spatial * spatial
+        self.head = BinaryLinear(self.flat_features, n_classes, seed=seeds[-1])
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.input_binarize(x)
+        for layer in self.features:
+            x = layer(x)
+        x = x.reshape(x.shape[0], -1)
+        return self.head(x)

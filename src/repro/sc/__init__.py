@@ -1,0 +1,37 @@
+"""Stochastic computing substrate (paper Sec. 2.3 and 4.3).
+
+* :mod:`repro.sc.encoding` — unipolar/bipolar stochastic numbers.
+* :mod:`repro.sc.streams` — stream generators (i.i.d. and LFSR) and
+  correlation diagnostics.
+* :mod:`repro.sc.arithmetic` — SC multiply / scaled add on bit-streams.
+* :mod:`repro.sc.accumulate` — the SC-based accumulation module that sums
+  per-crossbar stochastic outputs (APC + comparator).
+"""
+
+from repro.sc.encoding import (
+    bipolar_decode,
+    bipolar_encode,
+    bipolar_probability,
+    unipolar_decode,
+    unipolar_encode,
+    unipolar_probability,
+)
+from repro.sc.streams import Lfsr, StreamGenerator, stochastic_cross_correlation
+from repro.sc.arithmetic import sc_multiply_bipolar, sc_multiply_unipolar, sc_scaled_add
+from repro.sc.accumulate import ScAccumulationModule
+
+__all__ = [
+    "unipolar_probability",
+    "unipolar_encode",
+    "unipolar_decode",
+    "bipolar_probability",
+    "bipolar_encode",
+    "bipolar_decode",
+    "StreamGenerator",
+    "Lfsr",
+    "stochastic_cross_correlation",
+    "sc_multiply_unipolar",
+    "sc_multiply_bipolar",
+    "sc_scaled_add",
+    "ScAccumulationModule",
+]

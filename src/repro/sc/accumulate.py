@@ -1,0 +1,98 @@
+"""The SC-based accumulation module (paper Sec. 4.3, Fig. 6b).
+
+When a BNN filter does not fit one crossbar, each of the K tiles emits a
+stochastic bit-stream (the AQFP neuron observed over an L-bit window).
+The module:
+
+1. counts the ones across the K per-crossbar bits each clock (APC),
+2. accumulates the counts over the window,
+3. compares the total against a reference to emit the 1-bit activation.
+
+The decision implemented is ``sign( sum_{k,t} bit_{k,t} - reference )``
+with the natural bipolar zero point ``reference = K * L / 2``; BN
+matching shifts per-crossbar thresholds instead of the reference (paper
+Sec. 5.2), so the default reference is unbiased.
+
+The AND/OR first-layer compressor of the APC is *exact* when both
+outputs are kept (``a + b = (a | b) + (a & b)``); dropping the AND
+outputs is the approximate mode, exposed via ``approximate_layers`` and
+studied in the ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.apc import ApproximateParallelCounter
+from repro.circuits.comparator import BinaryComparator
+
+
+class ScAccumulationModule:
+    """Accumulate K per-crossbar stochastic outputs into one binary value.
+
+    Parameters
+    ----------
+    n_crossbars:
+        K, the number of tiles whose outputs are merged.
+    window_bits:
+        L, the SC observation window (paper: accuracy saturates at 16-32).
+    approximate_layers:
+        OR-only compression layers in the APC (0 = exact counting).
+    reference:
+        Comparator reference; defaults to the unbiased ``K * L / 2``.
+    """
+
+    def __init__(
+        self,
+        n_crossbars: int,
+        window_bits: int,
+        approximate_layers: int = 0,
+        reference: Optional[float] = None,
+    ) -> None:
+        if n_crossbars < 1:
+            raise ValueError(f"n_crossbars must be >= 1, got {n_crossbars}")
+        if window_bits < 1:
+            raise ValueError(f"window_bits must be >= 1, got {window_bits}")
+        self.n_crossbars = n_crossbars
+        self.window_bits = window_bits
+        self.apc = ApproximateParallelCounter(approximate_layers)
+        self.reference = (
+            n_crossbars * window_bits / 2.0 if reference is None else float(reference)
+        )
+        self.comparator = BinaryComparator(self.reference)
+
+    def count_window(self, streams: np.ndarray) -> np.ndarray:
+        """Total APC counts over the window.
+
+        ``streams`` has shape ``(K, L, ...)`` with +-1 (or 0/1) entries;
+        the result has shape ``(...)`` of integer totals.
+        """
+        s = np.asarray(streams)
+        if s.ndim < 2 or s.shape[0] != self.n_crossbars or s.shape[1] != self.window_bits:
+            raise ValueError(
+                f"expected streams of shape ({self.n_crossbars}, "
+                f"{self.window_bits}, ...), got {s.shape}"
+            )
+        per_clock = self.apc.count(s, axis=0)  # (L, ...)
+        return per_clock.sum(axis=0)
+
+    def accumulate(self, streams: np.ndarray) -> np.ndarray:
+        """Binary (+-1) activation from the per-crossbar streams."""
+        return self.comparator.compare(self.count_window(streams))
+
+    def expected_value(self, probabilities: np.ndarray) -> np.ndarray:
+        """E[total count] given per-crossbar P(bit=1) (exact counting)."""
+        p = np.asarray(probabilities, dtype=np.float64)
+        if p.shape[0] != self.n_crossbars:
+            raise ValueError(
+                f"expected leading axis {self.n_crossbars}, got {p.shape}"
+            )
+        return self.window_bits * p.sum(axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScAccumulationModule(K={self.n_crossbars}, L={self.window_bits}, "
+            f"reference={self.reference})"
+        )

@@ -1,0 +1,59 @@
+"""Stochastic arithmetic on bit-streams.
+
+These are the classic SC building blocks: multiplication is a single gate
+(AND for unipolar, XNOR for bipolar) and addition is a scaled MUX. The
+accelerator itself only needs accumulation (see
+:mod:`repro.sc.accumulate`), but the full kit is provided because the
+SC-AQFP baseline (paper [13]) computes whole networks this way and the
+comparison benches exercise it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def _check_streams(*streams: np.ndarray) -> None:
+    shapes = {np.asarray(s).shape for s in streams}
+    if len(shapes) != 1:
+        raise ValueError(f"streams must share a shape, got {shapes}")
+
+
+def sc_multiply_unipolar(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Unipolar product: bitwise AND. E[out] = x * y for independent SNs."""
+    _check_streams(x, y)
+    return (np.asarray(x, dtype=np.int8) & np.asarray(y, dtype=np.int8)).astype(np.int8)
+
+
+def sc_multiply_bipolar(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Bipolar product: bitwise XNOR. E[out] = x * y for independent SNs.
+
+    This is exactly the BNN multiply: XNOR of +-1 operands encoded as
+    0/1 bits.
+    """
+    _check_streams(x, y)
+    xb = np.asarray(x, dtype=np.int8)
+    yb = np.asarray(y, dtype=np.int8)
+    return (1 - (xb ^ yb)).astype(np.int8)
+
+
+def sc_scaled_add(
+    streams: Sequence[np.ndarray], seed: SeedLike = None
+) -> np.ndarray:
+    """Scaled addition: an n-way MUX with uniform select.
+
+    E[out] = mean of the operand values — SC addition is inherently
+    scaled by the operand count.
+    """
+    if not streams:
+        raise ValueError("need at least one stream")
+    arrays = [np.asarray(s, dtype=np.int8) for s in streams]
+    _check_streams(*arrays)
+    stacked = np.stack(arrays, axis=0)
+    rng = new_rng(seed)
+    select = rng.integers(0, len(arrays), size=stacked.shape[1:])
+    return np.take_along_axis(stacked, select[None, ...], axis=0)[0]

@@ -1,0 +1,82 @@
+"""Stochastic-number encodings (paper Sec. 2.3, Fig. 2).
+
+A stochastic number (SN) represents a real value by the density of ones
+in a bit-stream:
+
+* unipolar: ``x = P(X = 1)`` for ``x in [0, 1]``;
+* bipolar: ``P(X = 1) = (x + 1) / 2`` for ``x in [-1, 1]``.
+
+Streams here are numpy arrays with the time axis first. Bits are stored
+0/1; helpers accept/produce +-1 ("bipolar wire encoding", matching the
+positive/negative AQFP current pulses) where noted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def unipolar_probability(value) -> np.ndarray:
+    """P(X=1) for a unipolar value in [0, 1]."""
+    v = np.asarray(value, dtype=np.float64)
+    if np.any(v < 0) or np.any(v > 1):
+        raise ValueError("unipolar values must lie in [0, 1]")
+    return v
+
+
+def bipolar_probability(value) -> np.ndarray:
+    """P(X=1) = (x + 1) / 2 for a bipolar value in [-1, 1]."""
+    v = np.asarray(value, dtype=np.float64)
+    if np.any(v < -1) or np.any(v > 1):
+        raise ValueError("bipolar values must lie in [-1, 1]")
+    return (v + 1.0) / 2.0
+
+
+def unipolar_encode(value, length: int, seed: SeedLike = None) -> np.ndarray:
+    """Sample an i.i.d. unipolar stream of shape ``(length,) + value.shape``."""
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    p = unipolar_probability(value)
+    rng = new_rng(seed)
+    return (rng.random((length,) + p.shape) < p).astype(np.int8)
+
+
+def bipolar_encode(value, length: int, seed: SeedLike = None) -> np.ndarray:
+    """Sample an i.i.d. bipolar stream (bits 0/1) for values in [-1, 1]."""
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    p = bipolar_probability(value)
+    rng = new_rng(seed)
+    return (rng.random((length,) + p.shape) < p).astype(np.int8)
+
+
+def unipolar_decode(stream: np.ndarray) -> np.ndarray:
+    """Value of a unipolar stream: the mean of its bits."""
+    s = np.asarray(stream, dtype=np.float64)
+    return s.mean(axis=0)
+
+
+def bipolar_decode(stream: np.ndarray) -> np.ndarray:
+    """Value of a bipolar stream: ``2 * mean - 1`` for 0/1 bits.
+
+    Streams already in +-1 wire encoding decode as a plain mean; this
+    function accepts both and dispatches on the observed alphabet.
+    """
+    s = np.asarray(stream, dtype=np.float64)
+    if np.any(s < 0):  # +-1 wire encoding
+        return s.mean(axis=0)
+    return 2.0 * s.mean(axis=0) - 1.0
+
+
+def to_wire(bits: np.ndarray) -> np.ndarray:
+    """Map 0/1 bits to -1/+1 current pulses."""
+    b = np.asarray(bits)
+    return np.where(b > 0, 1.0, -1.0)
+
+
+def from_wire(pulses: np.ndarray) -> np.ndarray:
+    """Map -1/+1 current pulses to 0/1 bits."""
+    p = np.asarray(pulses)
+    return (p > 0).astype(np.int8)

@@ -1,0 +1,138 @@
+"""Stochastic stream generators and correlation diagnostics.
+
+The AQFP buffer's thermal randomness is a *true* RNG (paper Sec. 4.3), so
+in-hardware stream generation is free. For peripheral circuits that need
+pseudo-random references (e.g. binary-to-SN converters in test harnesses)
+we also provide a Galois LFSR, the standard SC hardware generator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sc.encoding import bipolar_probability, unipolar_probability
+from repro.utils.rng import RngMixin, SeedLike
+
+#: Maximal-length Fibonacci LFSR tap positions per width (XAPP052 table).
+_FIBONACCI_TAPS = {
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    10: (10, 7),
+    12: (12, 11, 10, 4),
+    16: (16, 15, 13, 4),
+    20: (20, 17),
+    24: (24, 23, 22, 17),
+}
+
+
+class Lfsr:
+    """Fibonacci linear-feedback shift register producing pseudo-random words.
+
+    Uses the standard maximal-length taps, so the state sequence has
+    period ``2^width - 1`` and visits every non-zero state exactly once.
+
+    Parameters
+    ----------
+    width:
+        Register width in bits (one of the supported maximal-length taps).
+    seed_state:
+        Initial non-zero register state.
+    """
+
+    def __init__(self, width: int = 16, seed_state: int = 0xACE1) -> None:
+        if width not in _FIBONACCI_TAPS:
+            raise ValueError(
+                f"unsupported LFSR width {width}; choose from {sorted(_FIBONACCI_TAPS)}"
+            )
+        mask = (1 << width) - 1
+        state = seed_state & mask
+        if state == 0:
+            raise ValueError("LFSR state must be non-zero")
+        self.width = width
+        self._mask = mask
+        self._taps = _FIBONACCI_TAPS[width]
+        self._state = state
+
+    @property
+    def period(self) -> int:
+        """Sequence period: 2^width - 1 for maximal-length taps."""
+        return self._mask
+
+    def next_word(self) -> int:
+        """Advance one step; returns the new register state."""
+        feedback = 0
+        for tap in self._taps:
+            feedback ^= (self._state >> (tap - 1)) & 1
+        self._state = ((self._state << 1) | feedback) & self._mask
+        return self._state
+
+    def words(self, count: int) -> np.ndarray:
+        """The next ``count`` register states as an int64 array."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return np.array([self.next_word() for _ in range(count)], dtype=np.int64)
+
+    def uniform(self, count: int) -> np.ndarray:
+        """``count`` pseudo-uniform samples in (0, 1)."""
+        return self.words(count) / float(self._mask + 1)
+
+    def encode_unipolar(self, value: float, length: int) -> np.ndarray:
+        """Hardware-style SN generation: compare value against LFSR words."""
+        p = float(unipolar_probability(value))
+        return (self.uniform(length) < p).astype(np.int8)
+
+    def encode_bipolar(self, value: float, length: int) -> np.ndarray:
+        p = float(bipolar_probability(value))
+        return (self.uniform(length) < p).astype(np.int8)
+
+
+class StreamGenerator(RngMixin):
+    """Software SN source drawing i.i.d. bits from a seeded RNG."""
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        super().__init__(seed)
+
+    def unipolar(self, value, length: int) -> np.ndarray:
+        if length < 1:
+            raise ValueError(f"length must be >= 1, got {length}")
+        p = unipolar_probability(value)
+        return (self.rng.random((length,) + p.shape) < p).astype(np.int8)
+
+    def bipolar(self, value, length: int) -> np.ndarray:
+        if length < 1:
+            raise ValueError(f"length must be >= 1, got {length}")
+        p = bipolar_probability(value)
+        return (self.rng.random((length,) + p.shape) < p).astype(np.int8)
+
+
+def stochastic_cross_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """SCC in [-1, 1]: 0 for independent streams, +1 max overlap, -1 min.
+
+    Standard definition (Alaghi & Hayes): normalized deviation of the
+    observed joint-ones density from the independent product.
+    """
+    xb = np.asarray(x, dtype=np.float64).ravel()
+    yb = np.asarray(y, dtype=np.float64).ravel()
+    if xb.shape != yb.shape:
+        raise ValueError("streams must have equal length")
+    n = xb.size
+    if n == 0:
+        raise ValueError("streams must be non-empty")
+    p_x = xb.mean()
+    p_y = yb.mean()
+    p_xy = (xb * yb).mean()
+    delta = p_xy - p_x * p_y
+    if delta == 0:
+        return 0.0
+    if delta > 0:
+        denom = min(p_x, p_y) - p_x * p_y
+    else:
+        denom = p_x * p_y - max(p_x + p_y - 1.0, 0.0)
+    if denom == 0:
+        return 0.0
+    return float(delta / denom)

@@ -1,0 +1,23 @@
+"""Shared utilities: seeded RNG management, small numeric helpers."""
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rng
+from repro.utils.serialization import load_into, load_state_dict, save_state_dict
+from repro.utils.numeric import (
+    clip_unit_interval,
+    erf,
+    is_power_of_two,
+    linear_interpolate,
+)
+
+__all__ = [
+    "RngMixin",
+    "new_rng",
+    "spawn_rng",
+    "clip_unit_interval",
+    "erf",
+    "is_power_of_two",
+    "linear_interpolate",
+    "save_state_dict",
+    "load_state_dict",
+    "load_into",
+]

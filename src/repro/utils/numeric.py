@@ -1,0 +1,29 @@
+"""Small numeric helpers shared across device, SC, and training code."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+
+def erf(x):
+    """Vectorized error function (thin wrapper so callers avoid scipy)."""
+    return special.erf(x)
+
+
+def clip_unit_interval(p):
+    """Clip probabilities into [0, 1]; guards erf round-off at the tails."""
+    return np.clip(p, 0.0, 1.0)
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def linear_interpolate(x: float, x0: float, x1: float, y0: float, y1: float) -> float:
+    """Linear interpolation of y(x) between (x0, y0) and (x1, y1)."""
+    if x1 == x0:
+        return 0.5 * (y0 + y1)
+    t = (x - x0) / (x1 - x0)
+    return y0 + t * (y1 - y0)

@@ -1,0 +1,52 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library (AQFP buffer sampling, stochastic
+number generation, synthetic data, weight init) draws from an explicit
+``numpy.random.Generator`` so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def new_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a seed, generator, or None.
+
+    Passing an existing generator returns it unchanged, which lets callers
+    thread one RNG through a whole pipeline.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, count: int) -> list:
+    """Split ``rng`` into ``count`` independent child generators."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+class RngMixin:
+    """Mixin giving a class a lazily created, seedable ``.rng`` attribute."""
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng: Optional[np.random.Generator] = (
+            None if seed is None else new_rng(seed)
+        )
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            self._rng = np.random.default_rng()
+        return self._rng
+
+    def reseed(self, seed: SeedLike) -> None:
+        """Replace the generator (used by tests to pin randomness)."""
+        self._rng = new_rng(seed)

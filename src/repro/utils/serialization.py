@@ -1,0 +1,56 @@
+"""Model checkpointing: save/load state dicts as .npz archives."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.autograd.module import Module
+
+PathLike = Union[str, pathlib.Path]
+
+_META_KEY = "__repro_meta__"
+
+
+def save_state_dict(
+    module: Module,
+    path: PathLike,
+    metadata: Optional[Dict] = None,
+) -> pathlib.Path:
+    """Serialize a module's parameters + buffers to a compressed .npz.
+
+    ``metadata`` (a JSON-serializable dict — e.g. the hardware config
+    and training recipe) travels with the checkpoint.
+    """
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    state = module.state_dict()
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_state_dict(path: PathLike) -> Dict:
+    """Load a checkpoint; returns ``{"state": {...}, "metadata": {...}}``."""
+    path = pathlib.Path(path)
+    with np.load(path) as archive:
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+        metadata = {}
+        if _META_KEY in archive.files:
+            metadata = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+    return {"state": state, "metadata": metadata}
+
+
+def load_into(module: Module, path: PathLike) -> Dict:
+    """Load a checkpoint into ``module``; returns the metadata."""
+    payload = load_state_dict(path)
+    module.load_state_dict(payload["state"])
+    return payload["metadata"]

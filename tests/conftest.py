@@ -1,0 +1,50 @@
+"""Shared fixtures: seeded RNGs, datasets, and a session-scoped trained model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import Trainer, TrainingConfig
+from repro.data.loaders import DataLoader
+from repro.data.synthetic import make_mnist_like
+from repro.hardware.config import HardwareConfig
+from repro.models.mlp import Mlp
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def default_hardware() -> HardwareConfig:
+    return HardwareConfig(crossbar_size=16, gray_zone_ua=10.0, window_bits=16)
+
+
+@pytest.fixture(scope="session")
+def mnist_split():
+    dataset = make_mnist_like(n_samples=1200, seed=0)
+    return dataset.split(0.8, seed=1)
+
+
+@pytest.fixture(scope="session")
+def trained_mlp_session(default_hardware, mnist_split):
+    """A small randomized MLP trained once per test session.
+
+    Returns ``(model, train, test, software_accuracy)``; tests must not
+    mutate the model (use state_dict round trips if needed).
+    """
+    train, test = mnist_split
+    model = Mlp(
+        in_features=int(np.prod(train.image_shape)),
+        hidden=(48, 24),
+        hardware=default_hardware,
+        seed=0,
+    )
+    trainer = Trainer(model, TrainingConfig(epochs=12, warmup_epochs=2))
+    trainer.fit(DataLoader(train, 64, seed=2))
+    accuracy = trainer.evaluate(DataLoader(test, 256, shuffle=False, seed=0))
+    model.eval()
+    return model, train, test, accuracy
+

@@ -1,0 +1,21 @@
+"""Shared test helpers (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numeric_gradient(tensor, f, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``f()`` w.r.t. ``tensor.data``."""
+    grad = np.zeros_like(tensor.data)
+    it = np.nditer(tensor.data, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        original = tensor.data[idx]
+        tensor.data[idx] = original + eps
+        f_plus = f()
+        tensor.data[idx] = original - eps
+        f_minus = f()
+        tensor.data[idx] = original
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+    return grad

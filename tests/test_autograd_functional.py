@@ -1,0 +1,175 @@
+"""Tests for conv/pool/loss functionals, including exact gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.autograd.functional import col2im, im2col
+
+from tests.helpers import numeric_gradient
+
+
+def _reference_conv2d(x, w, b=None, stride=1, padding=0):
+    """Naive direct convolution for cross-checking im2col."""
+    n, c_in, h, wd = x.shape
+    c_out, _, k, _ = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    h_out = (x.shape[2] - k) // stride + 1
+    w_out = (x.shape[3] - k) // stride + 1
+    out = np.zeros((n, c_out, h_out, w_out))
+    for i in range(h_out):
+        for j in range(w_out):
+            patch = x[:, :, i * stride : i * stride + k, j * stride : j * stride + k]
+            out[:, :, i, j] = np.einsum("nckl,ockl->no", patch, w)
+    if b is not None:
+        out += b.reshape(1, -1, 1, 1)
+    return out
+
+
+class TestIm2col:
+    def test_roundtrip_adjointness(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the transpose property."""
+        x = rng.normal(size=(2, 3, 5, 5))
+        cols, _ = im2col(x, kernel=3, stride=1, padding=1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 1, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_output_geometry(self):
+        x = np.zeros((1, 1, 6, 6))
+        cols, (h, w) = im2col(x, kernel=3, stride=2, padding=0)
+        assert (h, w) == (2, 2)
+        assert cols.shape == (1, 9, 4)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 0), (2, 1)])
+    def test_matches_direct_convolution(self, rng, stride, padding):
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=(4,))
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        ref = _reference_conv2d(x, w, b, stride, padding)
+        np.testing.assert_allclose(out.data, ref, rtol=1e-10)
+
+    def test_no_bias(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w))
+        np.testing.assert_allclose(out.data, _reference_conv2d(x, w), rtol=1e-10)
+
+    def test_gradients_numeric(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+
+        def f():
+            out = F.conv2d(Tensor(x.data), Tensor(w.data), Tensor(b.data), padding=1)
+            return float((out.data ** 2).sum())
+
+        out = F.conv2d(x, w, b, padding=1)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(x.grad, numeric_gradient(x, f), rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(w.grad, numeric_gradient(w, f), rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(b.grad, numeric_gradient(b, f), rtol=1e-4, atol=1e-6)
+
+    def test_stride_gradients_numeric(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 6, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 1, 3, 3)), requires_grad=True)
+
+        def f():
+            out = F.conv2d(Tensor(x.data), Tensor(w.data), stride=2)
+            return float((out.data ** 2).sum())
+
+        out = F.conv2d(x, w, stride=2)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(x.grad, numeric_gradient(x, f), rtol=1e-4, atol=1e-6)
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data, [[[[5.0, 7.0], [13.0, 15.0]]]])
+
+    def test_maxpool_gradient_routes_to_argmax(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((1, 1, 4, 4))
+        for i, j in [(1, 1), (1, 3), (3, 1), (3, 3)]:
+            expected[0, 0, i, j] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_avgpool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data, [[[[2.5, 4.5], [10.5, 12.5]]]])
+
+    def test_avgpool_gradient_uniform(self):
+        x = Tensor(np.zeros((1, 1, 4, 4)), requires_grad=True)
+        F.avg_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_maxpool_gradient_numeric(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 4, 4)), requires_grad=True)
+
+        def f():
+            return float((F.max_pool2d(Tensor(x.data), 2).data ** 2).sum())
+
+        out = F.max_pool2d(x, 2)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(x.grad, numeric_gradient(x, f), rtol=1e-5, atol=1e-7)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_loss_is_log_classes(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = F.cross_entropy(logits, np.arange(4))
+        assert loss.item() == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -50.0)
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        loss = F.cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_gradient_matches_softmax_minus_onehot(self, rng):
+        logits = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        targets = np.array([0, 1, 2, 3, 0])
+        F.cross_entropy(logits, targets).backward()
+        shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+        probs = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+        expected = probs.copy()
+        expected[np.arange(5), targets] -= 1.0
+        np.testing.assert_allclose(logits.grad, expected / 5.0, rtol=1e-10)
+
+    def test_numeric_gradient(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        targets = np.array([1, 0, 3])
+
+        def f():
+            return float(F.cross_entropy(Tensor(logits.data), targets).data)
+
+        F.cross_entropy(logits, targets).backward()
+        np.testing.assert_allclose(
+            logits.grad, numeric_gradient(logits, f), rtol=1e-5, atol=1e-8
+        )
+
+    def test_extreme_logits_stable(self):
+        logits = Tensor(np.array([[1000.0, -1000.0]]))
+        loss = F.cross_entropy(logits, np.array([0]))
+        assert np.isfinite(loss.item())
+
+
+class TestSoftmaxAccuracy:
+    def test_softmax_rows_sum_to_one(self, rng):
+        s = F.softmax(Tensor(rng.normal(size=(4, 6))))
+        np.testing.assert_allclose(s.data.sum(axis=1), np.ones(4), rtol=1e-12)
+
+    def test_accuracy(self):
+        logits = Tensor(np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]]))
+        assert F.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)

@@ -1,0 +1,203 @@
+"""Tests for Module/Parameter containers and the standard layer zoo."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    HardTanh,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+
+
+class TestModuleTree:
+    def test_parameter_registration(self):
+        lin = Linear(3, 2)
+        names = [n for n, _ in lin.named_parameters()]
+        assert names == ["weight", "bias"]
+
+    def test_nested_module_discovery(self):
+        seq = Sequential(Linear(3, 4), ReLU(), Linear(4, 2))
+        params = seq.parameters()
+        assert len(params) == 4  # two weights + two biases
+
+    def test_zero_grad_clears(self):
+        lin = Linear(2, 2)
+        out = lin(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2), BatchNorm1d(2))
+        seq.eval()
+        assert not seq.layers[1].training
+        seq.train()
+        assert seq.layers[1].training
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(3, 2, seed=0)
+        b = Linear(3, 2, seed=1)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_missing_key_raises(self):
+        lin = Linear(3, 2)
+        with pytest.raises(KeyError):
+            lin.load_state_dict({})
+
+    def test_state_dict_shape_mismatch_raises(self):
+        lin = Linear(3, 2)
+        state = lin.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            lin.load_state_dict(state)
+
+    def test_buffers_in_state_dict(self):
+        bn = BatchNorm1d(4)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_sequential_iteration_and_indexing(self):
+        layers = [Linear(2, 2), ReLU()]
+        seq = Sequential(*layers)
+        assert len(seq) == 2
+        assert seq[0] is layers[0]
+        assert list(seq) == layers
+
+
+class TestLinear:
+    def test_forward_matches_manual(self, rng):
+        lin = Linear(4, 3, seed=0)
+        x = rng.normal(size=(5, 4))
+        expected = x @ lin.weight.data.T + lin.bias.data
+        np.testing.assert_allclose(lin(Tensor(x)).data, expected, rtol=1e-12)
+
+    def test_no_bias(self):
+        lin = Linear(4, 3, bias=False)
+        assert lin.bias is None
+        out = lin(Tensor(np.zeros((1, 4))))
+        np.testing.assert_allclose(out.data, np.zeros((1, 3)))
+
+
+class TestConv2dLayer:
+    def test_shapes(self, rng):
+        conv = Conv2d(3, 8, kernel_size=3, padding=1, seed=0)
+        out = conv(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_stride_halves_spatial(self, rng):
+        conv = Conv2d(1, 1, kernel_size=2, stride=2, seed=0)
+        out = conv(Tensor(rng.normal(size=(1, 1, 8, 8))))
+        assert out.shape == (1, 1, 4, 4)
+
+
+class TestBatchNorm:
+    def test_normalizes_batch_statistics(self, rng):
+        bn = BatchNorm1d(6)
+        x = rng.normal(loc=5.0, scale=3.0, size=(128, 6))
+        out = bn(Tensor(x))
+        assert np.abs(out.data.mean(axis=0)).max() < 1e-8
+        np.testing.assert_allclose(out.data.std(axis=0), np.ones(6), atol=1e-6)
+
+    def test_running_stats_update(self, rng):
+        bn = BatchNorm1d(2, momentum=0.5)
+        x = rng.normal(loc=4.0, size=(64, 2))
+        bn(Tensor(x))
+        assert np.all(bn.running_mean > 1.0)  # moved toward 4
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm1d(3)
+        for _ in range(30):
+            bn(Tensor(rng.normal(loc=2.0, size=(64, 3))))
+        bn.eval()
+        x = rng.normal(loc=2.0, size=(8, 3))
+        out = bn(Tensor(x))
+        expected = (x - bn.running_mean) / np.sqrt(bn.running_var + bn.eps)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-6)
+
+    def test_2d_shape_validation(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(3)(Tensor(np.zeros((2, 3))))
+        with pytest.raises(ValueError):
+            BatchNorm1d(3)(Tensor(np.zeros((2, 3, 4, 4))))
+
+    def test_2d_normalizes_per_channel(self, rng):
+        bn = BatchNorm2d(4)
+        x = rng.normal(loc=1.0, scale=2.0, size=(8, 4, 5, 5))
+        out = bn(Tensor(x))
+        means = out.data.mean(axis=(0, 2, 3))
+        np.testing.assert_allclose(means, np.zeros(4), atol=1e-10)
+
+    def test_inference_affine_folding(self, rng):
+        """inference_affine must reproduce eval-mode BN exactly."""
+        bn = BatchNorm1d(3)
+        for _ in range(10):
+            bn(Tensor(rng.normal(size=(32, 3))))
+        bn.weight.data = rng.normal(size=3)
+        bn.bias.data = rng.normal(size=3)
+        bn.eval()
+        x = rng.normal(size=(16, 3))
+        scale, shift = bn.inference_affine()
+        np.testing.assert_allclose(
+            bn(Tensor(x)).data, x * scale + shift, rtol=1e-10
+        )
+
+    def test_gradients_flow_to_gamma_beta(self, rng):
+        bn = BatchNorm1d(3)
+        out = bn(Tensor(rng.normal(size=(16, 3))))
+        (out * out).sum().backward()
+        assert bn.weight.grad is not None
+        assert bn.bias.grad is not None
+
+    def test_last_stats_stashed(self, rng):
+        bn = BatchNorm1d(3)
+        x = rng.normal(loc=7.0, size=(64, 3))
+        bn(Tensor(x))
+        np.testing.assert_allclose(bn.last_mean, x.mean(axis=0), rtol=1e-10)
+
+
+class TestActivationsAndShapes:
+    def test_relu_layer(self):
+        out = ReLU()(Tensor(np.array([-1.0, 1.0])))
+        np.testing.assert_allclose(out.data, [0.0, 1.0])
+
+    def test_hardtanh_custom_bounds(self):
+        out = HardTanh(-2.0, 2.0)(Tensor(np.array([-3.0, 0.0, 3.0])))
+        np.testing.assert_allclose(out.data, [-2.0, 0.0, 2.0])
+
+    def test_identity(self):
+        x = Tensor(np.array([1.0]))
+        assert Identity()(x) is x
+
+    def test_flatten(self):
+        out = Flatten()(Tensor(np.zeros((2, 3, 4, 5))))
+        assert out.shape == (2, 60)
+
+    def test_maxpool_layer(self):
+        out = MaxPool2d(2)(Tensor(np.arange(16.0).reshape(1, 1, 4, 4)))
+        assert out.shape == (1, 1, 2, 2)
+
+
+class TestParameter:
+    def test_requires_grad_by_default(self):
+        p = Parameter(np.zeros(3))
+        assert p.requires_grad
+
+    def test_custom_module_forward_required(self):
+        class Broken(Module):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Broken()(Tensor([1.0]))

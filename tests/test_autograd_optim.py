@@ -1,0 +1,139 @@
+"""Tests for SGD and the LR schedules (warmup + cosine, the paper recipe)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.autograd import SGD, ConstantLR, CosineAnnealingLR, Tensor, WarmupCosineLR
+from repro.autograd.module import Parameter
+
+
+def make_param(value=1.0):
+    return Parameter(np.array([value]))
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = make_param(1.0)
+        p.grad = np.array([0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_skips_params_without_grad(self):
+        p = make_param(1.0)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_momentum_accumulates(self):
+        p = make_param(0.0)
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()  # v = 1, p = -1
+        p.grad = np.array([1.0])
+        opt.step()  # v = 1.9, p = -2.9
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_weight_decay(self):
+        p = make_param(2.0)
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_zero_grad(self):
+        p = make_param()
+        p.grad = np.array([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.0)
+
+    def test_converges_on_quadratic(self):
+        p = make_param(5.0)
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(100):
+            p.grad = 2 * p.data  # d/dp p^2
+            opt.step()
+        assert abs(float(p.data[0])) < 1e-3
+
+
+class TestCosineAnnealing:
+    def test_decays_to_eta_min(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_halfway_is_midpoint(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=20)
+        values = []
+        for _ in range(20):
+            sched.step()
+            values.append(opt.lr)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_clamps_past_t_max(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=5)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0)
+
+    def test_invalid_t_max(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(SGD([make_param()], lr=1.0), t_max=0)
+
+
+class TestWarmupCosine:
+    def test_warmup_ramps_up(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = WarmupCosineLR(opt, warmup_steps=5, total_steps=20)
+        assert opt.lr < 1.0  # starts scaled down
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert all(a <= b + 1e-12 for a, b in zip(lrs, lrs[1:])) or lrs[-1] >= lrs[0]
+
+    def test_peak_then_decay(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = WarmupCosineLR(opt, warmup_steps=3, total_steps=13)
+        for _ in range(13):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_total_steps(self):
+        with pytest.raises(ValueError):
+            WarmupCosineLR(SGD([make_param()], lr=1.0), warmup_steps=5, total_steps=5)
+
+    def test_zero_warmup_is_pure_cosine(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = WarmupCosineLR(opt, warmup_steps=0, total_steps=10)
+        sched.step()
+        expected = 0.5 * (1 + math.cos(math.pi * 0.1))
+        assert opt.lr == pytest.approx(expected)
+
+
+class TestConstantLR:
+    def test_noop(self):
+        opt = SGD([make_param()], lr=0.3)
+        sched = ConstantLR(opt)
+        sched.step()
+        assert sched.lr == 0.3

@@ -1,0 +1,291 @@
+"""Tests for the autograd Tensor: ops, broadcasting, backward correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, no_grad, is_grad_enabled
+from repro.autograd.tensor import concatenate
+
+from tests.helpers import numeric_gradient
+
+
+class TestTensorBasics:
+    def test_construction_and_shape(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.ndim == 2
+        assert t.size == 4
+
+    def test_numpy_returns_copy(self):
+        t = Tensor([1.0, 2.0])
+        arr = t.numpy()
+        arr[0] = 99.0
+        assert t.data[0] == 1.0
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = (t * 2).detach()
+        assert not d.requires_grad
+
+    def test_ensure_passthrough_and_coerce(self):
+        t = Tensor([1.0])
+        assert Tensor.ensure(t) is t
+        assert isinstance(Tensor.ensure([1.0, 2.0]), Tensor)
+
+    def test_len(self):
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_radd_scalar(self):
+        out = 1.0 + Tensor([1.0])
+        np.testing.assert_allclose(out.data, [2.0])
+
+    def test_sub_and_rsub(self):
+        np.testing.assert_allclose((Tensor([3.0]) - 1.0).data, [2.0])
+        np.testing.assert_allclose((5.0 - Tensor([3.0])).data, [2.0])
+
+    def test_mul_div(self):
+        np.testing.assert_allclose((Tensor([2.0]) * 3.0).data, [6.0])
+        np.testing.assert_allclose((Tensor([6.0]) / 3.0).data, [2.0])
+        np.testing.assert_allclose((6.0 / Tensor([3.0])).data, [2.0])
+
+    def test_neg_pow(self):
+        np.testing.assert_allclose((-Tensor([2.0])).data, [-2.0])
+        np.testing.assert_allclose((Tensor([3.0]) ** 2).data, [9.0])
+
+    def test_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul(self):
+        a = Tensor([[1.0, 2.0]])
+        b = Tensor([[3.0], [4.0]])
+        np.testing.assert_allclose((a @ b).data, [[11.0]])
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = x * x + x
+        y.backward()
+        assert x.grad == pytest.approx(5.0)  # 2x + 1
+
+    def test_grad_accumulates_on_reuse(self):
+        x = Tensor(3.0, requires_grad=True)
+        y = x * x  # x used twice
+        y.backward()
+        assert x.grad == pytest.approx(6.0)
+
+    def test_backward_requires_scalar_without_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_with_explicit_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 3).backward(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(x.grad, [3.0, 3.0])
+
+    def test_backward_on_leaf_without_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_broadcast_add_unbroadcasts(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        b = Tensor(np.zeros(2), requires_grad=True)
+        ((x + b).sum()).backward()
+        assert b.grad.shape == (2,)
+        np.testing.assert_allclose(b.grad, [3.0, 3.0])
+
+    def test_broadcast_mul_gradients(self):
+        x = Tensor(np.full((4, 3), 2.0), requires_grad=True)
+        s = Tensor(3.0, requires_grad=True)
+        ((x * s).sum()).backward()
+        assert s.grad == pytest.approx(24.0)
+        np.testing.assert_allclose(x.grad, np.full((4, 3), 3.0))
+
+    def test_diamond_graph(self):
+        x = Tensor(2.0, requires_grad=True)
+        a = x * 3
+        b = x * 4
+        (a + b).backward()
+        assert x.grad == pytest.approx(7.0)
+
+    def test_second_backward_accumulates_into_grad(self):
+        x = Tensor(1.0, requires_grad=True)
+        (x * 2).backward()
+        (x * 2).backward()
+        assert x.grad == pytest.approx(4.0)
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(1.0, requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_flag_restored_after_exception(self):
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+
+class TestElementwiseOps:
+    @pytest.mark.parametrize(
+        "op,ref",
+        [
+            ("exp", np.exp),
+            ("log", np.log),
+            ("sqrt", np.sqrt),
+            ("tanh", np.tanh),
+            ("abs", np.abs),
+        ],
+    )
+    def test_forward_matches_numpy(self, op, ref):
+        data = np.array([0.5, 1.0, 2.0])
+        out = getattr(Tensor(data), op)()
+        np.testing.assert_allclose(out.data, ref(data))
+
+    def test_relu(self):
+        out = Tensor([-1.0, 0.0, 2.0]).relu()
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_hardtanh_clamps(self):
+        out = Tensor([-2.0, 0.5, 2.0]).hardtanh()
+        np.testing.assert_allclose(out.data, [-1.0, 0.5, 1.0])
+
+    def test_hardtanh_gradient_mask(self):
+        x = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        x.hardtanh().sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_erf_forward(self):
+        from scipy import special
+
+        x = np.linspace(-2, 2, 7)
+        np.testing.assert_allclose(Tensor(x).erf().data, special.erf(x))
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3))
+        assert x.sum().data == pytest.approx(15.0)
+        np.testing.assert_allclose(x.sum(axis=0).data, [3.0, 5.0, 7.0])
+        assert x.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3))
+        assert x.mean().data == pytest.approx(2.5)
+        np.testing.assert_allclose(x.mean(axis=0).data, [1.5, 2.5, 3.5])
+
+    def test_max_with_ties_splits_gradient(self):
+        x = Tensor([2.0, 2.0, 1.0], requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.5, 0.5, 0.0])
+
+    def test_reshape_roundtrip_gradient(self):
+        x = Tensor(np.arange(6.0), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(6))
+
+    def test_transpose(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3))
+        assert x.T.shape == (3, 2)
+        assert x.transpose((1, 0)).shape == (3, 2)
+
+    def test_transpose_gradient(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        (x.T * Tensor(np.ones((3, 2)))).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_getitem_gradient_scatter(self):
+        x = Tensor(np.arange(5.0), requires_grad=True)
+        x[1:3].sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0, 0.0, 0.0])
+
+    def test_pad2d(self):
+        x = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        padded = x.pad2d(1)
+        assert padded.shape == (1, 1, 4, 4)
+        padded.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((1, 1, 2, 2)))
+
+    def test_pad2d_zero_is_identity(self):
+        x = Tensor(np.ones((1, 1, 2, 2)))
+        assert x.pad2d(0) is x
+
+    def test_concatenate_values_and_grads(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        np.testing.assert_allclose(out.data, [1.0, 2.0, 3.0])
+        (out * Tensor([1.0, 2.0, 3.0])).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 2.0])
+        np.testing.assert_allclose(b.grad, [3.0])
+
+
+class TestNumericGradients:
+    """Central-difference checks for a representative op set."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda x: (x * x).sum(),
+            lambda x: (x.exp()).sum(),
+            lambda x: (x.tanh() * 2).sum(),
+            lambda x: (x.erf()).sum(),
+            lambda x: ((x + 1.0) ** 3).sum(),
+            lambda x: (x / (x * x + 2.0)).sum(),
+        ],
+    )
+    def test_elementwise_gradients(self, make, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        make(x).backward()
+        num = numeric_gradient(x, lambda: float(make(Tensor(x.data)).data))
+        np.testing.assert_allclose(x.grad, num, rtol=1e-5, atol=1e-7)
+
+    def test_matmul_gradients(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+
+        def f():
+            return float(((Tensor(a.data) @ Tensor(b.data)) ** 2).sum().data)
+
+        ((a @ b) ** 2).sum().backward()
+        np.testing.assert_allclose(a.grad, numeric_gradient(a, f), rtol=1e-5, atol=1e-7)
+        np.testing.assert_allclose(b.grad, numeric_gradient(b, f), rtol=1e-5, atol=1e-7)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-5, max_value=5), min_size=1, max_size=8),
+    st.lists(st.floats(min_value=-5, max_value=5), min_size=1, max_size=8),
+)
+def test_add_commutes_with_numpy(xs, ys):
+    """Property: Tensor arithmetic agrees with numpy broadcasting rules."""
+    n = min(len(xs), len(ys))
+    a, b = np.array(xs[:n]), np.array(ys[:n])
+    np.testing.assert_allclose((Tensor(a) + Tensor(b)).data, a + b)
+    np.testing.assert_allclose((Tensor(a) * Tensor(b)).data, a * b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4))
+def test_sum_grad_is_ones(rows, cols):
+    """Property: d(sum)/dx == 1 for every element, any shape."""
+    x = Tensor(np.zeros((rows, cols)), requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones((rows, cols)))

@@ -1,0 +1,127 @@
+"""Tests for baseline specs and the cryogenic scaling laws."""
+
+import math
+
+import pytest
+
+from repro.baselines.cryo import (
+    CRYO_COOLING_OVERHEAD_77K,
+    CRYO_EFFICIENCY_GAIN_77K,
+    aqfp_efficiency_vs_frequency,
+    cmos_efficiency_vs_frequency,
+    cryo_cmos_efficiency,
+    frequency_sweep,
+)
+from repro.baselines.specs import (
+    CIFAR10_BASELINES,
+    MNIST_BASELINES,
+    PAPER_SUPERBNN_CIFAR10,
+    get_baseline,
+)
+
+
+class TestBaselineSpecs:
+    def test_paper_table2_numbers_present(self):
+        imb = get_baseline("IMB", "cifar10")
+        assert imb.accuracy == pytest.approx(87.7)
+        assert imb.tops_per_w == pytest.approx(82.6)
+        assert imb.power_mw == pytest.approx(12.5)
+
+    def test_paper_table3_numbers_present(self):
+        ersfq = get_baseline("ERSFQ", "mnist")
+        assert ersfq.tops_per_w == pytest.approx(1.5e4)
+        assert ersfq.tops_per_w_cooled == pytest.approx(50.0)
+
+    def test_unknown_baseline_raises(self):
+        with pytest.raises(KeyError):
+            get_baseline("TPUv9", "cifar10")
+
+    def test_lookup_case_insensitive(self):
+        assert get_baseline("imb", "cifar10").name == "IMB"
+
+    def test_all_specs_have_sane_accuracy(self):
+        for spec in CIFAR10_BASELINES + MNIST_BASELINES:
+            assert 50.0 < spec.accuracy < 100.0
+
+    def test_paper_rows_cooling_consistent(self):
+        """The paper's own rows divide by exactly 400x cooling."""
+        for row in PAPER_SUPERBNN_CIFAR10:
+            ratio = row["tops_per_w"] / row["tops_per_w_cooled"]
+            assert ratio == pytest.approx(400.0, rel=0.02)
+
+
+class TestCryoScaling:
+    def test_efficiency_gain(self):
+        assert cryo_cmos_efficiency(100.0) == pytest.approx(150.0)
+
+    def test_cooling_overhead(self):
+        cooled = cryo_cmos_efficiency(100.0, with_cooling=True)
+        assert cooled == pytest.approx(150.0 / (1 + CRYO_COOLING_OVERHEAD_77K))
+
+    def test_paper_constants(self):
+        assert CRYO_EFFICIENCY_GAIN_77K == pytest.approx(1.5)
+        assert CRYO_COOLING_OVERHEAD_77K == pytest.approx(9.65)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cryo_cmos_efficiency(0.0)
+
+
+class TestAqfpFrequencyScaling:
+    def test_adiabatic_improves_at_low_frequency(self):
+        """Paper Sec. 6.5: lower frequency -> higher efficiency."""
+        low = aqfp_efficiency_vs_frequency(1e5, 0.1e9)
+        high = aqfp_efficiency_vs_frequency(1e5, 10e9)
+        assert low > high
+
+    def test_reference_point_identity(self):
+        assert aqfp_efficiency_vs_frequency(1e5, 5e9) == pytest.approx(1e5)
+
+    def test_cooling_uses_400x(self):
+        ratio = aqfp_efficiency_vs_frequency(1e5, 1e9) / aqfp_efficiency_vs_frequency(
+            1e5, 1e9, with_cooling=True
+        )
+        assert ratio == pytest.approx(400.0)
+
+    def test_cmos_flat_near_design_point(self):
+        base = cmos_efficiency_vs_frequency(617.0, 622e6, 622e6)
+        doubled = cmos_efficiency_vs_frequency(617.0, 1244e6, 622e6)
+        assert doubled / base < 1.1
+
+    def test_cmos_leakage_penalty_at_low_clock(self):
+        slow = cmos_efficiency_vs_frequency(617.0, 10e6, 622e6)
+        design = cmos_efficiency_vs_frequency(617.0, 622e6, 622e6)
+        assert slow < design
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aqfp_efficiency_vs_frequency(-1.0, 1e9)
+        with pytest.raises(ValueError):
+            cmos_efficiency_vs_frequency(10.0, 0.0, 1e9)
+
+
+class TestFrequencySweep:
+    def test_row_structure(self):
+        rows = frequency_sweep(1e5, frequencies_ghz=(1.0, 5.0))
+        assert len(rows) == 2
+        row = rows[0]
+        assert {"frequency_ghz", "aqfp", "aqfp_cooled"} <= set(row)
+        assert any(k.startswith("cryo_") for k in row)
+
+    def test_fig12_gap_shape(self):
+        """AQFP should sit ~4 orders above Cryo-CMOS device-only and
+        2-3 orders above it with cooling (paper Sec. 6.5)."""
+        rows = frequency_sweep(4e5, frequencies_ghz=(1.0,))
+        row = rows[0]
+        best_cryo = max(
+            v
+            for k, v in row.items()
+            if k.startswith("cryo_") and not k.endswith("_cooled")
+        )
+        best_cryo_cooled = max(
+            v for k, v in row.items() if k.startswith("cryo_") and k.endswith("_cooled")
+        )
+        device_gap = math.log10(row["aqfp"] / best_cryo)
+        cooled_gap = math.log10(row["aqfp_cooled"] / best_cryo_cooled)
+        assert 2.5 < device_gap < 5.5
+        assert 1.5 < cooled_gap < 4.0

@@ -1,0 +1,139 @@
+"""Tests for exact/approximate parallel counters: functional + gate level."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.apc import (
+    ApproximateParallelCounter,
+    ExactPopcount,
+    apc_jj_count,
+    apc_output_width,
+    build_apc_netlist,
+)
+
+
+class TestExactPopcount:
+    def test_counts_zero_one_bits(self):
+        assert ExactPopcount().count(np.array([1, 0, 1, 1])) == 3
+
+    def test_counts_bipolar_bits(self):
+        assert ExactPopcount().count(np.array([1.0, -1.0, 1.0])) == 2
+
+    def test_axis_argument(self):
+        bits = np.array([[1, 1, 0], [0, 0, 1]])
+        np.testing.assert_array_equal(ExactPopcount().count(bits, axis=1), [2, 1])
+        np.testing.assert_array_equal(ExactPopcount().count(bits, axis=0), [1, 1, 1])
+
+
+class TestApproximateParallelCounter:
+    def test_zero_layers_is_exact(self, rng):
+        apc = ApproximateParallelCounter(0)
+        bits = rng.integers(0, 2, 50)
+        assert apc.count(bits) == bits.sum()
+
+    def test_approximate_never_overcounts(self, rng):
+        apc = ApproximateParallelCounter(1)
+        for _ in range(50):
+            bits = rng.integers(0, 2, 16)
+            assert apc.count(bits) <= bits.sum()
+
+    def test_approximate_saturates_at_half(self):
+        apc = ApproximateParallelCounter(1)
+        assert apc.count(np.ones(16, dtype=int)) == 8
+
+    def test_exact_when_no_coincident_ones(self):
+        """Alternating bits: every OR pair has at most one 1."""
+        apc = ApproximateParallelCounter(1)
+        bits = np.array([1, 0] * 8)
+        assert apc.count(bits) == 8
+
+    def test_max_undercount(self):
+        apc = ApproximateParallelCounter(1)
+        assert apc.max_undercount(16) == 8
+        assert ApproximateParallelCounter(0).max_undercount(16) == 0
+
+    def test_odd_input_count_passthrough(self):
+        apc = ApproximateParallelCounter(1)
+        bits = np.ones(5, dtype=int)
+        # pairs (1,1),(1,1) -> 2 lines, trailing 1 passes -> count 3
+        assert apc.count(bits) == 3
+
+    def test_multilayer_compression(self):
+        apc = ApproximateParallelCounter(2)
+        assert apc.count(np.ones(16, dtype=int)) == 4
+
+    def test_negative_layers_rejected(self):
+        with pytest.raises(ValueError):
+            ApproximateParallelCounter(-1)
+
+    def test_axis_handling_multidim(self, rng):
+        apc = ApproximateParallelCounter(0)
+        bits = rng.integers(0, 2, (3, 4, 5))
+        np.testing.assert_array_equal(apc.count(bits, axis=0), bits.sum(axis=0))
+
+
+class TestApcNetlist:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8, 16])
+    def test_exact_netlist_counts_correctly(self, rng, n):
+        netlist = build_apc_netlist(n, approximate_layers=0)
+        for _ in range(10):
+            bits = rng.integers(0, 2, n)
+            values = netlist.evaluate(
+                {f"in_{i}": int(b) for i, b in enumerate(bits)}
+            )
+            count = sum(values[o] << k for k, o in enumerate(netlist.outputs))
+            assert count == bits.sum()
+
+    def test_approximate_netlist_matches_functional(self, rng):
+        apc = ApproximateParallelCounter(1)
+        netlist = build_apc_netlist(12, approximate_layers=1)
+        for _ in range(20):
+            bits = rng.integers(0, 2, 12)
+            values = netlist.evaluate(
+                {f"in_{i}": int(b) for i, b in enumerate(bits)}
+            )
+            count = sum(values[o] << k for k, o in enumerate(netlist.outputs))
+            assert count == apc.count(bits)
+
+    def test_output_width(self):
+        assert apc_output_width(1) == 1
+        assert apc_output_width(7) == 3
+        assert apc_output_width(8) == 4
+        assert apc_output_width(16) == 5
+
+    def test_output_width_covers_counts(self):
+        netlist = build_apc_netlist(9, approximate_layers=0)
+        assert len(netlist.outputs) >= apc_output_width(9)
+
+    def test_approximate_netlist_is_cheaper(self):
+        assert apc_jj_count(16, 1) < apc_jj_count(16, 0)
+
+    def test_jj_count_grows_with_inputs(self):
+        counts = [apc_jj_count(n, 0) for n in (4, 8, 16, 32)]
+        assert all(a < b for a, b in zip(counts, counts[1:]))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            build_apc_netlist(0)
+        with pytest.raises(ValueError):
+            apc_output_width(0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=24))
+def test_exact_apc_equals_popcount(bits):
+    """Property: approximate_layers=0 is exactly popcount, any length."""
+    apc = ApproximateParallelCounter(0)
+    assert apc.count(np.array(bits)) == sum(bits)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=24))
+def test_approximate_apc_bounds(bits):
+    """Property: OR-compression is sandwiched between ceil(n_ones/2) and n_ones."""
+    apc = ApproximateParallelCounter(1)
+    ones = sum(bits)
+    count = int(apc.count(np.array(bits)))
+    assert count <= ones
+    assert count >= (ones + 1) // 2

@@ -1,0 +1,110 @@
+"""Tests for the binary comparator and the buffer-chain memory."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.comparator import (
+    BinaryComparator,
+    build_comparator_netlist,
+    comparator_jj_count,
+)
+from repro.circuits.memory import BufferChainMemory
+
+
+class TestBinaryComparator:
+    def test_threshold_behaviour(self):
+        cmp = BinaryComparator(reference=8.0)
+        np.testing.assert_array_equal(
+            cmp.compare(np.array([7, 8, 9])), [-1.0, 1.0, 1.0]
+        )
+
+    def test_vectorized_shapes(self):
+        cmp = BinaryComparator(5.0)
+        out = cmp(np.zeros((3, 4)))
+        assert out.shape == (3, 4)
+        assert np.all(out == -1.0)
+
+    def test_exhaustive_4bit_netlist(self):
+        """Gate-level GE comparator must match >= for all 256 pairs."""
+        netlist = build_comparator_netlist(4)
+        for v in range(16):
+            for r in range(16):
+                inputs = {f"v_{i}": (v >> i) & 1 for i in range(4)}
+                inputs.update({f"r_{i}": (r >> i) & 1 for i in range(4)})
+                out = netlist.evaluate(inputs)[netlist.outputs[0]]
+                assert out == int(v >= r), (v, r)
+
+    def test_jj_count_scales_with_width(self):
+        assert comparator_jj_count(8) > comparator_jj_count(4)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            build_comparator_netlist(0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+def test_comparator_netlist_8bit_property(v, r):
+    netlist = build_comparator_netlist(8)
+    inputs = {f"v_{i}": (v >> i) & 1 for i in range(8)}
+    inputs.update({f"r_{i}": (r >> i) & 1 for i in range(8)})
+    assert netlist.evaluate(inputs)[netlist.outputs[0]] == int(v >= r)
+
+
+class TestBufferChainMemory:
+    def test_fifo_semantics(self):
+        mem = BufferChainMemory(width=4, depth_cycles=2)
+        w1 = np.array([1.0, -1.0, 1.0, -1.0])
+        w2 = np.array([-1.0, -1.0, 1.0, 1.0])
+        mem.push(w1)
+        mem.push(w2)
+        out = mem.push(np.ones(4))
+        np.testing.assert_array_equal(out, w1)  # first in, first out
+
+    def test_peek_without_shift(self):
+        mem = BufferChainMemory(width=2, depth_cycles=3)
+        word = np.array([1.0, -1.0])
+        mem.push(word)
+        np.testing.assert_array_equal(mem.peek(0), word)
+        np.testing.assert_array_equal(mem.peek(0), word)  # unchanged
+
+    def test_push_validation(self):
+        mem = BufferChainMemory(width=3)
+        with pytest.raises(ValueError):
+            mem.push(np.array([1.0, -1.0]))  # wrong width
+        with pytest.raises(ValueError):
+            mem.push(np.array([1.0, 0.5, -1.0]))  # not bipolar
+
+    def test_peek_bounds(self):
+        mem = BufferChainMemory(width=2, depth_cycles=2)
+        with pytest.raises(IndexError):
+            mem.peek(2)
+
+    def test_jj_count_decomposition(self):
+        mem = BufferChainMemory(width=8, depth_cycles=4, phases=4)
+        # chains: 8 bits * 2 JJ * 4 phases * 4 cycles; interface 8 * 8
+        assert mem.chain_jj_count() == 8 * 2 * 4 * 4
+        assert mem.jj_count() == 8 * 2 * 4 * 4 + 8 * 8
+
+    def test_three_phase_reduction_is_twenty_percent(self):
+        """Paper Sec. 4.4: 3-phase memory clock saves 20% of memory JJs."""
+        mem = BufferChainMemory(width=64)
+        assert mem.jj_reduction_three_phase() == pytest.approx(0.20)
+
+    def test_three_phase_reduction_independent_of_width(self):
+        for width in (4, 16, 256):
+            assert BufferChainMemory(width).jj_reduction_three_phase() == pytest.approx(
+                0.20
+            )
+
+    def test_energy_per_cycle_positive(self):
+        assert BufferChainMemory(4).energy_per_cycle_j() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferChainMemory(width=0)
+        with pytest.raises(ValueError):
+            BufferChainMemory(width=4, depth_cycles=0)
+        with pytest.raises(ValueError):
+            BufferChainMemory(width=4, phases=2)

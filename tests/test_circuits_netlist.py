@@ -1,0 +1,179 @@
+"""Tests for netlist construction, levelization, and boolean simulation."""
+
+import pytest
+
+from repro.circuits.netlist import Netlist
+
+
+def build_small_netlist() -> Netlist:
+    """a, b -> AND; c passthrough buffer; outputs (and, buffer)."""
+    nl = Netlist(name="small")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_input("c")
+    nl.add_gate("g_and", "and2", ["a", "b"])
+    nl.add_gate("g_buf", "buffer", ["c"])
+    nl.mark_output("g_and")
+    nl.mark_output("g_buf")
+    return nl
+
+
+class TestConstruction:
+    def test_duplicate_ids_rejected(self):
+        nl = Netlist()
+        nl.add_input("a")
+        with pytest.raises(ValueError):
+            nl.add_input("a")
+        nl.add_gate("g", "buffer", ["a"])
+        with pytest.raises(ValueError):
+            nl.add_gate("g", "buffer", ["a"])
+
+    def test_unknown_cell_rejected(self):
+        nl = Netlist()
+        nl.add_input("a")
+        with pytest.raises(KeyError):
+            nl.add_gate("g", "frobnicator", ["a"])
+
+    def test_unknown_fanin_rejected(self):
+        nl = Netlist()
+        with pytest.raises(ValueError):
+            nl.add_gate("g", "buffer", ["ghost"])
+
+    def test_mark_output_unknown_node(self):
+        nl = Netlist()
+        with pytest.raises(ValueError):
+            nl.mark_output("ghost")
+
+    def test_cell_counts(self):
+        nl = build_small_netlist()
+        assert nl.cell_counts() == {"and2": 1, "buffer": 1}
+
+    def test_logic_jj_count(self):
+        nl = build_small_netlist()
+        assert nl.logic_jj_count() == 6 + 2
+
+
+class TestLevelization:
+    def test_inputs_at_level_zero(self):
+        nl = build_small_netlist()
+        levels = nl.levelize()
+        assert levels["a"] == levels["b"] == levels["c"] == 0
+
+    def test_single_stage_gates(self):
+        nl = build_small_netlist()
+        levels = nl.levelize()
+        assert levels["g_and"] == 1
+        assert levels["g_buf"] == 1
+
+    def test_multistage_cells_advance_levels(self):
+        nl = Netlist()
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_gate("x", "xor2", ["a", "b"])  # xor2 occupies 2 stages
+        levels = nl.levelize()
+        assert levels["x"] == 2
+
+    def test_cycle_detection(self):
+        nl = Netlist()
+        nl.add_input("a")
+        nl.add_gate("g1", "buffer", ["a"])
+        # Force a cycle by mutating internals (defensive-path test).
+        nl._gates["g1"].fanins = ("g2",)
+        nl._gates["g2"] = type(nl._gates["g1"])("g2", "buffer", ("g1",))
+        with pytest.raises(ValueError):
+            nl.levelize()
+
+    def test_depth(self):
+        nl = Netlist()
+        nl.add_input("a")
+        prev = "a"
+        for i in range(5):
+            prev = nl.add_gate(f"b{i}", "buffer", [prev])
+        nl.mark_output(prev)
+        assert nl.depth() == 5
+
+    def test_edges_with_gaps_direct_connection(self):
+        nl = build_small_netlist()
+        gaps = {(s, d): g for s, d, g in nl.edges_with_gaps()}
+        assert gaps[("a", "g_and")] == 1  # direct
+
+    def test_edges_with_gaps_unbalanced(self):
+        nl = Netlist()
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_gate("chain1", "buffer", ["a"])
+        nl.add_gate("chain2", "buffer", ["chain1"])
+        nl.add_gate("late_and", "and2", ["chain2", "b"])  # b arrives 2 early
+        gaps = {(s, d): g for s, d, g in nl.edges_with_gaps()}
+        assert gaps[("b", "late_and")] == 3  # needs 2 balancing buffers
+
+    def test_output_alignment_edges(self):
+        nl = Netlist()
+        nl.add_input("a")
+        nl.add_gate("deep1", "buffer", ["a"])
+        nl.add_gate("deep2", "buffer", ["deep1"])
+        nl.add_gate("shallow", "buffer", ["a"])
+        nl.mark_output("deep2")
+        nl.mark_output("shallow")
+        readout_edges = [e for e in nl.edges_with_gaps() if e[1].startswith("__readout")]
+        assert len(readout_edges) == 1  # only the shallow output needs delay
+
+
+class TestEvaluate:
+    def test_basic_gates(self):
+        nl = build_small_netlist()
+        values = nl.evaluate({"a": 1, "b": 1, "c": 0})
+        assert values["g_and"] == 1
+        assert values["g_buf"] == 0
+
+    @pytest.mark.parametrize(
+        "cell,table",
+        [
+            ("and2", {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+            ("or2", {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+            ("xor2", {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            ("xnor2", {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+        ],
+    )
+    def test_two_input_truth_tables(self, cell, table):
+        for (a, b), expected in table.items():
+            nl = Netlist()
+            nl.add_input("a")
+            nl.add_input("b")
+            nl.add_gate("g", cell, ["a", "b"])
+            assert nl.evaluate({"a": a, "b": b})["g"] == expected
+
+    def test_inverter_and_majority(self):
+        nl = Netlist()
+        for name in ("a", "b", "c"):
+            nl.add_input(name)
+        nl.add_gate("inv", "inverter", ["a"])
+        nl.add_gate("maj", "majority3", ["a", "b", "c"])
+        values = nl.evaluate({"a": 1, "b": 0, "c": 1})
+        assert values["inv"] == 0
+        assert values["maj"] == 1
+
+    def test_constants(self):
+        nl = Netlist()
+        nl.add_constant("one", 1)
+        nl.add_input("a")
+        nl.add_gate("g", "and2", ["one", "a"])
+        assert nl.evaluate({"a": 1})["g"] == 1
+        assert nl.evaluate({"a": 0})["g"] == 0
+
+    def test_constant_validation(self):
+        nl = Netlist()
+        with pytest.raises(ValueError):
+            nl.add_constant("two", 2)
+
+    def test_missing_input_raises(self):
+        nl = build_small_netlist()
+        with pytest.raises(KeyError):
+            nl.evaluate({"a": 1})
+
+    def test_cell_without_semantics_raises(self):
+        nl = Netlist()
+        nl.add_input("a")
+        nl.add_gate("g", "lim_cell", ["a"])
+        with pytest.raises(ValueError):
+            nl.evaluate({"a": 1})

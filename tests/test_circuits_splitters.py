@@ -1,0 +1,141 @@
+"""Tests for the splitter-insertion (fanout legalization) pass."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.apc import build_apc_netlist
+from repro.circuits.comparator import build_comparator_netlist
+from repro.circuits.netlist import Netlist
+from repro.circuits.splitters import (
+    compute_fanout,
+    fanout_violations,
+    insert_splitters,
+)
+
+
+def fanout_heavy_netlist() -> Netlist:
+    """One input driving four AND gates — fanout 4."""
+    nl = Netlist(name="heavy")
+    nl.add_input("a")
+    nl.add_input("b")
+    for i in range(4):
+        nl.add_gate(f"g{i}", "and2", ["a", "b"])
+        nl.mark_output(f"g{i}")
+    return nl
+
+
+class TestComputeFanout:
+    def test_counts_loads(self):
+        nl = fanout_heavy_netlist()
+        fanout = compute_fanout(nl)
+        assert fanout["a"] == 4
+        assert fanout["b"] == 4
+
+    def test_outputs_count_as_loads(self):
+        nl = Netlist()
+        nl.add_input("a")
+        nl.add_gate("g", "buffer", ["a"])
+        nl.mark_output("g")
+        assert compute_fanout(nl)["g"] == 1
+
+    def test_violations_detection(self):
+        nl = fanout_heavy_netlist()
+        assert fanout_violations(nl, max_fanout=1) == 2  # a and b
+        assert fanout_violations(nl, max_fanout=4) == 0
+
+
+class TestInsertSplitters:
+    def test_legalizes_fanout(self):
+        nl = fanout_heavy_netlist()
+        legal, report = insert_splitters(nl)
+        assert report.violations_after == 0
+        assert fanout_violations(legal) == 0
+
+    def test_splitter_count_is_fanout_minus_one(self):
+        """A binary tree serving f loads from 1 port needs f-1 splitters."""
+        nl = fanout_heavy_netlist()
+        _, report = insert_splitters(nl)
+        assert report.splitters_added == 2 * (4 - 1)  # a and b, 3 each
+
+    def test_functional_equivalence(self):
+        nl = fanout_heavy_netlist()
+        legal, _ = insert_splitters(nl)
+        for a in (0, 1):
+            for b in (0, 1):
+                original = nl.evaluate({"a": a, "b": b})
+                legalized = legal.evaluate({"a": a, "b": b})
+                for out in nl.outputs:
+                    assert original[out] == legalized[out]
+
+    def test_depth_grows_logarithmically(self):
+        nl = fanout_heavy_netlist()
+        legal, report = insert_splitters(nl)
+        # 4 loads -> 2 tree levels of splitters.
+        assert report.depth_after == report.depth_before + 2
+
+    def test_no_change_when_already_legal(self):
+        nl = Netlist()
+        nl.add_input("a")
+        nl.add_gate("g", "buffer", ["a"])
+        nl.mark_output("g")
+        legal, report = insert_splitters(nl)
+        assert report.splitters_added == 0
+        assert len(legal) == len(nl)
+
+    def test_jj_accounting(self):
+        nl = fanout_heavy_netlist()
+        legal, report = insert_splitters(nl)
+        assert report.jj_added == report.splitters_added * 4  # splitter = 4 JJ
+        assert legal.logic_jj_count() == nl.logic_jj_count() + report.jj_added
+
+    def test_constants_preserved(self):
+        nl = Netlist()
+        nl.add_constant("one", 1)
+        nl.add_input("x")
+        nl.add_gate("g0", "and2", ["one", "x"])
+        nl.add_gate("g1", "or2", ["one", "x"])
+        nl.mark_output("g0")
+        nl.mark_output("g1")
+        legal, _ = insert_splitters(nl)
+        values = legal.evaluate({"x": 1})
+        assert values["g0"] == 1 and values["g1"] == 1
+
+    def test_comparator_equivalence_after_legalization(self):
+        nl = build_comparator_netlist(3)
+        legal, report = insert_splitters(nl)
+        assert report.violations_after == 0
+        for v in range(8):
+            for r in range(8):
+                inputs = {f"v_{i}": (v >> i) & 1 for i in range(3)}
+                inputs.update({f"r_{i}": (r >> i) & 1 for i in range(3)})
+                assert (
+                    legal.evaluate(inputs)[legal.outputs[0]]
+                    == nl.evaluate(inputs)[nl.outputs[0]]
+                )
+
+    def test_invalid_max_fanout(self):
+        with pytest.raises(ValueError):
+            insert_splitters(Netlist(), max_fanout=0)
+
+    def test_relaxed_fanout_budget_needs_fewer_splitters(self):
+        nl = fanout_heavy_netlist()
+        _, strict = insert_splitters(nl, max_fanout=1)
+        _, relaxed = insert_splitters(nl, max_fanout=2)
+        assert relaxed.splitters_added < strict.splitters_added
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=255))
+def test_apc_equivalence_after_legalization(n_inputs, pattern):
+    """Property: legalization never changes the counted value."""
+    nl = build_apc_netlist(n_inputs, approximate_layers=0)
+    legal, report = insert_splitters(nl)
+    assert report.violations_after == 0
+    bits = [(pattern >> i) & 1 for i in range(n_inputs)]
+    inputs = {f"in_{i}": b for i, b in enumerate(bits)}
+    original = sum(nl.evaluate(inputs)[o] << k for k, o in enumerate(nl.outputs))
+    legalized = sum(
+        legal.evaluate(inputs)[o] << k for k, o in enumerate(legal.outputs)
+    )
+    assert original == legalized == sum(bits)

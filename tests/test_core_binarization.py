@@ -1,0 +1,130 @@
+"""Tests for weight/activation binarization and their custom gradients."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.autograd import Tensor
+from repro.core.binarization import (
+    binarize_weights,
+    deterministic_sign,
+    expected_binary_activation,
+    randomized_sign,
+)
+
+
+class TestWeightBinarize:
+    def test_forward_is_sign_with_plus_at_zero(self):
+        w = Tensor(np.array([-0.5, 0.0, 0.7]))
+        np.testing.assert_array_equal(binarize_weights(w).data, [-1.0, 1.0, 1.0])
+
+    def test_ste_passes_gradient_inside_unit_interval(self):
+        w = Tensor(np.array([-0.5, 0.5]), requires_grad=True)
+        binarize_weights(w).sum().backward()
+        np.testing.assert_allclose(w.grad, [1.0, 1.0])
+
+    def test_ste_clips_gradient_outside_unit_interval(self):
+        w = Tensor(np.array([-2.0, 2.0, 0.9]), requires_grad=True)
+        binarize_weights(w).sum().backward()
+        np.testing.assert_allclose(w.grad, [0.0, 0.0, 1.0])
+
+    def test_deterministic_sign_alias(self):
+        x = Tensor(np.array([-1.0, 1.0]))
+        np.testing.assert_array_equal(deterministic_sign(x).data, [-1.0, 1.0])
+
+
+class TestRandomizedSign:
+    def test_output_alphabet(self):
+        x = Tensor(np.zeros(100))
+        out = randomized_sign(x, gray_zone=1.0, seed=0)
+        assert set(np.unique(out.data)) <= {-1.0, 1.0}
+
+    def test_sampling_statistics_follow_eq7(self):
+        """P(+1) = 0.5 + 0.5 erf(sqrt(pi) x / dVin)."""
+        value = 0.3
+        x = Tensor(np.full(40000, value))
+        out = randomized_sign(x, gray_zone=1.0, seed=1)
+        expected = 0.5 + 0.5 * special.erf(math.sqrt(math.pi) * value)
+        assert (out.data > 0).mean() == pytest.approx(expected, abs=0.01)
+
+    def test_deterministic_mode_is_sign(self):
+        x = Tensor(np.array([-0.2, 0.0, 0.2]))
+        out = randomized_sign(x, gray_zone=1.0, stochastic=False)
+        np.testing.assert_array_equal(out.data, [-1.0, 1.0, 1.0])
+
+    def test_negative_scale_flips_probability(self):
+        """Eq. 15: negative BN slope inverts the output distribution."""
+        x = Tensor(np.full(40000, 0.5))
+        pos = randomized_sign(x, gray_zone=1.0, scale=1.0, seed=2)
+        neg = randomized_sign(x, gray_zone=1.0, scale=-1.0, seed=3)
+        p_pos = (pos.data > 0).mean()
+        p_neg = (neg.data > 0).mean()
+        assert p_pos + p_neg == pytest.approx(1.0, abs=0.02)
+
+    def test_threshold_shifts_decision(self):
+        x = Tensor(np.full(40000, 0.5))
+        out = randomized_sign(x, gray_zone=1.0, threshold=0.5, seed=4)
+        assert (out.data > 0).mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_backward_is_erf_derivative(self):
+        """Eq. 10: dE[ab]/dx = 2 exp(-pi x^2 / dVin^2) / dVin * scale."""
+        values = np.array([-1.0, -0.3, 0.0, 0.3, 1.0])
+        gray = 0.8
+        x = Tensor(values, requires_grad=True)
+        randomized_sign(x, gray_zone=gray, seed=0).sum().backward()
+        z = math.sqrt(math.pi) * values / gray
+        expected = 2.0 * np.exp(-z * z) / gray
+        np.testing.assert_allclose(x.grad, expected, rtol=1e-10)
+
+    def test_backward_scale_factor(self):
+        x = Tensor(np.array([0.0]), requires_grad=True)
+        randomized_sign(x, gray_zone=1.0, scale=3.0, seed=0).sum().backward()
+        assert x.grad[0] == pytest.approx(6.0)  # 2 * scale / gray
+
+    def test_window_majority_reduces_variance(self):
+        """Majority over L samples concentrates toward sign(E[ab])."""
+        value = 0.2
+        x = Tensor(np.full(5000, value))
+        single = randomized_sign(x, gray_zone=1.0, seed=5, window_bits=1)
+        wide = randomized_sign(x, gray_zone=1.0, seed=6, window_bits=33)
+        assert (wide.data > 0).mean() > (single.data > 0).mean()
+
+    def test_window_tie_resolves_positive(self):
+        x = Tensor(np.zeros(2000))
+        out = randomized_sign(x, gray_zone=1.0, seed=7, window_bits=2)
+        # ties (1 of 2 bits) resolve to +1, so P(+1) = p^2 + 2p(1-p) = 0.75
+        assert (out.data > 0).mean() == pytest.approx(0.75, abs=0.03)
+
+    def test_validation(self):
+        x = Tensor(np.zeros(3))
+        with pytest.raises(ValueError):
+            randomized_sign(x, gray_zone=0.0)
+        with pytest.raises(ValueError):
+            randomized_sign(x, gray_zone=1.0, window_bits=0)
+
+    def test_seeded_reproducibility(self):
+        x = Tensor(np.zeros(50))
+        a = randomized_sign(x, gray_zone=1.0, seed=9)
+        b = randomized_sign(x, gray_zone=1.0, seed=9)
+        np.testing.assert_array_equal(a.data, b.data)
+
+
+class TestExpectedBinaryActivation:
+    def test_matches_erf_formula(self):
+        values = np.linspace(-2, 2, 9)
+        expected = special.erf(math.sqrt(math.pi) * (values - 0.1) / 0.7)
+        np.testing.assert_allclose(
+            expected_binary_activation(values, gray_zone=0.7, threshold=0.1),
+            expected,
+        )
+
+    def test_antisymmetric_around_threshold(self):
+        a = expected_binary_activation(np.array([1.5]), 1.0, threshold=1.0)
+        b = expected_binary_activation(np.array([0.5]), 1.0, threshold=1.0)
+        assert a[0] == pytest.approx(-b[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_binary_activation(np.zeros(2), gray_zone=-1.0)

@@ -1,0 +1,188 @@
+"""Tests for the randomized BNN cells and the training recipe."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.core.layers import (
+    BinaryConv2d,
+    BinaryLinear,
+    RandomizedBinaryConv2d,
+    RandomizedBinaryLinear,
+)
+from repro.core.trainer import Trainer, TrainingConfig
+from repro.data.loaders import DataLoader
+from repro.data.synthetic import make_mnist_like
+from repro.hardware.config import HardwareConfig
+from repro.models.mlp import Mlp
+
+
+def pm_ones(rng, shape):
+    return np.where(rng.random(shape) < 0.5, 1.0, -1.0)
+
+
+class TestRandomizedLinearCell:
+    def test_output_is_binary(self, rng):
+        cell = RandomizedBinaryLinear(20, 10, seed=0)
+        cell.train()
+        out = cell(Tensor(pm_ones(rng, (8, 20))))
+        assert set(np.unique(out.data)) <= {-1.0, 1.0}
+
+    def test_eval_deterministic_by_default(self, rng):
+        cell = RandomizedBinaryLinear(20, 10, seed=0)
+        cell.train()
+        cell(Tensor(pm_ones(rng, (64, 20))))  # populate BN stats
+        cell.eval()
+        x = Tensor(pm_ones(rng, (8, 20)))
+        a = cell(x).data
+        b = cell(x).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_sample_in_eval_enables_stochasticity(self, rng):
+        cell = RandomizedBinaryLinear(
+            20, 10, hardware=HardwareConfig(crossbar_size=72, window_bits=1), seed=0
+        )
+        cell.train()
+        cell(Tensor(rng.normal(size=(64, 20))))
+        cell.eval()
+        cell.sample_in_eval = True
+        x = Tensor(pm_ones(rng, (32, 20)))
+        outs = [cell(x).data for _ in range(5)]
+        assert any(not np.array_equal(outs[0], o) for o in outs[1:])
+
+    def test_gradients_reach_weights_and_alpha(self, rng):
+        cell = RandomizedBinaryLinear(12, 6, seed=0)
+        cell.train()
+        out = cell(Tensor(pm_ones(rng, (16, 12))))
+        (out * out).sum().backward()
+        assert cell.weight.grad is not None
+        assert cell.alpha.grad is not None
+        assert cell.bn.weight.grad is not None
+
+    def test_binarize_output_false_returns_real(self, rng):
+        cell = RandomizedBinaryLinear(10, 5, binarize_output=False, seed=0)
+        cell.train()
+        out = cell(Tensor(pm_ones(rng, (8, 10))))
+        assert not set(np.unique(out.data)) <= {-1.0, 1.0}
+
+    def test_noise_domain_validation(self):
+        with pytest.raises(ValueError):
+            RandomizedBinaryLinear(4, 2, noise_domain="bogus")
+
+    def test_value_domain_mode_runs(self, rng):
+        cell = RandomizedBinaryLinear(16, 8, noise_domain="value", seed=0)
+        cell.train()
+        out = cell(Tensor(pm_ones(rng, (8, 16))))
+        assert set(np.unique(out.data)) <= {-1.0, 1.0}
+
+    def test_fan_in(self):
+        assert RandomizedBinaryLinear(30, 5).fan_in == 30
+
+
+class TestRandomizedConvCell:
+    def test_shapes_and_alphabet(self, rng):
+        cell = RandomizedBinaryConv2d(3, 8, kernel_size=3, padding=1, seed=0)
+        cell.train()
+        out = cell(Tensor(pm_ones(rng, (2, 3, 6, 6))))
+        assert out.shape == (2, 8, 6, 6)
+        assert set(np.unique(out.data)) <= {-1.0, 1.0}
+
+    def test_stride(self, rng):
+        cell = RandomizedBinaryConv2d(1, 4, kernel_size=2, stride=2, seed=0)
+        cell.train()
+        out = cell(Tensor(pm_ones(rng, (1, 1, 8, 8))))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_fan_in(self):
+        assert RandomizedBinaryConv2d(3, 8, kernel_size=3).fan_in == 27
+
+    def test_deterministic_baseline_cells(self, rng):
+        conv = BinaryConv2d(2, 4, kernel_size=3, padding=1, seed=0)
+        conv.train()
+        out = conv(Tensor(pm_ones(rng, (2, 2, 5, 5))))
+        assert set(np.unique(out.data)) <= {-1.0, 1.0}
+
+    def test_binary_linear_head_real_logits(self, rng):
+        head = BinaryLinear(16, 10, seed=0)
+        head.train()
+        out = head(Tensor(pm_ones(rng, (4, 16))))
+        assert out.shape == (4, 10)
+
+
+class TestTrainingConfig:
+    def test_warmup_auto_shrinks(self):
+        cfg = TrainingConfig(epochs=4, warmup_epochs=10)
+        assert cfg.warmup_epochs < 4
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+
+
+class TestTrainer:
+    @pytest.fixture(scope="class")
+    def tiny_data(self):
+        data = make_mnist_like(n_samples=400, seed=0)
+        return data.split(0.75, seed=1)
+
+    def test_loss_decreases(self, tiny_data):
+        train, _ = tiny_data
+        model = Mlp(in_features=144, hidden=(32,), seed=0)
+        trainer = Trainer(model, TrainingConfig(epochs=6, warmup_epochs=1))
+        history = trainer.fit(DataLoader(train, 64, seed=2))
+        assert history[-1].train_loss < history[0].train_loss
+
+    def test_history_records_tau_annealing(self, tiny_data):
+        train, _ = tiny_data
+        model = Mlp(in_features=144, hidden=(32,), seed=0)
+        trainer = Trainer(model, TrainingConfig(epochs=5, warmup_epochs=1))
+        history = trainer.fit(DataLoader(train, 64, seed=2))
+        taus = [h.tau for h in history]
+        assert taus[0] == pytest.approx(0.85, abs=0.02)
+        assert taus[-1] > taus[0]
+
+    def test_recu_disabled_leaves_tau_none(self, tiny_data):
+        train, _ = tiny_data
+        model = Mlp(in_features=144, hidden=(32,), seed=0)
+        trainer = Trainer(model, TrainingConfig(epochs=2, use_recu=False))
+        history = trainer.fit(DataLoader(train, 64, seed=2))
+        assert all(h.tau is None for h in history)
+
+    def test_evaluate_returns_fraction(self, tiny_data):
+        train, test = tiny_data
+        model = Mlp(in_features=144, hidden=(32,), seed=0)
+        trainer = Trainer(model, TrainingConfig(epochs=2))
+        trainer.fit(DataLoader(train, 64, seed=2))
+        acc = trainer.evaluate(DataLoader(test, 128, shuffle=False))
+        assert 0.0 <= acc <= 1.0
+
+    def test_best_test_accuracy_none_without_test_loader(self, tiny_data):
+        train, _ = tiny_data
+        model = Mlp(in_features=144, hidden=(32,), seed=0)
+        trainer = Trainer(model, TrainingConfig(epochs=1))
+        trainer.fit(DataLoader(train, 64, seed=2))
+        assert trainer.best_test_accuracy is None
+
+    def test_learning_rate_schedule_applied(self, tiny_data):
+        train, _ = tiny_data
+        model = Mlp(in_features=144, hidden=(32,), seed=0)
+        trainer = Trainer(
+            model, TrainingConfig(epochs=6, warmup_epochs=2, learning_rate=0.1)
+        )
+        history = trainer.fit(DataLoader(train, 64, seed=2))
+        assert history[-1].learning_rate < 0.1
+
+    def test_single_epoch_uses_constant_lr(self, tiny_data):
+        train, _ = tiny_data
+        model = Mlp(in_features=144, hidden=(32,), seed=0)
+        trainer = Trainer(model, TrainingConfig(epochs=1, learning_rate=0.05))
+        history = trainer.fit(DataLoader(train, 64, seed=2))
+        assert history[0].learning_rate == pytest.approx(0.05)
+
+    def test_randomized_model_learns_above_chance(self, tiny_data):
+        train, test = tiny_data
+        model = Mlp(in_features=144, hidden=(48,), seed=0, stochastic=True)
+        trainer = Trainer(model, TrainingConfig(epochs=10, warmup_epochs=2))
+        trainer.fit(DataLoader(train, 64, seed=2))
+        acc = trainer.evaluate(DataLoader(test, 128, shuffle=False))
+        assert acc > 0.3  # 10 classes -> chance is 0.1

@@ -1,0 +1,127 @@
+"""Tests for the AME (Eq. 18) and hardware co-optimization."""
+
+import numpy as np
+import pytest
+
+from repro.core.coopt import (
+    average_mismatch_error,
+    optimize_hardware_config,
+    saturation_length,
+    sweep_bitstream_lengths,
+)
+from repro.device.attenuation import AttenuationModel
+
+
+class TestAverageMismatchError:
+    def test_positive(self):
+        assert average_mismatch_error(16, 2.4) > 0
+
+    def test_small_gray_zone_near_hard_sign_error(self):
+        """As dVin -> 0 the device is a hard sign: y = Cs * sign(x), so
+        the mismatch approaches E[(x - Cs*sign(x))^2] / Cs — large."""
+        tight = average_mismatch_error(16, 0.01)
+        near_optimal = average_mismatch_error(16, 200.0)
+        assert tight > near_optimal
+
+    def test_huge_gray_zone_also_bad(self):
+        """As dVin -> inf, y -> 0 and the mismatch approaches E[x^2]/Cs;
+        the optimum lies between the extremes (Sec. 5.4 tradeoff)."""
+        huge = average_mismatch_error(16, 1e6)
+        near_optimal = average_mismatch_error(16, 200.0)
+        assert huge > near_optimal
+
+    def test_interior_minimum_exists(self):
+        """AME is non-monotone in dIin — the basis for co-optimization.
+
+        The linear-response optimum sits where the erf slope matches
+        unity: dVin ~ 2 Cs, i.e. dIin ~ 2 Cs I1(Cs)."""
+        zones = [0.1, 1.0, 10.0, 100.0, 200.0, 1e4, 1e6]
+        values = [average_mismatch_error(16, z) for z in zones]
+        best = int(np.argmin(values))
+        assert 0 < best < len(zones) - 1
+
+    def test_depends_on_crossbar_size(self):
+        a = average_mismatch_error(8, 2.4)
+        b = average_mismatch_error(72, 2.4)
+        assert a != pytest.approx(b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            average_mismatch_error(0, 2.4)
+        with pytest.raises(ValueError):
+            average_mismatch_error(8, 0.0)
+        with pytest.raises(ValueError):
+            average_mismatch_error(8, 2.4, activation_std=0.0)
+
+
+class TestOptimizeHardwareConfig:
+    def test_returns_grid_and_minimum(self):
+        result = optimize_hardware_config([1.0, 5.0, 20.0], [8, 16])
+        assert len(result.grid) == 6
+        grid_min = min(cell["ame"] for cell in result.grid)
+        assert result.best_ame == pytest.approx(grid_min)
+
+    def test_energy_constraint_excludes_large_arrays(self):
+        """Budget below the 144x144 row of Table 1 must exclude it."""
+        result = optimize_hardware_config(
+            [5.0], [16, 144], max_energy_per_cycle_aj=400.0
+        )
+        sizes = {cell["crossbar_size"] for cell in result.grid}
+        assert sizes == {16}
+
+    def test_unsatisfiable_constraint_raises(self):
+        with pytest.raises(ValueError):
+            optimize_hardware_config([5.0], [144], max_energy_per_cycle_aj=1.0)
+
+    def test_best_config_carries_window_bits(self):
+        result = optimize_hardware_config([5.0], [16], window_bits=8)
+        assert result.best_config.window_bits == 8
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_hardware_config([], [16])
+
+    def test_custom_attenuation_model_used(self):
+        flat = AttenuationModel(amplitude_ua=70.0, exponent=0.1)
+        steep = AttenuationModel(amplitude_ua=70.0, exponent=1.4)
+        r_flat = optimize_hardware_config([2.4], [72], attenuation=flat)
+        r_steep = optimize_hardware_config([2.4], [72], attenuation=steep)
+        assert r_flat.best_ame != pytest.approx(r_steep.best_ame)
+
+
+class TestBitstreamSweep:
+    def test_sweep_calls_evaluator(self):
+        calls = []
+
+        def evaluate(length):
+            calls.append(length)
+            return min(0.5 + 0.05 * length, 0.9)
+
+        sweep = sweep_bitstream_lengths(evaluate, lengths=(1, 2, 4))
+        assert calls == [1, 2, 4]
+        assert sweep[-1]["accuracy"] == pytest.approx(0.7)
+
+    def test_sweep_validates_lengths(self):
+        with pytest.raises(ValueError):
+            sweep_bitstream_lengths(lambda l: 0.5, lengths=(0,))
+
+    def test_saturation_length_finds_knee(self):
+        sweep = [
+            {"window_bits": 1, "accuracy": 0.60},
+            {"window_bits": 4, "accuracy": 0.80},
+            {"window_bits": 16, "accuracy": 0.90},
+            {"window_bits": 32, "accuracy": 0.905},
+            {"window_bits": 64, "accuracy": 0.906},
+        ]
+        assert saturation_length(sweep, tolerance=0.01) == 16
+
+    def test_saturation_length_empty_rejected(self):
+        with pytest.raises(ValueError):
+            saturation_length([])
+
+    def test_saturation_length_flat_sweep(self):
+        sweep = [
+            {"window_bits": 1, "accuracy": 0.8},
+            {"window_bits": 8, "accuracy": 0.8},
+        ]
+        assert saturation_length(sweep) == 1

@@ -1,0 +1,141 @@
+"""Tests for synthetic datasets and the batch loader."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import DataLoader
+from repro.data.synthetic import (
+    Dataset,
+    make_cifar_like,
+    make_classification_images,
+    make_mnist_like,
+)
+
+
+class TestDataset:
+    def test_shapes_and_ranges(self):
+        data = make_mnist_like(n_samples=100, seed=0)
+        assert data.images.shape == (100, 1, 12, 12)
+        assert data.images.min() >= -1.0 and data.images.max() <= 1.0
+        assert data.labels.shape == (100,)
+        assert set(np.unique(data.labels)) <= set(range(10))
+
+    def test_cifar_like_three_channels(self):
+        data = make_cifar_like(n_samples=50, seed=0)
+        assert data.image_shape == (3, 16, 16)
+
+    def test_deterministic_generation(self):
+        a = make_mnist_like(n_samples=64, seed=5)
+        b = make_mnist_like(n_samples=64, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_mnist_like(n_samples=64, seed=1)
+        b = make_mnist_like(n_samples=64, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_split_partitions_without_overlap(self):
+        data = make_mnist_like(n_samples=100, seed=0)
+        train, test = data.split(0.8, seed=1)
+        assert len(train) == 80 and len(test) == 20
+        # no image appears in both halves
+        train_keys = {img.tobytes() for img in train.images}
+        assert all(img.tobytes() not in train_keys for img in test.images)
+
+    def test_split_validation(self):
+        data = make_mnist_like(n_samples=20, seed=0)
+        with pytest.raises(ValueError):
+            data.split(1.5)
+
+    def test_subset(self):
+        data = make_mnist_like(n_samples=30, seed=0)
+        sub = data.subset(10)
+        assert len(sub) == 10
+        np.testing.assert_array_equal(sub.images, data.images[:10])
+        with pytest.raises(ValueError):
+            data.subset(0)
+
+    def test_dataset_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((4, 3, 2, 2)), np.zeros(5), 10)  # length mismatch
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((4, 12)), np.zeros(4), 10)  # not NCHW
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((4, 1, 2, 2)), np.zeros(4), 1)  # 1 class
+
+    def test_task_is_learnable_but_not_trivial(self):
+        """A nearest-prototype classifier must beat chance but stay
+        below ceiling — the experiments need accuracy headroom."""
+        data = make_mnist_like(n_samples=400, seed=0)
+        train, test = data.split(0.8, seed=1)
+        prototypes = np.stack(
+            [
+                train.images[train.labels == c].mean(axis=0)
+                for c in range(data.n_classes)
+            ]
+        )
+        flat_test = test.images.reshape(len(test), -1)
+        flat_proto = prototypes.reshape(10, -1)
+        pred = ((flat_test[:, None, :] - flat_proto[None]) ** 2).sum(-1).argmin(1)
+        accuracy = (pred == test.labels).mean()
+        assert accuracy > 0.5
+
+    def test_noise_scale_controls_difficulty(self):
+        clean = make_mnist_like(n_samples=200, noise_scale=0.05, seed=0)
+        noisy = make_mnist_like(n_samples=200, noise_scale=0.9, seed=0)
+        # Same prototypes; higher noise -> larger deviation from class mean.
+        def spread(data):
+            return np.mean(
+                [
+                    data.images[data.labels == c].std()
+                    for c in range(10)
+                    if (data.labels == c).any()
+                ]
+            )
+
+        assert spread(noisy) > spread(clean)
+
+    def test_generation_validation(self):
+        with pytest.raises(ValueError):
+            make_classification_images(5, n_classes=10)
+        with pytest.raises(ValueError):
+            make_classification_images(100, noise_scale=-0.1)
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        data = make_mnist_like(n_samples=100, seed=0)
+        loader = DataLoader(data, batch_size=32, seed=0)
+        batches = list(loader)
+        assert len(batches) == 4  # 32+32+32+4
+        assert batches[0][0].shape == (32, 1, 12, 12)
+        assert batches[-1][0].shape == (4, 1, 12, 12)
+
+    def test_len(self):
+        data = make_mnist_like(n_samples=100, seed=0)
+        assert len(DataLoader(data, batch_size=32)) == 4
+
+    def test_covers_all_samples(self):
+        data = make_mnist_like(n_samples=50, seed=0)
+        loader = DataLoader(data, batch_size=16, seed=0)
+        total = sum(len(labels) for _, labels in loader)
+        assert total == 50
+
+    def test_shuffle_changes_order_across_epochs(self):
+        data = make_mnist_like(n_samples=64, seed=0)
+        loader = DataLoader(data, batch_size=64, shuffle=True, seed=0)
+        first = next(iter(loader))[1]
+        second = next(iter(loader))[1]
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_is_ordered(self):
+        data = make_mnist_like(n_samples=32, seed=0)
+        loader = DataLoader(data, batch_size=32, shuffle=False)
+        _, labels = next(iter(loader))
+        np.testing.assert_array_equal(labels, data.labels)
+
+    def test_invalid_batch_size(self):
+        data = make_mnist_like(n_samples=10, seed=0)
+        with pytest.raises(ValueError):
+            DataLoader(data, batch_size=0)

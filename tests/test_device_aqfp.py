@@ -1,0 +1,200 @@
+"""Tests for the AQFP device physics: junctions, buffers, gray zones."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device.aqfp import AqfpBuffer, ValueDomainBuffer
+from repro.device.josephson import (
+    FLUX_QUANTUM_WB,
+    JosephsonJunction,
+    gray_zone_width,
+    thermal_current_scale,
+)
+
+
+class TestJosephsonJunction:
+    def test_josephson_energy_formula(self):
+        jj = JosephsonJunction(critical_current_ua=50.0)
+        expected = 50e-6 * FLUX_QUANTUM_WB / (2 * math.pi)
+        assert jj.josephson_energy_j == pytest.approx(expected)
+
+    def test_switching_energy_order_of_magnitude(self):
+        # Ic * Phi0 for 50 uA is ~1e-19 J — the SFQ-style bound; adiabatic
+        # operation is far below it.
+        jj = JosephsonJunction(critical_current_ua=50.0)
+        assert 1e-20 < jj.switching_energy_j() < 1e-18
+
+    def test_thermal_ratio_small_at_4k(self):
+        jj = JosephsonJunction(critical_current_ua=50.0)
+        assert jj.thermal_ratio(4.2) < 0.01  # junction is stable
+
+    def test_invalid_critical_current(self):
+        with pytest.raises(ValueError):
+            JosephsonJunction(critical_current_ua=0.0)
+
+    def test_negative_temperature_rejected(self):
+        jj = JosephsonJunction()
+        with pytest.raises(ValueError):
+            jj.thermal_ratio(-1.0)
+
+
+class TestGrayZoneWidth:
+    def test_matches_reference_at_4p2k(self):
+        assert gray_zone_width(4.2) == pytest.approx(2.4)
+
+    def test_thermal_scaling_two_thirds_power(self):
+        ratio = gray_zone_width(8.4) / gray_zone_width(4.2)
+        assert ratio == pytest.approx(2 ** (2 / 3), rel=1e-9)
+
+    def test_quantum_saturation_at_low_temperature(self):
+        assert gray_zone_width(0.0) == gray_zone_width(0.3)
+        assert gray_zone_width(0.01) > 0
+
+    def test_monotone_above_crossover(self):
+        temps = [0.5, 1.0, 2.0, 4.2, 10.0]
+        widths = [gray_zone_width(t) for t in temps]
+        assert all(a < b for a, b in zip(widths, widths[1:]))
+
+    def test_thermal_current_scale_positive(self):
+        assert thermal_current_scale(JosephsonJunction(), 4.2) > 0
+
+    def test_negative_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            gray_zone_width(-0.1)
+
+
+class TestAqfpBuffer:
+    def test_probability_half_at_threshold(self):
+        buf = AqfpBuffer(gray_zone_ua=2.4, threshold_ua=1.0)
+        assert buf.probability_of_one(1.0) == pytest.approx(0.5)
+
+    def test_probability_monotone_in_current(self):
+        buf = AqfpBuffer()
+        currents = np.linspace(-5, 5, 21)
+        p = buf.probability_of_one(currents)
+        assert np.all(np.diff(p) > 0)
+
+    def test_probability_saturates(self):
+        buf = AqfpBuffer(gray_zone_ua=2.4)
+        assert buf.probability_of_one(10.0) > 0.999999
+        assert buf.probability_of_one(-10.0) < 1e-6
+
+    def test_paper_equation_1_exact(self):
+        """P = 0.5 + 0.5 erf(sqrt(pi)(I - Ith)/dI) — spot check."""
+        from scipy import special
+
+        buf = AqfpBuffer(gray_zone_ua=3.0, threshold_ua=0.5)
+        i = 1.7
+        expected = 0.5 + 0.5 * special.erf(math.sqrt(math.pi) * (i - 0.5) / 3.0)
+        assert buf.probability_of_one(i) == pytest.approx(expected, rel=1e-12)
+
+    def test_expected_output_consistent_with_probability(self):
+        buf = AqfpBuffer()
+        i = np.linspace(-3, 3, 7)
+        np.testing.assert_allclose(
+            buf.expected_output(i), 2 * buf.probability_of_one(i) - 1, rtol=1e-12
+        )
+
+    def test_boundary_near_2ua_for_default_width(self):
+        """Paper Fig. 4: randomized switching confined to about +-2 uA."""
+        buf = AqfpBuffer(gray_zone_ua=2.4)
+        boundary = buf.gray_zone_boundary_ua(confidence=0.99)
+        assert 1.5 < boundary < 2.5
+
+    def test_sampling_matches_probability(self):
+        buf = AqfpBuffer(gray_zone_ua=2.4, seed=0)
+        samples = buf.sample(np.full(20000, 0.8))
+        empirical = (samples > 0).mean()
+        assert empirical == pytest.approx(buf.probability_of_one(0.8), abs=0.02)
+
+    def test_sample_window_shape_and_alphabet(self):
+        buf = AqfpBuffer(seed=0)
+        window = buf.sample_window(np.zeros((3, 2)), window_bits=7)
+        assert window.shape == (7, 3, 2)
+        assert set(np.unique(window)) <= {-1.0, 1.0}
+
+    def test_sample_deterministic_with_seed(self):
+        a = AqfpBuffer(seed=5).sample(np.zeros(10))
+        b = AqfpBuffer(seed=5).sample(np.zeros(10))
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AqfpBuffer(gray_zone_ua=0.0)
+        with pytest.raises(ValueError):
+            AqfpBuffer().sample_window(np.zeros(2), window_bits=0)
+        with pytest.raises(ValueError):
+            AqfpBuffer().gray_zone_boundary_ua(confidence=0.4)
+
+    def test_threshold_shifts_curve(self):
+        base = AqfpBuffer(gray_zone_ua=2.4, threshold_ua=0.0)
+        shifted = AqfpBuffer(gray_zone_ua=2.4, threshold_ua=1.0)
+        assert shifted.probability_of_one(1.0) == pytest.approx(
+            base.probability_of_one(0.0)
+        )
+
+
+class TestValueDomainBuffer:
+    def test_from_current_domain_conversion(self):
+        """Eq. 4: dVin = dIin / I1(Cs)."""
+        current = AqfpBuffer(gray_zone_ua=2.4, threshold_ua=1.2)
+        value = ValueDomainBuffer.from_current_domain(current, unit_current_ua=4.0)
+        assert value.gray_zone_value == pytest.approx(0.6)
+        assert value.threshold_value == pytest.approx(0.3)
+
+    def test_probability_equivalence_between_domains(self):
+        """Pv(x) must equal P(x * I1) — the two domains are one law."""
+        current = AqfpBuffer(gray_zone_ua=2.4, threshold_ua=1.2)
+        unit = 3.5
+        value = ValueDomainBuffer.from_current_domain(current, unit)
+        xs = np.linspace(-3, 3, 13)
+        np.testing.assert_allclose(
+            value.probability_of_one(xs),
+            current.probability_of_one(xs * unit),
+            rtol=1e-12,
+        )
+
+    def test_expected_output_is_erf(self):
+        from scipy import special
+
+        buf = ValueDomainBuffer(gray_zone_value=0.8)
+        x = 0.3
+        expected = special.erf(math.sqrt(math.pi) * x / 0.8)
+        assert buf.expected_output(x) == pytest.approx(expected)
+
+    def test_sample_window_shape(self):
+        buf = ValueDomainBuffer(gray_zone_value=1.0, seed=0)
+        assert buf.sample_window(np.zeros(4), 5).shape == (5, 4)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ValueDomainBuffer(gray_zone_value=-1.0)
+        with pytest.raises(ValueError):
+            ValueDomainBuffer.from_current_domain(AqfpBuffer(), unit_current_ua=0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.floats(min_value=0.1, max_value=20.0),
+    st.floats(min_value=-10.0, max_value=10.0),
+)
+def test_probability_complement_symmetry(gray_zone, current):
+    """Property: P(Ith + d) + P(Ith - d) == 1 (erf antisymmetry)."""
+    buf = AqfpBuffer(gray_zone_ua=gray_zone, threshold_ua=0.0)
+    total = buf.probability_of_one(current) + buf.probability_of_one(-current)
+    assert total == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=0.5, max_value=10.0), st.floats(min_value=0.5, max_value=50.0))
+def test_value_domain_roundtrip(gray_zone, unit):
+    """Property: converting to the value domain preserves probabilities."""
+    current = AqfpBuffer(gray_zone_ua=gray_zone)
+    value = ValueDomainBuffer.from_current_domain(current, unit)
+    x = 1.234
+    assert value.probability_of_one(x) == pytest.approx(
+        float(current.probability_of_one(x * unit)), rel=1e-9
+    )

@@ -1,0 +1,126 @@
+"""Tests for crossbar current attenuation: ladder model and power-law fit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device.attenuation import (
+    AttenuationModel,
+    InductiveLadder,
+    default_attenuation_model,
+    fit_attenuation,
+)
+
+
+class TestAttenuationModel:
+    def test_power_law_values(self):
+        model = AttenuationModel(amplitude_ua=70.0, exponent=1.0)
+        assert model.unit_current_ua(1) == pytest.approx(70.0)
+        assert model.unit_current_ua(7) == pytest.approx(10.0)
+
+    def test_monotone_decreasing_in_size(self):
+        model = AttenuationModel()
+        sizes = np.array([1, 4, 16, 64, 144])
+        currents = model.unit_current_ua(sizes)
+        assert np.all(np.diff(currents) < 0)
+
+    def test_value_domain_gray_zone_eq4(self):
+        """dVin(Cs) = dIin / I1(Cs)."""
+        model = AttenuationModel(amplitude_ua=70.0, exponent=1.0)
+        assert model.value_domain_gray_zone(7, gray_zone_ua=2.4) == pytest.approx(0.24)
+
+    def test_gray_zone_grows_with_size(self):
+        """Bigger crossbars are noisier — the scalability limit."""
+        model = AttenuationModel()
+        dv = model.value_domain_gray_zone(np.array([4, 16, 64, 144]), 2.4)
+        assert np.all(np.diff(dv) > 0)
+
+    def test_callable_alias(self):
+        model = AttenuationModel()
+        assert model(8) == model.unit_current_ua(8)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AttenuationModel(amplitude_ua=-1.0)
+        with pytest.raises(ValueError):
+            AttenuationModel(exponent=0.0)
+        with pytest.raises(ValueError):
+            AttenuationModel().unit_current_ua(0)
+        with pytest.raises(ValueError):
+            AttenuationModel().value_domain_gray_zone(4, gray_zone_ua=0.0)
+
+
+class TestInductiveLadder:
+    def test_attenuates_with_size(self):
+        ladder = InductiveLadder()
+        sizes = np.array([1, 4, 16, 64, 144])
+        out = ladder.output_current_ua(sizes)
+        assert np.all(np.diff(out) < 0)
+
+    def test_output_below_drive(self):
+        ladder = InductiveLadder(drive_current_ua=70.0)
+        assert np.all(ladder.output_current_ua(np.arange(1, 150)) < 70.0)
+
+    def test_measurement_noise_reproducible(self):
+        ladder = InductiveLadder()
+        _, a = ladder.measure([4, 8, 16], seed=7)
+        _, b = ladder.measure([4, 8, 16], seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_measurement_positive(self):
+        _, currents = InductiveLadder().measure([4, 144], noise_fraction=0.1, seed=0)
+        assert np.all(currents > 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            InductiveLadder(drive_current_ua=0.0)
+        with pytest.raises(ValueError):
+            InductiveLadder(coupling_exponent=1.5)
+        with pytest.raises(ValueError):
+            InductiveLadder().output_current_ua(0)
+
+
+class TestFitAttenuation:
+    def test_recovers_exact_power_law(self):
+        truth = AttenuationModel(amplitude_ua=55.0, exponent=0.8)
+        sizes = np.array([4, 8, 16, 36, 72, 144])
+        fitted = fit_attenuation(sizes, truth.unit_current_ua(sizes))
+        assert fitted.amplitude_ua == pytest.approx(55.0, rel=1e-9)
+        assert fitted.exponent == pytest.approx(0.8, rel=1e-9)
+
+    def test_fits_ladder_measurements_well(self):
+        """The paper's Eq. 2 fit: power law approximates the physics."""
+        ladder = InductiveLadder()
+        sizes, currents = ladder.measure(
+            [4, 8, 16, 18, 36, 72, 144], noise_fraction=0.0, seed=0
+        )
+        model = fit_attenuation(sizes, currents)
+        rel_err = np.abs(model.unit_current_ua(sizes) - currents) / currents
+        assert rel_err.max() < 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_attenuation([4], [10.0])
+        with pytest.raises(ValueError):
+            fit_attenuation([4, 8], [10.0])
+        with pytest.raises(ValueError):
+            fit_attenuation([4, -8], [10.0, 5.0])
+
+    def test_default_pipeline(self):
+        model = default_attenuation_model(seed=0)
+        assert model.exponent > 0.5
+        assert model.amplitude_ua > 10.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.floats(min_value=10.0, max_value=100.0),
+    st.floats(min_value=0.3, max_value=1.5),
+)
+def test_fit_is_exact_on_noiseless_power_laws(amplitude, exponent):
+    """Property: log-log least squares inverts the generating law."""
+    truth = AttenuationModel(amplitude_ua=amplitude, exponent=exponent)
+    sizes = np.array([2, 5, 11, 23, 47, 96])
+    fitted = fit_attenuation(sizes, truth.unit_current_ua(sizes))
+    assert fitted.amplitude_ua == pytest.approx(amplitude, rel=1e-6)
+    assert fitted.exponent == pytest.approx(exponent, rel=1e-6)

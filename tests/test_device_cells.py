@@ -1,0 +1,81 @@
+"""Tests for the AQFP standard-cell library and its Table 1 calibration."""
+
+import pytest
+
+from repro.device.cells import (
+    CELL_LIBRARY,
+    ENERGY_PER_JJ_PER_CYCLE_J,
+    AqfpCell,
+    CellLibrary,
+)
+
+
+class TestAqfpCell:
+    def test_energy_per_cycle(self):
+        cell = AqfpCell("x", jj_count=4)
+        assert cell.energy_per_cycle_j() == pytest.approx(4 * ENERGY_PER_JJ_PER_CYCLE_J)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AqfpCell("bad", jj_count=-1)
+        with pytest.raises(ValueError):
+            AqfpCell("bad", jj_count=2, stages=0)
+
+
+class TestCellLibrary:
+    def test_contains_paper_cells(self):
+        """Sec. 6.1 lists AND, OR, buffer, inverter, majority, splitter,
+        read-out — all must be present."""
+        for name in (
+            "and2",
+            "or2",
+            "buffer",
+            "inverter",
+            "majority3",
+            "splitter",
+            "readout",
+        ):
+            assert name in CELL_LIBRARY
+
+    def test_buffer_is_two_junctions(self):
+        """The AQFP buffer is a double-JJ SQUID (Fig. 1)."""
+        assert CELL_LIBRARY["buffer"].jj_count == 2
+
+    def test_majority_from_three_buffers(self):
+        assert CELL_LIBRARY["majority3"].jj_count == 6
+
+    def test_and_or_cost_equals_majority(self):
+        """Minimalist design: AND/OR are majority gates with a constant."""
+        assert CELL_LIBRARY["and2"].jj_count == CELL_LIBRARY["majority3"].jj_count
+        assert CELL_LIBRARY["or2"].jj_count == CELL_LIBRARY["majority3"].jj_count
+
+    def test_table1_composite_cells(self):
+        """The Table 1 decomposition: 12 JJ LiM cell, 24 JJ peripherals."""
+        assert CELL_LIBRARY["lim_cell"].jj_count == 12
+        assert CELL_LIBRARY["row_driver"].jj_count == 24
+        assert CELL_LIBRARY["column_neuron"].jj_count == 24
+
+    def test_total_jj_accounting(self):
+        total = CELL_LIBRARY.total_jj({"buffer": 3, "and2": 2})
+        assert total == 3 * 2 + 2 * 6
+
+    def test_total_energy(self):
+        energy = CELL_LIBRARY.total_energy_per_cycle_j({"buffer": 10})
+        assert energy == pytest.approx(20 * ENERGY_PER_JJ_PER_CYCLE_J)
+
+    def test_unknown_cell_raises_with_suggestions(self):
+        with pytest.raises(KeyError):
+            CELL_LIBRARY["nand17"]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CELL_LIBRARY.total_jj({"buffer": -1})
+
+    def test_duplicate_cells_rejected(self):
+        with pytest.raises(ValueError):
+            CellLibrary([AqfpCell("a", 2), AqfpCell("a", 4)])
+
+    def test_iteration_and_names(self):
+        names = CELL_LIBRARY.names()
+        assert names == sorted(names)
+        assert len(list(CELL_LIBRARY)) == len(names)

@@ -1,0 +1,104 @@
+"""Tests for the Langevin transient simulator (Jsim-lite substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.device.transient import QfpPotential, TransientBuffer
+
+
+class TestQfpPotential:
+    def test_double_well_positions(self):
+        pot = QfpPotential(a_end=4.0, b=1.0)
+        lo, hi = pot.well_positions()
+        assert lo == pytest.approx(-2.0)
+        assert hi == pytest.approx(2.0)
+
+    def test_barrier_height(self):
+        pot = QfpPotential(a_end=4.0, b=1.0)
+        assert pot.barrier_height() == pytest.approx(4.0)
+
+    def test_quadratic_ramp(self):
+        pot = QfpPotential(a_start=-1.0, a_end=3.0)
+        assert pot.quadratic(0.0) == pytest.approx(-1.0)
+        assert pot.quadratic(1.0) == pytest.approx(3.0)
+        assert pot.quadratic(0.5) == pytest.approx(1.0)
+
+    def test_force_sign_at_origin(self):
+        """At phi=0 the only force is the input bias — the decision seed."""
+        pot = QfpPotential()
+        assert pot.force(np.array(0.0), 1.0, 0.5) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QfpPotential(b=0.0)
+        with pytest.raises(ValueError):
+            QfpPotential(a_end=-1.0)
+        with pytest.raises(ValueError):
+            QfpPotential(a_start=5.0, a_end=4.0)
+
+
+class TestTransientBuffer:
+    def test_zero_bias_is_a_coin_flip(self):
+        buf = TransientBuffer(seed=0)
+        p = buf.probability_of_one(0.0, n_trials=4000)
+        assert p == pytest.approx(0.5, abs=0.03)
+
+    def test_strong_bias_is_deterministic(self):
+        buf = TransientBuffer(seed=0)
+        assert buf.probability_of_one(2.0, n_trials=500) > 0.995
+        assert buf.probability_of_one(-2.0, n_trials=500) < 0.005
+
+    def test_response_monotone(self):
+        buf = TransientBuffer(seed=1)
+        curve = buf.response_curve(np.linspace(-0.5, 0.5, 7), n_trials=3000)
+        # Allow tiny MC wiggle but require a clearly increasing trend.
+        assert curve[-1] > curve[0] + 0.5
+        assert np.all(np.diff(curve) > -0.05)
+
+    def test_zero_temperature_is_a_hard_sign(self):
+        buf = TransientBuffer(noise_temperature=0.0, seed=0)
+        assert buf.probability_of_one(0.05, n_trials=10) == 1.0
+        assert buf.probability_of_one(-0.05, n_trials=10) == 0.0
+
+    def test_erf_law_emerges_from_dynamics(self):
+        """The paper's Eq. 1 functional form, derived not assumed:
+        the fitted erf reproduces the Monte-Carlo response closely."""
+        buf = TransientBuffer(noise_temperature=0.08, seed=0)
+        residual = buf.erf_fit_residual(n_trials=3000)
+        assert residual < 0.05
+
+    def test_gray_zone_grows_with_temperature(self):
+        """Thermal regime of [73]: wider gray zone when warmer."""
+        cold = TransientBuffer(noise_temperature=0.02, seed=1)
+        warm = TransientBuffer(noise_temperature=0.3, seed=1)
+        gz_cold, _ = cold.fit_gray_zone(bias_range=1.0, n_trials=1500)
+        gz_warm, _ = warm.fit_gray_zone(bias_range=1.0, n_trials=1500)
+        assert gz_warm > 2.0 * gz_cold
+
+    def test_threshold_near_zero_for_symmetric_device(self):
+        buf = TransientBuffer(seed=2)
+        _, threshold = buf.fit_gray_zone(n_trials=3000)
+        assert abs(threshold) < 0.05
+
+    def test_outputs_are_bipolar(self):
+        buf = TransientBuffer(seed=0)
+        outputs = buf.simulate_outputs(0.0, 100)
+        assert set(np.unique(outputs)) <= {-1.0, 1.0}
+
+    def test_seeded_reproducibility(self):
+        a = TransientBuffer(seed=7).simulate_outputs(0.1, 50)
+        b = TransientBuffer(seed=7).simulate_outputs(0.1, 50)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransientBuffer(noise_temperature=-0.1)
+        with pytest.raises(ValueError):
+            TransientBuffer(damping=0.0)
+        with pytest.raises(ValueError):
+            TransientBuffer().simulate_outputs(0.0, 0)
+
+    def test_saturated_sweep_raises(self):
+        buf = TransientBuffer(noise_temperature=0.001, seed=0)
+        with pytest.raises(RuntimeError):
+            buf.fit_gray_zone(bias_range=2.0, n_points=5, n_trials=200)

@@ -1,0 +1,99 @@
+"""Tests for the experiment harnesses (cheap ones run fully; training-
+based ones run at reduced scale and check shape properties)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4 import gray_zone_response
+from repro.experiments.fig5 import attenuation_curve
+from repro.experiments.table1 import PAPER_TABLE1, crossbar_hardware_table
+from repro.experiments.clocking import best_reduction, clocking_optimization_report
+from repro.experiments.ablations import accumulation_ablation
+
+
+class TestFig4:
+    def test_curve_structure(self):
+        result = gray_zone_response(n_points=9, n_samples=500)
+        assert len(result["points"]) == 9
+        probs = [p["probability"] for p in result["points"]]
+        assert all(a <= b + 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_sampled_tracks_analytic(self):
+        result = gray_zone_response(n_points=9, n_samples=8000, seed=0)
+        for point in result["points"]:
+            assert point["sampled"] == pytest.approx(point["probability"], abs=0.03)
+
+    def test_boundary_matches_paper_fig4(self):
+        """Randomized switching confined to roughly +-2 uA."""
+        result = gray_zone_response()
+        assert 1.5 < result["boundary_ua"] < 2.5
+
+
+class TestFig5:
+    def test_power_law_fit_quality(self):
+        result = attenuation_curve(seed=0)
+        assert result["max_relative_fit_error"] < 0.15
+        assert result["exponent"] > 0.3
+        assert result["amplitude_ua"] > 10.0
+
+    def test_monotone_attenuation(self):
+        result = attenuation_curve(noise_fraction=0.0, seed=0)
+        measured = [p["measured_ua"] for p in result["points"]]
+        assert all(a > b for a, b in zip(measured, measured[1:]))
+
+    def test_paper_sizes_present(self):
+        result = attenuation_curve()
+        sizes = [p["crossbar_size"] for p in result["points"]]
+        assert sizes == [4, 8, 16, 18, 36, 72, 144]
+
+
+class TestTable1:
+    def test_every_row_matches_paper_exactly(self):
+        rows = crossbar_hardware_table()
+        for row in rows:
+            paper = PAPER_TABLE1[row["size"]]
+            assert row["latency_ps"] == pytest.approx(paper["latency_ps"])
+            assert row["jj_count"] == paper["jj_count"]
+            assert row["energy_aj"] == pytest.approx(paper["energy_aj"], rel=1e-6)
+
+    def test_custom_sizes(self):
+        rows = crossbar_hardware_table([10])
+        assert rows[0]["jj_count"] == 12 * 100 + 48 * 10
+        assert "paper_jj_count" not in rows[0]
+
+
+class TestClockingExperiment:
+    def test_report_contains_paper_reference(self):
+        report = clocking_optimization_report(apc_inputs=(8,))
+        assert report["paper"]["reductions"][8] == pytest.approx(0.208)
+        assert report["memory_reduction"] == pytest.approx(0.20)
+
+    def test_reductions_grow_with_phases(self):
+        report = clocking_optimization_report(apc_inputs=(16,))
+        assert best_reduction(report, 16) > best_reduction(report, 8) > 0
+
+    def test_paper_scale_reduction_achieved(self):
+        """At least one accumulation-module circuit must reach the
+        paper's >= 20% band at 8 phases."""
+        report = clocking_optimization_report(apc_inputs=(8, 16, 32))
+        assert best_reduction(report, 8) > 0.18
+
+    def test_best_reduction_validation(self):
+        report = clocking_optimization_report(apc_inputs=(8,), phase_options=(4, 8))
+        with pytest.raises(ValueError):
+            best_reduction(report, 16)
+
+
+class TestAccumulationAblation:
+    def test_approximation_saves_jjs_but_undercounts(self):
+        result = accumulation_ablation(n_inputs=16, n_trials=500)
+        assert result["jj_saving_fraction"] > 0.2
+        mid = next(r for r in result["rows"] if r["probability"] == 0.5)
+        assert mid["mean_approx"] <= mid["mean_true"]
+        assert mid["mean_abs_error"] > 0
+
+    def test_low_density_nearly_exact(self):
+        result = accumulation_ablation(
+            n_inputs=16, probabilities=(0.05,), n_trials=500
+        )
+        assert result["rows"][0]["mean_abs_error"] < 0.3

@@ -1,0 +1,154 @@
+"""Tests for the cost model — including the exact Table 1 reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.config import HardwareConfig
+from repro.hardware.cost import (
+    COOLING_OVERHEAD_FACTOR,
+    AcceleratorCostModel,
+    CrossbarCost,
+    LayerWorkload,
+    crossbar_cost_table,
+)
+
+#: Paper Table 1, verbatim.
+PAPER_TABLE1 = {
+    4: (60, 384, 1.92),
+    8: (120, 1152, 5.76),
+    16: (240, 3840, 19.20),
+    18: (270, 4752, 23.76),
+    36: (540, 17280, 86.4),
+    72: (1080, 65664, 328.32),
+    144: (2160, 255744, 1278.72),
+}
+
+
+class TestCrossbarCost:
+    @pytest.mark.parametrize("size", sorted(PAPER_TABLE1))
+    def test_table1_reproduced_exactly(self, size):
+        latency, jj, energy = PAPER_TABLE1[size]
+        cost = CrossbarCost(size)
+        assert cost.latency_ps == pytest.approx(latency)
+        assert cost.jj_count == jj
+        assert cost.energy_per_cycle_aj == pytest.approx(energy)
+
+    def test_jj_decomposition(self):
+        cost = CrossbarCost(10)
+        assert cost.jj_count == 12 * 100 + 48 * 10
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            CrossbarCost(0)
+
+    def test_cost_table_helper(self):
+        rows = crossbar_cost_table([8, 16])
+        assert [r["size"] for r in rows] == [8, 16]
+        assert rows[0]["jj_count"] == 1152
+
+
+class TestLayerWorkload:
+    def test_macs_and_ops(self):
+        w = LayerWorkload(in_features=100, out_features=10, positions=4)
+        assert w.macs == 4000
+        assert w.ops == 8000
+
+    def test_tile_grid(self):
+        w = LayerWorkload(in_features=40, out_features=20)
+        assert w.tile_grid(16) == (3, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerWorkload(in_features=0, out_features=1)
+
+
+def vgg_like_workloads():
+    return [
+        LayerWorkload(108, 16, 256),
+        LayerWorkload(144, 16, 256),
+        LayerWorkload(144, 32, 64),
+        LayerWorkload(288, 32, 64),
+        LayerWorkload(256, 10, 1),
+    ]
+
+
+class TestAcceleratorCostModel:
+    def make(self, cs=72, window=16, **kw):
+        cfg = HardwareConfig(crossbar_size=cs, window_bits=window)
+        return AcceleratorCostModel(cfg, vgg_like_workloads(), **kw)
+
+    def test_cycles_scale_with_window(self):
+        assert self.make(window=32).cycles_per_image() == 2 * self.make(
+            window=16
+        ).cycles_per_image()
+
+    def test_throughput_inverse_of_cycles(self):
+        model = self.make()
+        expected = model.config.clock_rate_hz / model.cycles_per_image()
+        assert model.throughput_images_per_s() == pytest.approx(expected)
+
+    def test_efficiency_improves_with_shorter_window(self):
+        """The Table 2 operating-point knob: fewer cycles -> more TOPS/W."""
+        e32 = self.make(window=32).energy_efficiency_tops_per_w()
+        e1 = self.make(window=1).energy_efficiency_tops_per_w()
+        assert e1 > e32
+
+    def test_efficiency_window_scaling_is_proportional(self):
+        """Crossbar + SC energy scale with L, so EE(L) ~ 1/L up to the
+        memory term."""
+        e16 = self.make(window=16).energy_efficiency_tops_per_w()
+        e4 = self.make(window=4).energy_efficiency_tops_per_w()
+        assert e4 / e16 == pytest.approx(4.0, rel=0.2)
+
+    def test_cooling_divides_by_400(self):
+        model = self.make()
+        assert model.energy_efficiency_tops_per_w(
+            with_cooling=True
+        ) == pytest.approx(
+            model.energy_efficiency_tops_per_w() / COOLING_OVERHEAD_FACTOR
+        )
+
+    def test_paper_order_of_magnitude(self):
+        """SupeRBNN reports 1.9e5-6.8e6 TOPS/W across operating points;
+        our model must land in that band (shape reproduction)."""
+        e = self.make(cs=72, window=16).energy_efficiency_tops_per_w()
+        assert 5e4 < e < 5e7
+
+    def test_power_is_energy_times_rate(self):
+        model = self.make()
+        assert model.power_w() == pytest.approx(
+            model.energy_per_image_j() * model.throughput_images_per_s()
+        )
+
+    def test_latency_includes_pipeline_fill(self):
+        model = self.make()
+        pure = model.cycles_per_image() / model.config.clock_rate_hz
+        assert model.latency_per_image_s() > pure
+
+    def test_summary_keys(self):
+        summary = self.make().summary()
+        for key in (
+            "power_mw",
+            "throughput_images_per_ms",
+            "tops_per_w",
+            "tops_per_w_cooled",
+        ):
+            assert key in summary
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ValueError):
+            AcceleratorCostModel(HardwareConfig(), [])
+
+    def test_clock_overhead_validation(self):
+        with pytest.raises(ValueError):
+            self.make(clock_overhead=0.5)
+
+    def test_total_weight_bits(self):
+        model = self.make()
+        expected = sum(w.in_features * w.out_features for w in vgg_like_workloads())
+        assert model.total_weight_bits() == expected
+
+    def test_larger_crossbars_fewer_passes(self):
+        assert (
+            self.make(cs=144).passes_per_image() <= self.make(cs=16).passes_per_image()
+        )

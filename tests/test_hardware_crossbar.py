@@ -1,0 +1,203 @@
+"""Tests for HardwareConfig and the crossbar synapse array simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device.attenuation import AttenuationModel
+from repro.hardware.config import HardwareConfig
+from repro.hardware.crossbar import CrossbarArray
+
+
+class TestHardwareConfig:
+    def test_defaults(self):
+        cfg = HardwareConfig()
+        assert cfg.crossbar_size == 16
+        assert cfg.gray_zone_ua == pytest.approx(2.4)
+
+    def test_derived_quantities_consistent(self):
+        cfg = HardwareConfig(crossbar_size=8, gray_zone_ua=2.4)
+        expected_i1 = float(cfg.attenuation.unit_current_ua(8))
+        assert cfg.unit_current_ua == pytest.approx(expected_i1)
+        assert cfg.value_gray_zone == pytest.approx(2.4 / expected_i1)
+
+    def test_value_threshold(self):
+        cfg = HardwareConfig(crossbar_size=4)
+        assert cfg.value_threshold(cfg.unit_current_ua) == pytest.approx(1.0)
+
+    def test_with_override(self):
+        cfg = HardwareConfig(crossbar_size=16)
+        other = cfg.with_(crossbar_size=72)
+        assert other.crossbar_size == 72
+        assert cfg.crossbar_size == 16  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(crossbar_size=0)
+        with pytest.raises(ValueError):
+            HardwareConfig(gray_zone_ua=0.0)
+        with pytest.raises(ValueError):
+            HardwareConfig(window_bits=0)
+        with pytest.raises(ValueError):
+            HardwareConfig(clock_rate_hz=-1)
+
+    def test_frozen(self):
+        cfg = HardwareConfig()
+        with pytest.raises(AttributeError):
+            cfg.crossbar_size = 4
+
+
+def make_crossbar(rows=6, cols=4, cs=8, gz=2.4, seed=0, threshold=0.0):
+    rng = np.random.default_rng(seed)
+    weights = np.where(rng.random((rows, cols)) < 0.5, 1.0, -1.0)
+    cfg = HardwareConfig(crossbar_size=cs, gray_zone_ua=gz)
+    return CrossbarArray(cfg, weights, threshold_ua=threshold, seed=seed), weights
+
+
+class TestCrossbarConstruction:
+    def test_rejects_non_binary_weights(self):
+        cfg = HardwareConfig(crossbar_size=4)
+        with pytest.raises(ValueError):
+            CrossbarArray(cfg, np.array([[0.5, 1.0]]))
+
+    def test_rejects_oversized_weights(self):
+        cfg = HardwareConfig(crossbar_size=2)
+        with pytest.raises(ValueError):
+            CrossbarArray(cfg, np.ones((3, 2)))
+
+    def test_rejects_non_2d(self):
+        cfg = HardwareConfig(crossbar_size=4)
+        with pytest.raises(ValueError):
+            CrossbarArray(cfg, np.ones(4))
+
+    def test_threshold_broadcast(self):
+        xbar, _ = make_crossbar(threshold=1.5)
+        assert xbar.threshold_ua.shape == (4,)
+        assert np.all(xbar.threshold_ua == 1.5)
+
+
+class TestCrossbarAnalog:
+    def test_column_values_are_matrix_product(self):
+        xbar, weights = make_crossbar()
+        a = np.where(np.random.default_rng(1).random((3, 6)) < 0.5, 1.0, -1.0)
+        np.testing.assert_allclose(xbar.column_values(a), a @ weights)
+
+    def test_zero_activation_contributes_nothing(self):
+        """Zero rows model conv zero-padding: no current injected."""
+        xbar, weights = make_crossbar()
+        a = np.ones((1, 6))
+        a_padded = a.copy()
+        a_padded[0, 2] = 0.0
+        diff = xbar.column_values(a) - xbar.column_values(a_padded)
+        np.testing.assert_allclose(diff.ravel(), weights[2])
+
+    def test_currents_scale_with_unit_current(self):
+        xbar, _ = make_crossbar()
+        a = np.ones((1, 6))
+        np.testing.assert_allclose(
+            xbar.column_currents_ua(a),
+            xbar.column_values(a) * xbar.config.unit_current_ua,
+        )
+
+    def test_attenuation_reduces_current_for_larger_arrays(self):
+        small, w = make_crossbar(cs=8)
+        cfg_big = HardwareConfig(crossbar_size=144)
+        big = CrossbarArray(cfg_big, w)
+        a = np.ones((1, 6))
+        assert np.all(
+            np.abs(big.column_currents_ua(a)) < np.abs(small.column_currents_ua(a)) + 1e-12
+        )
+
+    def test_activation_validation(self):
+        xbar, _ = make_crossbar()
+        with pytest.raises(ValueError):
+            xbar.column_values(np.full((1, 6), 0.5))
+        with pytest.raises(ValueError):
+            xbar.column_values(np.ones((1, 5)))
+
+    def test_1d_activation_promoted(self):
+        xbar, _ = make_crossbar()
+        out = xbar.column_values(np.ones(6))
+        assert out.shape == (1, 4)
+
+
+class TestCrossbarStochastic:
+    def test_probabilities_in_unit_interval(self):
+        xbar, _ = make_crossbar()
+        a = np.where(np.random.default_rng(2).random((5, 6)) < 0.5, 1.0, -1.0)
+        p = xbar.output_probabilities(a)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_expected_output_consistency(self):
+        xbar, _ = make_crossbar()
+        a = np.ones((2, 6))
+        np.testing.assert_allclose(
+            xbar.expected_output(a), 2 * xbar.output_probabilities(a) - 1
+        )
+
+    def test_large_sums_are_nearly_deterministic(self):
+        """A full +1 column far exceeds the gray zone at small Cs."""
+        cfg = HardwareConfig(crossbar_size=4, gray_zone_ua=2.4)
+        xbar = CrossbarArray(cfg, np.ones((4, 1)), seed=0)
+        p = xbar.output_probabilities(np.ones((1, 4)))
+        assert p[0, 0] > 0.9999
+
+    def test_sample_alphabet(self):
+        xbar, _ = make_crossbar()
+        a = np.ones((3, 6))
+        out = xbar.sample_output(a)
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+    def test_sample_window_shape(self):
+        xbar, _ = make_crossbar()
+        window = xbar.sample_window(np.ones((3, 6)), window_bits=5)
+        assert window.shape == (5, 3, 4)
+
+    def test_window_default_from_config(self):
+        xbar, _ = make_crossbar()
+        window = xbar.sample_window(np.ones((1, 6)))
+        assert window.shape[0] == xbar.config.window_bits
+
+    def test_sampling_statistics_match_probabilities(self):
+        cfg = HardwareConfig(crossbar_size=8, gray_zone_ua=40.0)
+        xbar = CrossbarArray(cfg, np.ones((8, 1)), seed=0)
+        a = np.ones((1, 8))
+        p = xbar.output_probabilities(a)[0, 0]
+        window = xbar.sample_window(a, window_bits=20000)
+        assert (window > 0).mean() == pytest.approx(p, abs=0.02)
+
+    def test_ideal_sign_output(self):
+        xbar, weights = make_crossbar()
+        a = np.where(np.random.default_rng(3).random((4, 6)) < 0.5, 1.0, -1.0)
+        expected = np.where(a @ weights >= 0, 1.0, -1.0)
+        np.testing.assert_array_equal(xbar.ideal_sign_output(a), expected)
+
+    def test_threshold_shifts_ideal_decision(self):
+        cfg = HardwareConfig(crossbar_size=4)
+        unit = cfg.unit_current_ua
+        xbar = CrossbarArray(cfg, np.ones((4, 1)), threshold_ua=2.5 * unit)
+        # column value 2 < 2.5 -> -1 ; value 4 >= 2.5 -> +1
+        a_two = np.array([[1.0, 1.0, 1.0, -1.0]])
+        a_four = np.ones((1, 4))
+        assert xbar.ideal_sign_output(a_two)[0, 0] == -1.0
+        assert xbar.ideal_sign_output(a_four)[0, 0] == 1.0
+
+    def test_invalid_window(self):
+        xbar, _ = make_crossbar()
+        with pytest.raises(ValueError):
+            xbar.sample_window(np.ones((1, 6)), window_bits=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=10), st.integers(min_value=1, max_value=5))
+def test_crossbar_probability_monotone_in_value(rows, cols):
+    """Property: more +1 inputs can only raise P('1') for +1 weights."""
+    cfg = HardwareConfig(crossbar_size=16, gray_zone_ua=5.0)
+    xbar = CrossbarArray(cfg, np.ones((rows, cols)))
+    base = -np.ones((1, rows))
+    probs = []
+    for k in range(rows + 1):
+        a = base.copy()
+        a[0, :k] = 1.0
+        probs.append(xbar.output_probabilities(a)[0, 0])
+    assert all(a <= b + 1e-12 for a, b in zip(probs, probs[1:]))

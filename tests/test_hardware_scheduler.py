@@ -1,0 +1,109 @@
+"""Tests for the bank-constrained schedule."""
+
+import pytest
+
+from repro.hardware.config import HardwareConfig
+from repro.hardware.cost import LayerWorkload
+from repro.hardware.scheduler import BankScheduler, ScheduleResult
+
+
+def workloads():
+    return [
+        LayerWorkload(144, 48, positions=1),  # 2 row tiles at Cs=72
+        LayerWorkload(48, 24, positions=1),
+        LayerWorkload(24, 10, positions=1),
+    ]
+
+
+def conv_workloads():
+    return [
+        LayerWorkload(108, 16, positions=256),
+        LayerWorkload(144, 32, positions=64),
+        LayerWorkload(128, 10, positions=1),
+    ]
+
+
+class TestBankScheduler:
+    def make(self, n_banks=4, cs=72, window=16):
+        cfg = HardwareConfig(crossbar_size=cs, window_bits=window)
+        return BankScheduler(cfg, n_banks)
+
+    def test_minimum_banks_is_widest_row_tiling(self):
+        sched = self.make(cs=72)
+        assert sched.minimum_banks(workloads()) == 2
+
+    def test_too_few_banks_rejected(self):
+        sched = self.make(n_banks=1, cs=72)
+        with pytest.raises(ValueError):
+            sched.schedule(workloads())
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().schedule([])
+
+    def test_invalid_constructor_args(self):
+        cfg = HardwareConfig()
+        with pytest.raises(ValueError):
+            BankScheduler(cfg, n_banks=0)
+        with pytest.raises(ValueError):
+            BankScheduler(cfg, n_banks=2, reload_cycles_per_tile=-1)
+
+    def test_cycle_accounting_consistency(self):
+        result = self.make().schedule(workloads())
+        assert (
+            result.cycles_per_image
+            == result.compute_cycles + result.reload_cycles
+        )
+        assert result.reload_cycles > 0  # weights must be loaded
+
+    def test_more_banks_never_slower(self):
+        few = self.make(n_banks=2).schedule(conv_workloads())
+        many = self.make(n_banks=8).schedule(conv_workloads())
+        assert many.cycles_per_image <= few.cycles_per_image
+
+    def test_more_banks_lower_utilization_at_fixed_work(self):
+        """Past the parallelism the network offers, extra banks idle."""
+        enough = self.make(n_banks=2).schedule(workloads())
+        excess = self.make(n_banks=64).schedule(workloads())
+        assert excess.utilization < enough.utilization
+
+    def test_window_scales_compute_cycles(self):
+        short = self.make(window=4).schedule(conv_workloads())
+        long = self.make(window=16).schedule(conv_workloads())
+        assert long.compute_cycles == 4 * short.compute_cycles
+
+    def test_reload_overhead_fraction(self):
+        result = self.make().schedule(workloads())
+        assert 0.0 <= result.reload_overhead < 1.0
+
+    def test_weights_stationary_amortizes_reloads(self):
+        """Spatial positions reuse resident weights: conv layers pay one
+        reload per column-tile wave, not per position."""
+        sched = self.make(n_banks=2, cs=72)
+        conv = sched.schedule([LayerWorkload(108, 16, positions=256)])
+        fc_like = sched.schedule([LayerWorkload(108, 16, positions=1)])
+        assert conv.reload_cycles == fc_like.reload_cycles
+
+    def test_throughput_matches_cycles(self):
+        sched = self.make()
+        result = sched.schedule(workloads())
+        assert result.throughput_images_per_s == pytest.approx(
+            sched.config.clock_rate_hz / result.cycles_per_image
+        )
+
+    def test_sweep_skips_illegal_counts(self):
+        sched = self.make(n_banks=2, cs=72)
+        results = sched.sweep_bank_counts(workloads(), [1, 2, 4, 8])
+        assert [r.n_banks for r in results] == [2, 4, 8]
+
+    def test_single_block_matches_paper_regime(self):
+        """With the minimum pool, throughput lands orders below the
+        all-parallel cost model — the time-multiplexed regime the
+        paper's 2 img/ms prototype row implies."""
+        cfg = HardwareConfig(crossbar_size=72, window_bits=16)
+        sched = BankScheduler(cfg, n_banks=2)
+        result = sched.schedule(conv_workloads())
+        assert result.throughput_images_per_s < cfg.clock_rate_hz / (
+            256 * 16
+        )  # slower than one pass per position at full parallelism
+        assert result.utilization > 0.5  # but the banks stay busy

@@ -1,0 +1,140 @@
+"""End-to-end integration: train -> compile -> deploy -> co-optimize.
+
+These tests exercise the full SupeRBNN pipeline on the session-scoped
+trained model (see conftest) plus a few fresh small runs, asserting the
+paper's qualitative claims rather than point values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.core.trainer import Trainer, TrainingConfig
+from repro.data.loaders import DataLoader
+from repro.hardware.config import HardwareConfig
+from repro.hardware.cost import AcceleratorCostModel
+from repro.mapping.compiler import compile_model
+from repro.mapping.executor import evaluate_accuracy, network_workloads
+from repro.models.mlp import Mlp
+
+
+class TestFullPipeline:
+    def test_software_model_learns(self, trained_mlp_session):
+        _, _, _, accuracy = trained_mlp_session
+        assert accuracy > 0.5  # 10-class task, chance = 0.1
+
+    def test_ideal_hardware_equals_software(self, trained_mlp_session):
+        model, _, test, _ = trained_mlp_session
+        network = compile_model(model)
+        with no_grad():
+            software = model(Tensor(test.images)).data.argmax(axis=1)
+        np.testing.assert_array_equal(
+            network.predict(test.images, mode="ideal"), software
+        )
+
+    def test_stochastic_hardware_close_to_software(self, trained_mlp_session):
+        model, _, test, accuracy = trained_mlp_session
+        network = compile_model(model)
+        hw_acc = evaluate_accuracy(network, test.images, test.labels)
+        assert hw_acc > accuracy - 0.25
+        assert hw_acc > 0.3
+
+    def test_window_sweep_shape(self, trained_mlp_session):
+        """Fig. 10 shape: accuracy at L=32 is not worse than L=1."""
+        model, _, test, _ = trained_mlp_session
+        images, labels = test.images[:120], test.labels[:120]
+        acc = {}
+        for window in (1, 32):
+            network = compile_model(model, model.hardware.with_(window_bits=window))
+            acc[window] = evaluate_accuracy(network, images, labels)
+        assert acc[32] >= acc[1] - 0.03
+
+    def test_cost_model_on_compiled_network(self, trained_mlp_session):
+        model, train, _, _ = trained_mlp_session
+        network = compile_model(model)
+        workloads = network_workloads(network, train.image_shape)
+        cost = AcceleratorCostModel(network.config, workloads)
+        summary = cost.summary()
+        assert summary["tops_per_w"] > 1e4  # superconducting territory
+        assert summary["tops_per_w_cooled"] == pytest.approx(
+            summary["tops_per_w"] / 400.0
+        )
+
+    def test_deploy_under_different_crossbar_size(self, trained_mlp_session):
+        """Train at Cs=16, deploy at Cs=72: the compiler retiles and
+        rescales thresholds via the new I1(Cs)."""
+        model, _, test, _ = trained_mlp_session
+        network = compile_model(model, model.hardware.with_(crossbar_size=72))
+        with no_grad():
+            software = model(Tensor(test.images)).data.argmax(axis=1)
+        np.testing.assert_array_equal(
+            network.predict(test.images, mode="ideal"), software
+        )
+
+
+class TestRandomizedVsDeterministicTraining:
+    """The core ablation (Sec. 5.1): randomized-aware training should
+    degrade less when deployed on the stochastic device."""
+
+    @pytest.fixture(scope="class")
+    def ablation(self):
+        from repro.data.synthetic import make_mnist_like
+
+        data = make_mnist_like(n_samples=900, seed=0)
+        train, test = data.split(0.8, seed=1)
+        hardware = HardwareConfig(crossbar_size=16, gray_zone_ua=15.0, window_bits=4)
+        results = {}
+        for label, stochastic in (("randomized", True), ("deterministic", False)):
+            model = Mlp(
+                in_features=144,
+                hidden=(48,),
+                hardware=hardware,
+                stochastic=stochastic,
+                seed=0,
+            )
+            trainer = Trainer(model, TrainingConfig(epochs=12, warmup_epochs=2))
+            trainer.fit(DataLoader(train, 64, seed=2))
+            software = trainer.evaluate(DataLoader(test, 256, shuffle=False))
+            model.eval()
+            network = compile_model(model, hardware)
+            hardware_acc = evaluate_accuracy(
+                network, test.images, test.labels, mode="stochastic"
+            )
+            results[label] = {"software": software, "hardware": hardware_acc}
+        return results
+
+    def test_both_variants_learn(self, ablation):
+        assert ablation["randomized"]["software"] > 0.4
+        assert ablation["deterministic"]["software"] > 0.4
+
+    def test_randomized_training_usable_on_hardware(self, ablation):
+        assert ablation["randomized"]["hardware"] > 0.35
+
+    def test_randomized_training_degrades_no_more(self, ablation):
+        """Hardware drop of the randomized-aware model must not exceed
+        the deterministic baseline's drop by a margin."""
+        drop_rand = (
+            ablation["randomized"]["software"] - ablation["randomized"]["hardware"]
+        )
+        drop_det = (
+            ablation["deterministic"]["software"]
+            - ablation["deterministic"]["hardware"]
+        )
+        assert drop_rand <= drop_det + 0.10
+
+
+class TestCooptIntegration:
+    def test_optimize_then_deploy(self, trained_mlp_session):
+        from repro.core.coopt import optimize_hardware_config
+
+        model, _, test, _ = trained_mlp_session
+        result = optimize_hardware_config(
+            gray_zones_ua=[2.4, 10.0, 40.0],
+            crossbar_sizes=[8, 16, 72],
+            max_energy_per_cycle_aj=400.0,
+            window_bits=8,
+        )
+        assert result.best_config.crossbar_size in (8, 16, 72)
+        network = compile_model(model, result.best_config)
+        acc = evaluate_accuracy(network, test.images[:100], test.labels[:100])
+        assert acc > 0.2

@@ -1,0 +1,164 @@
+"""Tests for conv lowering and the model -> hardware compiler."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.autograd.functional import conv2d, im2col
+from repro.core.trainer import Trainer, TrainingConfig
+from repro.data.loaders import DataLoader
+from repro.data.synthetic import make_mnist_like
+from repro.hardware.config import HardwareConfig
+from repro.mapping.compiler import (
+    CompiledNetwork,
+    ConvStage,
+    HeadStage,
+    LinearStage,
+    PoolStage,
+    ThermometerStage,
+    compile_model,
+)
+from repro.mapping.tiling import conv_output_geometry, conv_weight_to_matrix
+from repro.models.mlp import Mlp
+from repro.models.vgg import VggSmall
+
+
+class TestConvLowering:
+    def test_weight_matrix_shape(self):
+        w = np.ones((8, 3, 3, 3))
+        assert conv_weight_to_matrix(w).shape == (27, 8)
+
+    def test_lowering_matches_conv2d(self, rng):
+        """im2col(x)^T @ lowered(w) must equal conv2d position-wise."""
+        x = np.where(rng.random((2, 3, 6, 6)) < 0.5, 1.0, -1.0)
+        w = np.where(rng.random((4, 3, 3, 3)) < 0.5, 1.0, -1.0)
+        cols, (h, wd) = im2col(x, 3, 1, 1)
+        matrix = conv_weight_to_matrix(w)
+        lowered = np.einsum("nkp,ko->nop", cols, matrix)  # (N, C_out, P)
+        direct = conv2d(Tensor(x), Tensor(w), padding=1).data.reshape(2, 4, -1)
+        np.testing.assert_allclose(lowered, direct)
+
+    def test_non_4d_rejected(self):
+        with pytest.raises(ValueError):
+            conv_weight_to_matrix(np.ones((3, 3)))
+
+    def test_output_geometry(self):
+        assert conv_output_geometry(16, 16, 3, 1, 1) == (16, 16)
+        assert conv_output_geometry(16, 16, 2, 2, 0) == (8, 8)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            conv_output_geometry(2, 2, 5, 1, 0)
+        with pytest.raises(ValueError):
+            conv_output_geometry(0, 4, 3, 1, 1)
+
+
+@pytest.fixture(scope="module")
+def quick_mlp():
+    data = make_mnist_like(n_samples=500, seed=0)
+    train, test = data.split(0.8, seed=1)
+    hw = HardwareConfig(crossbar_size=16, gray_zone_ua=10.0, window_bits=8)
+    model = Mlp(in_features=144, hidden=(32,), hardware=hw, seed=0)
+    trainer = Trainer(model, TrainingConfig(epochs=6, warmup_epochs=1))
+    trainer.fit(DataLoader(train, 64, seed=2))
+    model.eval()
+    return model, train, test
+
+
+@pytest.fixture(scope="module")
+def quick_vgg():
+    from repro.data.synthetic import make_cifar_like
+
+    data = make_cifar_like(n_samples=300, seed=3)
+    train, test = data.split(0.8, seed=1)
+    hw = HardwareConfig(crossbar_size=36, gray_zone_ua=10.0, window_bits=4)
+    model = VggSmall(image_size=16, hardware=hw, seed=0)
+    trainer = Trainer(model, TrainingConfig(epochs=2, warmup_epochs=0))
+    trainer.fit(DataLoader(train, 64, seed=2))
+    model.eval()
+    return model, train, test
+
+
+class TestCompileMlp:
+    def test_stage_sequence(self, quick_mlp):
+        model, _, _ = quick_mlp
+        network = compile_model(model)
+        kinds = [type(s).__name__ for s in network.stages]
+        assert kinds[0] == "SignStage"
+        assert kinds[-1] == "HeadStage"
+        assert kinds.count("LinearStage") == 1
+
+    def test_tiled_layer_dimensions(self, quick_mlp):
+        model, _, _ = quick_mlp
+        network = compile_model(model)
+        layer = network.tiled_layers[0]
+        assert layer.in_features == 144
+        assert layer.out_features == 32
+
+    def test_weights_are_signs_of_trained_weights_up_to_flip(self, quick_mlp):
+        model, _, _ = quick_mlp
+        network = compile_model(model)
+        stage = next(s for s in network.stages if isinstance(s, LinearStage))
+        full = np.concatenate(
+            [
+                np.concatenate([t.weights for t in row], axis=1)
+                for row in stage.layer.tiles
+            ],
+            axis=0,
+        )
+        expected = np.where(model.cells[0].weight.data >= 0, 1.0, -1.0).T
+        # Columns may be negated (gamma flips); check up to per-column sign.
+        col_sign = np.sign((full * expected).sum(axis=0))
+        np.testing.assert_array_equal(np.abs(col_sign), np.ones(32))
+        np.testing.assert_array_equal(full, expected * col_sign)
+
+    def test_deploy_config_override(self, quick_mlp):
+        model, _, _ = quick_mlp
+        other = HardwareConfig(crossbar_size=72, window_bits=2)
+        network = compile_model(model, other)
+        assert network.config.crossbar_size == 72
+        assert network.tiled_layers[0].n_row_tiles == 2  # ceil(144/72)
+
+    def test_unsupported_model_rejected(self):
+        from repro.models.resnet import ResNet18
+
+        model = ResNet18(image_size=16, seed=0)
+        with pytest.raises(TypeError):
+            compile_model(model)
+
+    def test_head_logits_match_software_head(self, quick_mlp, rng):
+        model, _, _ = quick_mlp
+        network = compile_model(model)
+        head = next(s for s in network.stages if isinstance(s, HeadStage))
+        x = np.where(rng.random((4, 32)) < 0.5, 1.0, -1.0)
+        with no_grad():
+            expected = model.head(Tensor(x)).data
+        np.testing.assert_allclose(head.logits(x), expected, rtol=1e-10)
+
+
+class TestCompileVgg:
+    def test_stage_sequence(self, quick_vgg):
+        model, _, _ = quick_vgg
+        network = compile_model(model)
+        kinds = [type(s).__name__ for s in network.stages]
+        assert kinds[0] == "ThermometerStage"
+        assert kinds.count("ConvStage") == 6
+        assert kinds.count("PoolStage") == 3
+        assert kinds[-1] == "HeadStage"
+
+    def test_conv_stage_geometry(self, quick_vgg):
+        model, _, _ = quick_vgg
+        network = compile_model(model)
+        conv = next(s for s in network.stages if isinstance(s, ConvStage))
+        assert conv.kernel == 3
+        assert conv.padding == 1
+        assert conv.layer.in_features == 12 * 9  # 3ch x 4 levels x 3x3
+
+    def test_thermometer_thresholds_preserved(self, quick_vgg):
+        model, _, _ = quick_vgg
+        network = compile_model(model)
+        thermo = network.stages[0]
+        assert isinstance(thermo, ThermometerStage)
+        np.testing.assert_allclose(
+            thermo.thresholds, model.input_binarize.thresholds
+        )

@@ -1,0 +1,135 @@
+"""Tests for hardware-faithful execution, incl. software equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.hardware.config import HardwareConfig
+from repro.hardware.cost import LayerWorkload
+from repro.mapping.compiler import compile_model
+from repro.mapping.executor import (
+    evaluate_accuracy,
+    network_workloads,
+    run_network,
+)
+
+from tests.test_mapping_compiler import quick_mlp, quick_vgg  # noqa: F401  (fixtures)
+
+
+class TestIdealEquivalence:
+    """The central correctness property: the compiled network in ideal
+    mode must agree with the software model evaluated deterministically
+    — BN matching, gamma flips, tiling, and lowering are all exact."""
+
+    def test_mlp_bit_exact(self, quick_mlp):
+        model, _, test = quick_mlp
+        network = compile_model(model)
+        with no_grad():
+            software = model(Tensor(test.images)).data.argmax(axis=1)
+        hardware = network.predict(test.images, mode="ideal")
+        np.testing.assert_array_equal(software, hardware)
+
+    def test_vgg_bit_exact(self, quick_vgg):
+        model, _, test = quick_vgg
+        network = compile_model(model)
+        images = test.images[:24]
+        with no_grad():
+            software = model(Tensor(images)).data.argmax(axis=1)
+        hardware = network.predict(images, mode="ideal")
+        np.testing.assert_array_equal(software, hardware)
+
+    def test_ideal_logits_match_not_just_argmax(self, quick_mlp):
+        model, _, test = quick_mlp
+        network = compile_model(model)
+        images = test.images[:16]
+        with no_grad():
+            software = model(Tensor(images)).data
+        hardware = run_network(network, images, mode="ideal")
+        np.testing.assert_allclose(hardware, software, rtol=1e-10)
+
+
+class TestStochasticExecution:
+    def test_stochastic_accuracy_reasonable(self, quick_mlp):
+        model, _, test = quick_mlp
+        network = compile_model(model)
+        acc_ideal = evaluate_accuracy(network, test.images, test.labels, mode="ideal")
+        acc_stoch = evaluate_accuracy(
+            network, test.images, test.labels, mode="stochastic"
+        )
+        assert acc_stoch > 0.2  # far above 10% chance
+        assert acc_stoch <= acc_ideal + 0.1
+
+    def test_longer_window_not_worse(self, quick_mlp):
+        model, _, test = quick_mlp
+        images, labels = test.images[:80], test.labels[:80]
+        accs = {}
+        for window in (1, 32):
+            network = compile_model(
+                model, model.hardware.with_(window_bits=window)
+            )
+            accs[window] = evaluate_accuracy(network, images, labels)
+        assert accs[32] >= accs[1] - 0.05
+
+    def test_invalid_mode_rejected(self, quick_mlp):
+        model, _, test = quick_mlp
+        network = compile_model(model)
+        with pytest.raises(ValueError):
+            run_network(network, test.images[:2], mode="quantum")
+
+    def test_compiled_network_forward_alias(self, quick_mlp):
+        model, _, test = quick_mlp
+        network = compile_model(model)
+        logits = network.forward(test.images[:4], mode="ideal")
+        assert logits.shape == (4, 10)
+
+
+class TestWorkloads:
+    def test_mlp_workloads(self, quick_mlp):
+        model, train, _ = quick_mlp
+        network = compile_model(model)
+        workloads = network_workloads(network, train.image_shape)
+        assert [w.in_features for w in workloads] == [144, 32]
+        assert all(w.positions == 1 for w in workloads)
+
+    def test_vgg_workloads_have_spatial_positions(self, quick_vgg):
+        model, train, _ = quick_vgg
+        network = compile_model(model)
+        workloads = network_workloads(network, train.image_shape)
+        conv_loads = [w for w in workloads if w.positions > 1]
+        assert conv_loads[0].positions == 16 * 16
+        # After the first pool the positions shrink by 4x.
+        assert conv_loads[2].positions == 8 * 8
+
+    def test_workloads_feed_cost_model(self, quick_vgg):
+        from repro.hardware.cost import AcceleratorCostModel
+
+        model, train, _ = quick_vgg
+        network = compile_model(model)
+        workloads = network_workloads(network, train.image_shape)
+        cost = AcceleratorCostModel(network.config, workloads)
+        assert cost.energy_efficiency_tops_per_w() > 0
+
+    def test_thermometer_multiplies_channels(self, quick_vgg):
+        model, train, _ = quick_vgg
+        network = compile_model(model)
+        workloads = network_workloads(network, train.image_shape)
+        assert workloads[0].in_features == 3 * 4 * 9  # c * levels * k^2
+
+
+class TestPoolStageSemantics:
+    def test_pool_of_pm_ones_is_or(self):
+        from repro.mapping.compiler import PoolStage
+        from repro.mapping.executor import _run_pool
+
+        x = -np.ones((1, 1, 4, 4))
+        x[0, 0, 0, 1] = 1.0
+        out = _run_pool(PoolStage(kernel=2), x)
+        assert out[0, 0, 0, 0] == 1.0  # any +1 in the window wins
+        assert out[0, 0, 1, 1] == -1.0
+
+    def test_pool_shape_validation(self):
+        from repro.mapping.compiler import PoolStage
+        from repro.mapping.executor import _run_pool
+
+        with pytest.raises(ValueError):
+            _run_pool(PoolStage(kernel=2), np.ones((1, 1, 5, 5)))

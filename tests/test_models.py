@@ -1,0 +1,154 @@
+"""Tests for the model zoo: MLP, VGG-small, ResNet-18."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.autograd import functional as F
+from repro.hardware.config import HardwareConfig
+from repro.models import Mlp, ResNet18, VggSmall
+from repro.models.common import InputBinarize, ThermometerEncode, set_sample_in_eval
+
+
+class TestInputEncodings:
+    def test_input_binarize_signs(self):
+        out = InputBinarize()(Tensor(np.array([[-0.5, 0.0, 0.5]])))
+        np.testing.assert_array_equal(out.data, [[-1.0, 1.0, 1.0]])
+
+    def test_thermometer_channel_expansion(self, rng):
+        enc = ThermometerEncode(levels=4)
+        x = Tensor(rng.uniform(-1, 1, size=(2, 3, 5, 5)))
+        out = enc(x)
+        assert out.shape == (2, 12, 5, 5)
+        assert set(np.unique(out.data)) <= {-1.0, 1.0}
+
+    def test_thermometer_monotone_planes(self):
+        """Higher-threshold planes can only turn off, never on."""
+        enc = ThermometerEncode(levels=4)
+        x = Tensor(np.full((1, 1, 2, 2), 0.3))
+        out = enc(x).data.reshape(4, -1)
+        ones_per_plane = (out > 0).sum(axis=1)
+        assert all(a >= b for a, b in zip(ones_per_plane, ones_per_plane[1:]))
+
+    def test_thermometer_preserves_amplitude_ordering(self):
+        enc = ThermometerEncode(levels=8)
+        weak = enc(Tensor(np.full((1, 1, 1, 1), 0.1))).data.sum()
+        strong = enc(Tensor(np.full((1, 1, 1, 1), 0.9))).data.sum()
+        assert strong > weak
+
+    def test_thermometer_validation(self):
+        with pytest.raises(ValueError):
+            ThermometerEncode(levels=0)
+        with pytest.raises(ValueError):
+            ThermometerEncode()(Tensor(np.zeros((2, 3))))
+
+
+class TestMlp:
+    def test_forward_shapes(self, rng):
+        model = Mlp(in_features=144, hidden=(32, 16), seed=0)
+        model.train()
+        out = model(Tensor(rng.uniform(-1, 1, size=(4, 1, 12, 12))))
+        assert out.shape == (4, 10)
+
+    def test_accepts_flat_input(self, rng):
+        model = Mlp(in_features=20, hidden=(8,), seed=0)
+        model.train()
+        assert model(Tensor(rng.uniform(-1, 1, size=(3, 20)))).shape == (3, 10)
+
+    def test_requires_hidden_layer(self):
+        with pytest.raises(ValueError):
+            Mlp(in_features=10, hidden=())
+
+    def test_gradients_reach_all_parameters(self, rng):
+        model = Mlp(in_features=20, hidden=(16, 8), seed=0)
+        model.train()
+        logits = model(Tensor(rng.uniform(-1, 1, size=(8, 20))))
+        F.cross_entropy(logits, np.zeros(8, dtype=int)).backward()
+        missing = [
+            name
+            for name, p in model.named_parameters()
+            if p.grad is None or not np.any(p.grad)
+        ]
+        # BN biases of saturated cells can legitimately have small grads,
+        # but nothing should be structurally disconnected (None).
+        assert not [n for n, p in model.named_parameters() if p.grad is None], missing
+
+    def test_deterministic_variant(self, rng):
+        model = Mlp(in_features=20, hidden=(8,), stochastic=False, seed=0)
+        model.train()
+        x = Tensor(rng.uniform(-1, 1, size=(4, 20)))
+        a = model(x).data
+        model.zero_grad()
+        b = model(x).data
+        np.testing.assert_allclose(a, b)  # BN batch stats identical here
+
+
+class TestVggSmall:
+    def test_forward_shapes(self, rng):
+        model = VggSmall(image_size=16, seed=0)
+        model.train()
+        out = model(Tensor(rng.uniform(-1, 1, size=(2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_width_multiplier_scales_channels(self):
+        small = VggSmall(image_size=16, width_multiplier=0.0625, seed=0)
+        big = VggSmall(image_size=16, width_multiplier=0.25, seed=0)
+        assert big.flat_features > small.flat_features
+
+    def test_paper_scale_plan(self):
+        model = VggSmall(image_size=32, width_multiplier=1.0, seed=0)
+        convs = [c for c in model.features if hasattr(c, "out_channels")]
+        assert [c.out_channels for c in convs] == [128, 128, 256, 256, 512, 512]
+
+    def test_too_small_image_rejected(self):
+        with pytest.raises(ValueError):
+            VggSmall(image_size=4, seed=0)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            VggSmall(width_multiplier=0.0)
+
+    def test_sign_input_mode(self, rng):
+        model = VggSmall(image_size=16, input_levels=1, seed=0)
+        model.train()
+        out = model(Tensor(rng.uniform(-1, 1, size=(1, 3, 16, 16))))
+        assert out.shape == (1, 10)
+
+
+class TestResNet18:
+    def test_forward_shapes(self, rng):
+        model = ResNet18(image_size=16, seed=0)
+        model.train()
+        out = model(Tensor(rng.uniform(-1, 1, size=(2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_has_eight_blocks(self):
+        model = ResNet18(image_size=16, seed=0)
+        assert len(model.blocks) == 8
+
+    def test_projection_blocks_at_stage_boundaries(self):
+        model = ResNet18(image_size=16, seed=0)
+        projections = [b.needs_projection for b in model.blocks]
+        assert projections == [False, False, True, False, True, False, True, False]
+
+    def test_too_small_image_rejected(self):
+        with pytest.raises(ValueError):
+            ResNet18(image_size=4, seed=0)
+
+    def test_gradients_flow_through_blocks(self, rng):
+        model = ResNet18(image_size=16, width_multiplier=0.0625, seed=0)
+        model.train()
+        logits = model(Tensor(rng.uniform(-1, 1, size=(2, 3, 16, 16))))
+        F.cross_entropy(logits, np.array([0, 1])).backward()
+        assert model.stem.weight.grad is not None
+        assert model.blocks[-1].cell1.weight.grad is not None
+
+
+class TestSampleInEvalToggle:
+    def test_toggle_reaches_all_cells(self):
+        model = VggSmall(image_size=16, seed=0)
+        set_sample_in_eval(model, True)
+        cells = [m for m in model.modules() if hasattr(m, "sample_in_eval")]
+        assert cells and all(c.sample_in_eval for c in cells)
+        set_sample_in_eval(model, False)
+        assert all(not c.sample_in_eval for c in cells)

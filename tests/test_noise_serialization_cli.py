@@ -1,0 +1,188 @@
+"""Tests for weight-noise baselines, checkpointing, temperature, and CLI."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core.noise_baselines import WeightNoiseInjector, perturb_weights
+from repro.models.mlp import Mlp
+from repro.utils.serialization import load_into, load_state_dict, save_state_dict
+
+
+class TestPerturbWeights:
+    def test_zero_sigma_is_identity(self, rng):
+        w = rng.normal(size=(5, 5))
+        np.testing.assert_array_equal(perturb_weights(w, 0.0), w)
+
+    def test_noise_scale_relative_to_std(self, rng):
+        w = rng.normal(scale=3.0, size=(200, 200))
+        noisy = perturb_weights(w, 0.1, seed=0)
+        deviation = (noisy - w).std()
+        assert deviation == pytest.approx(0.1 * w.std(), rel=0.05)
+
+    def test_seeded_reproducibility(self, rng):
+        w = rng.normal(size=(4, 4))
+        np.testing.assert_array_equal(
+            perturb_weights(w, 0.2, seed=3), perturb_weights(w, 0.2, seed=3)
+        )
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            perturb_weights(np.zeros((2, 2)), -0.1)
+
+
+class TestWeightNoiseInjector:
+    def test_inject_restore_roundtrip(self):
+        model = Mlp(in_features=20, hidden=(8,), seed=0)
+        original = {
+            name: p.data.copy() for name, p in model.named_parameters()
+        }
+        injector = WeightNoiseInjector(0.3, seed=0)
+        injector.inject(model)
+        changed = any(
+            not np.array_equal(p.data, original[name])
+            for name, p in model.named_parameters()
+            if p.data.ndim >= 2
+        )
+        assert changed
+        injector.restore(model)
+        for name, p in model.named_parameters():
+            np.testing.assert_array_equal(p.data, original[name])
+
+    def test_double_inject_rejected(self):
+        model = Mlp(in_features=20, hidden=(8,), seed=0)
+        injector = WeightNoiseInjector(0.1)
+        injector.inject(model)
+        with pytest.raises(RuntimeError):
+            injector.inject(model)
+
+    def test_vectors_untouched(self):
+        model = Mlp(in_features=20, hidden=(8,), seed=0)
+        alpha_before = model.cells[0].alpha.data.copy()
+        injector = WeightNoiseInjector(0.5, seed=0)
+        injector.inject(model)
+        np.testing.assert_array_equal(model.cells[0].alpha.data, alpha_before)
+        injector.restore(model)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            WeightNoiseInjector(-0.1)
+
+
+class TestSerialization:
+    def test_roundtrip_restores_parameters(self, tmp_path, rng):
+        model = Mlp(in_features=20, hidden=(8,), seed=0)
+        model.train()
+        model(Tensor(rng.uniform(-1, 1, size=(16, 20))))  # BN stats
+        path = save_state_dict(model, tmp_path / "ckpt", metadata={"epochs": 5})
+
+        other = Mlp(in_features=20, hidden=(8,), seed=99)
+        metadata = load_into(other, path)
+        assert metadata == {"epochs": 5}
+        for (_, a), (_, b) in zip(
+            model.named_parameters(), other.named_parameters()
+        ):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_buffers_roundtrip(self, tmp_path, rng):
+        model = Mlp(in_features=20, hidden=(8,), seed=0)
+        model.train()
+        model(Tensor(rng.uniform(-1, 1, size=(64, 20))))
+        path = save_state_dict(model, tmp_path / "ckpt.npz")
+        other = Mlp(in_features=20, hidden=(8,), seed=1)
+        load_into(other, path)
+        np.testing.assert_array_equal(
+            model.cells[0].bn.running_mean, other.cells[0].bn.running_mean
+        )
+
+    def test_suffix_normalized(self, tmp_path):
+        model = Mlp(in_features=10, hidden=(4,), seed=0)
+        path = save_state_dict(model, tmp_path / "weights")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_load_state_dict_payload(self, tmp_path):
+        model = Mlp(in_features=10, hidden=(4,), seed=0)
+        path = save_state_dict(model, tmp_path / "w", metadata={"k": [1, 2]})
+        payload = load_state_dict(path)
+        assert payload["metadata"] == {"k": [1, 2]}
+        assert any(key.endswith("weight") for key in payload["state"])
+
+    def test_predictions_identical_after_roundtrip(self, tmp_path, rng):
+        model = Mlp(in_features=20, hidden=(8,), seed=0)
+        model.train()
+        model(Tensor(rng.uniform(-1, 1, size=(32, 20))))
+        model.eval()
+        x = Tensor(rng.uniform(-1, 1, size=(8, 20)))
+        expected = model(x).data
+        path = save_state_dict(model, tmp_path / "m")
+        clone = Mlp(in_features=20, hidden=(8,), seed=5)
+        load_into(clone, path)
+        clone.eval()
+        np.testing.assert_allclose(clone(x).data, expected)
+
+
+class TestTemperatureSweep:
+    def test_gray_zone_monotone_in_rows(self):
+        from repro.experiments.temperature import temperature_sweep
+
+        result = temperature_sweep(
+            temperatures_k=(1.0, 10.0, 40.0), epochs=6, n_eval=100
+        )
+        zones = [row["gray_zone_ua"] for row in result["rows"]]
+        assert zones[0] < zones[1] < zones[2]
+
+    def test_hot_device_loses_accuracy(self):
+        from repro.experiments.temperature import temperature_sweep
+
+        result = temperature_sweep(
+            temperatures_k=(4.2, 60.0), epochs=8, n_eval=150
+        )
+        cold, hot = result["rows"][0], result["rows"][1]
+        assert hot["accuracy"] < cold["accuracy"] + 0.02
+        assert cold["accuracy"] > 0.4
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1", "--sizes", "4", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "384" in out and "1152" in out
+
+    def test_fig4(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig4"]) == 0
+        assert "boundary" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig5"]) == 0
+        assert "Cs^-" in capsys.readouterr().out
+
+    def test_clocking(self, capsys):
+        from repro.cli import main
+
+        assert main(["clocking"]) == 0
+        assert "BCM" in capsys.readouterr().out
+
+    def test_coopt(self, capsys):
+        from repro.cli import main
+
+        assert main(["coopt", "--sizes", "8", "--gray-zones", "5", "50"]) == 0
+        assert "optimum" in capsys.readouterr().out
+
+    def test_fig12(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig12", "--tops", "1e5"]) == 0
+        assert "GHz" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["definitely-not-a-command"])

@@ -1,0 +1,159 @@
+"""Cross-module property tests on core invariants (hypothesis).
+
+These pin down the algebraic facts the whole stack relies on:
+tiling partitions exactly, BN matching preserves decisions for random
+parameters, cost accounting is monotone in the obvious knobs, and the
+executor's ideal mode is invariant to the deployment crossbar size.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bn_matching import match_batch_norm, software_reference_output
+from repro.hardware.accelerator import TiledLinearLayer
+from repro.hardware.config import HardwareConfig
+from repro.hardware.cost import AcceleratorCostModel, CrossbarCost, LayerWorkload
+from repro.hardware.scheduler import BankScheduler
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=60),
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=2, max_value=24),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_tiling_partitions_weights_exactly(in_features, out_features, cs, seed):
+    """Property: reassembling the tile grid recovers the weight matrix,
+    and the ideal output equals the un-tiled sign decision."""
+    rng = np.random.default_rng(seed)
+    weights = np.where(rng.random((in_features, out_features)) < 0.5, 1.0, -1.0)
+    config = HardwareConfig(crossbar_size=cs, window_bits=2)
+    layer = TiledLinearLayer(config, weights, seed=seed)
+    reassembled = np.concatenate(
+        [np.concatenate([t.weights for t in row], axis=1) for row in layer.tiles],
+        axis=0,
+    )
+    np.testing.assert_array_equal(reassembled, weights)
+
+    activations = np.where(rng.random((3, in_features)) < 0.5, 1.0, -1.0)
+    expected = np.where(activations @ weights >= 0, 1.0, -1.0)
+    np.testing.assert_array_equal(layer.ideal_output(activations), expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_bn_matching_decision_equivalence(seed):
+    """Property: the folded threshold reproduces sign(BN(alpha x)) for
+    arbitrary (sign-mixed) BN parameters."""
+    rng = np.random.default_rng(seed)
+    n = 6
+    gamma = rng.uniform(0.2, 2.0, n) * rng.choice([-1.0, 1.0], n)
+    beta = rng.normal(size=n)
+    mean = rng.normal(size=n) * 2
+    var = rng.uniform(0.05, 3.0, n)
+    alpha = rng.uniform(0.2, 2.0, n) * rng.choice([-1.0, 1.0], n)
+    result = match_batch_norm(
+        gamma=gamma, beta=beta, mean=mean, var=var, alpha=alpha,
+        eps=1e-5, unit_current_ua=1.0,
+    )
+    xconv = rng.integers(-15, 16, size=(40, n)).astype(float)
+    std = np.sqrt(var + 1e-5)
+    bn_out = gamma * (xconv * alpha - mean) / std + beta
+    reference = np.where(bn_out >= 0, 1.0, -1.0)
+    folded = software_reference_output(xconv, result)
+    np.testing.assert_array_equal(folded, reference)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=144))
+def test_crossbar_cost_decomposition(size):
+    """Property: JJ(n) = 12 n^2 + 48 n for every size (Table 1 law)."""
+    cost = CrossbarCost(size)
+    assert cost.jj_count == 12 * size * size + 48 * size
+    assert cost.energy_per_cycle_j == pytest.approx(cost.jj_count * 5e-21)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=64),
+)
+def test_cost_model_window_monotonicity(window_a_exp, seed):
+    """Property: doubling the window never increases TOPS/W."""
+    rng = np.random.default_rng(seed)
+    workloads = [
+        LayerWorkload(
+            int(rng.integers(8, 300)),
+            int(rng.integers(4, 100)),
+            positions=int(rng.integers(1, 64)),
+        )
+        for _ in range(3)
+    ]
+    window = 2**window_a_exp
+    short = AcceleratorCostModel(
+        HardwareConfig(crossbar_size=36, window_bits=window), workloads
+    )
+    long = AcceleratorCostModel(
+        HardwareConfig(crossbar_size=36, window_bits=2 * window), workloads
+    )
+    assert (
+        long.energy_efficiency_tops_per_w()
+        <= short.energy_efficiency_tops_per_w() + 1e-9
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_scheduler_bank_monotonicity(seed):
+    """Property: adding banks never increases cycles per image."""
+    rng = np.random.default_rng(seed)
+    workloads = [
+        LayerWorkload(
+            int(rng.integers(16, 300)),
+            int(rng.integers(4, 100)),
+            positions=int(rng.integers(1, 32)),
+        )
+        for _ in range(2)
+    ]
+    config = HardwareConfig(crossbar_size=36, window_bits=8)
+    base = BankScheduler(config, 64)
+    needed = base.minimum_banks(workloads)
+    cycles = [
+        BankScheduler(config, banks).schedule(workloads).cycles_per_image
+        for banks in (needed, needed * 2, needed * 4)
+    ]
+    assert cycles[0] >= cycles[1] >= cycles[2]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.sampled_from([8, 16, 36, 72, 144]),
+    st.integers(min_value=0, max_value=100),
+)
+def test_ideal_execution_invariant_to_crossbar_size(deploy_cs, seed):
+    """Property: the noise-free decision does not depend on how the
+    matrix is tiled — retiling at any Cs gives identical outputs."""
+    rng = np.random.default_rng(seed)
+    weights = np.where(rng.random((50, 20)) < 0.5, 1.0, -1.0)
+    thresholds = rng.normal(size=20) * 2.0
+    reference_cfg = HardwareConfig(crossbar_size=16, window_bits=1)
+    deploy_cfg = HardwareConfig(crossbar_size=deploy_cs, window_bits=1)
+    a = np.where(rng.random((8, 50)) < 0.5, 1.0, -1.0)
+
+    ref_layer = TiledLinearLayer(
+        reference_cfg,
+        weights,
+        threshold_ua=thresholds * reference_cfg.unit_current_ua,
+        seed=0,
+    )
+    deploy_layer = TiledLinearLayer(
+        deploy_cfg,
+        weights,
+        threshold_ua=thresholds * deploy_cfg.unit_current_ua,
+        seed=0,
+    )
+    np.testing.assert_array_equal(
+        ref_layer.ideal_output(a), deploy_layer.ideal_output(a)
+    )

@@ -1,0 +1,87 @@
+"""Tests for the pure-SC (SC-AQFP) baseline engine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sc_aqfp import ScMlp, sc_aqfp_length_sweep
+
+
+@pytest.fixture(scope="module")
+def sc_setup(request):
+    from repro.core.trainer import Trainer, TrainingConfig
+    from repro.data.loaders import DataLoader
+    from repro.data.synthetic import make_mnist_like
+    from repro.hardware.config import HardwareConfig
+    from repro.models.mlp import Mlp
+
+    data = make_mnist_like(n_samples=800, seed=0)
+    train, test = data.split(0.8, seed=1)
+    model = Mlp(in_features=144, hidden=(32,), hardware=HardwareConfig(), seed=0)
+    trainer = Trainer(model, TrainingConfig(epochs=8, warmup_epochs=2))
+    trainer.fit(DataLoader(train, 64, seed=2))
+    model.eval()
+    return model, test
+
+
+class TestScMlp:
+    def test_logits_shape(self, sc_setup):
+        model, test = sc_setup
+        engine = ScMlp(model, stream_length=16, seed=0)
+        logits = engine.logits(test.images[:8])
+        assert logits.shape == (8, 10)
+
+    def test_long_streams_beat_short_streams(self, sc_setup):
+        """The SC scaling law: accuracy grows with stream length."""
+        model, test = sc_setup
+        images, labels = test.images[:120], test.labels[:120]
+        short = ScMlp(model, stream_length=2, seed=0).accuracy(images, labels)
+        long = ScMlp(model, stream_length=256, seed=0).accuracy(images, labels)
+        assert long > short + 0.05
+
+    def test_accuracy_above_chance_at_moderate_length(self, sc_setup):
+        model, test = sc_setup
+        engine = ScMlp(model, stream_length=64, seed=0)
+        assert engine.accuracy(test.images[:120], test.labels[:120]) > 0.4
+
+    def test_dot_estimate_unbiased(self, sc_setup):
+        """The SC dot product is an unbiased estimator."""
+        model, _ = sc_setup
+        engine = ScMlp(model, stream_length=64, seed=0)
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-1, 1, size=(1, 144))
+        w = engine.layers[0]["weights"]
+        estimates = [
+            ScMlp(model, stream_length=64, seed=s)._encode_dot(a, w)
+            for s in range(30)
+        ]
+        mean_estimate = np.mean(estimates, axis=0)
+        exact = a @ w.T
+        np.testing.assert_allclose(mean_estimate, exact, atol=1.2)
+
+    def test_estimator_variance_shrinks_with_length(self, sc_setup):
+        model, _ = sc_setup
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-1, 1, size=(1, 144))
+        w = ScMlp(model, 4, seed=0).layers[0]["weights"]
+
+        def spread(length):
+            vals = [
+                float(ScMlp(model, length, seed=s)._encode_dot(a, w)[0, 0])
+                for s in range(25)
+            ]
+            return np.std(vals)
+
+        assert spread(256) < spread(4) / 3
+
+    def test_invalid_length(self, sc_setup):
+        model, _ = sc_setup
+        with pytest.raises(ValueError):
+            ScMlp(model, stream_length=0)
+
+    def test_sweep_structure(self, sc_setup):
+        model, test = sc_setup
+        sweep = sc_aqfp_length_sweep(
+            model, test.images[:60], test.labels[:60], lengths=(4, 64)
+        )
+        assert [r["stream_length"] for r in sweep] == [4, 64]
+        assert all(0 <= r["accuracy"] <= 1 for r in sweep)

@@ -1,0 +1,127 @@
+"""Tests for SC arithmetic and the SC-based accumulation module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sc.accumulate import ScAccumulationModule
+from repro.sc.arithmetic import sc_multiply_bipolar, sc_multiply_unipolar, sc_scaled_add
+from repro.sc.encoding import bipolar_decode, bipolar_encode, unipolar_encode
+
+
+class TestScMultiply:
+    def test_unipolar_product_statistics(self):
+        x = unipolar_encode(0.6, 30000, seed=0)
+        y = unipolar_encode(0.5, 30000, seed=1)
+        product = sc_multiply_unipolar(x, y)
+        assert product.mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_bipolar_product_statistics(self):
+        x = bipolar_encode(0.8, 30000, seed=0)
+        y = bipolar_encode(-0.5, 30000, seed=1)
+        product = bipolar_decode(sc_multiply_bipolar(x, y))
+        assert product == pytest.approx(-0.4, abs=0.03)
+
+    def test_bipolar_xnor_is_exact_on_signs(self):
+        """XNOR of +-1 SNs with p in {0,1} is exact multiplication."""
+        x = bipolar_encode(1.0, 16, seed=0)
+        y = bipolar_encode(-1.0, 16, seed=1)
+        assert bipolar_decode(sc_multiply_bipolar(x, y)) == pytest.approx(-1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sc_multiply_unipolar(np.zeros(4, np.int8), np.zeros(5, np.int8))
+
+    def test_scaled_add_statistics(self):
+        streams = [unipolar_encode(v, 30000, seed=i) for i, v in enumerate((0.2, 0.4, 0.9))]
+        out = sc_scaled_add(streams, seed=7)
+        assert out.mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_scaled_add_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sc_scaled_add([])
+
+
+class TestScAccumulationModule:
+    def test_reference_default_is_unbiased_midpoint(self):
+        module = ScAccumulationModule(n_crossbars=4, window_bits=8)
+        assert module.reference == pytest.approx(16.0)
+
+    def test_count_window_exact(self):
+        module = ScAccumulationModule(n_crossbars=2, window_bits=3)
+        streams = np.array(
+            [
+                [[1.0], [-1.0], [1.0]],
+                [[1.0], [1.0], [-1.0]],
+            ]
+        )  # (K=2, L=3, 1)
+        assert module.count_window(streams)[0] == 4
+
+    def test_accumulate_sign_decision(self):
+        module = ScAccumulationModule(n_crossbars=2, window_bits=2)
+        all_ones = np.ones((2, 2, 1))
+        all_minus = -np.ones((2, 2, 1))
+        assert module.accumulate(all_ones)[0] == 1.0
+        assert module.accumulate(all_minus)[0] == -1.0
+
+    def test_tie_resolves_positive(self):
+        """count == reference -> +1 (comparator is >=)."""
+        module = ScAccumulationModule(n_crossbars=2, window_bits=1)
+        half = np.array([[[1.0]], [[-1.0]]])  # one of two bits set
+        assert module.accumulate(half)[0] == 1.0
+
+    def test_recovers_true_sign_with_long_window(self):
+        """With partial sums deep in the gray zone, majority counting
+        converges to the sign of the *sum* of expectations."""
+        rng = np.random.default_rng(0)
+        probabilities = np.array([0.6, 0.45, 0.55, 0.48])  # sum E = +0.16
+        module = ScAccumulationModule(n_crossbars=4, window_bits=512)
+        streams = np.where(
+            rng.random((4, 512, 1)) < probabilities[:, None, None], 1.0, -1.0
+        )
+        assert module.accumulate(streams)[0] == 1.0
+
+    def test_expected_value(self):
+        module = ScAccumulationModule(n_crossbars=2, window_bits=10)
+        expected = module.expected_value(np.array([[0.5], [0.7]]))
+        assert expected[0] == pytest.approx(12.0)
+
+    def test_shape_validation(self):
+        module = ScAccumulationModule(n_crossbars=2, window_bits=4)
+        with pytest.raises(ValueError):
+            module.count_window(np.zeros((3, 4, 1)))
+        with pytest.raises(ValueError):
+            module.count_window(np.zeros((2, 5, 1)))
+        with pytest.raises(ValueError):
+            module.expected_value(np.zeros((3, 1)))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ScAccumulationModule(n_crossbars=0, window_bits=4)
+        with pytest.raises(ValueError):
+            ScAccumulationModule(n_crossbars=1, window_bits=0)
+
+    def test_approximate_counting_reduces_counts(self, rng):
+        exact = ScAccumulationModule(n_crossbars=8, window_bits=4)
+        approx = ScAccumulationModule(
+            n_crossbars=8, window_bits=4, approximate_layers=1
+        )
+        streams = np.where(rng.random((8, 4, 10)) < 0.8, 1.0, -1.0)
+        assert np.all(
+            approx.count_window(streams) <= exact.count_window(streams)
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=8),
+)
+def test_count_window_bounds(n_crossbars, window_bits):
+    """Property: total count lies in [0, K * L] for any +-1 streams."""
+    rng = np.random.default_rng(n_crossbars * 31 + window_bits)
+    module = ScAccumulationModule(n_crossbars, window_bits)
+    streams = np.where(rng.random((n_crossbars, window_bits, 3)) < 0.5, 1.0, -1.0)
+    counts = module.count_window(streams)
+    assert np.all(counts >= 0)
+    assert np.all(counts <= n_crossbars * window_bits)

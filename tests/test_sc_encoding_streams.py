@@ -1,0 +1,149 @@
+"""Tests for stochastic-number encodings and stream generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sc.encoding import (
+    bipolar_decode,
+    bipolar_encode,
+    bipolar_probability,
+    from_wire,
+    to_wire,
+    unipolar_decode,
+    unipolar_encode,
+    unipolar_probability,
+)
+from repro.sc.streams import Lfsr, StreamGenerator, stochastic_cross_correlation
+
+
+class TestProbabilities:
+    def test_unipolar_identity(self):
+        np.testing.assert_allclose(unipolar_probability(0.4), 0.4)
+
+    def test_bipolar_mapping_paper_examples(self):
+        """Paper Sec. 2.3: 0.4 -> 7/10, -0.6 -> 2/10."""
+        assert bipolar_probability(0.4) == pytest.approx(0.7)
+        assert bipolar_probability(-0.6) == pytest.approx(0.2)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            unipolar_probability(1.5)
+        with pytest.raises(ValueError):
+            unipolar_probability(-0.1)
+        with pytest.raises(ValueError):
+            bipolar_probability(1.5)
+
+
+class TestEncodingDecoding:
+    def test_unipolar_roundtrip_statistics(self):
+        stream = unipolar_encode(0.3, 20000, seed=0)
+        assert unipolar_decode(stream) == pytest.approx(0.3, abs=0.02)
+
+    def test_bipolar_roundtrip_statistics(self):
+        stream = bipolar_encode(-0.4, 20000, seed=0)
+        assert bipolar_decode(stream) == pytest.approx(-0.4, abs=0.02)
+
+    def test_vectorized_encoding(self):
+        values = np.array([0.1, 0.5, 0.9])
+        stream = unipolar_encode(values, 8, seed=0)
+        assert stream.shape == (8, 3)
+
+    def test_bipolar_decode_wire_encoding(self):
+        wire = np.array([[1.0], [-1.0], [1.0], [1.0]])
+        assert bipolar_decode(wire) == pytest.approx(0.5)
+
+    def test_wire_conversions_roundtrip(self):
+        bits = np.array([0, 1, 1, 0], dtype=np.int8)
+        np.testing.assert_array_equal(from_wire(to_wire(bits)), bits)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            unipolar_encode(0.5, 0)
+        with pytest.raises(ValueError):
+            bipolar_encode(0.5, 0)
+
+
+class TestLfsr:
+    @pytest.mark.parametrize("width", [4, 5, 6, 7, 8])
+    def test_maximal_period(self, width):
+        """The Fibonacci taps must visit all 2^w - 1 non-zero states."""
+        lfsr = Lfsr(width=width, seed_state=1)
+        seen = set()
+        for _ in range(lfsr.period):
+            seen.add(lfsr.next_word())
+        assert len(seen) == lfsr.period
+
+    def test_zero_state_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr(width=8, seed_state=0)
+
+    def test_unsupported_width(self):
+        with pytest.raises(ValueError):
+            Lfsr(width=3)
+
+    def test_uniform_range(self):
+        samples = Lfsr(width=16).uniform(1000)
+        assert np.all((samples >= 0) & (samples < 1))
+        assert abs(samples.mean() - 0.5) < 0.05
+
+    def test_encode_unipolar_statistics(self):
+        stream = Lfsr(width=16).encode_unipolar(0.7, 4000)
+        assert stream.mean() == pytest.approx(0.7, abs=0.03)
+
+    def test_encode_bipolar_statistics(self):
+        stream = Lfsr(width=16).encode_bipolar(-0.2, 4000)
+        assert 2 * stream.mean() - 1 == pytest.approx(-0.2, abs=0.03)
+
+    def test_words_count_validation(self):
+        with pytest.raises(ValueError):
+            Lfsr().words(-1)
+
+
+class TestStreamGenerator:
+    def test_seeded_reproducibility(self):
+        a = StreamGenerator(seed=1).bipolar(0.3, 100)
+        b = StreamGenerator(seed=1).bipolar(0.3, 100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            StreamGenerator().unipolar(0.5, 0)
+
+
+class TestStochasticCrossCorrelation:
+    def test_identical_streams_scc_one(self):
+        x = np.array([1, 0, 1, 1, 0, 1] * 10)
+        assert stochastic_cross_correlation(x, x) == pytest.approx(1.0)
+
+    def test_complementary_streams_scc_minus_one(self):
+        x = np.array([1, 0] * 50)
+        assert stochastic_cross_correlation(x, 1 - x) == pytest.approx(-1.0)
+
+    def test_independent_streams_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = (rng.random(50000) < 0.5).astype(int)
+        y = (rng.random(50000) < 0.5).astype(int)
+        assert abs(stochastic_cross_correlation(x, y)) < 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stochastic_cross_correlation(np.array([1, 0]), np.array([1]))
+        with pytest.raises(ValueError):
+            stochastic_cross_correlation(np.array([]), np.array([]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=-1.0, max_value=1.0))
+def test_bipolar_probability_inverse(value):
+    """Property: decode(P) inverts the bipolar encoding map."""
+    p = float(bipolar_probability(value))
+    assert 2 * p - 1 == pytest.approx(value, abs=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=200, max_value=800))
+def test_unipolar_encode_mean_tracks_value(value, length):
+    """Property: empirical ones density approaches the encoded value."""
+    stream = unipolar_encode(value, length, seed=42)
+    assert float(stream.mean()) == pytest.approx(value, abs=0.15)

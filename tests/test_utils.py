@@ -1,0 +1,101 @@
+"""Tests for repro.utils: RNG management and numeric helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    clip_unit_interval,
+    erf,
+    is_power_of_two,
+    linear_interpolate,
+    new_rng,
+    spawn_rng,
+)
+from repro.utils.rng import RngMixin
+
+
+class TestNewRng:
+    def test_same_seed_same_stream(self):
+        assert new_rng(7).random() == new_rng(7).random()
+
+    def test_different_seeds_differ(self):
+        assert new_rng(1).random() != new_rng(2).random()
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert new_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(new_rng(None), np.random.Generator)
+
+
+class TestSpawnRng:
+    def test_children_are_independent_generators(self):
+        children = spawn_rng(new_rng(0), 3)
+        assert len(children) == 3
+        values = [c.random() for c in children]
+        assert len(set(values)) == 3
+
+    def test_deterministic_given_parent_seed(self):
+        a = [g.random() for g in spawn_rng(new_rng(5), 4)]
+        b = [g.random() for g in spawn_rng(new_rng(5), 4)]
+        assert a == b
+
+    def test_zero_children(self):
+        assert spawn_rng(new_rng(0), 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rng(new_rng(0), -1)
+
+
+class TestRngMixin:
+    def test_lazy_rng_creation(self):
+        obj = RngMixin()
+        assert isinstance(obj.rng, np.random.Generator)
+
+    def test_seeded_reproducibility(self):
+        a, b = RngMixin(seed=3), RngMixin(seed=3)
+        assert a.rng.random() == b.rng.random()
+
+    def test_reseed(self):
+        obj = RngMixin(seed=1)
+        first = obj.rng.random()
+        obj.reseed(1)
+        assert obj.rng.random() == first
+
+
+class TestNumericHelpers:
+    def test_erf_matches_scipy(self):
+        from scipy import special
+
+        x = np.linspace(-3, 3, 11)
+        np.testing.assert_allclose(erf(x), special.erf(x))
+
+    def test_clip_unit_interval(self):
+        out = clip_unit_interval(np.array([-0.1, 0.5, 1.2]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, True), (2, True), (16, True), (0, False), (3, False), (-4, False)],
+    )
+    def test_is_power_of_two(self, n, expected):
+        assert is_power_of_two(n) is expected
+
+    def test_linear_interpolate_endpoints(self):
+        assert linear_interpolate(0.0, 0.0, 1.0, 5.0, 9.0) == 5.0
+        assert linear_interpolate(1.0, 0.0, 1.0, 5.0, 9.0) == 9.0
+
+    def test_linear_interpolate_midpoint(self):
+        assert linear_interpolate(0.5, 0.0, 1.0, 0.0, 10.0) == pytest.approx(5.0)
+
+    def test_linear_interpolate_degenerate_interval(self):
+        assert linear_interpolate(3.0, 2.0, 2.0, 4.0, 8.0) == pytest.approx(6.0)
+
+    @given(st.integers(min_value=1, max_value=60))
+    def test_powers_of_two_property(self, k):
+        assert is_power_of_two(2**k)
+        if 2**k + 1 != 2:
+            assert not is_power_of_two(2**k + 1) or k == 0
