@@ -1,0 +1,19 @@
+# Developer entry points. `make test` is the tier-1 gate used by CI and
+# the PR driver; `make bench` times the simulation kernels and appends
+# the results to BENCH_kernels.json (the cross-PR perf trajectory);
+# `make lint` is a fast syntax/bytecode sweep (no third-party linter is
+# baked into the image).
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench lint
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/test_kernel_performance.py -q --bench-json=BENCH_kernels.json
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples

@@ -1,12 +1,69 @@
-"""Benchmark-suite fixtures: result reporting to benchmarks/results/."""
+"""Benchmark-suite fixtures: result reporting to benchmarks/results/,
+plus a ``--bench-json`` option that appends the timed kernel results to a
+JSON trajectory file so perf is tracked across PRs."""
 
 from __future__ import annotations
 
+import datetime
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "Append this run's pytest-benchmark timings to PATH as JSON "
+            "(e.g. BENCH_kernels.json). Each invocation adds one run "
+            "entry, so the file accumulates the perf trajectory."
+        ),
+    )
+
+
+def _stats_summary(bench) -> dict:
+    data = bench.as_dict(include_data=False, stats=True)
+    stats = data.get("stats", {})
+    return {
+        "mean_s": stats.get("mean"),
+        "min_s": stats.get("min"),
+        "stddev_s": stats.get("stddev"),
+        "rounds": stats.get("rounds"),
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json")
+    if not path:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    target = pathlib.Path(path)
+    runs = []
+    if target.exists():
+        try:
+            runs = json.loads(target.read_text()).get("runs", [])
+        except (json.JSONDecodeError, AttributeError):
+            runs = []
+    runs.append(
+        {
+            "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "benchmarks": {
+                bench.name: _stats_summary(bench)
+                for bench in bench_session.benchmarks
+            },
+        }
+    )
+    target.write_text(json.dumps({"runs": runs}, indent=2) + "\n")
 
 
 @pytest.fixture

@@ -2,7 +2,12 @@
 
 Not a paper artifact — these track the cost of the library's inner loops
 (crossbar sampling, SC counting, binary convolution) so performance
-regressions in the simulator itself are visible.
+regressions in the simulator itself are visible. Both execution paths of
+the sampling engine are timed: the fused Binomial sample-and-count fast
+path (``sample_window_counts``, exact APC) and the bit-level path on raw
+and bit-packed windows (approximate APC). Run with
+``--bench-json=BENCH_kernels.json`` to append the timings to the
+cross-PR trajectory file.
 """
 
 import numpy as np
@@ -14,6 +19,7 @@ from repro.circuits.apc import ApproximateParallelCounter
 from repro.hardware.accelerator import TiledLinearLayer
 from repro.hardware.config import HardwareConfig
 from repro.hardware.crossbar import CrossbarArray
+from repro.sc.packed import pack_bits
 
 
 @pytest.fixture(scope="module")
@@ -27,6 +33,18 @@ def pm(request):
 
 
 def test_perf_crossbar_sample_window(benchmark, pm):
+    """Fused fast path: Binomial per-column window counts."""
+    cfg = HardwareConfig(crossbar_size=72, window_bits=16)
+    xbar = CrossbarArray(cfg, pm((72, 72)), seed=0)
+    activations = pm((64, 72))
+    xbar.sample_window_counts(activations)  # build cached tables once
+    result = benchmark(xbar.sample_window_counts, activations)
+    assert result.shape == (64, 72)
+    assert result.min() >= 0 and result.max() <= 16
+
+
+def test_perf_crossbar_sample_window_bits(benchmark, pm):
+    """Bit-level reference path: the raw (L, N, cols) window."""
     cfg = HardwareConfig(crossbar_size=72, window_bits=16)
     xbar = CrossbarArray(cfg, pm((72, 72)), seed=0)
     activations = pm((64, 72))
@@ -34,9 +52,30 @@ def test_perf_crossbar_sample_window(benchmark, pm):
     assert result.shape == (16, 64, 72)
 
 
+def test_perf_crossbar_sample_window_packed(benchmark, pm):
+    """Bit-level path with uint64 bit-plane packing."""
+    cfg = HardwareConfig(crossbar_size=72, window_bits=16)
+    xbar = CrossbarArray(cfg, pm((72, 72)), seed=0)
+    activations = pm((64, 72))
+    result = benchmark(xbar.sample_window, activations, packed=True)
+    assert result.words.shape == (1, 64, 72)
+    assert result.n_bits == 16
+
+
 def test_perf_tiled_layer_forward(benchmark, pm):
+    """Exact APC -> fused-count fast path end to end."""
     cfg = HardwareConfig(crossbar_size=36, window_bits=8)
     layer = TiledLinearLayer(cfg, pm((144, 64)), seed=0)
+    activations = pm((32, 144))
+    layer.forward(activations)  # build cached sampler tables once
+    result = benchmark(layer.forward, activations)
+    assert result.shape == (32, 64)
+
+
+def test_perf_tiled_layer_forward_bitlevel(benchmark, pm):
+    """Approximate APC -> packed bit-level path end to end."""
+    cfg = HardwareConfig(crossbar_size=36, window_bits=8)
+    layer = TiledLinearLayer(cfg, pm((144, 64)), seed=0, approximate_layers=1)
     activations = pm((32, 144))
     result = benchmark(layer.forward, activations)
     assert result.shape == (32, 64)
@@ -46,6 +85,18 @@ def test_perf_apc_count(benchmark, pm):
     apc = ApproximateParallelCounter(0)
     bits = (np.random.default_rng(1).random((64, 16, 256)) < 0.5).astype(np.int64)
     result = benchmark(apc.count, bits, axis=1)
+    assert result.shape == (64, 256)
+
+
+def test_perf_apc_count_packed(benchmark, pm):
+    """Packed-word OR-compress + popcount throughput (not comparable to
+    test_perf_apc_count: this pushes 64x the bits — 16 lines of 64-bit
+    windows across 64*256 columns — through the approximate APC).
+    """
+    apc = ApproximateParallelCounter(1)
+    bits = np.random.default_rng(1).random((16, 64, 64, 256)) < 0.5
+    words = pack_bits(bits, axis=1)
+    result = benchmark(apc.count_packed, words)
     assert result.shape == (64, 256)
 
 

@@ -20,7 +20,13 @@ def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 def im2col(
     x: np.ndarray, kernel: int, stride: int, padding: int
 ) -> Tuple[np.ndarray, Tuple[int, int]]:
-    """Unfold NCHW input into columns of shape (N, C*K*K, H_out*W_out)."""
+    """Unfold NCHW input into columns of shape (N, C*K*K, H_out*W_out).
+
+    The unfold preserves the input dtype — a contract the hardware
+    executor relies on to keep +-1 activation maps (and the large
+    unfolded buffers derived from them) in int8 rather than up-casting
+    to float64.
+    """
     n, c, h, w = x.shape
     h_out = _conv_output_size(h, kernel, stride, padding)
     w_out = _conv_output_size(w, kernel, stride, padding)

@@ -30,11 +30,24 @@ from repro.circuits.netlist import Netlist
 from repro.device.cells import CELL_LIBRARY
 
 
+def _popcount_words(words: np.ndarray) -> np.ndarray:
+    # Imported lazily: repro.sc.accumulate imports this module, so a
+    # top-level import of repro.sc.packed would close a package cycle.
+    from repro.sc.packed import popcount_words
+
+    return popcount_words(words)
+
+
 class ExactPopcount:
     """Reference counter: number of ones among the input bits."""
 
     def count(self, bits: np.ndarray, axis: int = -1) -> np.ndarray:
-        """Count ones along ``axis``; input may be 0/1 or +-1 encoded."""
+        """Count ones along ``axis``; input may be 0/1 or +-1 encoded.
+
+        For bit-packed streams use
+        :meth:`ApproximateParallelCounter.count_packed` with zero
+        approximate layers — that is the exact packed counter.
+        """
         b = np.asarray(bits)
         ones = (b > 0).astype(np.int64)
         return ones.sum(axis=axis)
@@ -79,6 +92,33 @@ class ApproximateParallelCounter:
                 )
             ones = compressed
         return ones.sum(axis=-1)
+
+    def count_packed(self, words: np.ndarray) -> np.ndarray:
+        """Window-total counts from packed streams of shape ``(K, W, ...)``.
+
+        The OR-compression layers act *bitwise* on the uint64 words —
+        one machine OR merges a line pair across 64 clocks at once — and
+        the surviving lines are popcounted and summed over the window.
+        Equivalent to ``count(bits, axis=0).sum(over the window)`` on
+        the unpacked ``(K, L, ...)`` bit tensor, since the per-clock
+        compression is independent across clocks. Tail bits must be
+        zero (the :func:`repro.sc.packed.pack_bits` invariant): zeros
+        are absorbed by both OR and popcount.
+        """
+        lines = np.asarray(words, dtype=np.uint64)
+        if lines.ndim < 2:
+            raise ValueError(f"packed input must be (K, W, ...), got {lines.shape}")
+        for _ in range(self.approximate_layers):
+            n = lines.shape[0]
+            if n < 2:
+                break
+            even = lines[0 : n - n % 2 : 2]
+            odd = lines[1 : n - n % 2 : 2]
+            compressed = even | odd
+            if n % 2:
+                compressed = np.concatenate([compressed, lines[-1:]], axis=0)
+            lines = compressed
+        return _popcount_words(lines).sum(axis=(0, 1))
 
     def max_undercount(self, n_inputs: int) -> int:
         """Worst-case undercount for ``n_inputs`` lines (all ones input)."""

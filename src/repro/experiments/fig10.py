@@ -27,11 +27,16 @@ def bitstream_length_sweep(
     n_eval: int = 200,
     saturation_tolerance: float = 0.03,
     seed: int = 0,
+    n_repeats: int = 1,
 ) -> Dict:
     """Accuracy vs window length per crossbar size.
 
     Returns ``{"series": {Cs: [{"window_bits", "accuracy"}...]},
     "saturation": {Cs: L_sat}, "software_accuracy": {...}}``.
+
+    ``n_repeats`` averages that many stochastic evaluations per point:
+    a single pass over a few hundred images has a sampling sigma of
+    ~0.03, which is the same order as the saturation tolerance.
     """
     lengths = list(lengths)
     series: Dict[int, List[Dict[str, float]]] = {}
@@ -53,7 +58,10 @@ def bitstream_length_sweep(
         sweep = []
         for length in lengths:
             network = compile_model(model, hardware.with_(window_bits=length))
-            acc = evaluate_accuracy(network, images, labels, mode="stochastic")
+            acc = sum(
+                evaluate_accuracy(network, images, labels, mode="stochastic")
+                for _ in range(n_repeats)
+            ) / n_repeats
             sweep.append({"window_bits": length, "accuracy": acc})
         series[cs] = sweep
         saturation[cs] = saturation_length(sweep, tolerance=saturation_tolerance)

@@ -7,6 +7,19 @@ with more filters than crossbar columns.
 
 BN matching (paper Sec. 5.2) programs per-column threshold currents; when
 a filter spans K crossbars the threshold is divided evenly among them.
+
+:meth:`TiledLinearLayer.forward` picks one of two hardware-faithful
+execution paths per column tile:
+
+* **Fused counts** (default, exact APC): each tile draws its window
+  total directly from ``Binomial(L, p)`` and the accumulation module
+  compares the summed ``(K, N, cols)`` integer counts against the
+  reference — the ``(K, L, N, cols)`` bit tensor of the naive
+  simulation is never built. Exactly distribution-equivalent.
+* **Bit-level** (``approximate_layers > 0``): the OR-compressed APC
+  needs individual bit coincidences, so tiles emit bit-packed windows
+  (uint64 words, 64 clocks per word) that the module counts with
+  packed-word popcounts.
 """
 
 from __future__ import annotations
@@ -17,7 +30,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.hardware.config import HardwareConfig
-from repro.hardware.crossbar import CrossbarArray
+from repro.hardware.crossbar import CrossbarArray, check_activation_alphabet
 from repro.sc.accumulate import ScAccumulationModule
 from repro.utils.rng import RngMixin, SeedLike, spawn_rng
 
@@ -34,6 +47,9 @@ class TiledLinearLayer(RngMixin):
     threshold_ua:
         Per-output threshold currents (from BN matching); scalar or
         shape ``(out_features,)``. Divided evenly across the K row tiles.
+    approximate_layers:
+        OR-only compression layers in the SC accumulation module's APC
+        (0 = exact counting, which enables the fused-count fast path).
     """
 
     def __init__(
@@ -42,6 +58,7 @@ class TiledLinearLayer(RngMixin):
         weights: np.ndarray,
         threshold_ua=0.0,
         seed: SeedLike = None,
+        approximate_layers: int = 0,
     ) -> None:
         super().__init__(seed)
         w = np.asarray(weights, dtype=np.float64)
@@ -76,44 +93,115 @@ class TiledLinearLayer(RngMixin):
             self.tiles.append(row)
 
         self.module = ScAccumulationModule(
-            n_crossbars=self.n_row_tiles, window_bits=config.window_bits
+            n_crossbars=self.n_row_tiles,
+            window_bits=config.window_bits,
+            approximate_layers=approximate_layers,
         )
+        # Fused-count fast path: the layer's weights padded to a
+        # (K, Cs, out) block so forward computes all K * out column
+        # values in one batched matmul, plus a single wide sampler
+        # crossbar whose CDF tables serve every row strip — column
+        # physics are independent and identical across strips (the
+        # thresholds are split evenly), so one sampler covers them all.
+        self._fused_sampler: Optional[CrossbarArray] = None
+        self._fused_weights: Optional[np.ndarray] = None
+        if self.module.supports_fused_counts:
+            self._fused_sampler = CrossbarArray(
+                config,
+                w[: min(cs, self.in_features), :],
+                threshold_ua=thresholds / self.n_row_tiles,
+                seed=spawn_rng(self.rng, 1)[0],
+                _allow_wide=True,
+            )
+            padded = np.zeros(
+                (self.n_row_tiles * cs, self.out_features), dtype=np.float64
+            )
+            padded[: self.in_features] = w
+            self._fused_weights = np.ascontiguousarray(
+                padded.reshape(self.n_row_tiles, cs, self.out_features)
+            )
         # Execution statistics for the cost model.
         self.n_passes = 0
         self.n_inferences = 0
 
     # ------------------------------------------------------------------
-    def _split_activations(self, activations: np.ndarray) -> List[np.ndarray]:
-        a = np.asarray(activations, dtype=np.float64)
+    def _normalize_activations(self, activations: np.ndarray) -> np.ndarray:
+        a = np.asarray(activations)
+        # int8 +-1 buffers (the executor's working dtype) pass through
+        # untouched; everything else normalizes to float64 as before.
+        if a.dtype != np.int8 and a.dtype != np.float64:
+            a = a.astype(np.float64)
         if a.ndim == 1:
             a = a[None, :]
         if a.shape[-1] != self.in_features:
             raise ValueError(
                 f"activations last dim {a.shape[-1]} != in_features {self.in_features}"
             )
+        return a
+
+    def _split_activations(self, activations: np.ndarray) -> List[np.ndarray]:
+        a = self._normalize_activations(activations)
         cs = self.config.crossbar_size
         return [
             a[:, i * cs : min((i + 1) * cs, self.in_features)]
             for i in range(self.n_row_tiles)
         ]
 
-    def forward(self, activations: np.ndarray) -> np.ndarray:
-        """Hardware-faithful stochastic output, +-1 of shape (N, out)."""
+    def forward(self, activations: np.ndarray, validate=None) -> np.ndarray:
+        """Hardware-faithful stochastic output, +-1 of shape (N, out).
+
+        Dispatches per column tile: fused Binomial counts when the
+        accumulation module's APC is exact, bit-packed windows for the
+        approximate bit-level path. ``validate`` (None = the config's
+        ``validate_inputs``) gates the per-tile activation-alphabet scan.
+        """
+        if self._fused_sampler is not None:
+            return self._forward_fused(activations, validate)
         chunks = self._split_activations(activations)
         n = chunks[0].shape[0]
         outputs = []
         for j in range(self.n_col_tiles):
-            streams = np.stack(
+            words = np.stack(
                 [
-                    self.tiles[i][j].sample_window(chunks[i])
+                    self.tiles[i][j]
+                    .sample_window(chunks[i], packed=True, validate=validate)
+                    .words
                     for i in range(self.n_row_tiles)
                 ],
                 axis=0,
-            )  # (K, L, N, cols)
-            outputs.append(self.module.accumulate(streams))
+            )  # (K, W, N, cols) packed windows
+            outputs.append(self.module.accumulate_packed(words))
         self.n_passes += self.n_row_tiles * self.n_col_tiles
         self.n_inferences += n
         return np.concatenate(outputs, axis=-1)
+
+    def _forward_fused(self, activations: np.ndarray, validate=None) -> np.ndarray:
+        """Fused-count execution: batched matmul + one Binomial draw.
+
+        Column values for all K row strips are computed against the
+        padded ``(K, Cs, out)`` weight block in one batched matmul, the
+        ``(K, N, out)`` window counts are drawn through the shared
+        sampler in one call, and the accumulation module compares the
+        summed counts — nothing per-bit is ever materialized.
+        """
+        a = self._normalize_activations(activations)
+        check_activation_alphabet(a, self.config, validate)
+        n = a.shape[0]
+        cs = self.config.crossbar_size
+        padded_in = self.n_row_tiles * cs
+        if padded_in != self.in_features:
+            a_pad = np.zeros((n, padded_in), dtype=np.float64)
+            a_pad[:, : self.in_features] = a
+        else:
+            a_pad = a.astype(np.float64, copy=False)
+        strips = a_pad.reshape(n, self.n_row_tiles, cs).transpose(1, 0, 2)
+        values = np.ascontiguousarray(strips) @ self._fused_weights  # (K, N, out)
+        counts = self._fused_sampler._sample_counts_for_values(
+            values, self.config.window_bits
+        )
+        self.n_passes += self.n_row_tiles * self.n_col_tiles
+        self.n_inferences += n
+        return self.module.accumulate_counts(counts)
 
     def expected_preactivation(self, activations: np.ndarray) -> np.ndarray:
         """Deterministic E[total count] - reference (diagnostic path)."""
@@ -133,9 +221,7 @@ class TiledLinearLayer(RngMixin):
 
     def ideal_output(self, activations: np.ndarray) -> np.ndarray:
         """Noise-free reference: sign of the exact integer pre-activation."""
-        a = np.asarray(activations, dtype=np.float64)
-        if a.ndim == 1:
-            a = a[None, :]
+        a = self._normalize_activations(activations)
         full = np.concatenate(
             [np.concatenate([t.weights for t in row], axis=1) for row in self.tiles],
             axis=0,

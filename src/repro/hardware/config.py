@@ -33,6 +33,11 @@ class HardwareConfig:
         The fitted ``I1(Cs)`` power law.
     clock_rate_hz, temperature_k:
         Operating point (5 GHz, 4.2 K in the paper).
+    validate_inputs:
+        Scan every activation batch for the {-1, 0, +1} alphabet before
+        sampling. On by default; the executor validates a pipeline's
+        entry point once and disables the per-layer rescan, since all
+        downstream activations are generated +-1 by construction.
     """
 
     crossbar_size: int = 16
@@ -41,6 +46,7 @@ class HardwareConfig:
     attenuation: AttenuationModel = field(default_factory=AttenuationModel)
     clock_rate_hz: float = CLOCK_RATE_HZ
     temperature_k: float = OPERATING_TEMPERATURE_K
+    validate_inputs: bool = True
 
     def __post_init__(self) -> None:
         if self.crossbar_size < 1:

@@ -9,6 +9,17 @@ current — stochastically, per Eq. (1) — acting as sign function + ADC.
 The simulation is fully vectorized: a batch of activation vectors is
 multiplied against the stored weight matrix, scaled to micro-amperes,
 and pushed through the buffer's probability law.
+
+Two sampling granularities are offered:
+
+* :meth:`CrossbarArray.sample_window` — the raw L-bit window, optionally
+  bit-packed (:class:`~repro.sc.packed.PackedStream`), for callers that
+  need individual bits (approximate APC, correlation diagnostics).
+* :meth:`CrossbarArray.sample_window_counts` — the fused fast path: the
+  per-column number of ones in the window drawn directly from
+  ``Binomial(L, p)``. Because the window bits are i.i.d. Bernoulli(p),
+  the count distribution is *exactly* Binomial — no approximation — and
+  the ``(L, N, cols)`` bit tensor is never materialized.
 """
 
 from __future__ import annotations
@@ -20,9 +31,79 @@ import numpy as np
 from scipy import special
 
 from repro.hardware.config import HardwareConfig
-from repro.utils.rng import RngMixin, SeedLike
+from repro.sc.packed import PackedStream
+from repro.utils.rng import RngMixin, SeedLike, binomial_cdf
 
 _SQRT_PI = math.sqrt(math.pi)
+
+#: Cap on a cached per-crossbar Binomial CDF table (floats). Above this
+#: the fused count sampler falls back to ``Generator.binomial`` instead
+#: of caching ``(2 * rows + 1, cols, L + 1)`` CDF levels.
+_MAX_COUNT_TABLE_ELEMENTS = 2_000_000
+
+#: Number of uniform bins in the quantized quantile table, and the cap
+#: on its size in bytes (uint8 entries). Within the cap, count sampling
+#: is a single table gather per element plus an exact fix-up for the
+#: rare bins a CDF level falls inside.
+_QUANT_BINS = 256
+_MAX_QUANT_TABLE_BYTES = 4_000_000
+
+
+def check_activation_alphabet(
+    a: np.ndarray, config: HardwareConfig, validate=None
+) -> None:
+    """Enforce the {-1, 0, +1} activation alphabet (the one shared rule).
+
+    ``validate=None`` falls back to ``config.validate_inputs``; both the
+    per-crossbar check and the tiled layer's fused path route through
+    this helper so the rule cannot drift between them. For floats,
+    ``a == 0 or a * a == 1`` holds exactly iff a is -1, 0, or +1
+    (squaring cannot round a non-unit double onto 1.0, and inf / nan /
+    subnormals all fail both arms) — cheaper than ``np.isin``. int8
+    gets a plain range check.
+    """
+    if validate is None:
+        validate = config.validate_inputs
+    if not validate:
+        return
+    if a.dtype == np.int8:
+        ok = bool(np.all((a >= -1) & (a <= 1)))
+    else:
+        ok = bool(np.all((a == 0.0) | (a * a == 1.0)))
+    if not ok:
+        raise ValueError("crossbar activations must be in {-1, 0, +1}")
+
+
+def _quantile_table(cdf: np.ndarray, m_bins: int) -> np.ndarray:
+    """Quantize inverse-CDF lookup into ``m_bins`` uniform bins.
+
+    For each CDF row, entry ``m`` holds ``count(m / M)`` — the inverse
+    CDF at the bin's left edge — in the low 7 bits, with bit 7 set when
+    some CDF level falls strictly inside the bin (so the count steps
+    within it and the caller must resolve that element exactly).
+    Requires ``n <= 127`` counts to fit the payload bits.
+    """
+    n = cdf.shape[-1] - 1
+    rows = cdf[..., :n].reshape(-1, n)
+    vc = rows.shape[0]
+    s = rows * m_bins
+    # First bin edge at/above each CDF level: count(m/M) counts the
+    # levels with ceil(s_k) <= m.
+    m0 = np.clip(np.ceil(s).astype(np.int64), 0, m_bins)
+    hist = np.bincount(
+        (np.arange(vc)[:, None] * (m_bins + 1) + m0).ravel(),
+        minlength=vc * (m_bins + 1),
+    ).reshape(vc, m_bins + 1)
+    start = np.cumsum(hist, axis=1)[:, :m_bins].astype(np.uint8)
+    # A level strictly inside bin floor(s_k) makes that bin stepped.
+    f = np.floor(s)
+    interior = (s > f) & (f < m_bins)
+    stepped = np.bincount(
+        (np.arange(vc)[:, None] * m_bins + np.where(interior, f, 0).astype(np.int64)).ravel(),
+        weights=interior.ravel(),
+        minlength=vc * m_bins,
+    ).reshape(vc, m_bins) > 0
+    return start | (stepped.astype(np.uint8) << 7)
 
 
 class CrossbarArray(RngMixin):
@@ -47,13 +128,21 @@ class CrossbarArray(RngMixin):
         weights: np.ndarray,
         threshold_ua=0.0,
         seed: SeedLike = None,
+        *,
+        _allow_wide: bool = False,
     ) -> None:
         super().__init__(seed)
         self.config = config
         w = np.asarray(weights, dtype=np.float64)
         if w.ndim != 2:
             raise ValueError(f"weights must be 2-D, got shape {w.shape}")
-        if w.shape[0] > config.crossbar_size or w.shape[1] > config.crossbar_size:
+        # _allow_wide is internal (TiledLinearLayer row strips): every
+        # column's physics is independent and set by the *row* count, so
+        # sampling a logical strip spanning several column tiles at once
+        # is exactly equivalent to sampling the tiles separately.
+        if w.shape[0] > config.crossbar_size or (
+            not _allow_wide and w.shape[1] > config.crossbar_size
+        ):
             raise ValueError(
                 f"weights {w.shape} exceed crossbar size {config.crossbar_size}"
             )
@@ -64,6 +153,20 @@ class CrossbarArray(RngMixin):
             np.asarray(threshold_ua, dtype=np.float64), (w.shape[1],)
         ).copy()
         self.threshold_ua = thr
+        # Hot-loop scalars, hoisted out of the per-call path: the config
+        # is immutable, so z = v * _z_scale - _z_offset is fixed at
+        # construction (same math as Eq. (1) on the merged current).
+        unit_ua = config.unit_current_ua
+        self._z_scale = _SQRT_PI * unit_ua / config.gray_zone_ua
+        self._z_offset = _SQRT_PI * thr / config.gray_zone_ua
+        # Lazily built Binomial CDF / quantile tables for the fused
+        # count sampler, keyed by window length: column values are
+        # integers in [-rows, rows], so P(ones in window) has at most
+        # (2 * rows + 1) * cols distinct laws per window length.
+        self._count_tables = {}
+        self._quant_tables = {}
+        self._col_ids = np.arange(w.shape[1])
+        self._col_quant_offsets = self._col_ids * _QUANT_BINS
 
     # ------------------------------------------------------------------
     @property
@@ -74,8 +177,10 @@ class CrossbarArray(RngMixin):
     def cols(self) -> int:
         return self.weights.shape[1]
 
-    def _check_activations(self, activations: np.ndarray) -> np.ndarray:
-        a = np.asarray(activations, dtype=np.float64)
+    def _check_activations(self, activations: np.ndarray, validate=None) -> np.ndarray:
+        a = np.asarray(activations)
+        if a.dtype != np.int8 and a.dtype != np.float64:
+            a = a.astype(np.float64)
         if a.ndim == 1:
             a = a[None, :]
         if a.shape[-1] != self.rows:
@@ -84,27 +189,35 @@ class CrossbarArray(RngMixin):
             )
         # 0 is allowed: a zero-padding row injects no current (the LiM
         # cell sees no input pulse), which is how conv zero-padding maps
-        # onto the crossbar.
-        if not np.all(np.isin(a, (-1.0, 0.0, 1.0))):
-            raise ValueError("crossbar activations must be in {-1, 0, +1}")
+        # onto the crossbar. The alphabet scan is O(size) per forward, so
+        # trusted callers (the executor, after validating a pipeline's
+        # entry point once) can switch it off.
+        check_activation_alphabet(a, self.config, validate)
         return a
 
     # ------------------------------------------------------------------
     # Analog behaviour
     # ------------------------------------------------------------------
-    def column_values(self, activations) -> np.ndarray:
+    def column_values(self, activations, validate=None) -> np.ndarray:
         """Mathematical column sums (signed popcounts), shape (N, cols)."""
-        a = self._check_activations(activations)
+        a = self._check_activations(activations, validate=validate)
+        if a.dtype == np.int8:
+            # BLAS wants floats; the per-tile chunk is small, so the
+            # upcast here is cheap while the caller's big buffers stay int8.
+            a = a.astype(np.float64)
         return a @ self.weights
 
-    def column_currents_ua(self, activations) -> np.ndarray:
+    def column_currents_ua(self, activations, validate=None) -> np.ndarray:
         """Merged (attenuated) column currents in micro-amperes."""
-        return self.column_values(activations) * self.config.unit_current_ua
+        return self.column_values(activations, validate=validate) * self.config.unit_current_ua
 
-    def output_probabilities(self, activations) -> np.ndarray:
+    def output_probabilities(self, activations, validate=None) -> np.ndarray:
         """P(column buffer emits '1') — Eq. (1) on the merged current."""
-        i_in = self.column_currents_ua(activations)
-        z = _SQRT_PI * (i_in - self.threshold_ua) / self.config.gray_zone_ua
+        v = self.column_values(activations, validate=validate)
+        return self._probabilities_from_values(v)
+
+    def _probabilities_from_values(self, v: np.ndarray) -> np.ndarray:
+        z = v * self._z_scale - self._z_offset
         return 0.5 + 0.5 * special.erf(z)
 
     def expected_output(self, activations) -> np.ndarray:
@@ -119,19 +232,161 @@ class CrossbarArray(RngMixin):
         p = self.output_probabilities(activations)
         return np.where(self.rng.random(p.shape) < p, 1.0, -1.0)
 
-    def sample_window(self, activations, window_bits: Optional[int] = None) -> np.ndarray:
+    def sample_window(
+        self,
+        activations,
+        window_bits: Optional[int] = None,
+        packed: bool = False,
+        validate=None,
+    ):
         """L-bit observation window: shape (L, N, cols) of +-1.
 
         The crossbar input is held constant while the neuron is observed
         for L clock cycles (paper Fig. 6a); the bits are i.i.d. because
         the buffer's thermal noise is white at the clock timescale.
+
+        With ``packed=True`` the window is returned as a
+        :class:`~repro.sc.packed.PackedStream` of uint64 bit-plane words
+        (``ceil(L/64), N, cols``) instead of a float64 bit tensor —
+        the representation the bit-level APC path consumes.
         """
         bits = self.config.window_bits if window_bits is None else window_bits
         if bits < 1:
             raise ValueError(f"window_bits must be >= 1, got {bits}")
-        p = self.output_probabilities(activations)
+        p = self.output_probabilities(activations, validate=validate)
         u = self.rng.random((bits,) + p.shape)
+        if packed:
+            return PackedStream.pack(u < p, axis=0)
         return np.where(u < p, 1.0, -1.0)
+
+    def _count_cdf_table(self, bits: int) -> Optional[np.ndarray]:
+        """Cached Binomial CDF levels for every (column value, column).
+
+        Shape ``(2 * rows + 1, cols, bits + 1)``: row ``v + rows`` holds
+        the CDF of ``Binomial(bits, p(v))`` for each column's threshold.
+        Returns None when the table would be too large to cache.
+        """
+        table = self._count_tables.get(bits)
+        if table is None:
+            n_values = 2 * self.rows + 1
+            if n_values * self.cols * (bits + 1) > _MAX_COUNT_TABLE_ELEMENTS:
+                return None
+            v = np.arange(-self.rows, self.rows + 1, dtype=np.float64)
+            p = self._probabilities_from_values(v[:, None])
+            table = binomial_cdf(p, bits)
+            self._count_tables[bits] = table
+        return table
+
+    def _count_quant_table(self, bits: int) -> Optional[np.ndarray]:
+        """Cached quantized inverse-CDF table, flat (values * cols, M)."""
+        table = self._quant_tables.get(bits)
+        if table is None:
+            if bits > 127:
+                return None
+            n_values = 2 * self.rows + 1
+            if n_values * self.cols * _QUANT_BINS > _MAX_QUANT_TABLE_BYTES:
+                return None
+            cdf = self._count_cdf_table(bits)
+            if cdf is None:
+                return None
+            table = _quantile_table(cdf, _QUANT_BINS)
+            self._quant_tables[bits] = table
+        return table
+
+    def sample_window_counts(
+        self,
+        activations,
+        window_bits: Optional[int] = None,
+        validate=None,
+    ) -> np.ndarray:
+        """Fused sample-and-count: ones per column window, shape (N, cols).
+
+        The L window bits are i.i.d. Bernoulli(p), so their sum is
+        exactly ``Binomial(L, p)`` — sampling the count directly is
+        distribution-equivalent to counting :meth:`sample_window` output
+        while skipping the ``(L, N, cols)`` intermediate entirely. This
+        is the fast path for exact (non-approximate) APC accumulation.
+
+        Counts are drawn by inverse-CDF against a cached per-(value,
+        column) Binomial table (column values are small integers, so the
+        table is tiny and amortizes across calls); very long windows
+        fall back to ``Generator.binomial``.
+        """
+        bits = self.config.window_bits if window_bits is None else window_bits
+        if bits < 1:
+            raise ValueError(f"window_bits must be >= 1, got {bits}")
+        v = self.column_values(activations, validate=validate)
+        return self._sample_counts_for_values(v, bits)
+
+    def _sample_counts_for_values(self, v: np.ndarray, bits: int) -> np.ndarray:
+        """Window counts for precomputed integer column values ``v``.
+
+        ``v`` may carry extra leading axes (the tiled layer batches all
+        its row strips through one call); its last axis must be columns.
+        """
+        cdf = self._count_cdf_table(bits)
+        if cdf is None:
+            return self.rng.binomial(bits, self._probabilities_from_values(v))
+        # Column values of valid activations are exactly integral floats,
+        # so truncation is exact; with validation disabled, garbage is
+        # clamped to the saturated laws instead of wrapping into another
+        # row's CDF.
+        idx = v.astype(np.intp)
+        idx += self.rows
+        np.clip(idx, 0, 2 * self.rows, out=idx)
+        quant = self._count_quant_table(bits)
+        if quant is None:
+            return self._counts_by_search(cdf, idx)
+        return self._counts_by_quantile(quant, cdf, idx)
+
+    def _counts_by_quantile(
+        self, quant: np.ndarray, cdf: np.ndarray, idx: np.ndarray
+    ) -> np.ndarray:
+        """One gather per element against the quantized inverse CDF.
+
+        Unstepped bins return the exact count directly; the rare
+        elements whose uniform lands in a stepped bin (a CDF level
+        inside the bin) are resolved against the full CDF row, so the
+        sample stays exactly Binomial.
+        """
+        n = cdf.shape[-1] - 1
+        u = self.rng.random(idx.shape)
+        bins = (u * _QUANT_BINS).astype(np.intp)
+        np.minimum(bins, _QUANT_BINS - 1, out=bins)
+        bins += idx * (self.cols * _QUANT_BINS)
+        bins += self._col_quant_offsets
+        entry = quant.reshape(-1)[bins]
+        counts = (entry & 0x7F).astype(np.int64)
+        flagged = entry >= 0x80
+        if flagged.any():
+            cell = (idx * self.cols + self._col_ids)[flagged]
+            rows = cdf.reshape(-1, n + 1)[cell]
+            counts[flagged] = (rows[:, :n] <= u[flagged][:, None]).sum(axis=-1)
+        return counts
+
+    def _counts_by_search(self, cdf: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Inverse-CDF sample via branchless binary search on the table.
+
+        ``count = #{k < L : cdf_k <= u}`` — since each CDF row is
+        sorted, the count is found in ``ceil(log2(L))`` gather/compare
+        rounds instead of materializing the per-element CDF row. Used
+        when the window is too long for the quantile table.
+        """
+        n = cdf.shape[-1] - 1
+        flat = cdf.reshape(-1)
+        row_len = n + 1
+        base = idx * (self.cols * row_len) + self._col_ids * row_len
+        u = self.rng.random(idx.shape)
+        pos = np.zeros(idx.shape, dtype=np.intp)
+        b = 1
+        while (b << 1) <= n:
+            b <<= 1
+        while b:
+            cand = pos + b
+            levels = flat[base + np.minimum(cand, n) - 1]
+            pos += np.where((cand <= n) & (levels <= u), b, 0)
+            b >>= 1
+        return pos
 
     def ideal_sign_output(self, activations) -> np.ndarray:
         """Noise-free reference: sign of the column value vs threshold."""

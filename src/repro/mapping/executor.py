@@ -12,6 +12,13 @@ Two modes:
 Convolutions are executed by im2col: each spatial position becomes one
 crossbar pass; positions are folded into the batch dimension for
 vectorization. Max pooling of +-1 maps is a digital OR.
+
+Dtype discipline: the executor carries +-1 activation maps as int8 —
+im2col preserves the dtype, so the unfolded ``(N*P, fan_in)`` buffers
+(the largest allocations of a conv pass) are 8x smaller than float64.
+The {-1, 0, +1} alphabet is validated once where untrusted data enters
+a crossbar; executor-generated activations are +-1 by construction, so
+the per-layer rescan is disabled afterwards.
 """
 
 from __future__ import annotations
@@ -35,21 +42,24 @@ from repro.mapping.tiling import conv_output_geometry
 
 _MODES = ("stochastic", "ideal")
 
+_INT8_ONE = np.int8(1)
+_INT8_MINUS_ONE = np.int8(-1)
 
-def _apply_tiled(layer, flat: np.ndarray, mode: str) -> np.ndarray:
+
+def _apply_tiled(layer, flat: np.ndarray, mode: str, validate) -> np.ndarray:
     if mode == "stochastic":
-        return layer.forward(flat)
+        return layer.forward(flat, validate=validate)
     return layer.ideal_output(flat)
 
 
-def _run_conv(stage: ConvStage, x: np.ndarray, mode: str) -> np.ndarray:
+def _run_conv(stage: ConvStage, x: np.ndarray, mode: str, validate) -> np.ndarray:
     n, _, h, w = x.shape
     h_out, w_out = conv_output_geometry(h, w, stage.kernel, stage.stride, stage.padding)
     cols, _ = im2col(x, stage.kernel, stage.stride, stage.padding)
     # (N, fan_in, P) -> (N * P, fan_in)
     fan_in = cols.shape[1]
     flat = cols.transpose(0, 2, 1).reshape(-1, fan_in)
-    out = _apply_tiled(stage.layer, flat, mode)  # (N*P, C_out)
+    out = _apply_tiled(stage.layer, flat, mode, validate)  # (N*P, C_out)
     out = out.reshape(n, h_out * w_out, stage.out_channels).transpose(0, 2, 1)
     return out.reshape(n, stage.out_channels, h_out, w_out)
 
@@ -70,20 +80,30 @@ def run_network(
     if mode not in _MODES:
         raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
     x = np.asarray(images, dtype=np.float64)
+    # Encoding and crossbar stages emit +-1 by construction; once one of
+    # them has produced `x`, the crossbar alphabet rescan is redundant.
+    trusted = False
     for stage in network.stages:
         if isinstance(stage, SignStage):
-            x = np.where(x >= 0, 1.0, -1.0)
+            x = np.where(x >= 0, _INT8_ONE, _INT8_MINUS_ONE)
+            trusted = True
         elif isinstance(stage, ThermometerStage):
             planes = [
-                np.where(x - t >= 0, 1.0, -1.0) for t in stage.thresholds
+                np.where(x - t >= 0, _INT8_ONE, _INT8_MINUS_ONE)
+                for t in stage.thresholds
             ]
             x = np.concatenate(planes, axis=1)
+            trusted = True
         elif isinstance(stage, ConvStage):
-            x = _run_conv(stage, x, mode)
+            x = _run_conv(stage, x, mode, validate=None if not trusted else False)
+            x = x.astype(np.int8, copy=False)
+            trusted = True
         elif isinstance(stage, LinearStage):
             if x.ndim > 2:
                 x = x.reshape(x.shape[0], -1)
-            x = _apply_tiled(stage.layer, x, mode)
+            x = _apply_tiled(stage.layer, x, mode, None if not trusted else False)
+            x = x.astype(np.int8, copy=False)
+            trusted = True
         elif isinstance(stage, PoolStage):
             x = _run_pool(stage, x)
         elif isinstance(stage, HeadStage):

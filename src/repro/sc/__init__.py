@@ -4,6 +4,8 @@
 * :mod:`repro.sc.streams` — stream generators (i.i.d. and LFSR) and
   correlation diagnostics.
 * :mod:`repro.sc.arithmetic` — SC multiply / scaled add on bit-streams.
+* :mod:`repro.sc.packed` — uint64 bit-plane packing: 64 stream bits per
+  word for the simulator's hot loops.
 * :mod:`repro.sc.accumulate` — the SC-based accumulation module that sums
   per-crossbar stochastic outputs (APC + comparator).
 """
@@ -18,9 +20,29 @@ from repro.sc.encoding import (
 )
 from repro.sc.streams import Lfsr, StreamGenerator, stochastic_cross_correlation
 from repro.sc.arithmetic import sc_multiply_bipolar, sc_multiply_unipolar, sc_scaled_add
+from repro.sc.packed import (
+    PackedStream,
+    pack_bits,
+    packed_and,
+    packed_mux,
+    packed_or,
+    packed_word_count,
+    packed_xnor,
+    popcount_words,
+    unpack_bits,
+)
 from repro.sc.accumulate import ScAccumulationModule
 
 __all__ = [
+    "PackedStream",
+    "pack_bits",
+    "unpack_bits",
+    "packed_word_count",
+    "popcount_words",
+    "packed_and",
+    "packed_or",
+    "packed_xnor",
+    "packed_mux",
     "unipolar_probability",
     "unipolar_encode",
     "unipolar_decode",

@@ -17,6 +17,26 @@ The AND/OR first-layer compressor of the APC is *exact* when both
 outputs are kept (``a + b = (a | b) + (a & b)``); dropping the AND
 outputs is the approximate mode, exposed via ``approximate_layers`` and
 studied in the ablation bench.
+
+Two execution paths reach the comparator:
+
+* **Fused-counts fast path** (``approximate_layers == 0``): the exact
+  APC's window total is just the number of ones across all K x L bits,
+  so per-tile *counts* drawn from ``Binomial(L, p)`` (see
+  :meth:`repro.hardware.crossbar.CrossbarArray.sample_window_counts`)
+  are summed and compared via :meth:`ScAccumulationModule.accumulate_counts`
+  — no bit tensor is ever materialized. Distribution-identical to the
+  bit-level simulation.
+* **Bit-level APC path** (``approximate_layers > 0``): the OR-only
+  compression depends on *which* bits coincide, so the individual bits
+  are needed. They travel bit-packed (uint64 words,
+  :mod:`repro.sc.packed`) through
+  :meth:`ScAccumulationModule.accumulate_packed`, where the OR layers
+  run 64 clocks per word op. The unpacked :meth:`ScAccumulationModule.accumulate`
+  remains for raw float/int bit tensors.
+
+:class:`repro.hardware.accelerator.TiledLinearLayer` dispatches between
+the two based on :attr:`ScAccumulationModule.supports_fused_counts`.
 """
 
 from __future__ import annotations
@@ -27,6 +47,7 @@ import numpy as np
 
 from repro.circuits.apc import ApproximateParallelCounter
 from repro.circuits.comparator import BinaryComparator
+from repro.sc.packed import packed_word_count
 
 
 class ScAccumulationModule:
@@ -62,6 +83,57 @@ class ScAccumulationModule:
             n_crossbars * window_bits / 2.0 if reference is None else float(reference)
         )
         self.comparator = BinaryComparator(self.reference)
+
+    @property
+    def supports_fused_counts(self) -> bool:
+        """True when the APC is exact, so window totals fully determine
+        the output and the Binomial fused-count fast path applies."""
+        return self.apc.approximate_layers == 0
+
+    def accumulate_counts(self, counts: np.ndarray) -> np.ndarray:
+        """Fast-path activation from per-tile window totals.
+
+        ``counts`` has shape ``(K, ...)`` — each entry the number of
+        ones one tile produced over its L-bit window (e.g. from
+        :meth:`~repro.hardware.crossbar.CrossbarArray.sample_window_counts`).
+        Only valid for the exact APC: the approximate OR compression
+        undercounts based on bit coincidences that totals cannot
+        reconstruct, so that configuration must go through
+        :meth:`accumulate_packed` / :meth:`accumulate` instead.
+        """
+        if not self.supports_fused_counts:
+            raise ValueError(
+                "accumulate_counts requires an exact APC "
+                f"(approximate_layers={self.apc.approximate_layers}); "
+                "use accumulate_packed/accumulate for the bit-level path"
+            )
+        c = np.asarray(counts)
+        if c.ndim < 1 or c.shape[0] != self.n_crossbars:
+            raise ValueError(
+                f"expected counts of shape ({self.n_crossbars}, ...), got {c.shape}"
+            )
+        return self.comparator.compare(c.sum(axis=0))
+
+    def count_window_packed(self, words: np.ndarray) -> np.ndarray:
+        """Total APC counts from bit-packed streams.
+
+        ``words`` has shape ``(K, W, ...)`` with ``W = ceil(L/64)``
+        uint64 words per line (:mod:`repro.sc.packed` layout, zero tail
+        bits); the result matches :meth:`count_window` on the unpacked
+        bits exactly, including the approximate undercount.
+        """
+        w = np.asarray(words)
+        expected_words = packed_word_count(self.window_bits)
+        if w.ndim < 2 or w.shape[0] != self.n_crossbars or w.shape[1] != expected_words:
+            raise ValueError(
+                f"expected packed streams of shape ({self.n_crossbars}, "
+                f"{expected_words}, ...), got {w.shape}"
+            )
+        return self.apc.count_packed(w)
+
+    def accumulate_packed(self, words: np.ndarray) -> np.ndarray:
+        """Binary (+-1) activation from bit-packed per-crossbar streams."""
+        return self.comparator.compare(self.count_window_packed(words))
 
     def count_window(self, streams: np.ndarray) -> np.ndarray:
         """Total APC counts over the window.

@@ -6,6 +6,12 @@ accelerator itself only needs accumulation (see
 :mod:`repro.sc.accumulate`), but the full kit is provided because the
 SC-AQFP baseline (paper [13]) computes whole networks this way and the
 comparison benches exercise it.
+
+Every op accepts either int8 bit arrays or bit-packed
+:class:`~repro.sc.packed.PackedStream` operands; packed operands run the
+gate on uint64 words (64 stream bits per machine op) and return a packed
+result. The n-way MUX falls back to unpacked bits for n != 2, where a
+bitwise select cannot express the uniform choice.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.sc.packed import PackedStream, packed_and, packed_mux, packed_xnor
 from repro.utils.rng import SeedLike, new_rng
 
 
@@ -23,27 +30,35 @@ def _check_streams(*streams: np.ndarray) -> None:
         raise ValueError(f"streams must share a shape, got {shapes}")
 
 
-def sc_multiply_unipolar(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+def _as_bits(stream) -> np.ndarray:
+    if isinstance(stream, PackedStream):
+        return stream.unpack()
+    return np.asarray(stream, dtype=np.int8)
+
+
+def sc_multiply_unipolar(x, y):
     """Unipolar product: bitwise AND. E[out] = x * y for independent SNs."""
+    if isinstance(x, PackedStream) and isinstance(y, PackedStream):
+        return packed_and(x, y)
+    x, y = _as_bits(x), _as_bits(y)
     _check_streams(x, y)
-    return (np.asarray(x, dtype=np.int8) & np.asarray(y, dtype=np.int8)).astype(np.int8)
+    return (x & y).astype(np.int8)
 
 
-def sc_multiply_bipolar(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+def sc_multiply_bipolar(x, y):
     """Bipolar product: bitwise XNOR. E[out] = x * y for independent SNs.
 
     This is exactly the BNN multiply: XNOR of +-1 operands encoded as
     0/1 bits.
     """
-    _check_streams(x, y)
-    xb = np.asarray(x, dtype=np.int8)
-    yb = np.asarray(y, dtype=np.int8)
+    if isinstance(x, PackedStream) and isinstance(y, PackedStream):
+        return packed_xnor(x, y)
+    xb, yb = _as_bits(x), _as_bits(y)
+    _check_streams(xb, yb)
     return (1 - (xb ^ yb)).astype(np.int8)
 
 
-def sc_scaled_add(
-    streams: Sequence[np.ndarray], seed: SeedLike = None
-) -> np.ndarray:
+def sc_scaled_add(streams: Sequence, seed: SeedLike = None):
     """Scaled addition: an n-way MUX with uniform select.
 
     E[out] = mean of the operand values — SC addition is inherently
@@ -51,7 +66,9 @@ def sc_scaled_add(
     """
     if not streams:
         raise ValueError("need at least one stream")
-    arrays = [np.asarray(s, dtype=np.int8) for s in streams]
+    if len(streams) == 2 and all(isinstance(s, PackedStream) for s in streams):
+        return packed_mux(streams[0], streams[1], seed=seed)
+    arrays = [_as_bits(s) for s in streams]
     _check_streams(*arrays)
     stacked = np.stack(arrays, axis=0)
     rng = new_rng(seed)

@@ -1,0 +1,188 @@
+"""Bit-packed stochastic streams: uint64 bit-plane words.
+
+The simulator's hot loops move windows of stochastic bits around — the
+L-clock observation of every crossbar column, the K per-tile streams
+feeding the SC accumulation module, and the SC arithmetic benches. A
+naive representation spends one float64 (or int64) per *bit*; this
+module packs 64 stream bits into one ``uint64`` word so that
+
+* memory drops 64x (512x vs float64),
+* gate ops (AND / XNOR / MUX) process 64 clocks per machine op, and
+* counting becomes a native popcount instead of a reduction over a
+  materialized bit tensor.
+
+Layout convention: bits are packed along a *stream* axis (the window /
+time axis), LSB-first within each word, and the packed word axis takes
+the stream axis's place — a ``(L, N, cols)`` bit tensor becomes a
+``(ceil(L/64), N, cols)`` word tensor. Tail bits of the last word are
+always zero, an invariant every helper here preserves so popcounts and
+OR-compressions never see garbage bits.
+
+:class:`PackedStream` is a tiny value object bundling the words with the
+true bit length; :mod:`repro.sc.arithmetic` accepts it interchangeably
+with int8 bit arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+BITS_PER_WORD = 64
+
+
+def packed_word_count(n_bits: int) -> int:
+    """Words needed to hold ``n_bits`` stream bits."""
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be >= 0, got {n_bits}")
+    return -(-n_bits // BITS_PER_WORD)
+
+
+def tail_mask(n_bits: int) -> np.uint64:
+    """Mask of the valid bits in the *last* word of an ``n_bits`` stream."""
+    rem = n_bits % BITS_PER_WORD
+    if rem == 0:
+        return np.uint64(0xFFFFFFFFFFFFFFFF)
+    return np.uint64((1 << rem) - 1)
+
+
+def pack_bits(bits: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Pack bits (0/1 or +-1 encoded; >0 means '1') along ``axis``.
+
+    Returns a uint64 array where ``axis`` now indexes words
+    (``ceil(L/64)`` of them), LSB-first; tail bits are zero.
+    """
+    ones = np.asarray(bits) > 0
+    ones = np.moveaxis(ones, axis, -1)
+    n_bits = ones.shape[-1]
+    n_words = packed_word_count(n_bits)
+    pad = n_words * BITS_PER_WORD - n_bits
+    if pad:
+        ones = np.concatenate(
+            [ones, np.zeros(ones.shape[:-1] + (pad,), dtype=bool)], axis=-1
+        )
+    packed = np.packbits(ones, axis=-1, bitorder="little")
+    words = np.ascontiguousarray(packed).view(np.uint64)
+    return np.moveaxis(words, -1, axis)
+
+
+def unpack_bits(
+    words: np.ndarray, n_bits: int, axis: int = 0, bipolar: bool = False
+) -> np.ndarray:
+    """Inverse of :func:`pack_bits`.
+
+    Returns int8 bits along ``axis``: 0/1 by default, +-1 when
+    ``bipolar`` is set.
+    """
+    w = np.moveaxis(np.asarray(words, dtype=np.uint64), axis, -1)
+    if w.shape[-1] != packed_word_count(n_bits):
+        raise ValueError(
+            f"expected {packed_word_count(n_bits)} words for {n_bits} bits, "
+            f"got {w.shape[-1]}"
+        )
+    as_bytes = np.ascontiguousarray(w).view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little", count=n_bits)
+    bits = bits.astype(np.int8)
+    if bipolar:
+        bits = (2 * bits - 1).astype(np.int8)
+    return np.moveaxis(bits, -1, axis)
+
+
+def popcount_words(words: np.ndarray) -> np.ndarray:
+    """Elementwise number of set bits per uint64 word (int64)."""
+    return np.bitwise_count(np.asarray(words, dtype=np.uint64)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class PackedStream:
+    """A bit-stream packed into uint64 words along its leading axis.
+
+    ``words`` has shape ``(W, ...)`` with ``W = ceil(n_bits / 64)``;
+    element ``[..., t]`` of the logical stream lives in word ``t // 64``,
+    bit ``t % 64`` (LSB-first). Tail bits are zero by construction.
+    """
+
+    words: np.ndarray
+    n_bits: int
+
+    def __post_init__(self) -> None:
+        w = np.asarray(self.words, dtype=np.uint64)
+        if w.shape[0] != packed_word_count(self.n_bits):
+            raise ValueError(
+                f"words leading axis {w.shape[0]} inconsistent with "
+                f"n_bits={self.n_bits}"
+            )
+        object.__setattr__(self, "words", w)
+
+    @classmethod
+    def pack(cls, bits: np.ndarray, axis: int = 0) -> "PackedStream":
+        b = np.asarray(bits)
+        return cls(pack_bits(b, axis=axis), b.shape[axis])
+
+    def unpack(self, bipolar: bool = False) -> np.ndarray:
+        return unpack_bits(self.words, self.n_bits, axis=0, bipolar=bipolar)
+
+    def popcount(self) -> np.ndarray:
+        """Ones per stream (summed over the window), shape ``words.shape[1:]``."""
+        return popcount_words(self.words).sum(axis=0)
+
+    @property
+    def shape(self):
+        """Logical bit-tensor shape ``(n_bits, ...)``."""
+        return (self.n_bits,) + self.words.shape[1:]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PackedStream(n_bits={self.n_bits}, words{self.words.shape})"
+
+
+def _check_packed_pair(x: PackedStream, y: PackedStream) -> None:
+    if x.n_bits != y.n_bits or x.words.shape != y.words.shape:
+        raise ValueError(
+            f"packed streams must share bit length and shape, got "
+            f"{x.n_bits}/{x.words.shape} vs {y.n_bits}/{y.words.shape}"
+        )
+
+
+def packed_and(x: PackedStream, y: PackedStream) -> PackedStream:
+    """Bitwise AND — the unipolar SC multiply, 64 clocks per word op."""
+    _check_packed_pair(x, y)
+    return PackedStream(x.words & y.words, x.n_bits)
+
+
+def packed_or(x: PackedStream, y: PackedStream) -> PackedStream:
+    """Bitwise OR — the APC's approximate 2:1 compressor."""
+    _check_packed_pair(x, y)
+    return PackedStream(x.words | y.words, x.n_bits)
+
+
+def packed_xnor(x: PackedStream, y: PackedStream) -> PackedStream:
+    """Bitwise XNOR — the bipolar SC multiply.
+
+    The complement would set the last word's tail bits, so they are
+    re-masked to keep the zero-tail invariant.
+    """
+    _check_packed_pair(x, y)
+    words = ~(x.words ^ y.words)
+    if words.shape[0]:
+        words[-1] &= tail_mask(x.n_bits)
+    return PackedStream(words, x.n_bits)
+
+
+def packed_mux(x: PackedStream, y: PackedStream, seed: SeedLike = None) -> PackedStream:
+    """Scaled add of two packed streams: per-bit uniform 2-way MUX.
+
+    Each output bit is taken from ``x`` or ``y`` with probability 1/2,
+    so ``E[out] = (x + y) / 2`` — the SC scaled adder, on words.
+    """
+    _check_packed_pair(x, y)
+    rng = new_rng(seed)
+    select = rng.integers(
+        0, 1 << 64, size=x.words.shape, dtype=np.uint64
+    )
+    words = (select & x.words) | (~select & y.words)
+    if words.shape[0]:
+        words[-1] &= tail_mask(x.n_bits)
+    return PackedStream(words, x.n_bits)

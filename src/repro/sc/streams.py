@@ -3,7 +3,7 @@
 The AQFP buffer's thermal randomness is a *true* RNG (paper Sec. 4.3), so
 in-hardware stream generation is free. For peripheral circuits that need
 pseudo-random references (e.g. binary-to-SN converters in test harnesses)
-we also provide a Galois LFSR, the standard SC hardware generator.
+we also provide a Fibonacci LFSR, the standard SC hardware generator.
 """
 
 from __future__ import annotations
@@ -72,10 +72,42 @@ class Lfsr:
         return self._state
 
     def words(self, count: int) -> np.ndarray:
-        """The next ``count`` register states as an int64 array."""
+        """The next ``count`` register states as an int64 array.
+
+        Vectorized: the Fibonacci LFSR's inserted bits obey the linear
+        recurrence ``b[m] = XOR_{t in taps} b[m - t]``, and each state is
+        just the window of the last ``width`` inserted bits. Bits are
+        generated in blocks of ``min(taps)`` (the largest block whose
+        inputs are all already available) with array XORs, then the
+        states are reassembled from sliding windows — no per-word Python
+        loop. Matches :meth:`next_word` bit-for-bit.
+        """
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
-        return np.array([self.next_word() for _ in range(count)], dtype=np.int64)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        width = self.width
+        lags = self._taps
+        block = min(lags)
+        total = width + count
+        bits = np.empty(total, dtype=np.uint8)
+        # Seed the history with the current state, oldest bit first:
+        # state bit k was inserted k steps ago.
+        bits[:width] = (self._state >> np.arange(width - 1, -1, -1)) & 1
+        pos = width
+        while pos < total:
+            n = min(block, total - pos)
+            acc = bits[pos - lags[0] : pos - lags[0] + n].copy()
+            for t in lags[1:]:
+                acc ^= bits[pos - t : pos - t + n]
+            bits[pos : pos + n] = acc
+            pos += n
+        # State after inserting bit m holds b[m-k] at bit position k.
+        windows = np.lib.stride_tricks.sliding_window_view(bits, width)[1 : count + 1]
+        weights = (1 << np.arange(width - 1, -1, -1)).astype(np.int64)
+        states = windows.astype(np.int64) @ weights
+        self._state = int(states[-1])
+        return states
 
     def uniform(self, count: int) -> np.ndarray:
         """``count`` pseudo-uniform samples in (0, 1)."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 import numpy as np
+from scipy import special
 
 SeedLike = Union[None, int, np.random.Generator]
 
@@ -31,6 +32,34 @@ def spawn_rng(rng: np.random.Generator, count: int) -> list:
         raise ValueError(f"count must be non-negative, got {count}")
     seeds = rng.integers(0, 2**63 - 1, size=count)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def binomial_cdf(p: np.ndarray, n: int) -> np.ndarray:
+    """Binomial(n, p) CDF levels per element: shape ``p.shape + (n + 1,)``.
+
+    The pmf is built in log space — ``log C(n,k) + k log p + (n-k)
+    log q`` via ``gammaln`` — so large ``n`` with mid-range ``p`` cannot
+    underflow the way a ``q ** n``-anchored multiplicative recurrence
+    does (``0.4 ** 1024`` is 0.0 in float64, which would zero every
+    level and pin inverse-CDF samples at ``n``). Intended for cached
+    tables (the crossbar count sampler): the build cost is one exp per
+    level, amortized across every draw from the table.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    p = np.asarray(p, dtype=np.float64)
+    k = np.arange(n + 1, dtype=np.float64)
+    log_comb = special.gammaln(n + 1.0) - special.gammaln(k + 1.0) - special.gammaln(
+        n - k + 1.0
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_p = np.log(p)[..., None]
+        log_q = np.log1p(-p)[..., None]
+        pmf = np.exp(log_comb + k * log_p + (n - k) * log_q)
+    # p == 0 / p == 1 hit 0 * -inf above; their laws are point masses.
+    pmf = np.where((p == 0.0)[..., None], k == 0.0, pmf)
+    pmf = np.where((p == 1.0)[..., None], k == float(n), pmf)
+    return np.cumsum(pmf, axis=-1)
 
 
 class RngMixin:

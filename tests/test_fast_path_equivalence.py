@@ -1,0 +1,338 @@
+"""Equivalence tests for the bit-packed / fused-count sampling engine.
+
+Three layers of guarantees:
+
+* the packed-word APC is *bit-exact* against the unpacked counters on
+  the same bits (including the approximate undercount),
+* the fused ``Binomial(L, p)`` count sampler matches the moments of
+  counted ``sample_window`` bits (the distributions are identical, so
+  empirical moments must agree within sampling error),
+* ``TiledLinearLayer.forward`` keeps the same per-column
+  sign-probability as the pre-refactor bit-level simulation.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.circuits.apc import ApproximateParallelCounter, ExactPopcount
+from repro.hardware.accelerator import TiledLinearLayer
+from repro.hardware.config import HardwareConfig
+from repro.hardware.crossbar import CrossbarArray
+from repro.sc.accumulate import ScAccumulationModule
+from repro.sc.arithmetic import (
+    sc_multiply_bipolar,
+    sc_multiply_unipolar,
+    sc_scaled_add,
+)
+from repro.sc.packed import (
+    PackedStream,
+    pack_bits,
+    packed_word_count,
+    popcount_words,
+    unpack_bits,
+)
+
+
+def pm(rng, shape):
+    return np.where(rng.random(shape) < 0.5, 1.0, -1.0)
+
+
+class TestPackedPrimitives:
+    @pytest.mark.parametrize("n_bits", [1, 7, 63, 64, 65, 100, 128, 130])
+    def test_pack_unpack_roundtrip(self, n_bits):
+        rng = np.random.default_rng(n_bits)
+        bits = (rng.random((n_bits, 3, 4)) < 0.4).astype(np.int8)
+        words = pack_bits(bits, axis=0)
+        assert words.shape == (packed_word_count(n_bits), 3, 4)
+        np.testing.assert_array_equal(unpack_bits(words, n_bits, axis=0), bits)
+
+    def test_pack_accepts_bipolar_encoding(self):
+        rng = np.random.default_rng(0)
+        bipolar = pm(rng, (70, 5))
+        ones = (bipolar > 0).astype(np.int8)
+        np.testing.assert_array_equal(
+            pack_bits(bipolar, axis=0), pack_bits(ones, axis=0)
+        )
+
+    def test_unpack_bipolar(self):
+        bits = np.array([1, 0, 0, 1, 1], dtype=np.int8)
+        ps = PackedStream.pack(bits)
+        np.testing.assert_array_equal(
+            ps.unpack(bipolar=True), np.array([1, -1, -1, 1, 1], dtype=np.int8)
+        )
+
+    def test_tail_bits_are_zero(self):
+        words = pack_bits(np.ones((70, 2), dtype=np.int8), axis=0)
+        # 70 bits -> word 0 full, word 1 has 6 valid bits.
+        assert np.all(words[1] == np.uint64((1 << 6) - 1))
+
+    @pytest.mark.parametrize("n_bits", [5, 64, 100])
+    def test_popcount(self, n_bits):
+        rng = np.random.default_rng(n_bits)
+        bits = rng.random((n_bits, 6)) < 0.5
+        ps = PackedStream.pack(bits, axis=0)
+        np.testing.assert_array_equal(ps.popcount(), bits.sum(axis=0))
+        np.testing.assert_array_equal(
+            popcount_words(ps.words).sum(axis=0), bits.sum(axis=0)
+        )
+
+    @pytest.mark.parametrize("n_bits", [60, 64, 100])
+    def test_packed_gate_ops_match_int8_ops(self, n_bits):
+        rng = np.random.default_rng(1)
+        xb = (rng.random((n_bits, 8)) < 0.5).astype(np.int8)
+        yb = (rng.random((n_bits, 8)) < 0.5).astype(np.int8)
+        xp, yp = PackedStream.pack(xb), PackedStream.pack(yb)
+
+        np.testing.assert_array_equal(
+            sc_multiply_unipolar(xp, yp).unpack(), sc_multiply_unipolar(xb, yb)
+        )
+        np.testing.assert_array_equal(
+            sc_multiply_bipolar(xp, yp).unpack(), sc_multiply_bipolar(xb, yb)
+        )
+        # XNOR must not leak ones into the tail padding.
+        assert sc_multiply_bipolar(xp, yp).popcount().max() <= n_bits
+
+    def test_packed_mux_is_scaled_add(self):
+        rng = np.random.default_rng(2)
+        n_bits = 4096
+        xb = (rng.random(n_bits) < 0.9).astype(np.int8)
+        yb = (rng.random(n_bits) < 0.1).astype(np.int8)
+        out = sc_scaled_add([PackedStream.pack(xb), PackedStream.pack(yb)], seed=3)
+        assert isinstance(out, PackedStream)
+        assert out.n_bits == n_bits
+        # E[out] = (0.9 + 0.1) / 2 = 0.5; 4096 bits -> sigma ~ 0.008.
+        assert abs(out.popcount() / n_bits - 0.5) < 0.05
+
+    def test_mismatched_streams_rejected(self):
+        a = PackedStream.pack(np.ones(10, dtype=np.int8))
+        b = PackedStream.pack(np.ones(12, dtype=np.int8))
+        with pytest.raises(ValueError):
+            sc_multiply_unipolar(a, b)
+
+
+class TestPackedApcBitExact:
+    """Packed APC vs ExactPopcount and the unpacked approximate APC."""
+
+    @pytest.mark.parametrize("n_lines", [1, 2, 5, 8, 17])
+    @pytest.mark.parametrize("window", [1, 7, 64, 100, 192])
+    @pytest.mark.parametrize("layers", [0, 1, 2])
+    def test_count_packed_matches_unpacked(self, n_lines, window, layers):
+        rng = np.random.default_rng(n_lines * 1000 + window + layers)
+        bits = rng.random((n_lines, window, 5)) < 0.5
+        words = pack_bits(bits, axis=1)
+        apc = ApproximateParallelCounter(layers)
+        reference = apc.count(bits, axis=0).sum(axis=0)
+        np.testing.assert_array_equal(apc.count_packed(words), reference)
+
+    @pytest.mark.parametrize("window", [7, 64, 100])
+    def test_exact_layers_match_exact_popcount(self, window):
+        rng = np.random.default_rng(window)
+        bits = rng.random((6, window, 4)) < 0.5
+        words = pack_bits(bits, axis=1)
+        total = ExactPopcount().count(bits.reshape(-1, 4), axis=0)
+        np.testing.assert_array_equal(
+            ApproximateParallelCounter(0).count_packed(words), total
+        )
+
+    def test_accumulate_packed_bit_exact_vs_accumulate(self):
+        """Same sampled bits through both representations -> identical output."""
+        module = ScAccumulationModule(
+            n_crossbars=3, window_bits=100, approximate_layers=1
+        )
+        rng = np.random.default_rng(9)
+        bits = rng.random((3, 100, 4, 6)) < 0.5
+        streams = np.where(bits, 1.0, -1.0)
+        np.testing.assert_array_equal(
+            module.accumulate(streams),
+            module.accumulate_packed(pack_bits(bits, axis=1)),
+        )
+
+    def test_count_window_packed_shape_validation(self):
+        module = ScAccumulationModule(n_crossbars=2, window_bits=70)
+        ok = np.zeros((2, 2, 3), dtype=np.uint64)
+        assert module.count_window_packed(ok).shape == (3,)
+        with pytest.raises(ValueError):
+            module.count_window_packed(np.zeros((3, 2, 3), dtype=np.uint64))
+        with pytest.raises(ValueError):
+            module.count_window_packed(np.zeros((2, 1, 3), dtype=np.uint64))
+
+
+class TestFusedCountSampling:
+    def test_counts_match_window_moments(self):
+        """Binomial fast path vs counted Bernoulli bits: same distribution."""
+        cfg = HardwareConfig(crossbar_size=8, gray_zone_ua=20.0, window_bits=16)
+        rng = np.random.default_rng(0)
+        weights = pm(rng, (8, 8))
+        activations = pm(rng, (2, 8))
+        trials = 2000
+
+        fast = CrossbarArray(cfg, weights, seed=1)
+        slow = CrossbarArray(cfg, weights, seed=2)
+        counts_fast = np.stack(
+            [fast.sample_window_counts(activations) for _ in range(trials)]
+        )
+        counts_slow = np.stack(
+            [(slow.sample_window(activations) > 0).sum(axis=0) for _ in range(trials)]
+        )
+
+        p = fast.output_probabilities(activations)
+        mean_exact = 16 * p
+        np.testing.assert_allclose(counts_fast.mean(axis=0), mean_exact, atol=0.35)
+        np.testing.assert_allclose(counts_slow.mean(axis=0), mean_exact, atol=0.35)
+        var_exact = 16 * p * (1 - p)
+        np.testing.assert_allclose(counts_fast.var(axis=0), var_exact, atol=0.5)
+        np.testing.assert_allclose(counts_slow.var(axis=0), var_exact, atol=0.5)
+
+    def test_counts_bounded_by_window(self):
+        cfg = HardwareConfig(crossbar_size=8, gray_zone_ua=50.0, window_bits=24)
+        rng = np.random.default_rng(3)
+        xbar = CrossbarArray(cfg, pm(rng, (8, 4)), seed=4)
+        counts = xbar.sample_window_counts(pm(rng, (16, 8)))
+        assert counts.min() >= 0 and counts.max() <= 24
+
+    def test_deterministic_probabilities_give_deterministic_counts(self):
+        """Tiny gray zone -> p in {0, 1} -> counts exactly 0 or L."""
+        cfg = HardwareConfig(crossbar_size=8, gray_zone_ua=0.01, window_bits=16)
+        rng = np.random.default_rng(5)
+        weights = pm(rng, (7, 4))  # odd fan-in: no zero column sums
+        xbar = CrossbarArray(cfg, weights, seed=6)
+        a = pm(rng, (10, 7))
+        counts = xbar.sample_window_counts(a)
+        expected = np.where(a @ weights >= 0, 16, 0)
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_window_bits_validation(self):
+        cfg = HardwareConfig(crossbar_size=4)
+        xbar = CrossbarArray(cfg, np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            xbar.sample_window_counts(np.ones((1, 4)), window_bits=0)
+
+    def test_long_window_mid_probability_not_degenerate(self):
+        """Regression: a q**n-anchored CDF build underflows to zero for
+        L=1024 with mid-range p, pinning every sample at L. The table
+        sampler must keep the true spread (SC-AQFP runs L=1024)."""
+        cfg = HardwareConfig(crossbar_size=8, gray_zone_ua=30.0, window_bits=1024)
+        rng = np.random.default_rng(11)
+        xbar = CrossbarArray(cfg, pm(rng, (8, 6)), seed=12)
+        a = pm(rng, (4, 8))
+        p = xbar.output_probabilities(a)
+        counts = np.stack([xbar.sample_window_counts(a) for _ in range(200)])
+        mid = (p > 0.2) & (p < 0.8)
+        assert mid.any()  # the gray zone guarantees dithering columns
+        np.testing.assert_allclose(
+            counts.mean(axis=0)[mid], (1024 * p)[mid], rtol=0.05
+        )
+        assert counts.std(axis=0)[mid].min() > 5.0
+
+
+class TestForwardSignProbability:
+    """The refactored forward keeps the per-column sign-probability."""
+
+    def _layer(self, approximate_layers=0, seed=0):
+        cfg = HardwareConfig(crossbar_size=16, gray_zone_ua=25.0, window_bits=8)
+        rng = np.random.default_rng(42)
+        weights = pm(rng, (40, 12))
+        layer = TiledLinearLayer(
+            cfg, weights, seed=seed, approximate_layers=approximate_layers
+        )
+        activations = pm(rng, (6, 40))
+        return layer, activations
+
+    @staticmethod
+    def _bitlevel_reference_forward(layer, activations):
+        """The pre-refactor execution: stack raw windows, accumulate bits."""
+        chunks = layer._split_activations(activations)
+        outputs = []
+        for j in range(layer.n_col_tiles):
+            streams = np.stack(
+                [
+                    layer.tiles[i][j].sample_window(chunks[i])
+                    for i in range(layer.n_row_tiles)
+                ],
+                axis=0,
+            )
+            outputs.append(layer.module.accumulate(streams))
+        return np.concatenate(outputs, axis=-1)
+
+    def test_fused_forward_matches_bitlevel_sign_probability(self):
+        layer, activations = self._layer()
+        trials = 400
+        p_fused = np.mean(
+            [layer.forward(activations) > 0 for _ in range(trials)], axis=0
+        )
+        p_bits = np.mean(
+            [
+                self._bitlevel_reference_forward(layer, activations) > 0
+                for _ in range(trials)
+            ],
+            axis=0,
+        )
+        # Both estimators have sigma <= 0.025 per entry at 400 trials.
+        np.testing.assert_allclose(p_fused, p_bits, atol=0.12)
+
+    def test_single_tile_matches_analytic_binomial_tail(self):
+        """K=1: P(out=+1) = P(Binomial(L, p) >= L/2), computable exactly."""
+        cfg = HardwareConfig(crossbar_size=16, gray_zone_ua=25.0, window_bits=8)
+        rng = np.random.default_rng(7)
+        weights = pm(rng, (16, 6))
+        layer = TiledLinearLayer(cfg, weights, seed=8)
+        activations = pm(rng, (4, 16))
+        p_bit = layer.tiles[0][0].output_probabilities(activations)
+        analytic = stats.binom.sf(layer.module.reference - 1, 8, p_bit)
+        trials = 500
+        empirical = np.mean(
+            [layer.forward(activations) > 0 for _ in range(trials)], axis=0
+        )
+        np.testing.assert_allclose(empirical, analytic, atol=0.1)
+
+    def test_approximate_path_still_undercounts(self):
+        """Bit-level packed path keeps the OR-compression semantics:
+        the approximate layer undercounts, biasing outputs toward -1."""
+        exact, activations = self._layer(approximate_layers=0, seed=1)
+        approx, _ = self._layer(approximate_layers=1, seed=1)
+        trials = 300
+        p_exact = np.mean(
+            [exact.forward(activations) > 0 for _ in range(trials)], axis=0
+        )
+        p_approx = np.mean(
+            [approx.forward(activations) > 0 for _ in range(trials)], axis=0
+        )
+        assert p_approx.mean() <= p_exact.mean() + 0.02
+
+    def test_accumulate_counts_rejects_approximate_module(self):
+        module = ScAccumulationModule(
+            n_crossbars=2, window_bits=8, approximate_layers=1
+        )
+        with pytest.raises(ValueError):
+            module.accumulate_counts(np.zeros((2, 3)))
+
+    def test_validation_flag_gates_alphabet_scan(self):
+        cfg = HardwareConfig(crossbar_size=4)
+        xbar = CrossbarArray(cfg, np.ones((4, 4)))
+        bad = np.full((1, 4), 0.5)
+        with pytest.raises(ValueError):
+            xbar.sample_window_counts(bad)
+        # Explicit opt-out (the executor's trusted interior layers).
+        counts = xbar.sample_window_counts(bad, validate=False)
+        assert counts.shape == (1, 4)
+        # Config-level opt-out.
+        relaxed = CrossbarArray(cfg.with_(validate_inputs=False), np.ones((4, 4)))
+        assert relaxed.sample_window_counts(bad).shape == (1, 4)
+
+    def test_int8_activations_equivalent_to_float(self):
+        layer, activations = self._layer()
+        a8 = activations.astype(np.int8)
+
+        def reseed_tiles(base):
+            samplers = [layer._fused_sampler] if layer._fused_sampler else [
+                t for row in layer.tiles for t in row
+            ]
+            for k, sampler in enumerate(samplers):
+                sampler.reseed(base + k)
+
+        reseed_tiles(123)
+        out_float = layer.forward(activations)
+        reseed_tiles(123)
+        out_int8 = layer.forward(a8)
+        np.testing.assert_array_equal(out_float, out_int8)
