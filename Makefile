@@ -1,16 +1,19 @@
 # Developer entry points. `make test` is the tier-1 gate used by CI and
-# the PR driver; `make bench` times the simulation kernels and appends
-# the results to BENCH_kernels.json (the cross-PR perf trajectory);
-# `make lint` is a fast syntax/bytecode sweep (no third-party linter is
-# baked into the image).
+# the PR driver; `make check` chains lint + the tier-1 tests (the one
+# command to run before pushing); `make bench` times the simulation
+# kernels and appends the results to BENCH_kernels.json (the cross-PR
+# perf trajectory); `make lint` is a fast syntax/bytecode sweep (no
+# third-party linter is baked into the image).
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench lint
+.PHONY: test bench lint check
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+check: lint test
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/test_kernel_performance.py -q --bench-json=BENCH_kernels.json

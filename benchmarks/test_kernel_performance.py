@@ -72,6 +72,17 @@ def test_perf_tiled_layer_forward(benchmark, pm):
     assert result.shape == (32, 64)
 
 
+def test_perf_tiled_layer_forward_fused_batched(benchmark, pm):
+    """`stochastic-fused-batched` backend: one Generator.binomial draw
+    over the concatenated column tiles (the RNG-bottleneck attack)."""
+    cfg = HardwareConfig(crossbar_size=36, window_bits=8)
+    layer = TiledLinearLayer(cfg, pm((144, 64)), seed=0)
+    activations = pm((32, 144))
+    layer.forward_fused_batched(activations)  # warm caches once
+    result = benchmark(layer.forward_fused_batched, activations)
+    assert result.shape == (32, 64)
+
+
 def test_perf_tiled_layer_forward_bitlevel(benchmark, pm):
     """Approximate APC -> packed bit-level path end to end."""
     cfg = HardwareConfig(crossbar_size=36, window_bits=8)

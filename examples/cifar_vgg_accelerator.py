@@ -11,16 +11,8 @@ Run:  python examples/cifar_vgg_accelerator.py        (~3-4 minutes)
 
 import argparse
 
-from repro import (
-    AcceleratorCostModel,
-    HardwareConfig,
-    Trainer,
-    TrainingConfig,
-    VggSmall,
-    compile_model,
-    evaluate_accuracy,
-    network_workloads,
-)
+from repro import HardwareConfig, Trainer, TrainingConfig, VggSmall
+from repro.api import Engine
 from repro.data import DataLoader, make_cifar_like
 
 
@@ -44,13 +36,15 @@ def main(fast: bool = False) -> None:
     print(f"{'L':>4} {'accuracy':>9} {'TOPS/W':>12} {'cooled':>10} "
           f"{'power uW':>9} {'img/ms':>8}")
     for window in (32, 16, 4, 1):
-        deploy = hardware.with_(window_bits=window)
-        network = compile_model(model, deploy)
-        acc = evaluate_accuracy(network, images, labels)
-        cost = AcceleratorCostModel(
-            deploy, network_workloads(network, train.image_shape)
+        engine = (
+            Engine.builder()
+            .model(model)
+            .hardware(window_bits=window)
+            .backend("stochastic")
+            .build()
         )
-        s = cost.summary()
+        acc = engine.evaluate(images, labels)
+        s = engine.cost_model(train.image_shape).summary()
         print(
             f"{window:>4} {acc:>9.3f} {s['tops_per_w']:>12.3g} "
             f"{s['tops_per_w_cooled']:>10.3g} {s['power_mw'] * 1e3:>9.2f} "

@@ -15,7 +15,8 @@ Run:  python examples/design_space_exploration.py
 
 import numpy as np
 
-from repro import HardwareConfig, compile_model, evaluate_accuracy
+from repro import HardwareConfig
+from repro.api import Engine
 from repro.core.coopt import average_mismatch_error, optimize_hardware_config
 from repro.experiments.common import trained_mlp
 from repro.hardware.cost import CrossbarCost
@@ -58,8 +59,7 @@ def main() -> None:
     for gz in (0.6, 2.4, 10.0):
         for cs in (8, 16, 72):
             deploy = train_hw.with_(gray_zone_ua=gz, crossbar_size=cs, window_bits=8)
-            net = compile_model(model, deploy)
-            acc = evaluate_accuracy(net, images, labels)
+            acc = Engine.from_model(model, deploy).evaluate(images, labels)
             ame = average_mismatch_error(cs, gz)
             print(f"  dIin={gz:5.1f} Cs={cs:3d}: acc={acc:.3f}  (AME={ame:.4f})")
 

@@ -1,30 +1,26 @@
 #!/usr/bin/env python
-"""Quickstart: train a randomized BNN, deploy it on the AQFP accelerator.
+"""Quickstart: train a randomized BNN, serve it through the Engine API.
 
 This walks the full SupeRBNN pipeline on a small MLP:
 
 1. generate a synthetic MNIST-like task,
 2. train with the AQFP randomized-aware recipe (erf backward, ReCU,
    warmup + cosine LR),
-3. compile to hardware — BN matching folds every BatchNorm into
-   per-column threshold currents, filters are tiled over crossbars,
-4. run hardware-faithful inference (stochastic buffers + SC
-   accumulation) and compare against the ideal noise-free device,
-5. report the hardware cost (JJs, power, TOPS/W).
+3. build an inference ``Engine`` — compilation (BN matching + tiling)
+   happens inside ``Engine.from_model``,
+4. open a ``Session`` (owns the RNG state, micro-batches requests) and
+   run the same batched request through several execution backends:
+   the noise-free ``ideal`` reference, the hardware-default
+   ``stochastic`` dispatch, and the RNG-batched
+   ``stochastic-fused-batched`` fast path,
+5. read the structured ``InferenceResult`` (accuracy, wall time,
+   sampled windows) and the hardware cost model (JJs, power, TOPS/W).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    AcceleratorCostModel,
-    HardwareConfig,
-    Mlp,
-    Trainer,
-    TrainingConfig,
-    compile_model,
-    evaluate_accuracy,
-    network_workloads,
-)
+from repro import HardwareConfig, Mlp, Trainer, TrainingConfig
+from repro.api import Engine
 from repro.data import DataLoader, make_mnist_like
 
 
@@ -50,21 +46,25 @@ def main() -> None:
     )
     print(f"software accuracy (ideal device): {trainer.best_test_accuracy:.3f}")
 
-    # 3. Compile: BN matching + tiling ----------------------------------
-    network = compile_model(model)
-    for i, layer in enumerate(network.tiled_layers):
+    # 3. Engine: compile + wrap -----------------------------------------
+    engine = Engine.from_model(model)
+    for i, layer in enumerate(engine.tiled_layers):
         print(f"layer {i}: {layer}")
 
-    # 4. Hardware-faithful inference ------------------------------------
-    acc_ideal = evaluate_accuracy(network, test.images, test.labels, mode="ideal")
-    acc_hw = evaluate_accuracy(network, test.images, test.labels, mode="stochastic")
-    print(f"hardware accuracy: ideal={acc_ideal:.3f}  stochastic={acc_hw:.3f}")
+    # 4. One session, several execution backends ------------------------
+    session = engine.session(seed=0)
+    print(f"\n{'backend':>26} {'accuracy':>9} {'windows':>9} {'time':>8}")
+    for backend in ("ideal", "stochastic", "stochastic-fused-batched"):
+        result = session.run(test.images, labels=test.labels, backend=backend)
+        print(
+            f"{backend:>26} {result.accuracy:>9.3f} "
+            f"{result.total_windows:>9d} {result.wall_time_s:>7.3f}s"
+        )
 
     # 5. Cost report -----------------------------------------------------
-    cost = AcceleratorCostModel(hardware, network_workloads(network, train.image_shape))
-    summary = cost.summary()
+    summary = engine.cost_model(train.image_shape).summary()
     print(
-        f"cost: power={summary['power_mw'] * 1e3:.2f} uW, "
+        f"\ncost: power={summary['power_mw'] * 1e3:.2f} uW, "
         f"throughput={summary['throughput_images_per_ms']:.1f} img/ms, "
         f"efficiency={summary['tops_per_w']:.3g} TOPS/W "
         f"({summary['tops_per_w_cooled']:.3g} with 400x cooling)"

@@ -28,7 +28,8 @@ Subpackages:
 ``repro.sc``        stochastic-computing encodings and accumulation
 ``repro.hardware``  crossbar arrays, tiled accelerator, cost model
 ``repro.core``      randomized training, ReCU, BN matching, co-opt
-``repro.mapping``   model -> hardware compiler and executor
+``repro.mapping``   model -> hardware compiler and executor shims
+``repro.api``       unified inference Engine / Session / backend registry
 ``repro.models``    MLP / VGG-small / ResNet-18 (binarized)
 ``repro.data``      synthetic datasets + loaders
 ``repro.baselines`` published comparison points + cryo scaling
@@ -52,8 +53,16 @@ from repro.core.coopt import (
 from repro.mapping.compiler import CompiledNetwork, compile_model
 from repro.mapping.executor import evaluate_accuracy, network_workloads
 from repro.models import Mlp, ResNet18, VggSmall
+from repro.api import (
+    Engine,
+    EngineBuilder,
+    InferenceResult,
+    Session,
+    available_backends,
+    register_backend,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HardwareConfig",
@@ -77,6 +86,12 @@ __all__ = [
     "CompiledNetwork",
     "evaluate_accuracy",
     "network_workloads",
+    "Engine",
+    "EngineBuilder",
+    "Session",
+    "InferenceResult",
+    "register_backend",
+    "available_backends",
     "Mlp",
     "VggSmall",
     "ResNet18",

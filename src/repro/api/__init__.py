@@ -1,0 +1,63 @@
+"""``repro.api`` — the unified inference surface.
+
+Façade over model compilation, execution, and metrics:
+
+* :class:`Engine` / :class:`EngineBuilder` — build an inference engine
+  from a trained model (or compiled network) + hardware config.
+* :class:`Session` — owns RNG state, accepts batched requests with
+  automatic micro-batching.
+* :class:`InferenceResult` / :class:`LayerTelemetry` — structured
+  outputs: logits, per-layer window counts, workloads, wall time.
+* backend registry — string-keyed pluggable execution strategies
+  (``"ideal"``, ``"stochastic"``, ``"stochastic-dense"``,
+  ``"stochastic-packed"``, ``"stochastic-fused-batched"``); extend via
+  :func:`register_backend`.
+* experiment registry — every paper artifact, runnable by name
+  (:func:`run_experiment`, CLI ``repro run``).
+
+Quickstart::
+
+    from repro.api import Engine
+
+    engine = Engine.from_model(trained_model)
+    result = engine.run(test.images, labels=test.labels,
+                        backend="stochastic-fused-batched")
+    print(result.accuracy, result.wall_time_s, result.total_windows)
+"""
+
+from repro.api.backends import (
+    ExecutionBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.api.engine import DEFAULT_MICRO_BATCH, Engine, EngineBuilder, Session
+from repro.api.experiments import (
+    ExperimentSpec,
+    available_experiments,
+    experiment_registry,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+)
+from repro.api.results import InferenceResult, LayerTelemetry, network_workloads
+
+__all__ = [
+    "Engine",
+    "EngineBuilder",
+    "Session",
+    "InferenceResult",
+    "LayerTelemetry",
+    "ExecutionBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "ExperimentSpec",
+    "register_experiment",
+    "get_experiment",
+    "available_experiments",
+    "experiment_registry",
+    "run_experiment",
+    "network_workloads",
+    "DEFAULT_MICRO_BATCH",
+]

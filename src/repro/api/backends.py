@@ -1,0 +1,162 @@
+"""Pluggable execution backends for the inference :class:`~repro.api.Engine`.
+
+A backend decides *how* a compiled crossbar stage is executed — which
+sampling engine turns a :class:`~repro.hardware.accelerator.TiledLinearLayer`
+plus a flat +-1 activation batch into the layer's +-1 outputs. Backends
+are stateless strategy objects registered under string keys so callers
+(CLI flags, experiment configs, serving layers) select them by name, and
+new execution strategies (multiprocessing shards, GPU offload, remote
+workers) plug in without touching the engine:
+
+    from repro.api import register_backend
+
+    @register_backend("my-backend", summary="...")
+    class MyBackend:
+        deterministic = False
+
+        def run_layer(self, layer, flat, *, rng, validate=None):
+            ...
+
+First-class backends:
+
+``"ideal"``
+    Noise-free sign of the exact pre-activation (the equivalence
+    reference; bit-for-bit equal to the legacy ``mode="ideal"``).
+``"stochastic"``
+    The hardware-default dispatch: fused inverse-CDF Binomial counts for
+    an exact APC, packed bit-level otherwise — exactly the legacy
+    ``mode="stochastic"`` path.
+``"stochastic-dense"``
+    Legacy per-tile sampling on dense float ``(L, N, cols)`` windows.
+``"stochastic-packed"``
+    Bit-level execution on uint64 bit-plane words (:mod:`repro.sc.packed`).
+``"stochastic-fused-batched"``
+    All column tiles of a stage concatenated into **one**
+    ``Generator.binomial`` draw — one RNG invocation per layer, for the
+    RNG-bound regime of the fused path. Draws from the session's
+    generator, so the :class:`~repro.api.Session` owns the randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type
+
+import numpy as np
+
+from repro.hardware.accelerator import TiledLinearLayer
+
+_REGISTRY: Dict[str, Type] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_backend(name: str, *, aliases: Tuple[str, ...] = (), summary: str = ""):
+    """Class decorator registering an execution backend under ``name``.
+
+    The class must provide ``run_layer(layer, flat, *, rng, validate)``
+    returning the +-1 ``(N, out)`` outputs, and may set a
+    ``deterministic`` flag (True suppresses sampling telemetry).
+    """
+
+    def decorator(cls):
+        if name in _REGISTRY or name in _ALIASES:
+            raise ValueError(f"backend {name!r} is already registered")
+        cls.name = name
+        if summary:
+            cls.summary = summary
+        _REGISTRY[name] = cls
+        for alias in aliases:
+            if alias in _REGISTRY or alias in _ALIASES:
+                raise ValueError(f"backend alias {alias!r} is already registered")
+            _ALIASES[alias] = name
+        return cls
+
+    return decorator
+
+
+def available_backends() -> List[str]:
+    """Canonical (alias-free) backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name):
+    """Instantiate the backend registered under ``name`` (or an alias).
+
+    Passing an object that already satisfies the backend protocol (has
+    ``run_layer``) returns it unchanged, so engines accept both names
+    and ready-made strategy instances.
+    """
+    if hasattr(name, "run_layer"):
+        return name
+    key = _ALIASES.get(name, name)
+    cls = _REGISTRY.get(key)
+    if cls is None:
+        raise KeyError(
+            f"unknown backend {name!r}; registered: {', '.join(available_backends())}"
+        )
+    return cls()
+
+
+class ExecutionBackend:
+    """Base class for execution strategies (subclassing is optional)."""
+
+    name = "?"
+    summary = ""
+    #: True when the backend consumes no randomness (telemetry then
+    #: reports zero sampled windows).
+    deterministic = False
+
+    def run_layer(
+        self,
+        layer: TiledLinearLayer,
+        flat: np.ndarray,
+        *,
+        rng: np.random.Generator,
+        validate=None,
+    ) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<backend {self.name}>"
+
+
+@register_backend("ideal", aliases=("exact",), summary="noise-free sign reference")
+class IdealBackend(ExecutionBackend):
+    deterministic = True
+
+    def run_layer(self, layer, flat, *, rng, validate=None):
+        return layer.ideal_output(flat)
+
+
+@register_backend(
+    "stochastic",
+    aliases=("auto",),
+    summary="hardware-default dispatch (fused tables / packed bit-level)",
+)
+class StochasticAutoBackend(ExecutionBackend):
+    def run_layer(self, layer, flat, *, rng, validate=None):
+        return layer.forward(flat, validate=validate)
+
+
+@register_backend(
+    "stochastic-dense", summary="legacy per-tile sampling on dense float windows"
+)
+class StochasticDenseBackend(ExecutionBackend):
+    def run_layer(self, layer, flat, *, rng, validate=None):
+        return layer.forward_dense(flat, validate=validate)
+
+
+@register_backend(
+    "stochastic-packed", summary="bit-level path on uint64 bit-plane words"
+)
+class StochasticPackedBackend(ExecutionBackend):
+    def run_layer(self, layer, flat, *, rng, validate=None):
+        return layer.forward_packed(flat, validate=validate)
+
+
+@register_backend(
+    "stochastic-fused-batched",
+    summary="one concatenated Generator.binomial draw per layer",
+)
+class StochasticFusedBatchedBackend(ExecutionBackend):
+    def run_layer(self, layer, flat, *, rng, validate=None):
+        return layer.forward_fused_batched(flat, validate=validate, rng=rng)

@@ -1,0 +1,462 @@
+"""The unified inference engine: model -> Engine -> Session -> result.
+
+One coherent surface over the model/compile/execute/metrics plumbing
+that the experiment scripts used to re-wire by hand:
+
+* :class:`Engine` wraps a :class:`~repro.mapping.compiler.CompiledNetwork`
+  with a default backend and micro-batch size; build one with
+  :meth:`Engine.from_model` or the fluent :class:`EngineBuilder`.
+* :class:`Session` owns RNG state and accepts batched inference
+  requests, automatically splitting them into micro-batches and merging
+  the per-shard telemetry.
+* every run returns a structured :class:`~repro.api.results.InferenceResult`
+  (logits + per-layer telemetry + wall time).
+
+Execution strategies are pluggable string-keyed backends
+(:mod:`repro.api.backends`); the legacy free functions in
+:mod:`repro.mapping.executor` are deprecated shims over this engine.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.api.backends import get_backend
+from repro.api.results import InferenceResult, LayerTelemetry, network_workloads
+from repro.autograd.functional import im2col
+from repro.hardware.config import HardwareConfig
+from repro.hardware.cost import AcceleratorCostModel, LayerWorkload
+from repro.mapping.compiler import (
+    CompiledNetwork,
+    ConvStage,
+    HeadStage,
+    LinearStage,
+    PoolStage,
+    SignStage,
+    ThermometerStage,
+    compile_model,
+)
+from repro.mapping.tiling import conv_output_geometry
+from repro.utils.rng import SeedLike, new_rng, spawn_rng
+
+_INT8_ONE = np.int8(1)
+_INT8_MINUS_ONE = np.int8(-1)
+
+#: Default micro-batch size — matches the legacy ``evaluate_accuracy``
+#: batching so migrated experiments replay the same call sequence.
+DEFAULT_MICRO_BATCH = 64
+
+#: Sentinel distinguishing "inherit the engine's micro-batch" (the
+#: default) from an explicit ``micro_batch=None`` (no sharding).
+_INHERIT = object()
+
+
+def _run_pool(stage: PoolStage, x: np.ndarray) -> np.ndarray:
+    """2x2-style max pooling of +-1 maps (a digital OR in hardware)."""
+    n, c, h, w = x.shape
+    k = stage.kernel
+    if h % k or w % k:
+        raise ValueError(f"pooling {k} does not divide spatial dims {(h, w)}")
+    view = x.reshape(n, c, h // k, k, w // k, k)
+    return view.max(axis=(3, 5))
+
+
+class Session:
+    """One inference session: pinned RNG state + batched requests.
+
+    A session is the unit of reproducibility: giving it a ``seed``
+    makes every request deterministic — at the start of each
+    :meth:`run` the session derives per-run child seeds from its own
+    generator and reseeds every sampler in the compiled network (via
+    :meth:`TiledLinearLayer.reseed_sampling`), so two sessions created
+    with the same seed replay identical stochastic inference even when
+    other sessions on the same engine ran in between (the layers are
+    engine-shared; re-establishing the state at run entry is what makes
+    the ownership real). Backends that draw from the session directly
+    (``"stochastic-fused-batched"``) use the same generator.
+    ``seed=None`` continues the compile-time RNG streams untouched.
+
+    Requests of any batch size are accepted; the session splits them
+    into ``micro_batch``-sized shards automatically and merges the
+    telemetry, so callers never hand-roll batching loops.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        *,
+        seed: SeedLike = None,
+        backend: Optional[str] = None,
+        micro_batch=_INHERIT,
+    ) -> None:
+        self.engine = engine
+        self.backend = backend or engine.backend
+        self.micro_batch = (
+            engine.micro_batch if micro_batch is _INHERIT else micro_batch
+        )
+        if self.micro_batch is not None and self.micro_batch < 1:
+            raise ValueError(f"micro_batch must be >= 1, got {self.micro_batch}")
+        self._seeded = seed is not None
+        self.rng = new_rng(seed)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        images: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        *,
+        backend: Optional[str] = None,
+    ) -> InferenceResult:
+        """Execute one batched request; returns a structured result."""
+        strategy = get_backend(backend or self.backend)
+        x = np.asarray(images)
+        if x.ndim < 2:
+            raise ValueError(f"images must be batched (N, ...), got shape {x.shape}")
+        n = x.shape[0]
+        if self._seeded:
+            # Re-establish this session's sampler state on the shared
+            # layers (another session may have run since) and advance it
+            # per request so successive runs stay stochastic.
+            layers = self.engine.tiled_layers
+            for layer, layer_seed in zip(layers, spawn_rng(self.rng, len(layers))):
+                layer.reseed_sampling(layer_seed)
+        # An empty request still flows through the pipeline once (numpy
+        # handles N=0 throughout), returning (0, n_classes) logits like
+        # the legacy executor did.
+        shard = self.micro_batch or n or 1
+        start = time.perf_counter()
+        telemetry: List[LayerTelemetry] = []
+        logits = []
+        shards = 0
+        for lo in range(0, max(n, 1), shard):
+            # float64 conversion happens per shard so micro-batching
+            # bounds peak memory on large requests.
+            chunk = np.asarray(x[lo : lo + shard], dtype=np.float64)
+            logits.append(self._execute(chunk, strategy, telemetry))
+            shards += 1
+        return InferenceResult(
+            logits=np.concatenate(logits, axis=0) if shards > 1 else logits[0],
+            backend=getattr(strategy, "name", str(strategy)),
+            batch_size=n,
+            micro_batches=shards,
+            wall_time_s=time.perf_counter() - start,
+            layers=telemetry,
+            labels=None if labels is None else np.asarray(labels),
+        )
+
+    def run_many(
+        self, requests: Sequence[np.ndarray], *, backend: Optional[str] = None
+    ) -> List[InferenceResult]:
+        """Run several independent requests through this session."""
+        return [self.run(request, backend=backend) for request in requests]
+
+    # ------------------------------------------------------------------
+    def _execute(self, x, strategy, telemetry: List[LayerTelemetry]) -> np.ndarray:
+        """One micro-batch through the stage pipeline (same dataflow and
+        dtype discipline as the legacy executor, plus telemetry)."""
+        merge = bool(telemetry)  # later micro-batches fold into the first's records
+        deterministic = getattr(strategy, "deterministic", False)
+        n = x.shape[0]
+        trusted = False
+        for index, stage in enumerate(self.engine.network.stages):
+            t0 = time.perf_counter()
+            record = LayerTelemetry(index=index, kind="?")
+            if isinstance(stage, SignStage):
+                x = np.where(x >= 0, _INT8_ONE, _INT8_MINUS_ONE)
+                trusted = True
+                record.kind = "encode"
+            elif isinstance(stage, ThermometerStage):
+                planes = [
+                    np.where(x - t >= 0, _INT8_ONE, _INT8_MINUS_ONE)
+                    for t in stage.thresholds
+                ]
+                x = np.concatenate(planes, axis=1)
+                trusted = True
+                record.kind = "encode"
+            elif isinstance(stage, ConvStage):
+                validate = None if not trusted else False
+                h, w = x.shape[2], x.shape[3]
+                h_out, w_out = conv_output_geometry(
+                    h, w, stage.kernel, stage.stride, stage.padding
+                )
+                cols, _ = im2col(x, stage.kernel, stage.stride, stage.padding)
+                fan_in = cols.shape[1]
+                flat = cols.transpose(0, 2, 1).reshape(-1, fan_in)
+                out = strategy.run_layer(
+                    stage.layer, flat, rng=self.rng, validate=validate
+                )
+                out = out.reshape(n, h_out * w_out, stage.out_channels).transpose(
+                    0, 2, 1
+                )
+                x = out.reshape(n, stage.out_channels, h_out, w_out)
+                x = x.astype(np.int8, copy=False)
+                trusted = True
+                record.kind = "conv"
+                record.in_features = stage.layer.in_features
+                record.out_features = stage.layer.out_features
+                record.positions = h_out * w_out
+                if not deterministic:
+                    record.windows = (
+                        n
+                        * record.positions
+                        * stage.layer.n_row_tiles
+                        * stage.layer.n_col_tiles
+                    )
+            elif isinstance(stage, LinearStage):
+                validate = None if not trusted else False
+                if x.ndim > 2:
+                    # explicit fan-in (reshape -1 cannot infer it when N=0)
+                    x = x.reshape(x.shape[0], int(np.prod(x.shape[1:])))
+                x = strategy.run_layer(stage.layer, x, rng=self.rng, validate=validate)
+                x = x.astype(np.int8, copy=False)
+                trusted = True
+                record.kind = "linear"
+                record.in_features = stage.layer.in_features
+                record.out_features = stage.layer.out_features
+                if not deterministic:
+                    record.windows = (
+                        n * stage.layer.n_row_tiles * stage.layer.n_col_tiles
+                    )
+            elif isinstance(stage, PoolStage):
+                x = _run_pool(stage, x)
+                record.kind = "pool"
+            elif isinstance(stage, HeadStage):
+                if x.ndim > 2:
+                    # explicit fan-in (reshape -1 cannot infer it when N=0)
+                    x = x.reshape(x.shape[0], int(np.prod(x.shape[1:])))
+                x = stage.logits(x)
+                record.kind = "head"
+                record.in_features = stage.weight.shape[1]
+                record.out_features = stage.weight.shape[0]
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown stage {type(stage).__name__}")
+            record.wall_time_s = time.perf_counter() - t0
+            if merge:
+                telemetry[index].merge(record)
+            else:
+                telemetry.append(record)
+        return x
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session(backend={self.backend!r}, micro_batch={self.micro_batch}, "
+            f"engine={self.engine!r})"
+        )
+
+
+class Engine:
+    """The inference façade over a compiled network.
+
+    Wraps a :class:`~repro.mapping.compiler.CompiledNetwork` with a
+    default execution backend and micro-batch size, hands out
+    :class:`Session` objects, and exposes the cost-model plumbing
+    (workloads, :class:`~repro.hardware.cost.AcceleratorCostModel`).
+
+    Typical use::
+
+        engine = Engine.from_model(trained_model)
+        result = engine.run(test.images, labels=test.labels,
+                            backend="stochastic-fused-batched")
+        print(result.accuracy, result.wall_time_s)
+    """
+
+    def __init__(
+        self,
+        network: CompiledNetwork,
+        *,
+        backend: str = "stochastic",
+        micro_batch: Optional[int] = DEFAULT_MICRO_BATCH,
+    ) -> None:
+        get_backend(backend)  # fail fast on unknown names
+        self.network = network
+        self.backend = backend
+        self.micro_batch = micro_batch
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(
+        cls,
+        model,
+        config: Optional[HardwareConfig] = None,
+        *,
+        seed: SeedLike = 0,
+        backend: str = "stochastic",
+        micro_batch: Optional[int] = DEFAULT_MICRO_BATCH,
+    ) -> "Engine":
+        """Compile ``model`` (Mlp / VggSmall) and wrap it in an engine.
+
+        ``config`` defaults to the hardware the model was trained
+        against; ``seed`` feeds the compile-time sampler spawning.
+        """
+        network = compile_model(model, config, seed=seed)
+        return cls(network, backend=backend, micro_batch=micro_batch)
+
+    @staticmethod
+    def builder() -> "EngineBuilder":
+        """Start a fluent :class:`EngineBuilder`."""
+        return EngineBuilder()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def session(
+        self,
+        *,
+        seed: SeedLike = None,
+        backend: Optional[str] = None,
+        micro_batch=_INHERIT,
+    ) -> Session:
+        """Open a :class:`Session` (pinned RNG + batched requests).
+
+        ``micro_batch``: omit to inherit the engine default, pass an int
+        to shard requests at that size, or ``None`` to disable sharding.
+        """
+        return Session(self, seed=seed, backend=backend, micro_batch=micro_batch)
+
+    def run(
+        self,
+        images: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        *,
+        backend: Optional[str] = None,
+        seed: SeedLike = None,
+        micro_batch=_INHERIT,
+    ) -> InferenceResult:
+        """One-shot convenience: ephemeral session, single request."""
+        return self.session(seed=seed, backend=backend, micro_batch=micro_batch).run(
+            images, labels=labels
+        )
+
+    def evaluate(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        *,
+        backend: Optional[str] = None,
+        batch_size: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> float:
+        """Top-1 accuracy on a labelled set (micro-batched)."""
+        result = self.run(
+            images,
+            labels=labels,
+            backend=backend,
+            seed=seed,
+            micro_batch=_INHERIT if batch_size is None else batch_size,
+        )
+        return result.accuracy
+
+    # ------------------------------------------------------------------
+    # Introspection / cost
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> HardwareConfig:
+        return self.network.config
+
+    @property
+    def stages(self):
+        return self.network.stages
+
+    @property
+    def tiled_layers(self):
+        return self.network.tiled_layers
+
+    def workloads(self, image_shape) -> List[LayerWorkload]:
+        """Cost-model workloads for a (C, H, W) input geometry."""
+        return network_workloads(self.network, image_shape)
+
+    def cost_model(self, image_shape, **kwargs) -> AcceleratorCostModel:
+        """Hardware cost model over this network's real workloads."""
+        return AcceleratorCostModel(
+            self.config, self.workloads(image_shape), **kwargs
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Engine(stages={len(self.network.stages)}, "
+            f"backend={self.backend!r}, Cs={self.config.crossbar_size})"
+        )
+
+
+class EngineBuilder:
+    """Fluent construction: ``Engine.builder().model(m).backend(...).build()``.
+
+    Collects the model (or an already-compiled network), an optional
+    hardware override (a full :class:`HardwareConfig` or field
+    overrides applied to the model's training hardware), the compile
+    seed, and the engine defaults, then :meth:`build`\\ s the engine.
+    """
+
+    def __init__(self) -> None:
+        self._model = None
+        self._network: Optional[CompiledNetwork] = None
+        self._config: Optional[HardwareConfig] = None
+        self._overrides: dict = {}
+        self._seed: SeedLike = 0
+        self._backend: str = "stochastic"
+        self._micro_batch: Optional[int] = DEFAULT_MICRO_BATCH
+
+    def model(self, model) -> "EngineBuilder":
+        self._model = model
+        return self
+
+    def network(self, network: CompiledNetwork) -> "EngineBuilder":
+        self._network = network
+        return self
+
+    def hardware(self, config: Optional[HardwareConfig] = None, **overrides) -> "EngineBuilder":
+        """Deploy hardware: a full config, field overrides, or both.
+
+        Calls accumulate: a later overrides-only call refines the
+        previously set base config rather than discarding it.
+        """
+        if config is not None:
+            self._config = config
+        self._overrides.update(overrides)
+        return self
+
+    def seed(self, seed: SeedLike) -> "EngineBuilder":
+        self._seed = seed
+        return self
+
+    def backend(self, name: str) -> "EngineBuilder":
+        get_backend(name)  # fail fast
+        self._backend = name
+        return self
+
+    def micro_batch(self, size: Optional[int]) -> "EngineBuilder":
+        self._micro_batch = size
+        return self
+
+    def build(self) -> Engine:
+        if self._network is not None:
+            if self._model is not None or self._config is not None or self._overrides:
+                raise ValueError(
+                    "network() is exclusive with model()/hardware(): a compiled "
+                    "network already fixes both"
+                )
+            return Engine(
+                self._network, backend=self._backend, micro_batch=self._micro_batch
+            )
+        if self._model is None:
+            raise ValueError("EngineBuilder needs model(...) or network(...)")
+        config = self._config or getattr(self._model, "hardware", None)
+        if self._overrides:
+            if config is None:
+                raise ValueError(
+                    "hardware overrides need a base config (model.hardware "
+                    "or hardware(config))"
+                )
+            config = config.with_(**self._overrides)
+        return Engine.from_model(
+            self._model,
+            config,
+            seed=self._seed,
+            backend=self._backend,
+            micro_batch=self._micro_batch,
+        )

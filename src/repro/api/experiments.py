@@ -1,0 +1,150 @@
+"""String-keyed registry of every paper experiment.
+
+The CLI's generic ``run`` subcommand and any future driver (sweep
+runner, CI artifact job) discover experiments here instead of
+hard-coding one subcommand per module. Targets are stored as dotted
+``"module:function"`` strings and resolved lazily, so listing the
+registry stays import-light while heavy experiments (training runs)
+only load when invoked.
+
+A test asserts parity between this registry and the modules under
+:mod:`repro.experiments` — adding an experiment module without
+registering it here fails the suite.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: name, lazy target, one-line summary."""
+
+    name: str
+    target: str  # "package.module:function"
+    summary: str
+
+    @property
+    def module_name(self) -> str:
+        """Short module name inside ``repro.experiments``."""
+        return self.target.split(":", 1)[0].rsplit(".", 1)[-1]
+
+    def resolve(self) -> Callable:
+        module_path, func_name = self.target.split(":", 1)
+        module = importlib.import_module(module_path)
+        return getattr(module, func_name)
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(name: str, target: str, summary: str) -> ExperimentSpec:
+    """Register an experiment; returns the spec for convenience."""
+    if name in _REGISTRY:
+        raise ValueError(f"experiment {name!r} is already registered")
+    spec = ExperimentSpec(name=name, target=target, summary=summary)
+    _REGISTRY[name] = spec
+    return spec
+
+
+def available_experiments() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown experiment {name!r}; registered: "
+            f"{', '.join(available_experiments())}"
+        )
+    return spec
+
+
+def run_experiment(name: str, **kwargs):
+    """Resolve and invoke an experiment with keyword overrides."""
+    return get_experiment(name).resolve()(**kwargs)
+
+
+def experiment_registry() -> Dict[str, ExperimentSpec]:
+    """A copy of the registry (name -> spec)."""
+    return dict(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# The paper's artifacts — every module under repro/experiments is
+# represented (asserted by tests/test_api_experiments.py).
+# ----------------------------------------------------------------------
+register_experiment(
+    "table1",
+    "repro.experiments.table1:crossbar_hardware_table",
+    "Table 1: crossbar latency / JJ / energy cost table",
+)
+register_experiment(
+    "table2",
+    "repro.experiments.table2:cifar10_comparison",
+    "Table 2: CIFAR-10 accuracy vs efficiency, ours vs baselines (trains)",
+)
+register_experiment(
+    "table3",
+    "repro.experiments.table3:mnist_comparison",
+    "Table 3: MNIST comparison vs RSFQ/ERSFQ/SC-AQFP (trains)",
+)
+register_experiment(
+    "fig4",
+    "repro.experiments.fig4:gray_zone_response",
+    "Fig. 4: AQFP buffer probability vs input current",
+)
+register_experiment(
+    "fig5",
+    "repro.experiments.fig5:attenuation_curve",
+    "Fig. 5: unit-current attenuation power-law fit",
+)
+register_experiment(
+    "fig10",
+    "repro.experiments.fig10:bitstream_length_sweep",
+    "Fig. 10: accuracy vs SC bit-stream length (trains)",
+)
+register_experiment(
+    "fig11",
+    "repro.experiments.fig11:accuracy_surface",
+    "Fig. 11: accuracy over the (gray-zone, crossbar-size) plane (trains)",
+)
+register_experiment(
+    "fig12",
+    "repro.experiments.fig12:efficiency_frequency_sweep",
+    "Fig. 12: energy efficiency vs clock frequency (trains)",
+)
+register_experiment(
+    "clocking",
+    "repro.experiments.clocking:clocking_optimization_report",
+    "Sec. 4.4: n-phase clocking JJ reductions",
+)
+register_experiment(
+    "headline",
+    "repro.experiments.headline:headline_claims",
+    "Abstract's headline comparison ratios (trains)",
+)
+register_experiment(
+    "temperature",
+    "repro.experiments.temperature:temperature_sweep",
+    "Extension: operating temperature vs accuracy (trains)",
+)
+register_experiment(
+    "ablation-randomized",
+    "repro.experiments.ablations:randomized_training_ablation",
+    "Ablation: randomized-aware vs deterministic-STE training (trains)",
+)
+register_experiment(
+    "ablation-recu",
+    "repro.experiments.ablations:recu_ablation",
+    "Ablation: ReCU clamp on vs off (trains)",
+)
+register_experiment(
+    "ablation-apc",
+    "repro.experiments.ablations:accumulation_ablation",
+    "Ablation: exact vs approximate APC counting",
+)

@@ -1,0 +1,165 @@
+"""Structured inference results and per-layer telemetry.
+
+Every :meth:`repro.api.Session.run` returns an :class:`InferenceResult`
+instead of a bare logits array: the outputs plus what it cost to produce
+them — per-stage wall time, the number of stochastic windows sampled,
+and the :class:`~repro.hardware.cost.LayerWorkload` records that feed
+the hardware cost model. Telemetry accumulates across micro-batches, so
+one result describes the whole request regardless of how the session
+sharded it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hardware.cost import LayerWorkload
+from repro.mapping.compiler import (
+    ConvStage,
+    HeadStage,
+    LinearStage,
+    PoolStage,
+    ThermometerStage,
+)
+from repro.mapping.tiling import conv_output_geometry
+
+
+@dataclass
+class LayerTelemetry:
+    """What one compiled stage did during a request.
+
+    ``windows`` counts sampled observation windows (crossbar column
+    windows observed for L clocks) — zero for deterministic backends and
+    non-crossbar stages. ``workload`` derives the stage's
+    :class:`~repro.hardware.cost.LayerWorkload` from the geometry
+    fields (None for encode/pool stages, which the cost model does not
+    charge).
+    """
+
+    index: int
+    kind: str  # "encode" | "conv" | "linear" | "pool" | "head"
+    in_features: int = 0
+    out_features: int = 0
+    positions: int = 1
+    windows: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def workload(self) -> Optional[LayerWorkload]:
+        if self.kind not in ("conv", "linear", "head"):
+            return None
+        return LayerWorkload(
+            in_features=self.in_features,
+            out_features=self.out_features,
+            positions=self.positions,
+        )
+
+    def merge(self, other: "LayerTelemetry") -> None:
+        """Fold another micro-batch's record for the same stage in."""
+        self.windows += other.windows
+        self.wall_time_s += other.wall_time_s
+
+
+@dataclass
+class InferenceResult:
+    """Outputs plus telemetry for one batched inference request."""
+
+    logits: np.ndarray
+    backend: str
+    batch_size: int
+    micro_batches: int
+    wall_time_s: float
+    layers: List[LayerTelemetry] = field(default_factory=list)
+    labels: Optional[np.ndarray] = None
+
+    @property
+    def predictions(self) -> np.ndarray:
+        """Top-1 class per request item."""
+        return self.logits.argmax(axis=1)
+
+    @property
+    def accuracy(self) -> Optional[float]:
+        """Top-1 accuracy against ``labels`` (None when unlabelled)."""
+        if self.labels is None:
+            return None
+        labels = np.asarray(self.labels)
+        return float((self.predictions == labels).mean())
+
+    @property
+    def workloads(self) -> List[LayerWorkload]:
+        """Cost-model workloads of the crossbar/head stages, in order.
+
+        Matches :func:`repro.mapping.executor.network_workloads`, so the
+        result plugs straight into
+        :class:`~repro.hardware.cost.AcceleratorCostModel`.
+        """
+        return [t.workload for t in self.layers if t.workload is not None]
+
+    @property
+    def total_windows(self) -> int:
+        """Stochastic observation windows sampled across all stages."""
+        return sum(t.windows for t in self.layers)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat report for logs and tables."""
+        report = {
+            "backend": self.backend,
+            "batch_size": self.batch_size,
+            "micro_batches": self.micro_batches,
+            "wall_time_s": self.wall_time_s,
+            "total_windows": self.total_windows,
+        }
+        if self.labels is not None:
+            report["accuracy"] = self.accuracy
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        acc = "" if self.labels is None else f", accuracy={self.accuracy:.3f}"
+        return (
+            f"InferenceResult(batch={self.batch_size}, backend={self.backend!r}, "
+            f"wall_time={self.wall_time_s:.4f}s{acc})"
+        )
+
+
+def network_workloads(network, image_shape) -> List[LayerWorkload]:
+    """Per-layer :class:`LayerWorkload` records for the cost model.
+
+    ``image_shape`` is the (C, H, W) input geometry *before* the input
+    encoding stage.
+    """
+    c, h, w = image_shape
+    workloads: List[LayerWorkload] = []
+    for stage in network.stages:
+        if isinstance(stage, ThermometerStage):
+            c = c * len(stage.thresholds)
+        elif isinstance(stage, ConvStage):
+            h, w = conv_output_geometry(h, w, stage.kernel, stage.stride, stage.padding)
+            workloads.append(
+                LayerWorkload(
+                    in_features=stage.layer.in_features,
+                    out_features=stage.layer.out_features,
+                    positions=h * w,
+                )
+            )
+            c = stage.out_channels
+        elif isinstance(stage, PoolStage):
+            h //= stage.kernel
+            w //= stage.kernel
+        elif isinstance(stage, LinearStage):
+            workloads.append(
+                LayerWorkload(
+                    in_features=stage.layer.in_features,
+                    out_features=stage.layer.out_features,
+                )
+            )
+        elif isinstance(stage, HeadStage):
+            workloads.append(
+                LayerWorkload(
+                    in_features=stage.weight.shape[1],
+                    out_features=stage.weight.shape[0],
+                )
+            )
+    return workloads

@@ -1,6 +1,6 @@
-"""Command-line interface: regenerate the cheap paper artifacts.
+"""Command-line interface: regenerate the paper artifacts.
 
-Usage::
+The pretty-printing subcommands cover the cheap artifacts::
 
     python -m repro.cli table1            # crossbar cost table
     python -m repro.cli fig4              # buffer probability curve
@@ -9,15 +9,91 @@ Usage::
     python -m repro.cli coopt             # AME grid + optimum
     python -m repro.cli fig12 --tops 9e5  # efficiency vs frequency
 
-Training-based artifacts (Figs. 10-11, Tables 2-3) run through the
-benchmark suite instead: ``pytest benchmarks/ --benchmark-only``.
+The generic ``run`` subcommand reaches *every* registered experiment
+(``repro.api.experiments``), including the training-based ones, and
+emits JSON::
+
+    python -m repro.cli run --list                 # what exists
+    python -m repro.cli run fig5                   # default arguments
+    python -m repro.cli run table3 -k epochs=4 -k n_eval=100
+    python -m repro.cli run fig10 -o fig10.json
+
+``backends`` lists the registered inference execution backends.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
+import json
 import sys
 from typing import List, Optional
+
+
+def _to_jsonable(obj):
+    """Best-effort conversion of experiment results to JSON types."""
+    import numpy as np
+
+    if isinstance(obj, dict):
+        return {str(k): _to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_to_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+def _parse_override(pair: str):
+    """``key=value`` with python-literal values (falls back to str)."""
+    if "=" not in pair:
+        raise argparse.ArgumentTypeError(
+            f"override {pair!r} must look like key=value"
+        )
+    key, raw = pair.split("=", 1)
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return key.strip(), value
+
+
+def _cmd_run(args) -> int:
+    from repro.api.experiments import (
+        available_experiments,
+        get_experiment,
+        run_experiment,
+    )
+
+    if args.list or args.experiment is None:
+        width = max(len(n) for n in available_experiments())
+        for name in available_experiments():
+            spec = get_experiment(name)
+            print(f"{name:<{width}}  {spec.summary}")
+        return 0
+
+    overrides = dict(args.overrides or [])
+    result = run_experiment(args.experiment, **overrides)
+    payload = json.dumps(_to_jsonable(result), indent=2)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_backends(args) -> int:
+    from repro.api import available_backends, get_backend
+
+    width = max(len(n) for n in available_backends())
+    for name in available_backends():
+        print(f"{name:<{width}}  {getattr(get_backend(name), 'summary', '')}")
+    return 0
 
 
 def _cmd_table1(args) -> int:
@@ -153,6 +229,32 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig12", help="efficiency vs frequency (Fig. 12)")
     p.add_argument("--tops", type=float, default=9e5, help="TOPS/W at 5 GHz")
     p.set_defaults(func=_cmd_fig12)
+
+    p = sub.add_parser(
+        "run", help="run any registered experiment by name (JSON output)"
+    )
+    p.add_argument(
+        "experiment", nargs="?", help="experiment name (omit with --list)"
+    )
+    p.add_argument(
+        "--list", action="store_true", help="list registered experiments"
+    )
+    p.add_argument(
+        "-k",
+        "--set",
+        dest="overrides",
+        action="append",
+        type=_parse_override,
+        metavar="KEY=VALUE",
+        help="keyword override for the experiment (repeatable)",
+    )
+    p.add_argument(
+        "-o", "--output", default=None, help="write JSON to this file"
+    )
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("backends", help="list inference execution backends")
+    p.set_defaults(func=_cmd_backends)
 
     return parser
 

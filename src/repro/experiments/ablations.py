@@ -13,11 +13,10 @@ from typing import Dict, Iterable
 
 import numpy as np
 
+from repro.api import Engine
 from repro.circuits.apc import ApproximateParallelCounter, build_apc_netlist
 from repro.experiments.common import trained_mlp, training_gray_zone
 from repro.hardware.config import HardwareConfig
-from repro.mapping.compiler import compile_model
-from repro.mapping.executor import evaluate_accuracy
 from repro.utils.rng import new_rng
 
 
@@ -45,9 +44,9 @@ def randomized_training_ablation(
         model, _, test, sw_acc = trained_mlp(
             hardware, epochs=epochs, stochastic=stochastic, seed=seed
         )
-        network = compile_model(model, hardware)
-        hw_acc = evaluate_accuracy(
-            network, test.images[:n_eval], test.labels[:n_eval], mode="stochastic"
+        engine = Engine.from_model(model, hardware)
+        hw_acc = engine.evaluate(
+            test.images[:n_eval], test.labels[:n_eval], backend="stochastic"
         )
         results[label] = {
             "software_accuracy": sw_acc,

@@ -12,11 +12,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List
 
+from repro.api import Engine
 from repro.core.coopt import saturation_length
 from repro.experiments.common import trained_mlp, training_gray_zone
 from repro.hardware.config import HardwareConfig
-from repro.mapping.compiler import compile_model
-from repro.mapping.executor import evaluate_accuracy
 
 
 def bitstream_length_sweep(
@@ -57,9 +56,9 @@ def bitstream_length_sweep(
         labels = test.labels[:n_eval]
         sweep = []
         for length in lengths:
-            network = compile_model(model, hardware.with_(window_bits=length))
+            engine = Engine.from_model(model, hardware.with_(window_bits=length))
             acc = sum(
-                evaluate_accuracy(network, images, labels, mode="stochastic")
+                engine.evaluate(images, labels, backend="stochastic")
                 for _ in range(n_repeats)
             ) / n_repeats
             sweep.append({"window_bits": length, "accuracy": acc})

@@ -11,11 +11,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List
 
+from repro.api import Engine
 from repro.core.coopt import average_mismatch_error
 from repro.experiments.common import trained_mlp, training_gray_zone
 from repro.hardware.config import HardwareConfig
-from repro.mapping.compiler import compile_model
-from repro.mapping.executor import evaluate_accuracy
 
 
 def accuracy_surface(
@@ -48,8 +47,8 @@ def accuracy_surface(
         row = []
         for gz in gray_zones:
             deploy = train_hw.with_(gray_zone_ua=gz, window_bits=window_bits)
-            network = compile_model(model, deploy)
-            acc = evaluate_accuracy(network, images, labels, mode="stochastic")
+            engine = Engine.from_model(model, deploy)
+            acc = engine.evaluate(images, labels, backend="stochastic")
             ame = average_mismatch_error(cs, gz, attenuation=deploy.attenuation)
             grid.append(
                 {

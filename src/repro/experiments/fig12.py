@@ -11,12 +11,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List
 
+from repro.api import Engine
 from repro.baselines.cryo import frequency_sweep
 from repro.experiments.common import trained_mlp, training_gray_zone
 from repro.hardware.config import HardwareConfig
-from repro.hardware.cost import AcceleratorCostModel
-from repro.mapping.compiler import compile_model
-from repro.mapping.executor import network_workloads
 
 
 def efficiency_frequency_sweep(
@@ -40,9 +38,8 @@ def efficiency_frequency_sweep(
         window_bits=window_bits,
     )
     model, train, _, _ = trained_mlp(hardware, epochs=epochs, seed=seed)
-    network = compile_model(model, hardware)
-    workloads = network_workloads(network, train.image_shape)
-    cost = AcceleratorCostModel(hardware, workloads)
+    engine = Engine.from_model(model, hardware)
+    cost = engine.cost_model(train.image_shape)
     ours_at_5ghz = cost.energy_efficiency_tops_per_w()
 
     rows = frequency_sweep(ours_at_5ghz, frequencies_ghz)

@@ -13,12 +13,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from repro.api import Engine
 from repro.baselines.specs import CIFAR10_BASELINES, PAPER_SUPERBNN_CIFAR10
 from repro.experiments.common import cifar_datasets, trained_vgg, training_gray_zone
 from repro.hardware.config import HardwareConfig
 from repro.hardware.cost import AcceleratorCostModel
-from repro.mapping.compiler import compile_model
-from repro.mapping.executor import evaluate_accuracy, network_workloads
 
 
 def cifar10_comparison(
@@ -57,10 +56,9 @@ def cifar10_comparison(
         deploy = hardware.with_(
             window_bits=length, gray_zone_ua=deploy_gray_zone_ua
         )
-        network = compile_model(model, deploy)
-        accuracy = evaluate_accuracy(network, images, labels, mode="stochastic")
-        workloads = network_workloads(network, train.image_shape)
-        cost = AcceleratorCostModel(deploy, workloads)
+        engine = Engine.from_model(model, deploy)
+        accuracy = engine.evaluate(images, labels, backend="stochastic")
+        cost = engine.cost_model(train.image_shape)
         summary = cost.summary()
         ours.append(
             {

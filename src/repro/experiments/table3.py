@@ -11,12 +11,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.api import Engine
 from repro.baselines.specs import MNIST_BASELINES, PAPER_SUPERBNN_MNIST
 from repro.experiments.common import trained_mlp, training_gray_zone
 from repro.hardware.config import HardwareConfig
 from repro.hardware.cost import AcceleratorCostModel
-from repro.mapping.compiler import compile_model
-from repro.mapping.executor import evaluate_accuracy, network_workloads
 
 
 def mnist_comparison(
@@ -40,12 +39,11 @@ def mnist_comparison(
     deploy = hardware.with_(
         gray_zone_ua=training_gray_zone(crossbar_size, dvin_target=8.0)
     )
-    network = compile_model(model, deploy)
-    accuracy = evaluate_accuracy(
-        network, test.images[:n_eval], test.labels[:n_eval], mode="stochastic"
+    engine = Engine.from_model(model, deploy)
+    accuracy = engine.evaluate(
+        test.images[:n_eval], test.labels[:n_eval], backend="stochastic"
     )
-    workloads = network_workloads(network, train.image_shape)
-    cost = AcceleratorCostModel(hardware, workloads)
+    cost = AcceleratorCostModel(hardware, engine.workloads(train.image_shape))
 
     ours = {
         "design": "SupeRBNN (MLP)",

@@ -13,11 +13,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List
 
+from repro.api import Engine
 from repro.device.josephson import gray_zone_width
 from repro.experiments.common import trained_mlp, training_gray_zone
 from repro.hardware.config import HardwareConfig
-from repro.mapping.compiler import compile_model
-from repro.mapping.executor import evaluate_accuracy
 
 
 def temperature_sweep(
@@ -52,8 +51,7 @@ def temperature_sweep(
             temperature, width_at_4p2k_ua=gray_zone_at_4p2k_ua
         )
         deploy = train_hw.with_(gray_zone_ua=zone, temperature_k=temperature)
-        network = compile_model(model, deploy)
-        accuracy = evaluate_accuracy(network, images, labels)
+        accuracy = Engine.from_model(model, deploy).evaluate(images, labels)
         rows.append(
             {
                 "temperature_k": float(temperature),

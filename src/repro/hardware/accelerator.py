@@ -157,6 +157,41 @@ class TiledLinearLayer(RngMixin):
         """
         if self._fused_sampler is not None:
             return self._forward_fused(activations, validate)
+        return self.forward_packed(activations, validate=validate)
+
+    def forward_dense(self, activations: np.ndarray, validate=None) -> np.ndarray:
+        """Bit-level execution on dense float windows (legacy path).
+
+        Every tile materializes its full ``(L, N, cols)`` +-1 window and
+        the accumulation module counts the raw bits — the slowest but
+        most literal simulation, kept as the reference the packed and
+        fused paths are checked against (the ``"stochastic-dense"``
+        backend).
+        """
+        chunks = self._split_activations(activations)
+        n = chunks[0].shape[0]
+        outputs = []
+        for j in range(self.n_col_tiles):
+            streams = np.stack(
+                [
+                    self.tiles[i][j].sample_window(chunks[i], validate=validate)
+                    for i in range(self.n_row_tiles)
+                ],
+                axis=0,
+            )  # (K, L, N, cols) +-1 windows
+            outputs.append(self.module.accumulate(streams))
+        self.n_passes += self.n_row_tiles * self.n_col_tiles
+        self.n_inferences += n
+        return np.concatenate(outputs, axis=-1)
+
+    def forward_packed(self, activations: np.ndarray, validate=None) -> np.ndarray:
+        """Bit-level execution on uint64 bit-plane words.
+
+        The per-column-tile loop of the packed sampling engine (the
+        ``"stochastic-packed"`` backend); also the only execution path
+        that supports an approximate (OR-compressed) APC, which needs
+        individual bit coincidences.
+        """
         chunks = self._split_activations(activations)
         n = chunks[0].shape[0]
         outputs = []
@@ -175,14 +210,46 @@ class TiledLinearLayer(RngMixin):
         self.n_inferences += n
         return np.concatenate(outputs, axis=-1)
 
-    def _forward_fused(self, activations: np.ndarray, validate=None) -> np.ndarray:
-        """Fused-count execution: batched matmul + one Binomial draw.
+    def forward_fused_batched(
+        self,
+        activations: np.ndarray,
+        validate=None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Fused-count execution with one concatenated Binomial draw.
 
-        Column values for all K row strips are computed against the
-        padded ``(K, Cs, out)`` weight block in one batched matmul, the
-        ``(K, N, out)`` window counts are drawn through the shared
-        sampler in one call, and the accumulation module compares the
-        summed counts — nothing per-bit is ever materialized.
+        Like :meth:`_forward_fused` the column values of every row strip
+        are computed in one batched matmul, but the ``(K, N, out)``
+        window counts come from a *single* ``Generator.binomial`` call
+        over the concatenated tiles instead of per-table inverse-CDF
+        gathers — the whole layer costs one RNG invocation, attacking
+        the RNG-bound regime of the fused path. ``rng`` lets a
+        :class:`repro.api.Session` supply its own generator so it owns
+        the stochastic state end to end.
+        """
+        if self._fused_sampler is None:
+            raise ValueError(
+                "forward_fused_batched requires an exact APC "
+                f"(approximate_layers={self.module.apc.approximate_layers}); "
+                "use forward_packed for the bit-level path"
+            )
+        values, n = self._fused_values(activations, validate)
+        probabilities = self._fused_sampler._probabilities_from_values(values)
+        gen = self.rng if rng is None else rng
+        counts = gen.binomial(self.config.window_bits, probabilities)
+        self.n_passes += self.n_row_tiles * self.n_col_tiles
+        self.n_inferences += n
+        return self.module.accumulate_counts(counts)
+
+    def _fused_values(self, activations: np.ndarray, validate=None):
+        """Shared fused-path prologue: ``(K, N, out)`` column values.
+
+        Normalizes and alphabet-checks the batch, zero-pads it to the
+        ``K * Cs`` tile grid, and runs all K row strips against the
+        padded weight block in one batched matmul. Both fused execution
+        paths (:meth:`_forward_fused`, :meth:`forward_fused_batched`)
+        route through here so padding/validation cannot drift between
+        them. Returns ``(values, batch_size)``.
         """
         a = self._normalize_activations(activations)
         check_activation_alphabet(a, self.config, validate)
@@ -195,7 +262,34 @@ class TiledLinearLayer(RngMixin):
         else:
             a_pad = a.astype(np.float64, copy=False)
         strips = a_pad.reshape(n, self.n_row_tiles, cs).transpose(1, 0, 2)
-        values = np.ascontiguousarray(strips) @ self._fused_weights  # (K, N, out)
+        return np.ascontiguousarray(strips) @ self._fused_weights, n
+
+    def reseed_sampling(self, seed: SeedLike) -> None:
+        """Deterministically reseed every sampler in the layer.
+
+        Replaces the layer RNG and re-derives each tile's generator plus
+        the fused sampler's from it, so two layers reseeded with the
+        same value replay identical stochastic draws regardless of prior
+        use. :class:`repro.api.Session` uses this to own RNG state.
+        """
+        self.reseed(seed)
+        children = spawn_rng(self.rng, self.n_row_tiles * self.n_col_tiles + 1)
+        for i in range(self.n_row_tiles):
+            for j in range(self.n_col_tiles):
+                self.tiles[i][j].reseed(children[i * self.n_col_tiles + j])
+        if self._fused_sampler is not None:
+            self._fused_sampler.reseed(children[-1])
+
+    def _forward_fused(self, activations: np.ndarray, validate=None) -> np.ndarray:
+        """Fused-count execution: batched matmul + one Binomial draw.
+
+        Column values for all K row strips are computed against the
+        padded ``(K, Cs, out)`` weight block in one batched matmul, the
+        ``(K, N, out)`` window counts are drawn through the shared
+        sampler in one call, and the accumulation module compares the
+        summed counts — nothing per-bit is ever materialized.
+        """
+        values, n = self._fused_values(activations, validate)
         counts = self._fused_sampler._sample_counts_for_values(
             values, self.config.window_bits
         )

@@ -1,24 +1,21 @@
-"""Hardware-faithful inference over a compiled network.
+"""Deprecated free-function executor — thin shims over :mod:`repro.api`.
 
-Two modes:
+The original inference surface (``run_network`` / ``evaluate_accuracy``
+/ ``network_workloads`` over a :class:`CompiledNetwork`) now delegates
+to the unified :class:`repro.api.Engine`. New code should use the
+engine directly::
 
-* ``"stochastic"`` — every crossbar column samples its AQFP buffer over
-  the L-bit observation window and the SC accumulation module merges the
-  tiles: the deployed behaviour.
-* ``"ideal"`` — noise-free sign of the exact pre-activation: must agree
-  bit-for-bit with the software model evaluated deterministically (the
-  equivalence tests assert this).
+    from repro.api import Engine
 
-Convolutions are executed by im2col: each spatial position becomes one
-crossbar pass; positions are folded into the batch dimension for
-vectorization. Max pooling of +-1 maps is a digital OR.
+    engine = Engine(network)                  # or Engine.from_model(model)
+    result = engine.run(images, labels=labels, backend="ideal")
 
-Dtype discipline: the executor carries +-1 activation maps as int8 —
-im2col preserves the dtype, so the unfolded ``(N*P, fan_in)`` buffers
-(the largest allocations of a conv pass) are 8x smaller than float64.
-The {-1, 0, +1} alphabet is validated once where untrusted data enters
-a crossbar; executor-generated activations are +-1 by construction, so
-the per-layer rescan is disabled afterwards.
+The shims are kept so existing callers and the seed test-suite keep
+working unchanged: ``mode="ideal"`` maps to the ``"ideal"`` backend
+(bit-for-bit identical output) and ``mode="stochastic"`` to the
+``"stochastic"`` backend (the same hardware-default dispatch the legacy
+executor used). ``_run_pool`` re-exports the engine's pooling kernel for
+the tests that poke it directly.
 """
 
 from __future__ import annotations
@@ -27,92 +24,40 @@ from typing import List
 
 import numpy as np
 
-from repro.autograd.functional import im2col
 from repro.hardware.cost import LayerWorkload
-from repro.mapping.compiler import (
-    CompiledNetwork,
-    ConvStage,
-    HeadStage,
-    LinearStage,
-    PoolStage,
-    SignStage,
-    ThermometerStage,
-)
-from repro.mapping.tiling import conv_output_geometry
+from repro.mapping.compiler import CompiledNetwork
 
 _MODES = ("stochastic", "ideal")
-
-_INT8_ONE = np.int8(1)
-_INT8_MINUS_ONE = np.int8(-1)
+_MODE_BACKENDS = {"stochastic": "stochastic", "ideal": "ideal"}
 
 
-def _apply_tiled(layer, flat: np.ndarray, mode: str, validate) -> np.ndarray:
-    if mode == "stochastic":
-        return layer.forward(flat, validate=validate)
-    return layer.ideal_output(flat)
+def _check_mode(mode: str) -> str:
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    return _MODE_BACKENDS[mode]
 
 
-def _run_conv(stage: ConvStage, x: np.ndarray, mode: str, validate) -> np.ndarray:
-    n, _, h, w = x.shape
-    h_out, w_out = conv_output_geometry(h, w, stage.kernel, stage.stride, stage.padding)
-    cols, _ = im2col(x, stage.kernel, stage.stride, stage.padding)
-    # (N, fan_in, P) -> (N * P, fan_in)
-    fan_in = cols.shape[1]
-    flat = cols.transpose(0, 2, 1).reshape(-1, fan_in)
-    out = _apply_tiled(stage.layer, flat, mode, validate)  # (N*P, C_out)
-    out = out.reshape(n, h_out * w_out, stage.out_channels).transpose(0, 2, 1)
-    return out.reshape(n, stage.out_channels, h_out, w_out)
+def _run_pool(stage, x: np.ndarray) -> np.ndarray:
+    """Deprecated alias of the engine's pooling kernel."""
+    from repro.api.engine import _run_pool as pool
 
-
-def _run_pool(stage: PoolStage, x: np.ndarray) -> np.ndarray:
-    n, c, h, w = x.shape
-    k = stage.kernel
-    if h % k or w % k:
-        raise ValueError(f"pooling {k} does not divide spatial dims {(h, w)}")
-    view = x.reshape(n, c, h // k, k, w // k, k)
-    return view.max(axis=(3, 5))
+    return pool(stage, x)
 
 
 def run_network(
     network: CompiledNetwork, images: np.ndarray, mode: str = "stochastic"
 ) -> np.ndarray:
-    """Run a batch of images; returns logits (N, n_classes)."""
-    if mode not in _MODES:
-        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
-    x = np.asarray(images, dtype=np.float64)
-    # Encoding and crossbar stages emit +-1 by construction; once one of
-    # them has produced `x`, the crossbar alphabet rescan is redundant.
-    trusted = False
-    for stage in network.stages:
-        if isinstance(stage, SignStage):
-            x = np.where(x >= 0, _INT8_ONE, _INT8_MINUS_ONE)
-            trusted = True
-        elif isinstance(stage, ThermometerStage):
-            planes = [
-                np.where(x - t >= 0, _INT8_ONE, _INT8_MINUS_ONE)
-                for t in stage.thresholds
-            ]
-            x = np.concatenate(planes, axis=1)
-            trusted = True
-        elif isinstance(stage, ConvStage):
-            x = _run_conv(stage, x, mode, validate=None if not trusted else False)
-            x = x.astype(np.int8, copy=False)
-            trusted = True
-        elif isinstance(stage, LinearStage):
-            if x.ndim > 2:
-                x = x.reshape(x.shape[0], -1)
-            x = _apply_tiled(stage.layer, x, mode, None if not trusted else False)
-            x = x.astype(np.int8, copy=False)
-            trusted = True
-        elif isinstance(stage, PoolStage):
-            x = _run_pool(stage, x)
-        elif isinstance(stage, HeadStage):
-            if x.ndim > 2:
-                x = x.reshape(x.shape[0], -1)
-            x = stage.logits(x)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown stage {type(stage).__name__}")
-    return x
+    """Run a batch of images; returns logits (N, n_classes).
+
+    .. deprecated:: use :meth:`repro.api.Engine.run` (structured
+       results, pluggable backends, micro-batching).
+    """
+    from repro.api import Engine
+
+    backend = _check_mode(mode)
+    # micro_batch=None: the legacy executor ran the whole batch in one
+    # pass, so the shim must not introduce sharding behind its back.
+    return Engine(network, backend=backend, micro_batch=None).run(images).logits
 
 
 def evaluate_accuracy(
@@ -122,14 +67,18 @@ def evaluate_accuracy(
     mode: str = "stochastic",
     batch_size: int = 64,
 ) -> float:
-    """Top-1 accuracy of the compiled network on a labelled set."""
-    labels = np.asarray(labels)
-    correct = 0
-    for start in range(0, len(labels), batch_size):
-        batch = images[start : start + batch_size]
-        pred = network.predict(batch, mode=mode)
-        correct += int((pred == labels[start : start + batch_size]).sum())
-    return correct / max(len(labels), 1)
+    """Top-1 accuracy of the compiled network on a labelled set.
+
+    .. deprecated:: use :meth:`repro.api.Engine.evaluate`.
+    """
+    from repro.api import Engine
+
+    backend = _check_mode(mode)
+    if len(np.asarray(labels)) == 0:
+        return 0.0
+    return Engine(network, backend=backend).evaluate(
+        images, labels, batch_size=batch_size
+    )
 
 
 def network_workloads(
@@ -137,39 +86,8 @@ def network_workloads(
 ) -> List[LayerWorkload]:
     """Per-layer :class:`LayerWorkload` records for the cost model.
 
-    ``image_shape`` is the (C, H, W) input geometry *before* the input
-    encoding stage.
+    .. deprecated:: use :meth:`repro.api.Engine.workloads`.
     """
-    c, h, w = image_shape
-    workloads: List[LayerWorkload] = []
-    for stage in network.stages:
-        if isinstance(stage, ThermometerStage):
-            c = c * len(stage.thresholds)
-        elif isinstance(stage, ConvStage):
-            h, w = conv_output_geometry(h, w, stage.kernel, stage.stride, stage.padding)
-            workloads.append(
-                LayerWorkload(
-                    in_features=stage.layer.in_features,
-                    out_features=stage.layer.out_features,
-                    positions=h * w,
-                )
-            )
-            c = stage.out_channels
-        elif isinstance(stage, PoolStage):
-            h //= stage.kernel
-            w //= stage.kernel
-        elif isinstance(stage, LinearStage):
-            workloads.append(
-                LayerWorkload(
-                    in_features=stage.layer.in_features,
-                    out_features=stage.layer.out_features,
-                )
-            )
-        elif isinstance(stage, HeadStage):
-            workloads.append(
-                LayerWorkload(
-                    in_features=stage.weight.shape[1],
-                    out_features=stage.weight.shape[0],
-                )
-            )
-    return workloads
+    from repro.api.results import network_workloads as workloads
+
+    return workloads(network, image_shape)
