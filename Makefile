@@ -1,17 +1,30 @@
 # Developer entry points. `make test` is the tier-1 gate used by CI and
 # the PR driver; `make check` chains lint + the tier-1 tests (the one
-# command to run before pushing); `make bench` times the simulation
-# kernels and appends the results to BENCH_kernels.json (the cross-PR
-# perf trajectory); `make lint` is a fast syntax/bytecode sweep (no
-# third-party linter is baked into the image).
+# command to run before pushing); `make check FAST=1` skips the
+# repeat-averaged statistical benches (the fig10 bit-stream sweep and
+# the integration window sweep) for quick pre-commit runs; `make bench`
+# times the simulation kernels — including the serial vs
+# stochastic-parallel session rows — and appends the results to
+# BENCH_kernels.json (the cross-PR perf trajectory); `make lint` is a
+# fast syntax/bytecode sweep (no third-party linter is baked into the
+# image).
 
 PYTHON ?= python
 PYTHONPATH := src
 
+# FAST=1: deselect the repeat-averaged statistical benches (minutes of
+# training + repeated stochastic evaluation each) so check/test stay
+# quick; the full tier-1 gate runs them.
+FAST ?=
+FAST_DESELECTS := \
+	--deselect benchmarks/test_fig10_bitstream_sweep.py::test_fig10_bitstream_length_sweep \
+	--deselect tests/test_integration.py::TestFullPipeline::test_window_sweep_shape
+PYTEST_FLAGS := $(if $(FAST),$(FAST_DESELECTS),)
+
 .PHONY: test bench lint check
 
 test:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q $(PYTEST_FLAGS)
 
 check: lint test
 

@@ -13,12 +13,15 @@ cross-PR trajectory file.
 import numpy as np
 import pytest
 
+from repro.api import Engine
+from repro.api.parallel import StochasticParallelBackend
 from repro.autograd import Tensor
 from repro.autograd import functional as F
 from repro.circuits.apc import ApproximateParallelCounter
 from repro.hardware.accelerator import TiledLinearLayer
 from repro.hardware.config import HardwareConfig
 from repro.hardware.crossbar import CrossbarArray
+from repro.mapping.compiler import CompiledNetwork, HeadStage, LinearStage, SignStage
 from repro.sc.packed import pack_bits
 
 
@@ -116,3 +119,57 @@ def test_perf_binary_conv2d(benchmark, pm):
     w = Tensor(pm((16, 12, 3, 3)))
     result = benchmark(lambda: F.conv2d(x, w, padding=1))
     assert result.shape == (16, 16, 16, 16)
+
+
+# ----------------------------------------------------------------------
+# Session-level shard execution: serial vs the "stochastic-parallel"
+# process pool. One VGG-eval-sized batch (256 images) split into
+# micro-batch shards; same seed everywhere, so every row computes
+# bit-identical logits and the timings compare pure execution strategy.
+# The multi-worker rows beat serial only when the host has cores to
+# spare — on a single-core box they measure the IPC overhead floor
+# (pickled shards + per-shard reseed), which is worth tracking too.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def shard_engine(pm):
+    """A crossbar-heavy engine built directly from +-1 weights (no
+    training): 288->144 on Cs=36 (8x4 tiles) plus a software head."""
+    cfg = HardwareConfig(crossbar_size=36, window_bits=8)
+    layer = TiledLinearLayer(cfg, pm((288, 144)), seed=0)
+    head = HeadStage(
+        weight=pm((10, 144)),
+        alpha=np.ones(10),
+        gamma=np.ones(10),
+        beta=np.zeros(10),
+        mean=np.zeros(10),
+        var=np.ones(10),
+        eps=1e-5,
+    )
+    network = CompiledNetwork([SignStage(), LinearStage(layer=layer), head], cfg)
+    engine = Engine(network, micro_batch=32)
+    images = pm((256, 288))
+    engine.run(images[:32], seed=0)  # warm the sampler tables once
+    return engine, images
+
+
+def _bench_session(benchmark, engine, images, backend):
+    session = engine.session(seed=0, backend=backend)
+    result = session.run(images)  # warm path (and worker pool) once
+    benchmark.pedantic(session.run, args=(images,), rounds=5, iterations=1)
+    return result
+
+
+def test_perf_session_serial_stochastic(benchmark, shard_engine):
+    engine, images = shard_engine
+    result = _bench_session(benchmark, engine, images, "stochastic")
+    assert result.logits.shape == (256, 10)
+    assert result.micro_batches == 8
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_perf_session_parallel_shards(benchmark, shard_engine, workers):
+    engine, images = shard_engine
+    with StochasticParallelBackend(workers=workers) as backend:
+        result = _bench_session(benchmark, engine, images, backend)
+    assert result.logits.shape == (256, 10)
+    assert result.micro_batches == 8

@@ -57,12 +57,15 @@ from repro.api import (
     Engine,
     EngineBuilder,
     InferenceResult,
+    Serving,
+    ServingReport,
     Session,
+    StochasticParallelBackend,
     available_backends,
     register_backend,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "HardwareConfig",
@@ -89,6 +92,9 @@ __all__ = [
     "Engine",
     "EngineBuilder",
     "Session",
+    "Serving",
+    "ServingReport",
+    "StochasticParallelBackend",
     "InferenceResult",
     "register_backend",
     "available_backends",

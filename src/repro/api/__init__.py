@@ -10,8 +10,14 @@ Façade over model compilation, execution, and metrics:
   outputs: logits, per-layer window counts, workloads, wall time.
 * backend registry — string-keyed pluggable execution strategies
   (``"ideal"``, ``"stochastic"``, ``"stochastic-dense"``,
-  ``"stochastic-packed"``, ``"stochastic-fused-batched"``); extend via
-  :func:`register_backend`.
+  ``"stochastic-packed"``, ``"stochastic-fused-batched"``,
+  ``"stochastic-parallel"``); extend via :func:`register_backend`.
+* :class:`~repro.api.parallel.StochasticParallelBackend` — process-pool
+  execution of micro-batch shards, bit-identical to serial for the
+  same session seed.
+* :class:`Serving` — concurrent front-end over ``Session.run_many``
+  with bounded workers and a :class:`ServingReport` of throughput
+  telemetry.
 * experiment registry — every paper artifact, runnable by name
   (:func:`run_experiment`, CLI ``repro run``).
 
@@ -28,10 +34,19 @@ Quickstart::
 from repro.api.backends import (
     ExecutionBackend,
     available_backends,
+    backend_aliases,
     get_backend,
     register_backend,
 )
-from repro.api.engine import DEFAULT_MICRO_BATCH, Engine, EngineBuilder, Session
+from repro.api.engine import (
+    DEFAULT_MICRO_BATCH,
+    Engine,
+    EngineBuilder,
+    Session,
+    Shard,
+    ShardPlan,
+    plan_shards,
+)
 from repro.api.experiments import (
     ExperimentSpec,
     available_experiments,
@@ -40,18 +55,32 @@ from repro.api.experiments import (
     register_experiment,
     run_experiment,
 )
-from repro.api.results import InferenceResult, LayerTelemetry, network_workloads
+from repro.api.parallel import StochasticParallelBackend
+from repro.api.results import (
+    InferenceResult,
+    LayerTelemetry,
+    ServingReport,
+    network_workloads,
+)
+from repro.api.serving import Serving
 
 __all__ = [
     "Engine",
     "EngineBuilder",
     "Session",
+    "Shard",
+    "ShardPlan",
+    "plan_shards",
+    "Serving",
+    "ServingReport",
+    "StochasticParallelBackend",
     "InferenceResult",
     "LayerTelemetry",
     "ExecutionBackend",
     "register_backend",
     "get_backend",
     "available_backends",
+    "backend_aliases",
     "ExperimentSpec",
     "register_experiment",
     "get_experiment",

@@ -35,6 +35,12 @@ First-class backends:
     ``Generator.binomial`` draw — one RNG invocation per layer, for the
     RNG-bound regime of the fused path. Draws from the session's
     generator, so the :class:`~repro.api.Session` owns the randomness.
+``"stochastic-parallel"``
+    Shard-level strategy (:mod:`repro.api.parallel`): micro-batch
+    shards of the session's :class:`~repro.api.engine.ShardPlan` are
+    executed on a process pool, bit-identical to serial execution for
+    the same session seed. Implements ``run_plan`` instead of
+    ``run_layer``.
 """
 
 from __future__ import annotations
@@ -47,6 +53,16 @@ from repro.hardware.accelerator import TiledLinearLayer
 
 _REGISTRY: Dict[str, Type] = {}
 _ALIASES: Dict[str, str] = {}
+#: Cached instances of stateless backends — one strategy object per
+#: registered name, shared by every session (constructing a fresh
+#: object per ``Session.run`` was pure garbage churn). Stateful
+#: backends (``stateless = False``, e.g. process pools) are excluded.
+_INSTANCES: Dict[str, object] = {}
+#: When set (CLI ``--workers``), requests for the default-dispatch
+#: ``"stochastic"`` backend resolve to this strategy instance instead,
+#: so existing experiments parallelize without threading a new argument
+#: through every harness.
+_DISPATCH_OVERRIDE = None
 
 
 def register_backend(name: str, *, aliases: Tuple[str, ...] = (), summary: str = ""):
@@ -78,14 +94,41 @@ def available_backends() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def get_backend(name):
-    """Instantiate the backend registered under ``name`` (or an alias).
+def backend_aliases() -> Dict[str, str]:
+    """Alias -> canonical-name mapping (e.g. ``exact -> ideal``)."""
+    return dict(_ALIASES)
 
-    Passing an object that already satisfies the backend protocol (has
-    ``run_layer``) returns it unchanged, so engines accept both names
-    and ready-made strategy instances.
+
+def set_dispatch_override(backend):
+    """Install (or clear, with None) the default-dispatch override.
+
+    While installed, :func:`get_backend` resolves ``"stochastic"`` /
+    ``"auto"`` to ``backend`` instead of the registered class — the CLI
+    uses this to route any experiment's stochastic inference through a
+    configured parallel backend. Returns the previous override so
+    callers can restore it.
     """
-    if hasattr(name, "run_layer"):
+    global _DISPATCH_OVERRIDE
+    previous = _DISPATCH_OVERRIDE
+    _DISPATCH_OVERRIDE = backend
+    return previous
+
+
+def get_backend(name, *, allow_override: bool = True):
+    """Resolve the backend registered under ``name`` (or an alias).
+
+    Passing an object that already satisfies a backend protocol
+    (``run_layer`` for layer-level strategies, ``run_plan`` for
+    shard-level ones) returns it unchanged, so engines accept both
+    names and ready-made strategy instances. Stateless backends are
+    cached — every caller shares one instance per name.
+
+    ``allow_override=False`` ignores the dispatch override installed by
+    :func:`set_dispatch_override`; the parallel backend resolves its
+    *inner* strategy this way so routing ``"stochastic"`` to a process
+    pool cannot recurse (a forked worker inherits the override global).
+    """
+    if hasattr(name, "run_layer") or hasattr(name, "run_plan"):
         return name
     key = _ALIASES.get(name, name)
     cls = _REGISTRY.get(key)
@@ -93,7 +136,33 @@ def get_backend(name):
         raise KeyError(
             f"unknown backend {name!r}; registered: {', '.join(available_backends())}"
         )
-    return cls()
+    if allow_override and key == "stochastic" and _DISPATCH_OVERRIDE is not None:
+        return _DISPATCH_OVERRIDE
+    if not getattr(cls, "stateless", True):
+        return cls()
+    instance = _INSTANCES.get(key)
+    if instance is None:
+        instance = _INSTANCES[key] = cls()
+    return instance
+
+
+def resolve_strategy(source):
+    """Resolve ``source`` (name or instance) to ``(strategy, owned)``.
+
+    ``owned`` is True only when this call *constructed* a throwaway
+    stateful instance from a name — the caller is then responsible for
+    closing it. Caller-provided instances, cached stateless singletons,
+    and the shared dispatch-override instance are never owned (closing
+    the override from a session would tear down the pool every other
+    caller is using).
+    """
+    strategy = get_backend(source)
+    owned = (
+        isinstance(source, str)
+        and not getattr(strategy, "stateless", True)
+        and strategy is not _DISPATCH_OVERRIDE
+    )
+    return strategy, owned
 
 
 class ExecutionBackend:
@@ -104,6 +173,11 @@ class ExecutionBackend:
     #: True when the backend consumes no randomness (telemetry then
     #: reports zero sampled windows).
     deterministic = False
+    #: Stateless strategies are cached by :func:`get_backend` (one
+    #: shared instance per name). Backends that carry configuration or
+    #: resources (worker pools) set this False and are constructed
+    #: fresh per request-for-name.
+    stateless = True
 
     def run_layer(
         self,

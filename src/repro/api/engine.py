@@ -15,16 +15,28 @@ that the experiment scripts used to re-wire by hand:
 Execution strategies are pluggable string-keyed backends
 (:mod:`repro.api.backends`); the legacy free functions in
 :mod:`repro.mapping.executor` are deprecated shims over this engine.
+
+Sharding is planned, not improvised: :meth:`Session.plan_shards`
+produces a :class:`ShardPlan` — shard boundaries plus one deterministic
+child seed per shard, drawn from the session generator — and both the
+in-process serial loop and the process-pool backend
+(:mod:`repro.api.parallel`) execute the *same* plan through the same
+:func:`seed_shard` + :func:`run_stages` pair. Because every shard pins
+the network's sampler state from its own seed before executing, the
+logits depend only on the plan, never on which process (or how many
+workers) ran each shard — N-worker output is bit-identical to serial.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.api.backends import get_backend
+from repro.api.backends import get_backend, resolve_strategy
 from repro.api.results import InferenceResult, LayerTelemetry, network_workloads
 from repro.autograd.functional import im2col
 from repro.hardware.config import HardwareConfig
@@ -64,6 +76,186 @@ def _run_pool(stage: PoolStage, x: np.ndarray) -> np.ndarray:
     return view.max(axis=(3, 5))
 
 
+# ----------------------------------------------------------------------
+# Shard planning — the one splitting/seeding code path shared by the
+# serial session loop and the multiprocessing backend.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Shard:
+    """One micro-batch of a request: a half-open row range plus the
+    child seed that pins the network's sampler state for it."""
+
+    index: int
+    start: int
+    stop: int
+    seed: Optional[int]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How one batched request is split into independently executable,
+    independently seeded micro-batches.
+
+    The plan is the unit of reproducibility for sharded execution:
+    executing the same plan over the same inputs yields bit-identical
+    logits no matter which process runs which shard, because each shard
+    re-establishes the sampler state from its own ``seed`` first (see
+    :func:`seed_shard`).
+    """
+
+    batch_size: int
+    shards: Tuple[Shard, ...]
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+
+def plan_shards(
+    n: int, micro_batch: Optional[int], rng: Optional[np.random.Generator] = None
+) -> ShardPlan:
+    """Split an ``n``-row request into ``micro_batch``-sized shards.
+
+    ``rng`` supplies one child seed per shard (drawn in shard order, so
+    the draw count — and therefore the generator's subsequent state —
+    depends only on the shard count, never on who executes the plan).
+    Without a generator the shards carry ``seed=None`` and execution
+    falls back to each worker's own entropy.
+
+    An empty request still gets one (empty) shard so it flows through
+    the pipeline once, preserving the legacy ``(0, n_classes)`` output.
+    """
+    size = micro_batch or n or 1
+    starts = range(0, max(n, 1), size)
+    if rng is None:
+        seeds: List[Optional[int]] = [None] * len(starts)
+    else:
+        seeds = [int(s) for s in rng.integers(0, 2**63 - 1, size=len(starts))]
+    shards = tuple(
+        Shard(index=i, start=lo, stop=min(lo + size, n), seed=seeds[i])
+        for i, lo in enumerate(starts)
+    )
+    return ShardPlan(batch_size=n, shards=shards)
+
+
+def seed_shard(
+    network: CompiledNetwork, seed: Optional[int]
+) -> np.random.Generator:
+    """Pin every sampler in ``network`` for one shard; returns the shard
+    generator (backends that draw directly, like
+    ``"stochastic-fused-batched"``, consume it after the reseed).
+
+    The derivation is pure: shard seed -> per-layer children -> per-tile
+    children, so any process holding an equivalent copy of the network
+    replays identical stochastic draws for the shard. ``seed=None``
+    (unplanned execution) leaves the network's current streams untouched.
+    """
+    if seed is None:
+        return new_rng(None)
+    rng = new_rng(seed)
+    layers = network.tiled_layers
+    for layer, child in zip(layers, spawn_rng(rng, len(layers))):
+        layer.reseed_sampling(child)
+    return rng
+
+
+def run_stages(
+    network: CompiledNetwork,
+    x: np.ndarray,
+    strategy,
+    rng: np.random.Generator,
+    telemetry: List[LayerTelemetry],
+) -> np.ndarray:
+    """One micro-batch through the stage pipeline (same dataflow and
+    dtype discipline as the legacy executor, plus telemetry).
+
+    Module-level on purpose: the in-process session loop and the
+    process-pool workers (:mod:`repro.api.parallel`) both execute
+    shards through this exact function, so the two paths cannot drift.
+    ``telemetry`` accumulates in place — later micro-batches fold into
+    the first's records.
+    """
+    merge = bool(telemetry)
+    deterministic = getattr(strategy, "deterministic", False)
+    n = x.shape[0]
+    trusted = False
+    for index, stage in enumerate(network.stages):
+        t0 = time.perf_counter()
+        record = LayerTelemetry(index=index, kind="?")
+        if isinstance(stage, SignStage):
+            x = np.where(x >= 0, _INT8_ONE, _INT8_MINUS_ONE)
+            trusted = True
+            record.kind = "encode"
+        elif isinstance(stage, ThermometerStage):
+            planes = [
+                np.where(x - t >= 0, _INT8_ONE, _INT8_MINUS_ONE)
+                for t in stage.thresholds
+            ]
+            x = np.concatenate(planes, axis=1)
+            trusted = True
+            record.kind = "encode"
+        elif isinstance(stage, ConvStage):
+            validate = None if not trusted else False
+            h, w = x.shape[2], x.shape[3]
+            h_out, w_out = conv_output_geometry(
+                h, w, stage.kernel, stage.stride, stage.padding
+            )
+            cols, _ = im2col(x, stage.kernel, stage.stride, stage.padding)
+            fan_in = cols.shape[1]
+            flat = cols.transpose(0, 2, 1).reshape(-1, fan_in)
+            out = strategy.run_layer(stage.layer, flat, rng=rng, validate=validate)
+            out = out.reshape(n, h_out * w_out, stage.out_channels).transpose(
+                0, 2, 1
+            )
+            x = out.reshape(n, stage.out_channels, h_out, w_out)
+            x = x.astype(np.int8, copy=False)
+            trusted = True
+            record.kind = "conv"
+            record.in_features = stage.layer.in_features
+            record.out_features = stage.layer.out_features
+            record.positions = h_out * w_out
+            if not deterministic:
+                record.windows = (
+                    n
+                    * record.positions
+                    * stage.layer.n_row_tiles
+                    * stage.layer.n_col_tiles
+                )
+        elif isinstance(stage, LinearStage):
+            validate = None if not trusted else False
+            if x.ndim > 2:
+                # explicit fan-in (reshape -1 cannot infer it when N=0)
+                x = x.reshape(x.shape[0], int(np.prod(x.shape[1:])))
+            x = strategy.run_layer(stage.layer, x, rng=rng, validate=validate)
+            x = x.astype(np.int8, copy=False)
+            trusted = True
+            record.kind = "linear"
+            record.in_features = stage.layer.in_features
+            record.out_features = stage.layer.out_features
+            if not deterministic:
+                record.windows = (
+                    n * stage.layer.n_row_tiles * stage.layer.n_col_tiles
+                )
+        elif isinstance(stage, PoolStage):
+            x = _run_pool(stage, x)
+            record.kind = "pool"
+        elif isinstance(stage, HeadStage):
+            if x.ndim > 2:
+                # explicit fan-in (reshape -1 cannot infer it when N=0)
+                x = x.reshape(x.shape[0], int(np.prod(x.shape[1:])))
+            x = stage.logits(x)
+            record.kind = "head"
+            record.in_features = stage.weight.shape[1]
+            record.out_features = stage.weight.shape[0]
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown stage {type(stage).__name__}")
+        record.wall_time_s = time.perf_counter() - t0
+        if merge:
+            telemetry[index].merge(record)
+        else:
+            telemetry.append(record)
+    return x
+
+
 class Session:
     """One inference session: pinned RNG state + batched requests.
 
@@ -81,7 +273,12 @@ class Session:
 
     Requests of any batch size are accepted; the session splits them
     into ``micro_batch``-sized shards automatically and merges the
-    telemetry, so callers never hand-roll batching loops.
+    telemetry, so callers never hand-roll batching loops. Each shard is
+    executed under its own child seed (:meth:`plan_shards`), which is
+    what makes the process-pool ``"stochastic-parallel"`` backend
+    bit-identical to serial execution and lets a
+    :class:`~repro.api.serving.Serving` front-end interleave sessions
+    safely.
     """
 
     def __init__(
@@ -89,11 +286,16 @@ class Session:
         engine: "Engine",
         *,
         seed: SeedLike = None,
-        backend: Optional[str] = None,
+        backend=None,
         micro_batch=_INHERIT,
     ) -> None:
         self.engine = engine
-        self.backend = backend or engine.backend
+        source = backend if backend is not None else engine.backend
+        # Resolve the strategy once per session (not per run): stateless
+        # backends come from the registry cache, stateful ones (process
+        # pools) keep their workers warm across this session's requests.
+        self._strategy, self._owns_strategy = resolve_strategy(source)
+        self.backend = getattr(self._strategy, "name", str(source))
         self.micro_batch = (
             engine.micro_batch if micro_batch is _INHERIT else micro_batch
         )
@@ -103,142 +305,143 @@ class Session:
         self.rng = new_rng(seed)
 
     # ------------------------------------------------------------------
+    def plan_shards(self, n: int) -> ShardPlan:
+        """The session's :class:`ShardPlan` for an ``n``-row request.
+
+        Boundaries come from ``micro_batch``; for a *seeded* session
+        per-shard child seeds are drawn from the session generator (its
+        state advances by exactly one draw per plan, so successive
+        requests stay stochastic while two sessions with the same seed
+        produce the same plans). An unseeded session plans seedless
+        shards: serial execution then continues the network's
+        compile-time sampler streams untouched — the legacy behaviour
+        deterministic given the compile seed.
+        """
+        return plan_shards(
+            n, self.micro_batch, rng=self.rng if self._seeded else None
+        )
+
     def run(
         self,
         images: np.ndarray,
         labels: Optional[np.ndarray] = None,
         *,
-        backend: Optional[str] = None,
+        backend=None,
     ) -> InferenceResult:
         """Execute one batched request; returns a structured result."""
-        strategy = get_backend(backend or self.backend)
-        x = np.asarray(images)
-        if x.ndim < 2:
-            raise ValueError(f"images must be batched (N, ...), got shape {x.shape}")
-        n = x.shape[0]
-        if self._seeded:
-            # Re-establish this session's sampler state on the shared
-            # layers (another session may have run since) and advance it
-            # per request so successive runs stay stochastic.
-            layers = self.engine.tiled_layers
-            for layer, layer_seed in zip(layers, spawn_rng(self.rng, len(layers))):
-                layer.reseed_sampling(layer_seed)
-        # An empty request still flows through the pipeline once (numpy
-        # handles N=0 throughout), returning (0, n_classes) logits like
-        # the legacy executor did.
-        shard = self.micro_batch or n or 1
-        start = time.perf_counter()
-        telemetry: List[LayerTelemetry] = []
-        logits = []
-        shards = 0
-        for lo in range(0, max(n, 1), shard):
-            # float64 conversion happens per shard so micro-batching
-            # bounds peak memory on large requests.
-            chunk = np.asarray(x[lo : lo + shard], dtype=np.float64)
-            logits.append(self._execute(chunk, strategy, telemetry))
-            shards += 1
-        return InferenceResult(
-            logits=np.concatenate(logits, axis=0) if shards > 1 else logits[0],
-            backend=getattr(strategy, "name", str(strategy)),
-            batch_size=n,
-            micro_batches=shards,
-            wall_time_s=time.perf_counter() - start,
-            layers=telemetry,
-            labels=None if labels is None else np.asarray(labels),
-        )
+        strategy, owned = self._resolve(backend)
+        try:
+            x = np.asarray(images)
+            if x.ndim < 2:
+                raise ValueError(
+                    f"images must be batched (N, ...), got shape {x.shape}"
+                )
+            n = x.shape[0]
+            sharded_backend = hasattr(strategy, "run_plan")
+            if sharded_backend and not self._seeded:
+                # Every worker holds an identical copy of the network's
+                # compile-time streams — seedless shards would replay
+                # the same draws on each worker. Plan with fresh
+                # entropy instead.
+                plan = plan_shards(n, self.micro_batch, rng=new_rng(None))
+            else:
+                plan = self.plan_shards(n)
+            start = time.perf_counter()
+            if sharded_backend:
+                # Shard-level backend (process pool): it executes the
+                # whole plan against its own per-worker network copies,
+                # so the engine's shared layers are never touched here.
+                logits, telemetry = strategy.run_plan(self.engine.network, x, plan)
+            else:
+                logits, telemetry = self._run_plan_serial(x, plan, strategy)
+            return InferenceResult(
+                logits=logits,
+                backend=getattr(strategy, "name", str(strategy)),
+                batch_size=n,
+                micro_batches=len(plan),
+                wall_time_s=time.perf_counter() - start,
+                layers=telemetry,
+                labels=None if labels is None else np.asarray(labels),
+            )
+        finally:
+            if owned and hasattr(strategy, "close"):
+                strategy.close()
 
     def run_many(
-        self, requests: Sequence[np.ndarray], *, backend: Optional[str] = None
+        self,
+        requests: Sequence[np.ndarray],
+        labels: Optional[Sequence] = None,
+        *,
+        backend=None,
     ) -> List[InferenceResult]:
-        """Run several independent requests through this session."""
-        return [self.run(request, backend=backend) for request in requests]
+        """Run several independent requests through this session.
+
+        ``labels`` is an optional sequence aligned with ``requests``
+        (entries may be None for unlabelled requests); each label set is
+        threaded into its request's :class:`InferenceResult` so batched
+        serving can report per-request accuracy.
+        """
+        if labels is None:
+            labels = [None] * len(requests)
+        elif len(labels) != len(requests):
+            raise ValueError(
+                f"labels length {len(labels)} != requests length {len(requests)}"
+            )
+        return [
+            self.run(request, labels=request_labels, backend=backend)
+            for request, request_labels in zip(requests, labels)
+        ]
 
     # ------------------------------------------------------------------
-    def _execute(self, x, strategy, telemetry: List[LayerTelemetry]) -> np.ndarray:
-        """One micro-batch through the stage pipeline (same dataflow and
-        dtype discipline as the legacy executor, plus telemetry)."""
-        merge = bool(telemetry)  # later micro-batches fold into the first's records
-        deterministic = getattr(strategy, "deterministic", False)
-        n = x.shape[0]
-        trusted = False
-        for index, stage in enumerate(self.engine.network.stages):
-            t0 = time.perf_counter()
-            record = LayerTelemetry(index=index, kind="?")
-            if isinstance(stage, SignStage):
-                x = np.where(x >= 0, _INT8_ONE, _INT8_MINUS_ONE)
-                trusted = True
-                record.kind = "encode"
-            elif isinstance(stage, ThermometerStage):
-                planes = [
-                    np.where(x - t >= 0, _INT8_ONE, _INT8_MINUS_ONE)
-                    for t in stage.thresholds
-                ]
-                x = np.concatenate(planes, axis=1)
-                trusted = True
-                record.kind = "encode"
-            elif isinstance(stage, ConvStage):
-                validate = None if not trusted else False
-                h, w = x.shape[2], x.shape[3]
-                h_out, w_out = conv_output_geometry(
-                    h, w, stage.kernel, stage.stride, stage.padding
+    def _resolve(self, backend):
+        """Strategy for one run: the session's cached instance, or a
+        per-run override. A name override that constructs a *stateful*
+        backend is owned by this run and closed when it finishes."""
+        if backend is None:
+            return self._strategy, False
+        return resolve_strategy(backend)
+
+    def _run_plan_serial(self, x, plan: ShardPlan, strategy):
+        """Execute a plan in-process, shard by shard.
+
+        Each shard's (reseed, execute) pair runs under the engine's
+        execution lock: the shared layers hold that shard's sampler
+        state for exactly the critical section, so concurrent sessions
+        (a serving front-end's worker threads) interleave at shard
+        granularity without clobbering each other.
+        """
+        telemetry: List[LayerTelemetry] = []
+        parts = []
+        network = self.engine.network
+        for shard in plan.shards:
+            # float64 conversion happens per shard so micro-batching
+            # bounds peak memory on large requests.
+            chunk = np.asarray(x[shard.start : shard.stop], dtype=np.float64)
+            with self.engine._exec_lock:
+                # Seedless shards (unseeded session) continue the
+                # network's current streams, exactly like the legacy
+                # executor; seeded shards pin the sampler state first.
+                rng = (
+                    self.rng
+                    if shard.seed is None
+                    else seed_shard(network, shard.seed)
                 )
-                cols, _ = im2col(x, stage.kernel, stage.stride, stage.padding)
-                fan_in = cols.shape[1]
-                flat = cols.transpose(0, 2, 1).reshape(-1, fan_in)
-                out = strategy.run_layer(
-                    stage.layer, flat, rng=self.rng, validate=validate
-                )
-                out = out.reshape(n, h_out * w_out, stage.out_channels).transpose(
-                    0, 2, 1
-                )
-                x = out.reshape(n, stage.out_channels, h_out, w_out)
-                x = x.astype(np.int8, copy=False)
-                trusted = True
-                record.kind = "conv"
-                record.in_features = stage.layer.in_features
-                record.out_features = stage.layer.out_features
-                record.positions = h_out * w_out
-                if not deterministic:
-                    record.windows = (
-                        n
-                        * record.positions
-                        * stage.layer.n_row_tiles
-                        * stage.layer.n_col_tiles
-                    )
-            elif isinstance(stage, LinearStage):
-                validate = None if not trusted else False
-                if x.ndim > 2:
-                    # explicit fan-in (reshape -1 cannot infer it when N=0)
-                    x = x.reshape(x.shape[0], int(np.prod(x.shape[1:])))
-                x = strategy.run_layer(stage.layer, x, rng=self.rng, validate=validate)
-                x = x.astype(np.int8, copy=False)
-                trusted = True
-                record.kind = "linear"
-                record.in_features = stage.layer.in_features
-                record.out_features = stage.layer.out_features
-                if not deterministic:
-                    record.windows = (
-                        n * stage.layer.n_row_tiles * stage.layer.n_col_tiles
-                    )
-            elif isinstance(stage, PoolStage):
-                x = _run_pool(stage, x)
-                record.kind = "pool"
-            elif isinstance(stage, HeadStage):
-                if x.ndim > 2:
-                    # explicit fan-in (reshape -1 cannot infer it when N=0)
-                    x = x.reshape(x.shape[0], int(np.prod(x.shape[1:])))
-                x = stage.logits(x)
-                record.kind = "head"
-                record.in_features = stage.weight.shape[1]
-                record.out_features = stage.weight.shape[0]
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"unknown stage {type(stage).__name__}")
-            record.wall_time_s = time.perf_counter() - t0
-            if merge:
-                telemetry[index].merge(record)
-            else:
-                telemetry.append(record)
-        return x
+                parts.append(run_stages(network, chunk, strategy, rng, telemetry))
+        logits = np.concatenate(parts, axis=0) if len(parts) > 1 else parts[0]
+        return logits, telemetry
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the session's strategy if it owns one (e.g. shut
+        down a process pool created from a backend name)."""
+        if self._owns_strategy and hasattr(self._strategy, "close"):
+            self._strategy.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -274,6 +477,12 @@ class Engine:
         self.network = network
         self.backend = backend
         self.micro_batch = micro_batch
+        # Serializes in-process shard execution on the shared layers;
+        # shard-level backends (process pools) never take it, so a
+        # serving front-end gets real concurrency from worker processes
+        # while in-process backends interleave safely at shard
+        # granularity.
+        self._exec_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Construction
@@ -308,11 +517,14 @@ class Engine:
         self,
         *,
         seed: SeedLike = None,
-        backend: Optional[str] = None,
+        backend=None,
         micro_batch=_INHERIT,
     ) -> Session:
         """Open a :class:`Session` (pinned RNG + batched requests).
 
+        ``backend`` accepts a registered name or a ready-made strategy
+        instance (e.g. a configured
+        :class:`~repro.api.parallel.StochasticParallelBackend`).
         ``micro_batch``: omit to inherit the engine default, pass an int
         to shard requests at that size, or ``None`` to disable sharding.
         """
@@ -323,14 +535,13 @@ class Engine:
         images: np.ndarray,
         labels: Optional[np.ndarray] = None,
         *,
-        backend: Optional[str] = None,
+        backend=None,
         seed: SeedLike = None,
         micro_batch=_INHERIT,
     ) -> InferenceResult:
         """One-shot convenience: ephemeral session, single request."""
-        return self.session(seed=seed, backend=backend, micro_batch=micro_batch).run(
-            images, labels=labels
-        )
+        with self.session(seed=seed, backend=backend, micro_batch=micro_batch) as s:
+            return s.run(images, labels=labels)
 
     def evaluate(
         self,

@@ -63,6 +63,26 @@ class LayerTelemetry:
         self.wall_time_s += other.wall_time_s
 
 
+def merge_telemetry(per_shard) -> List["LayerTelemetry"]:
+    """Merge per-shard telemetry lists (workers report independently).
+
+    ``per_shard`` is an iterable of per-stage record lists, one per
+    shard in plan order; the first shard's records become the base and
+    every later shard folds in via :meth:`LayerTelemetry.merge` —
+    exactly what the serial loop does incrementally, so a result's
+    telemetry is the same whether its shards ran in-process or on a
+    worker pool.
+    """
+    merged: List[LayerTelemetry] = []
+    for records in per_shard:
+        if not merged:
+            merged = list(records)
+        else:
+            for base, record in zip(merged, records):
+                base.merge(record)
+    return merged
+
+
 @dataclass
 class InferenceResult:
     """Outputs plus telemetry for one batched inference request."""
@@ -82,10 +102,17 @@ class InferenceResult:
 
     @property
     def accuracy(self) -> Optional[float]:
-        """Top-1 accuracy against ``labels`` (None when unlabelled)."""
+        """Top-1 accuracy against ``labels`` (None when unlabelled).
+
+        A labelled-but-empty request scores 0.0 — matching the legacy
+        ``evaluate_accuracy`` convention — instead of the NaN (plus
+        RuntimeWarning) that ``(empty == empty).mean()`` would produce.
+        """
         if self.labels is None:
             return None
         labels = np.asarray(self.labels)
+        if labels.size == 0:
+            return 0.0
         return float((self.predictions == labels).mean())
 
     @property
@@ -121,6 +148,88 @@ class InferenceResult:
         return (
             f"InferenceResult(batch={self.batch_size}, backend={self.backend!r}, "
             f"wall_time={self.wall_time_s:.4f}s{acc})"
+        )
+
+
+@dataclass
+class ServingReport:
+    """Aggregate outcome of one concurrent serving batch.
+
+    Wraps the per-request :class:`InferenceResult` list (in submission
+    order) with front-end throughput telemetry: the wall time of the
+    whole batch measured at the front end — requests overlap, so this
+    is *not* the sum of per-request wall times — and rates derived from
+    it.
+    """
+
+    results: List[InferenceResult]
+    wall_time_s: float
+    workers: int
+    backend: str
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.results)
+
+    @property
+    def total_images(self) -> int:
+        return sum(r.batch_size for r in self.results)
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.n_requests / self.wall_time_s if self.wall_time_s else 0.0
+
+    @property
+    def images_per_s(self) -> float:
+        return self.total_images / self.wall_time_s if self.wall_time_s else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean per-request wall time (the latency a client observed)."""
+        if not self.results:
+            return 0.0
+        return sum(r.wall_time_s for r in self.results) / len(self.results)
+
+    @property
+    def total_windows(self) -> int:
+        return sum(r.total_windows for r in self.results)
+
+    @property
+    def accuracy(self) -> Optional[float]:
+        """Image-weighted top-1 accuracy over the labelled requests
+        (None when no request carried labels)."""
+        correct = 0.0
+        total = 0
+        for result in self.results:
+            if result.labels is None:
+                continue
+            n = len(np.asarray(result.labels))
+            correct += result.accuracy * n
+            total += n
+        return correct / total if total else None
+
+    def summary(self) -> Dict[str, float]:
+        """Flat report for logs and tables."""
+        report = {
+            "backend": self.backend,
+            "workers": self.workers,
+            "n_requests": self.n_requests,
+            "total_images": self.total_images,
+            "wall_time_s": self.wall_time_s,
+            "requests_per_s": self.requests_per_s,
+            "images_per_s": self.images_per_s,
+            "mean_latency_s": self.mean_latency_s,
+        }
+        accuracy = self.accuracy
+        if accuracy is not None:
+            report["accuracy"] = accuracy
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServingReport(requests={self.n_requests}, "
+            f"images={self.total_images}, backend={self.backend!r}, "
+            f"workers={self.workers}, {self.images_per_s:.1f} img/s)"
         )
 
 

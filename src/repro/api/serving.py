@@ -1,0 +1,158 @@
+"""Concurrent serving front-end over :meth:`Session.run_many`.
+
+:class:`Serving` turns an :class:`~repro.api.Engine` into a bounded
+request processor: a batch of independent inference requests is fanned
+out to ``workers`` front-end threads, each request runs in its own
+child-seeded :class:`~repro.api.Session`, and the per-request
+:class:`~repro.api.results.InferenceResult` list comes back wrapped in
+a :class:`~repro.api.results.ServingReport` with aggregate throughput
+telemetry.
+
+Correctness under concurrency comes from the engine's per-shard
+execution discipline: every shard pins the shared layers' sampler
+state from its own child seed inside the engine's execution lock, so
+interleaved requests cannot clobber each other and a seeded front-end
+replays identically regardless of thread scheduling. Real wall-clock
+parallelism comes from pairing the front-end with the
+``"stochastic-parallel"`` backend — all request sessions then share
+one worker process pool and the front-end threads only split, submit,
+and merge::
+
+    from repro.api import Engine, Serving
+    from repro.api.parallel import StochasticParallelBackend
+
+    engine = Engine.from_model(model)
+    with Serving(engine, workers=4,
+                 backend=StochasticParallelBackend(workers=4),
+                 seed=0) as front:
+        report = front.serve(requests, labels=labels)
+    print(report.images_per_s, report.accuracy)
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.api.backends import resolve_strategy
+from repro.api.engine import _INHERIT, Session
+from repro.api.results import InferenceResult, ServingReport
+from repro.utils.rng import SeedLike, new_rng
+
+
+class Serving:
+    """Bounded-concurrency inference front-end for one engine.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.api.Engine` to serve.
+    workers:
+        Maximum number of requests in flight at once.
+    backend:
+        Execution strategy shared by every request session — a
+        registered name or a ready-made instance (pass a configured
+        :class:`~repro.api.parallel.StochasticParallelBackend` so all
+        requests share one process pool). Defaults to the engine's
+        backend.
+    seed:
+        Seeds the front-end generator; each request session gets a
+        deterministic child seed drawn in submission order, so a seeded
+        front-end is reproducible end to end. ``None`` serves from
+        fresh entropy.
+    micro_batch:
+        Per-session micro-batch override (inherits the engine default).
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        workers: int = 4,
+        backend=None,
+        seed: SeedLike = None,
+        micro_batch=_INHERIT,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.engine = engine
+        self.workers = int(workers)
+        source = backend if backend is not None else engine.backend
+        # One strategy instance for the whole front end: every request
+        # session shares it (and with it, any worker pool it owns).
+        self._strategy, self._owns_strategy = resolve_strategy(source)
+        self.backend = getattr(self._strategy, "name", str(source))
+        self.micro_batch = micro_batch
+        self.rng = new_rng(seed)
+
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        requests: Sequence[np.ndarray],
+        labels: Optional[Sequence] = None,
+    ) -> ServingReport:
+        """Run a batch of independent requests concurrently.
+
+        ``labels`` is an optional sequence aligned with ``requests``
+        (entries may be None); results come back in submission order.
+        """
+        if labels is None:
+            labels = [None] * len(requests)
+        elif len(labels) != len(requests):
+            raise ValueError(
+                f"labels length {len(labels)} != requests length {len(requests)}"
+            )
+        # Child seeds are drawn up front in submission order so thread
+        # scheduling cannot reorder the derivation. Every request
+        # session gets a real seed — an unseeded front end draws them
+        # from fresh entropy — because seedless sessions would share
+        # the engine's compile-time streams across threads.
+        seeds: List[int] = [
+            int(s) for s in self.rng.integers(0, 2**63 - 1, size=len(requests))
+        ]
+
+        def _serve_one(index: int) -> InferenceResult:
+            session = Session(
+                self.engine,
+                seed=seeds[index],
+                backend=self._strategy,
+                micro_batch=self.micro_batch,
+            )
+            return session.run(requests[index], labels=labels[index])
+
+        start = time.perf_counter()
+        if not requests:
+            results: List[InferenceResult] = []
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(self.workers, len(requests))
+            ) as pool:
+                results = list(pool.map(_serve_one, range(len(requests))))
+        return ServingReport(
+            results=results,
+            wall_time_s=time.perf_counter() - start,
+            workers=self.workers,
+            backend=self.backend,
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the strategy if the front end owns it (e.g. shut
+        down a process pool resolved from a backend name)."""
+        if self._owns_strategy and hasattr(self._strategy, "close"):
+            self._strategy.close()
+
+    def __enter__(self) -> "Serving":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Serving(workers={self.workers}, backend={self.backend!r}, "
+            f"engine={self.engine!r})"
+        )

@@ -17,8 +17,15 @@ emits JSON::
     python -m repro.cli run fig5                   # default arguments
     python -m repro.cli run table3 -k epochs=4 -k n_eval=100
     python -m repro.cli run fig10 -o fig10.json
+    python -m repro.cli run fig10 --workers 4      # stochastic inference
+                                                   # on a 4-process pool
 
-``backends`` lists the registered inference execution backends.
+``backends`` lists the registered inference execution backends (and
+their aliases). ``serve-bench`` trains a small reference model and
+measures concurrent serving throughput for the serial and
+process-parallel execution paths::
+
+    python -m repro.cli serve-bench --workers 1 2 4 --requests 8
 """
 
 from __future__ import annotations
@@ -76,7 +83,22 @@ def _cmd_run(args) -> int:
         return 0
 
     overrides = dict(args.overrides or [])
-    result = run_experiment(args.experiment, **overrides)
+    if args.workers:
+        # Route the experiment's default-dispatch stochastic inference
+        # through a process pool: every Engine request for the
+        # "stochastic" backend resolves to this instance instead.
+        from repro.api.backends import set_dispatch_override
+        from repro.api.parallel import StochasticParallelBackend
+
+        override = StochasticParallelBackend(workers=args.workers)
+        previous = set_dispatch_override(override)
+        try:
+            result = run_experiment(args.experiment, **overrides)
+        finally:
+            set_dispatch_override(previous)
+            override.close()
+    else:
+        result = run_experiment(args.experiment, **overrides)
     payload = json.dumps(_to_jsonable(result), indent=2)
     if args.output:
         with open(args.output, "w") as fh:
@@ -88,11 +110,64 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_backends(args) -> int:
-    from repro.api import available_backends, get_backend
+    from repro.api import available_backends, backend_aliases, get_backend
 
-    width = max(len(n) for n in available_backends())
+    aliases = backend_aliases()
+    names = available_backends() + sorted(aliases)
+    width = max(len(n) for n in names)
     for name in available_backends():
         print(f"{name:<{width}}  {getattr(get_backend(name), 'summary', '')}")
+    for alias in sorted(aliases):
+        print(f"{alias:<{width}}  alias of {aliases[alias]!r}")
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    import numpy as np
+
+    from repro.api import Engine, Serving
+    from repro.api.parallel import StochasticParallelBackend
+    from repro.experiments.common import trained_mlp
+    from repro.hardware.config import HardwareConfig
+
+    hardware = HardwareConfig(
+        crossbar_size=args.crossbar_size,
+        gray_zone_ua=10.0,
+        window_bits=args.window_bits,
+    )
+    print(f"training reference MLP (epochs={args.epochs}) ...")
+    model, _, test, software_accuracy = trained_mlp(hardware, epochs=args.epochs)
+    engine = Engine.from_model(model)
+    print(f"software accuracy: {software_accuracy:.3f}; engine: {engine}")
+
+    rng = np.random.default_rng(args.seed)
+    requests, labels = [], []
+    for _ in range(args.requests):
+        idx = rng.integers(0, len(test.images), size=args.batch)
+        requests.append(test.images[idx])
+        labels.append(test.labels[idx])
+
+    reports = []
+    with Serving(engine, workers=1, backend="stochastic", seed=args.seed) as front:
+        reports.append(front.serve(requests, labels=labels))
+    for workers in args.workers:
+        with StochasticParallelBackend(workers=workers) as backend:
+            with Serving(
+                engine, workers=workers, backend=backend, seed=args.seed
+            ) as front:
+                reports.append(front.serve(requests, labels=labels))
+
+    print(
+        f"\n{'backend':<21} {'workers':>7} {'wall(s)':>8} {'req/s':>8} "
+        f"{'img/s':>9} {'latency(ms)':>12} {'accuracy':>9}"
+    )
+    for report in reports:
+        print(
+            f"{report.backend:<21} {report.workers:>7d} "
+            f"{report.wall_time_s:>8.3f} {report.requests_per_s:>8.2f} "
+            f"{report.images_per_s:>9.1f} {report.mean_latency_s * 1e3:>12.1f} "
+            f"{report.accuracy:>9.3f}"
+        )
     return 0
 
 
@@ -251,10 +326,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "-o", "--output", default=None, help="write JSON to this file"
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run the experiment's stochastic inference on an N-process "
+            "pool (the 'stochastic-parallel' backend)"
+        ),
+    )
     p.set_defaults(func=_cmd_run)
 
-    p = sub.add_parser("backends", help="list inference execution backends")
+    p = sub.add_parser(
+        "backends", help="list inference execution backends (and aliases)"
+    )
     p.set_defaults(func=_cmd_backends)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="concurrent serving throughput: serial vs process-parallel",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[2, 4],
+        metavar="N",
+        help="parallel worker counts to benchmark (serial baseline always runs)",
+    )
+    p.add_argument("--requests", type=int, default=8, help="requests per batch")
+    p.add_argument("--batch", type=int, default=64, help="images per request")
+    p.add_argument("--epochs", type=int, default=8, help="reference-model training epochs")
+    p.add_argument("--crossbar-size", type=int, default=16, dest="crossbar_size")
+    p.add_argument("--window-bits", type=int, default=8, dest="window_bits")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_serve_bench)
 
     return parser
 
