@@ -1,13 +1,17 @@
 # Developer entry points. `make test` is the tier-1 gate used by CI and
-# the PR driver; `make check` chains lint + the tier-1 tests (the one
-# command to run before pushing); `make check FAST=1` skips the
-# repeat-averaged statistical benches (the fig10 bit-stream sweep and
-# the integration window sweep) for quick pre-commit runs; `make bench`
-# times the simulation kernels — including the serial vs
-# stochastic-parallel session rows — and appends the results to
-# BENCH_kernels.json (the cross-PR perf trajectory); `make lint` is a
-# fast syntax/bytecode sweep (no third-party linter is baked into the
-# image).
+# the PR driver; `make check` chains lint + the runtime deadlock tier +
+# the tier-1 tests (the one command to run before pushing); `make check
+# FAST=1` skips the repeat-averaged statistical benches (the fig10
+# bit-stream sweep and the integration window sweep) for quick
+# pre-commit runs; `make check-runtime` runs the parallel/daemon tests
+# alone with a 2-worker pool cap (REPRO_MAX_POOL_WORKERS) and a hard
+# timeout, so a pool/queue deadlock fails the build fast instead of
+# hanging the whole suite; `make bench` times the simulation kernels —
+# including the serial vs stochastic-parallel session rows and the
+# serving/daemon rows — and appends the results to BENCH_kernels.json
+# (the cross-PR perf trajectory); `make lint` is a fast syntax/bytecode
+# sweep covering src (incl. the runtime/ package), tests, benchmarks,
+# and examples (no third-party linter is baked into the image).
 
 PYTHON ?= python
 PYTHONPATH := src
@@ -21,12 +25,21 @@ FAST_DESELECTS := \
 	--deselect tests/test_integration.py::TestFullPipeline::test_window_sweep_shape
 PYTEST_FLAGS := $(if $(FAST),$(FAST_DESELECTS),)
 
-.PHONY: test bench lint check
+# Hard ceiling for the runtime tier: pool/daemon deadlocks surface as a
+# timeout failure instead of a hung CI job.
+RUNTIME_TIMEOUT ?= 600
+RUNTIME_TESTS := tests/test_api_parallel.py tests/test_runtime_plan.py tests/test_runtime_daemon.py
+
+.PHONY: test bench lint check check-runtime
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q $(PYTEST_FLAGS)
 
-check: lint test
+check-runtime:
+	REPRO_MAX_POOL_WORKERS=2 PYTHONPATH=$(PYTHONPATH) \
+		timeout $(RUNTIME_TIMEOUT) $(PYTHON) -m pytest $(RUNTIME_TESTS) -q
+
+check: lint check-runtime test
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/test_kernel_performance.py -q --bench-json=BENCH_kernels.json

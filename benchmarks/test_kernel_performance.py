@@ -173,3 +173,57 @@ def test_perf_session_parallel_shards(benchmark, shard_engine, workers):
         result = _bench_session(benchmark, engine, images, backend)
     assert result.logits.shape == (256, 10)
     assert result.micro_batches == 8
+
+
+# ----------------------------------------------------------------------
+# Serving front-ends: the PR 3 thread-pool `Serving` baseline vs the
+# runtime's coalescing `ServingDaemon`, both at 4 workers on the
+# in-process "stochastic" backend over the same 8 x 32-row requests.
+# The daemon merges the burst into coalesced waves (one execution sweep,
+# no thread handoff per request), so its throughput should meet or beat
+# the thread-pool baseline — the rows in BENCH_kernels.json track that
+# claim across PRs.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def serving_requests(shard_engine):
+    _, images = shard_engine
+    return [images[i * 32 : (i + 1) * 32] for i in range(8)]
+
+
+def test_perf_serving_threadpool(benchmark, shard_engine, serving_requests):
+    from repro.api import Serving
+
+    engine, _ = shard_engine
+    with Serving(engine, workers=4, backend="stochastic", seed=0) as front:
+        front.serve(serving_requests)  # warm
+        benchmark.pedantic(
+            front.serve, args=(serving_requests,), rounds=5, iterations=1
+        )
+        report = front.serve(serving_requests)
+    assert report.n_requests == 8
+    assert report.total_images == 256
+
+
+def test_perf_daemon_coalesced(benchmark, shard_engine, serving_requests):
+    from repro.api import ServingDaemon
+
+    engine, _ = shard_engine
+    # window=0: batch submission needs no arrival wait — the consumer
+    # coalesces whatever the burst already queued and never idles out a
+    # deadline (a nonzero window only pays off for trickling arrivals).
+    with ServingDaemon(
+        engine,
+        backend="stochastic",
+        seed=0,
+        seed_per_request=True,
+        coalesce_window_s=0.0,
+    ) as daemon:
+        daemon.serve(serving_requests)  # warm
+        benchmark.pedantic(
+            daemon.serve, args=(serving_requests,), rounds=5, iterations=1
+        )
+        report = daemon.serve(serving_requests)
+    assert report.n_requests == 8
+    assert report.total_images == 256
+    # The burst coalesces: far fewer execution waves than requests.
+    assert report.waves is not None and report.waves <= report.n_requests

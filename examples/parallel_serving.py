@@ -13,6 +13,10 @@ shard plan maps straight onto a process pool. This example:
 3. stands up a ``Serving`` front-end — bounded concurrent requests
    over one shared worker pool — and prints its throughput report.
 
+For the queued, batch-coalescing successor to ``Serving`` (bounded
+request queue, deadline windows, per-wave amortization), see
+``examples/daemon_serving.py``.
+
 Run:  python examples/parallel_serving.py
 """
 

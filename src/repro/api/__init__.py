@@ -15,9 +15,17 @@ Façade over model compilation, execution, and metrics:
 * :class:`~repro.api.parallel.StochasticParallelBackend` — process-pool
   execution of micro-batch shards, bit-identical to serial for the
   same session seed.
-* :class:`Serving` — concurrent front-end over ``Session.run_many``
-  with bounded workers and a :class:`ServingReport` of throughput
-  telemetry.
+* :class:`Serving` — concurrent thread-pool front-end over
+  ``Session.run_many`` with bounded workers and a
+  :class:`ServingReport` of throughput telemetry.
+* :class:`ServingDaemon` (from :mod:`repro.runtime`) — long-lived
+  queued serving with deadline-based batch coalescing; coalesced waves
+  are bit-identical to uncoalesced serial execution for seeded
+  daemons.
+* runtime subsystem (:mod:`repro.runtime`) — explicit
+  :class:`ExecutionPlan` task DAGs (:func:`compile_plan`), pluggable
+  schedulers (``"serial"`` / ``"shard-parallel"`` / ``"tile-parallel"``),
+  and shared-memory activation transport.
 * experiment registry — every paper artifact, runnable by name
   (:func:`run_experiment`, CLI ``repro run``).
 
@@ -42,9 +50,11 @@ from repro.api.engine import (
     DEFAULT_MICRO_BATCH,
     Engine,
     EngineBuilder,
+    ExecutionPlan,
     Session,
     Shard,
     ShardPlan,
+    compile_plan,
     plan_shards,
 )
 from repro.api.experiments import (
@@ -63,6 +73,12 @@ from repro.api.results import (
     network_workloads,
 )
 from repro.api.serving import Serving
+from repro.runtime import (
+    DaemonStats,
+    ServingDaemon,
+    available_schedulers,
+    register_scheduler,
+)
 
 __all__ = [
     "Engine",
@@ -70,9 +86,15 @@ __all__ = [
     "Session",
     "Shard",
     "ShardPlan",
+    "ExecutionPlan",
     "plan_shards",
+    "compile_plan",
     "Serving",
+    "ServingDaemon",
+    "DaemonStats",
     "ServingReport",
+    "available_schedulers",
+    "register_scheduler",
     "StochasticParallelBackend",
     "InferenceResult",
     "LayerTelemetry",

@@ -36,11 +36,19 @@ First-class backends:
     RNG-bound regime of the fused path. Draws from the session's
     generator, so the :class:`~repro.api.Session` owns the randomness.
 ``"stochastic-parallel"``
-    Shard-level strategy (:mod:`repro.api.parallel`): micro-batch
-    shards of the session's :class:`~repro.api.engine.ShardPlan` are
-    executed on a process pool, bit-identical to serial execution for
-    the same session seed. Implements ``run_plan`` instead of
-    ``run_layer``.
+    Shard-level strategy (:mod:`repro.api.parallel`, a facade over
+    :class:`repro.runtime.scheduler.ShardParallelScheduler`):
+    micro-batch shards of the session's
+    :class:`~repro.runtime.plan.ShardPlan` are executed on a process
+    pool with shared-memory activation transport, bit-identical to
+    serial execution for the same session seed. Implements ``run_plan``
+    / ``run_shards`` instead of ``run_layer``.
+
+Backends answer *how* a crossbar stage is sampled; the orthogonal
+question of *where shards and tiles run* belongs to the runtime
+schedulers (:mod:`repro.runtime.scheduler` — ``"serial"``,
+``"shard-parallel"``, ``"tile-parallel"``), selected per session via
+``engine.session(scheduler=...)``.
 """
 
 from __future__ import annotations

@@ -16,46 +16,48 @@ Execution strategies are pluggable string-keyed backends
 (:mod:`repro.api.backends`); the legacy free functions in
 :mod:`repro.mapping.executor` are deprecated shims over this engine.
 
-Sharding is planned, not improvised: :meth:`Session.plan_shards`
-produces a :class:`ShardPlan` — shard boundaries plus one deterministic
-child seed per shard, drawn from the session generator — and both the
-in-process serial loop and the process-pool backend
-(:mod:`repro.api.parallel`) execute the *same* plan through the same
-:func:`seed_shard` + :func:`run_stages` pair. Because every shard pins
+The planning and execution machinery itself lives in the runtime
+subsystem (:mod:`repro.runtime`): this module is a thin facade.
+A request is *planned* (:func:`repro.runtime.plan.plan_shards` — shard
+boundaries plus one deterministic child seed per shard, drawn from the
+session generator), optionally *compiled* into an explicit
+:class:`~repro.runtime.plan.ExecutionPlan` task DAG, and *scheduled*
+by a pluggable scheduler (:mod:`repro.runtime.scheduler`: ``"serial"``,
+``"shard-parallel"``, ``"tile-parallel"``). Because every shard pins
 the network's sampler state from its own seed before executing, the
 logits depend only on the plan, never on which process (or how many
 workers) ran each shard — N-worker output is bit-identical to serial.
+
+The symbols that historically lived here (``Shard``, ``ShardPlan``,
+``plan_shards``, ``seed_shard``, ``run_stages``) are re-exported from
+:mod:`repro.runtime.plan` unchanged.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.api.backends import get_backend, resolve_strategy
-from repro.api.results import InferenceResult, LayerTelemetry, network_workloads
-from repro.autograd.functional import im2col
+from repro.api.results import InferenceResult, merge_telemetry, network_workloads
 from repro.hardware.config import HardwareConfig
 from repro.hardware.cost import AcceleratorCostModel, LayerWorkload
-from repro.mapping.compiler import (
-    CompiledNetwork,
-    ConvStage,
-    HeadStage,
-    LinearStage,
-    PoolStage,
-    SignStage,
-    ThermometerStage,
-    compile_model,
+from repro.mapping.compiler import CompiledNetwork, compile_model
+from repro.runtime.plan import (  # noqa: F401  (re-exported legacy surface)
+    ExecutionPlan,
+    Shard,
+    ShardPlan,
+    _run_pool,
+    compile_plan,
+    plan_shards,
+    run_stages,
+    seed_shard,
 )
-from repro.mapping.tiling import conv_output_geometry
-from repro.utils.rng import SeedLike, new_rng, spawn_rng
-
-_INT8_ONE = np.int8(1)
-_INT8_MINUS_ONE = np.int8(-1)
+from repro.runtime.scheduler import resolve_scheduler
+from repro.utils.rng import SeedLike, new_rng
 
 #: Default micro-batch size — matches the legacy ``evaluate_accuracy``
 #: batching so migrated experiments replay the same call sequence.
@@ -64,196 +66,6 @@ DEFAULT_MICRO_BATCH = 64
 #: Sentinel distinguishing "inherit the engine's micro-batch" (the
 #: default) from an explicit ``micro_batch=None`` (no sharding).
 _INHERIT = object()
-
-
-def _run_pool(stage: PoolStage, x: np.ndarray) -> np.ndarray:
-    """2x2-style max pooling of +-1 maps (a digital OR in hardware)."""
-    n, c, h, w = x.shape
-    k = stage.kernel
-    if h % k or w % k:
-        raise ValueError(f"pooling {k} does not divide spatial dims {(h, w)}")
-    view = x.reshape(n, c, h // k, k, w // k, k)
-    return view.max(axis=(3, 5))
-
-
-# ----------------------------------------------------------------------
-# Shard planning — the one splitting/seeding code path shared by the
-# serial session loop and the multiprocessing backend.
-# ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class Shard:
-    """One micro-batch of a request: a half-open row range plus the
-    child seed that pins the network's sampler state for it."""
-
-    index: int
-    start: int
-    stop: int
-    seed: Optional[int]
-
-
-@dataclass(frozen=True)
-class ShardPlan:
-    """How one batched request is split into independently executable,
-    independently seeded micro-batches.
-
-    The plan is the unit of reproducibility for sharded execution:
-    executing the same plan over the same inputs yields bit-identical
-    logits no matter which process runs which shard, because each shard
-    re-establishes the sampler state from its own ``seed`` first (see
-    :func:`seed_shard`).
-    """
-
-    batch_size: int
-    shards: Tuple[Shard, ...]
-
-    def __len__(self) -> int:
-        return len(self.shards)
-
-
-def plan_shards(
-    n: int, micro_batch: Optional[int], rng: Optional[np.random.Generator] = None
-) -> ShardPlan:
-    """Split an ``n``-row request into ``micro_batch``-sized shards.
-
-    ``rng`` supplies one child seed per shard (drawn in shard order, so
-    the draw count — and therefore the generator's subsequent state —
-    depends only on the shard count, never on who executes the plan).
-    Without a generator the shards carry ``seed=None`` and execution
-    falls back to each worker's own entropy.
-
-    An empty request still gets one (empty) shard so it flows through
-    the pipeline once, preserving the legacy ``(0, n_classes)`` output.
-    """
-    size = micro_batch or n or 1
-    starts = range(0, max(n, 1), size)
-    if rng is None:
-        seeds: List[Optional[int]] = [None] * len(starts)
-    else:
-        seeds = [int(s) for s in rng.integers(0, 2**63 - 1, size=len(starts))]
-    shards = tuple(
-        Shard(index=i, start=lo, stop=min(lo + size, n), seed=seeds[i])
-        for i, lo in enumerate(starts)
-    )
-    return ShardPlan(batch_size=n, shards=shards)
-
-
-def seed_shard(
-    network: CompiledNetwork, seed: Optional[int]
-) -> np.random.Generator:
-    """Pin every sampler in ``network`` for one shard; returns the shard
-    generator (backends that draw directly, like
-    ``"stochastic-fused-batched"``, consume it after the reseed).
-
-    The derivation is pure: shard seed -> per-layer children -> per-tile
-    children, so any process holding an equivalent copy of the network
-    replays identical stochastic draws for the shard. ``seed=None``
-    (unplanned execution) leaves the network's current streams untouched.
-    """
-    if seed is None:
-        return new_rng(None)
-    rng = new_rng(seed)
-    layers = network.tiled_layers
-    for layer, child in zip(layers, spawn_rng(rng, len(layers))):
-        layer.reseed_sampling(child)
-    return rng
-
-
-def run_stages(
-    network: CompiledNetwork,
-    x: np.ndarray,
-    strategy,
-    rng: np.random.Generator,
-    telemetry: List[LayerTelemetry],
-) -> np.ndarray:
-    """One micro-batch through the stage pipeline (same dataflow and
-    dtype discipline as the legacy executor, plus telemetry).
-
-    Module-level on purpose: the in-process session loop and the
-    process-pool workers (:mod:`repro.api.parallel`) both execute
-    shards through this exact function, so the two paths cannot drift.
-    ``telemetry`` accumulates in place — later micro-batches fold into
-    the first's records.
-    """
-    merge = bool(telemetry)
-    deterministic = getattr(strategy, "deterministic", False)
-    n = x.shape[0]
-    trusted = False
-    for index, stage in enumerate(network.stages):
-        t0 = time.perf_counter()
-        record = LayerTelemetry(index=index, kind="?")
-        if isinstance(stage, SignStage):
-            x = np.where(x >= 0, _INT8_ONE, _INT8_MINUS_ONE)
-            trusted = True
-            record.kind = "encode"
-        elif isinstance(stage, ThermometerStage):
-            planes = [
-                np.where(x - t >= 0, _INT8_ONE, _INT8_MINUS_ONE)
-                for t in stage.thresholds
-            ]
-            x = np.concatenate(planes, axis=1)
-            trusted = True
-            record.kind = "encode"
-        elif isinstance(stage, ConvStage):
-            validate = None if not trusted else False
-            h, w = x.shape[2], x.shape[3]
-            h_out, w_out = conv_output_geometry(
-                h, w, stage.kernel, stage.stride, stage.padding
-            )
-            cols, _ = im2col(x, stage.kernel, stage.stride, stage.padding)
-            fan_in = cols.shape[1]
-            flat = cols.transpose(0, 2, 1).reshape(-1, fan_in)
-            out = strategy.run_layer(stage.layer, flat, rng=rng, validate=validate)
-            out = out.reshape(n, h_out * w_out, stage.out_channels).transpose(
-                0, 2, 1
-            )
-            x = out.reshape(n, stage.out_channels, h_out, w_out)
-            x = x.astype(np.int8, copy=False)
-            trusted = True
-            record.kind = "conv"
-            record.in_features = stage.layer.in_features
-            record.out_features = stage.layer.out_features
-            record.positions = h_out * w_out
-            if not deterministic:
-                record.windows = (
-                    n
-                    * record.positions
-                    * stage.layer.n_row_tiles
-                    * stage.layer.n_col_tiles
-                )
-        elif isinstance(stage, LinearStage):
-            validate = None if not trusted else False
-            if x.ndim > 2:
-                # explicit fan-in (reshape -1 cannot infer it when N=0)
-                x = x.reshape(x.shape[0], int(np.prod(x.shape[1:])))
-            x = strategy.run_layer(stage.layer, x, rng=rng, validate=validate)
-            x = x.astype(np.int8, copy=False)
-            trusted = True
-            record.kind = "linear"
-            record.in_features = stage.layer.in_features
-            record.out_features = stage.layer.out_features
-            if not deterministic:
-                record.windows = (
-                    n * stage.layer.n_row_tiles * stage.layer.n_col_tiles
-                )
-        elif isinstance(stage, PoolStage):
-            x = _run_pool(stage, x)
-            record.kind = "pool"
-        elif isinstance(stage, HeadStage):
-            if x.ndim > 2:
-                # explicit fan-in (reshape -1 cannot infer it when N=0)
-                x = x.reshape(x.shape[0], int(np.prod(x.shape[1:])))
-            x = stage.logits(x)
-            record.kind = "head"
-            record.in_features = stage.weight.shape[1]
-            record.out_features = stage.weight.shape[0]
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown stage {type(stage).__name__}")
-        record.wall_time_s = time.perf_counter() - t0
-        if merge:
-            telemetry[index].merge(record)
-        else:
-            telemetry.append(record)
-    return x
 
 
 class Session:
@@ -276,9 +88,15 @@ class Session:
     telemetry, so callers never hand-roll batching loops. Each shard is
     executed under its own child seed (:meth:`plan_shards`), which is
     what makes the process-pool ``"stochastic-parallel"`` backend
-    bit-identical to serial execution and lets a
-    :class:`~repro.api.serving.Serving` front-end interleave sessions
+    bit-identical to serial execution and lets the serving front-ends
+    (:class:`~repro.api.serving.Serving`,
+    :class:`~repro.runtime.daemon.ServingDaemon`) interleave sessions
     safely.
+
+    ``scheduler`` selects a runtime scheduler by name or instance
+    (:mod:`repro.runtime.scheduler`); the default is the serial
+    in-process loop, unless the backend is a shard-level strategy
+    (``run_plan``) that executes plans itself.
     """
 
     def __init__(
@@ -288,6 +106,7 @@ class Session:
         seed: SeedLike = None,
         backend=None,
         micro_batch=_INHERIT,
+        scheduler=None,
     ) -> None:
         self.engine = engine
         source = backend if backend is not None else engine.backend
@@ -296,6 +115,20 @@ class Session:
         # pools) keep their workers warm across this session's requests.
         self._strategy, self._owns_strategy = resolve_strategy(source)
         self.backend = getattr(self._strategy, "name", str(source))
+        if scheduler is None:
+            self._scheduler, self._owns_scheduler = None, False
+        else:
+            self._scheduler, self._owns_scheduler = resolve_scheduler(scheduler)
+            if not hasattr(self._scheduler, "run_plan") and not hasattr(
+                self._strategy, "run_layer"
+            ):
+                raise ValueError(
+                    f"scheduler {getattr(self._scheduler, 'name', scheduler)!r} "
+                    f"executes in-process and needs a layer-level backend, but "
+                    f"{self.backend!r} is shard-level (run_plan only)"
+                )
+            if hasattr(self._scheduler, "run_plan"):
+                self._align_pool_scheduler(backend)
         self.micro_batch = (
             engine.micro_batch if micro_batch is _INHERIT else micro_batch
         )
@@ -303,6 +136,7 @@ class Session:
             raise ValueError(f"micro_batch must be >= 1, got {self.micro_batch}")
         self._seeded = seed is not None
         self.rng = new_rng(seed)
+        self._closed = False
 
     # ------------------------------------------------------------------
     def plan_shards(self, n: int) -> ShardPlan:
@@ -321,6 +155,27 @@ class Session:
             n, self.micro_batch, rng=self.rng if self._seeded else None
         )
 
+    def preview_plan(self, images: np.ndarray) -> ExecutionPlan:
+        """The :class:`~repro.runtime.plan.ExecutionPlan` the next
+        :meth:`run` of ``images`` would execute — without advancing the
+        session generator (the preview draws from a state copy), so it
+        is pure introspection: task DAG, tile fan-out, cost estimates.
+        """
+        x = np.asarray(images)
+        if x.ndim < 2:
+            raise ValueError(
+                f"images must be batched (N, ...), got shape {x.shape}"
+            )
+        if self._seeded:
+            ghost = np.random.default_rng()
+            ghost.bit_generator.state = self.rng.bit_generator.state
+            shard_plan = plan_shards(x.shape[0], self.micro_batch, rng=ghost)
+        else:
+            shard_plan = plan_shards(x.shape[0], self.micro_batch)
+        return compile_plan(
+            self.engine.network, shard_plan, input_shape=x.shape[1:]
+        )
+
     def run(
         self,
         images: np.ndarray,
@@ -329,6 +184,16 @@ class Session:
         backend=None,
     ) -> InferenceResult:
         """Execute one batched request; returns a structured result."""
+        self._check_open()
+        pool_scheduled = self._scheduler is not None and hasattr(
+            self._scheduler, "run_plan"
+        )
+        if pool_scheduled and backend is not None:
+            raise ValueError(
+                "per-run backend overrides are not supported with a pool "
+                "scheduler (workers execute the scheduler's inner strategy); "
+                "set the session backend instead"
+            )
         strategy, owned = self._resolve(backend)
         try:
             x = np.asarray(images)
@@ -337,8 +202,13 @@ class Session:
                     f"images must be batched (N, ...), got shape {x.shape}"
                 )
             n = x.shape[0]
-            sharded_backend = hasattr(strategy, "run_plan")
-            if sharded_backend and not self._seeded:
+            sharded_backend = (
+                hasattr(strategy, "run_plan") and self._scheduler is None
+            )
+            needs_seeds = sharded_backend or getattr(
+                self._scheduler, "requires_seeds", False
+            )
+            if needs_seeds and not self._seeded:
                 # Every worker holds an identical copy of the network's
                 # compile-time streams — seedless shards would replay
                 # the same draws on each worker. Plan with fresh
@@ -353,10 +223,17 @@ class Session:
                 # so the engine's shared layers are never touched here.
                 logits, telemetry = strategy.run_plan(self.engine.network, x, plan)
             else:
-                logits, telemetry = self._run_plan_serial(x, plan, strategy)
+                logits, telemetry = self._run_scheduled(x, plan, strategy)
             return InferenceResult(
                 logits=logits,
-                backend=getattr(strategy, "name", str(strategy)),
+                # With a pool scheduler the workers executed the
+                # session backend (aligned at construction), not the
+                # in-process strategy object.
+                backend=(
+                    self.backend
+                    if pool_scheduled
+                    else getattr(strategy, "name", str(strategy))
+                ),
                 batch_size=n,
                 micro_batches=len(plan),
                 wall_time_s=time.perf_counter() - start,
@@ -379,8 +256,10 @@ class Session:
         ``labels`` is an optional sequence aligned with ``requests``
         (entries may be None for unlabelled requests); each label set is
         threaded into its request's :class:`InferenceResult` so batched
-        serving can report per-request accuracy.
+        serving can report per-request accuracy. An empty ``requests``
+        returns an empty list.
         """
+        self._check_open()
         if labels is None:
             labels = [None] * len(requests)
         elif len(labels) != len(requests):
@@ -393,6 +272,53 @@ class Session:
         ]
 
     # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "Session is closed; open a new one with engine.session(...)"
+            )
+
+    def _align_pool_scheduler(self, requested_backend) -> None:
+        """Keep a pool scheduler's worker-side execution consistent with
+        the session's backend — never silently run something else.
+
+        A scheduler built *by this session* from a name adopts the
+        session backend as its ``inner`` strategy (the name must be
+        registered: workers resolve it by name in their own process).
+        A caller-configured scheduler instance wins instead — the
+        session relabels itself with the scheduler's ``inner`` so
+        results report what actually executed, and an explicitly
+        conflicting ``backend=`` is rejected rather than dropped.
+        """
+        if hasattr(self._strategy, "run_plan"):
+            raise ValueError(
+                f"backend {self.backend!r} is itself shard-level; combining it "
+                f"with a pool scheduler would create two pools — configure the "
+                f"scheduler's inner backend instead"
+            )
+        inner = getattr(self._scheduler, "inner", None)
+        if inner is None:  # pragma: no cover - custom scheduler contract
+            return
+        if self._owns_scheduler:
+            try:
+                get_backend(self.backend, allow_override=False)
+            except KeyError:
+                raise ValueError(
+                    f"backend {self.backend!r} is not a registered name; pool "
+                    f"workers resolve their strategy by name — register it or "
+                    f"pass a configured ShardParallelScheduler(inner=...)"
+                )
+            self._scheduler.inner = self.backend
+        elif requested_backend is not None and self.backend != inner:
+            raise ValueError(
+                f"session backend {self.backend!r} conflicts with the "
+                f"scheduler's inner backend {inner!r}; configure one of them"
+            )
+        else:
+            # The caller-configured scheduler executes its own inner
+            # strategy; report that, not the engine default.
+            self.backend = inner
+
     def _resolve(self, backend):
         """Strategy for one run: the session's cached instance, or a
         per-run override. A name override that constructs a *stateful*
@@ -401,41 +327,47 @@ class Session:
             return self._strategy, False
         return resolve_strategy(backend)
 
-    def _run_plan_serial(self, x, plan: ShardPlan, strategy):
-        """Execute a plan in-process, shard by shard.
-
-        Each shard's (reseed, execute) pair runs under the engine's
-        execution lock: the shared layers hold that shard's sampler
-        state for exactly the critical section, so concurrent sessions
-        (a serving front-end's worker threads) interleave at shard
-        granularity without clobbering each other.
+    def _run_scheduled(self, x, plan: ShardPlan, strategy):
+        """Execute a plan through the session's runtime scheduler
+        (serial by default): run per-shard, merge. The ExecutionPlan
+        task DAG is compiled only for schedulers that consume it
+        (``needs_task_graph``) — the plain shard schedulers execute
+        straight off the ShardPlan.
         """
-        telemetry: List[LayerTelemetry] = []
-        parts = []
-        network = self.engine.network
-        for shard in plan.shards:
-            # float64 conversion happens per shard so micro-batching
-            # bounds peak memory on large requests.
-            chunk = np.asarray(x[shard.start : shard.stop], dtype=np.float64)
-            with self.engine._exec_lock:
-                # Seedless shards (unseeded session) continue the
-                # network's current streams, exactly like the legacy
-                # executor; seeded shards pin the sampler state first.
-                rng = (
-                    self.rng
-                    if shard.seed is None
-                    else seed_shard(network, shard.seed)
-                )
-                parts.append(run_stages(network, chunk, strategy, rng, telemetry))
+        scheduler = self._scheduler
+        if scheduler is None:
+            scheduler, _ = resolve_scheduler("serial")
+        if getattr(scheduler, "needs_task_graph", False):
+            exec_plan = compile_plan(
+                self.engine.network, plan, input_shape=np.asarray(x).shape[1:]
+            )
+        else:
+            exec_plan = plan
+        outputs = scheduler.run_shards(
+            self.engine.network,
+            x,
+            exec_plan,
+            strategy=strategy,
+            exec_lock=self.engine._exec_lock,
+            rng=self.rng,
+        )
+        parts = [logits for logits, _ in outputs]
+        telemetry = merge_telemetry(records for _, records in outputs)
         logits = np.concatenate(parts, axis=0) if len(parts) > 1 else parts[0]
         return logits, telemetry
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the session's strategy if it owns one (e.g. shut
-        down a process pool created from a backend name)."""
+        """Release owned resources (a strategy or scheduler constructed
+        from a name, e.g. a process pool). Idempotent; a closed session
+        rejects further requests with :class:`RuntimeError`."""
+        if self._closed:
+            return
+        self._closed = True
         if self._owns_strategy and hasattr(self._strategy, "close"):
             self._strategy.close()
+        if self._owns_scheduler and hasattr(self._scheduler, "close"):
+            self._scheduler.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -519,6 +451,7 @@ class Engine:
         seed: SeedLike = None,
         backend=None,
         micro_batch=_INHERIT,
+        scheduler=None,
     ) -> Session:
         """Open a :class:`Session` (pinned RNG + batched requests).
 
@@ -527,8 +460,17 @@ class Engine:
         :class:`~repro.api.parallel.StochasticParallelBackend`).
         ``micro_batch``: omit to inherit the engine default, pass an int
         to shard requests at that size, or ``None`` to disable sharding.
+        ``scheduler``: a runtime scheduler name (``"serial"``,
+        ``"shard-parallel"``, ``"tile-parallel"``) or instance; omit
+        for the default serial loop.
         """
-        return Session(self, seed=seed, backend=backend, micro_batch=micro_batch)
+        return Session(
+            self,
+            seed=seed,
+            backend=backend,
+            micro_batch=micro_batch,
+            scheduler=scheduler,
+        )
 
     def run(
         self,
@@ -538,9 +480,12 @@ class Engine:
         backend=None,
         seed: SeedLike = None,
         micro_batch=_INHERIT,
+        scheduler=None,
     ) -> InferenceResult:
         """One-shot convenience: ephemeral session, single request."""
-        with self.session(seed=seed, backend=backend, micro_batch=micro_batch) as s:
+        with self.session(
+            seed=seed, backend=backend, micro_batch=micro_batch, scheduler=scheduler
+        ) as s:
             return s.run(images, labels=labels)
 
     def evaluate(

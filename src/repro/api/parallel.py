@@ -1,18 +1,25 @@
 """Multiprocessing shard execution: the ``"stochastic-parallel"`` backend.
 
-The paper's stochastic crossbar inference is embarrassingly parallel —
-every micro-batch shard is an independent sample-and-count — so the
-session's :class:`~repro.api.engine.ShardPlan` maps directly onto a
-process pool:
+Since the runtime refactor this module is a thin registration shim:
+the pool machinery (worker initializer, per-shard reseed-and-execute
+tasks, shared-memory activation transport) lives in
+:class:`repro.runtime.scheduler.ShardParallelScheduler`, and
+:class:`StochasticParallelBackend` simply *is* that scheduler exposed
+under the backend registry's shard-level protocol (``run_plan``), so
+every existing entry point — ``Session(backend="stochastic-parallel")``,
+``repro.cli run --workers N``, serving front-ends sharing one pool —
+keeps working unchanged.
+
+The guarantees are the scheduler's:
 
 * the compiled network is shipped **once per worker** via the pool
-  initializer (pickled layers, cached sampler tables rebuilt lazily in
-  each worker);
+  initializer; shard activations ride the shared-memory ring
+  (:mod:`repro.runtime.transport`) instead of the pickle pipe;
 * each shard task re-derives the network's full sampler state from the
-  shard's child seed (:func:`repro.api.engine.seed_shard`) and executes
-  through the same :func:`repro.api.engine.run_stages` the serial loop
-  uses, so which worker runs which shard is irrelevant: N-worker output
-  is **bit-identical** to serial execution for the same session seed;
+  shard's child seed (:func:`repro.runtime.plan.seed_shard`) and
+  executes through the same :func:`repro.runtime.plan.run_stages` the
+  serial loop uses, so N-worker output is **bit-identical** to serial
+  execution for the same session seed;
 * per-shard telemetry travels back with the logits and is merged in
   plan order (:func:`repro.api.results.merge_telemetry`).
 
@@ -32,144 +39,29 @@ Construct it directly to configure it::
 
 from __future__ import annotations
 
-import os
-import threading
-from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Tuple
-
-import numpy as np
-
-from repro.api.backends import get_backend, register_backend
-from repro.api.engine import ShardPlan, run_stages, seed_shard
-from repro.api.results import LayerTelemetry, merge_telemetry
-
-#: Per-worker-process state, populated by the pool initializer: each
-#: worker holds its own copy of the compiled network plus the inner
-#: layer-level strategy it executes shards with.
-_WORKER_STATE: dict = {}
-
-
-def _worker_init(network, inner_backend: str) -> None:
-    """Pool initializer: receive the network once, resolve the inner
-    strategy. Runs in the worker process. The inner resolution bypasses
-    any dispatch override a forked worker inherited from the parent —
-    a worker must execute layers in-process, never recurse into
-    another pool."""
-    _WORKER_STATE["network"] = network
-    _WORKER_STATE["strategy"] = get_backend(inner_backend, allow_override=False)
-
-
-def _worker_run_shard(
-    chunk: np.ndarray, seed: Optional[int]
-) -> Tuple[np.ndarray, List[LayerTelemetry]]:
-    """Execute one shard in the worker: reseed from the shard's child
-    seed, run the stage pipeline, return (logits, telemetry)."""
-    network = _WORKER_STATE["network"]
-    strategy = _WORKER_STATE["strategy"]
-    rng = seed_shard(network, seed)
-    telemetry: List[LayerTelemetry] = []
-    logits = run_stages(
-        network, np.asarray(chunk, dtype=np.float64), strategy, rng, telemetry
-    )
-    return logits, telemetry
+from repro.api.backends import register_backend
+from repro.runtime.scheduler import ShardParallelScheduler
 
 
 @register_backend(
     "stochastic-parallel",
     summary="process-pool micro-batch shards (bit-identical to serial)",
 )
-class StochasticParallelBackend:
+class StochasticParallelBackend(ShardParallelScheduler):
     """Shard-level execution strategy over a worker process pool.
 
-    Parameters
-    ----------
-    workers:
-        Pool size; defaults to the host's CPU count.
-    inner:
-        Name of the layer-level backend each worker executes shards
-        with (default ``"stochastic"``, the hardware-default dispatch).
+    A facade over :class:`~repro.runtime.scheduler.ShardParallelScheduler`
+    (which see, for ``workers`` / ``inner`` / ``transport`` /
+    ``ring_slots``); registered as the ``"stochastic-parallel"``
+    backend so sessions select it by name.
     """
 
     deterministic = False
     #: Carries configuration and a live pool — never registry-cached.
     stateless = False
 
-    def __init__(self, workers: Optional[int] = None, inner: str = "stochastic") -> None:
-        if workers is not None and workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        self.workers = int(workers or os.cpu_count() or 1)
-        self.inner = inner
-        get_backend(inner, allow_override=False)  # fail fast on unknown names
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._pool_network = None
-        self._lock = threading.Lock()
-
-    # ------------------------------------------------------------------
-    def run_plan(self, network, x: np.ndarray, plan: ShardPlan):
-        """Execute a session's shard plan; returns (logits, telemetry).
-
-        Shards are submitted in plan order and collected in plan order,
-        so the concatenated logits match serial execution row for row.
-        An empty request short-circuits to an in-process pass (spinning
-        up workers to produce ``(0, n_classes)`` would be silly).
-        """
-        if plan.batch_size == 0:
-            # N=0 draws nothing, so skip the reseed too: the shared
-            # layers are left untouched (no lock needed) and the
-            # (0, n_classes) output is identical to serial.
-            telemetry: List[LayerTelemetry] = []
-            logits = run_stages(
-                network,
-                np.asarray(x[0:0], dtype=np.float64),
-                get_backend(self.inner, allow_override=False),
-                np.random.default_rng(),
-                telemetry,
-            )
-            return logits, telemetry
-        pool = self._ensure_pool(network)
-        futures = [
-            pool.submit(_worker_run_shard, x[shard.start : shard.stop], shard.seed)
-            for shard in plan.shards
-        ]
-        outputs = [future.result() for future in futures]
-        parts = [logits for logits, _ in outputs]
-        telemetry = merge_telemetry(records for _, records in outputs)
-        logits = np.concatenate(parts, axis=0) if len(parts) > 1 else parts[0]
-        return logits, telemetry
-
-    def _ensure_pool(self, network) -> ProcessPoolExecutor:
-        """The live pool for ``network``, (re)created under a lock so a
-        serving front-end's threads can share one backend instance."""
-        with self._lock:
-            if self._pool is not None and self._pool_network is not network:
-                self._pool.shutdown(wait=True)
-                self._pool = None
-            if self._pool is None:
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    initializer=_worker_init,
-                    initargs=(network, self.inner),
-                )
-                self._pool_network = network
-            return self._pool
-
-    # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        with self._lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-                self._pool = None
-                self._pool_network = None
-
-    def __enter__(self) -> "StochasticParallelBackend":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<backend stochastic-parallel workers={self.workers} "
-            f"inner={self.inner!r}>"
+            f"inner={self.inner!r} transport={self.transport!r}>"
         )

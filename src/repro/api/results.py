@@ -159,13 +159,16 @@ class ServingReport:
     order) with front-end throughput telemetry: the wall time of the
     whole batch measured at the front end — requests overlap, so this
     is *not* the sum of per-request wall times — and rates derived from
-    it.
+    it. ``waves`` is the number of coalesced execution waves the batch
+    ran as (set by the :class:`~repro.runtime.daemon.ServingDaemon`;
+    None for the thread-pool front-end, which has no coalescing).
     """
 
     results: List[InferenceResult]
     wall_time_s: float
     workers: int
     backend: str
+    waves: Optional[int] = None
 
     @property
     def n_requests(self) -> int:
@@ -220,6 +223,8 @@ class ServingReport:
             "images_per_s": self.images_per_s,
             "mean_latency_s": self.mean_latency_s,
         }
+        if self.waves is not None:
+            report["waves"] = self.waves
         accuracy = self.accuracy
         if accuracy is not None:
             report["accuracy"] = accuracy

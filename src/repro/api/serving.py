@@ -1,12 +1,22 @@
-"""Concurrent serving front-end over :meth:`Session.run_many`.
+"""Concurrent thread-pool serving front-end (the legacy entry point).
 
 :class:`Serving` turns an :class:`~repro.api.Engine` into a bounded
 request processor: a batch of independent inference requests is fanned
 out to ``workers`` front-end threads, each request runs in its own
-child-seeded :class:`~repro.api.Session`, and the per-request
-:class:`~repro.api.results.InferenceResult` list comes back wrapped in
-a :class:`~repro.api.results.ServingReport` with aggregate throughput
-telemetry.
+child-seeded :class:`~repro.api.Session` (whose execution flows
+through the runtime schedulers of :mod:`repro.runtime.scheduler`), and
+the per-request :class:`~repro.api.results.InferenceResult` list comes
+back wrapped in a :class:`~repro.api.results.ServingReport` with
+aggregate throughput telemetry.
+
+This is the *batch-at-once* front-end, kept as the compatibility
+surface (and the thread-pool baseline the serving benchmarks compare
+against). The runtime's successor is the long-lived
+:class:`~repro.runtime.daemon.ServingDaemon`: a bounded request queue
+with deadline-based batch coalescing — use it when requests arrive
+over time rather than as one batch, or to amortize execution across
+requests (``ServingDaemon(engine, seed_per_request=True)`` reproduces
+this front-end's seeding contract bit for bit).
 
 Correctness under concurrency comes from the engine's per-shard
 execution discipline: every shard pins the shared layers' sampler

@@ -22,10 +22,13 @@ emits JSON::
 
 ``backends`` lists the registered inference execution backends (and
 their aliases). ``serve-bench`` trains a small reference model and
-measures concurrent serving throughput for the serial and
-process-parallel execution paths::
+measures concurrent serving throughput across the serving front-ends:
+the thread-pool ``Serving`` baseline, the coalescing ``ServingDaemon``,
+each over both the in-process and process-parallel execution paths
+(``--json`` dumps the report rows machine-readably)::
 
     python -m repro.cli serve-bench --workers 1 2 4 --requests 8
+    python -m repro.cli serve-bench --json serve_bench.json
 """
 
 from __future__ import annotations
@@ -125,7 +128,7 @@ def _cmd_backends(args) -> int:
 def _cmd_serve_bench(args) -> int:
     import numpy as np
 
-    from repro.api import Engine, Serving
+    from repro.api import Engine, Serving, ServingDaemon
     from repro.api.parallel import StochasticParallelBackend
     from repro.experiments.common import trained_mlp
     from repro.hardware.config import HardwareConfig
@@ -147,27 +150,70 @@ def _cmd_serve_bench(args) -> int:
         requests.append(test.images[idx])
         labels.append(test.labels[idx])
 
-    reports = []
+    window_s = args.window_ms / 1e3
+    rows = []  # (mode, ServingReport)
     with Serving(engine, workers=1, backend="stochastic", seed=args.seed) as front:
-        reports.append(front.serve(requests, labels=labels))
+        rows.append(("serving-serial", front.serve(requests, labels=labels)))
+    # Coalescing daemon on the same in-process backend: requests merge
+    # into waves, bit-identical to the per-request sessions above.
+    with ServingDaemon(
+        engine,
+        backend="stochastic",
+        seed=args.seed,
+        seed_per_request=True,
+        coalesce_window_s=window_s,
+    ) as daemon:
+        rows.append(("daemon-coalesced", daemon.serve(requests, labels=labels)))
     for workers in args.workers:
         with StochasticParallelBackend(workers=workers) as backend:
             with Serving(
                 engine, workers=workers, backend=backend, seed=args.seed
             ) as front:
-                reports.append(front.serve(requests, labels=labels))
+                rows.append(("serving-parallel", front.serve(requests, labels=labels)))
+            with ServingDaemon(
+                engine,
+                backend=backend,
+                seed=args.seed,
+                seed_per_request=True,
+                coalesce_window_s=window_s,
+            ) as daemon:
+                rows.append(
+                    ("daemon-parallel", daemon.serve(requests, labels=labels))
+                )
 
     print(
-        f"\n{'backend':<21} {'workers':>7} {'wall(s)':>8} {'req/s':>8} "
-        f"{'img/s':>9} {'latency(ms)':>12} {'accuracy':>9}"
+        f"\n{'mode':<17} {'backend':<21} {'workers':>7} {'wall(s)':>8} "
+        f"{'req/s':>8} {'img/s':>9} {'latency(ms)':>12} {'waves':>6} "
+        f"{'accuracy':>9}"
     )
-    for report in reports:
+    for mode, report in rows:
+        waves = "-" if report.waves is None else str(report.waves)
         print(
-            f"{report.backend:<21} {report.workers:>7d} "
+            f"{mode:<17} {report.backend:<21} {report.workers:>7d} "
             f"{report.wall_time_s:>8.3f} {report.requests_per_s:>8.2f} "
             f"{report.images_per_s:>9.1f} {report.mean_latency_s * 1e3:>12.1f} "
-            f"{report.accuracy:>9.3f}"
+            f"{waves:>6} {report.accuracy:>9.3f}"
         )
+    if args.json:
+        payload = {
+            "config": {
+                "requests": args.requests,
+                "batch": args.batch,
+                "epochs": args.epochs,
+                "crossbar_size": args.crossbar_size,
+                "window_bits": args.window_bits,
+                "coalesce_window_ms": args.window_ms,
+                "seed": args.seed,
+                "software_accuracy": software_accuracy,
+            },
+            "rows": [
+                {"mode": mode, **_to_jsonable(report.summary())}
+                for mode, report in rows
+            ],
+        }
+        with open(args.json, "w") as fh:
+            fh.write(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -361,6 +407,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--crossbar-size", type=int, default=16, dest="crossbar_size")
     p.add_argument("--window-bits", type=int, default=8, dest="window_bits")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--window-ms",
+        type=float,
+        default=10.0,
+        dest="window_ms",
+        help="daemon batch-coalescing window (milliseconds)",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="dump the ServingReport rows to PATH as JSON",
+    )
     p.set_defaults(func=_cmd_serve_bench)
 
     return parser

@@ -14,8 +14,9 @@ The shims are kept so existing callers and the seed test-suite keep
 working unchanged: ``mode="ideal"`` maps to the ``"ideal"`` backend
 (bit-for-bit identical output) and ``mode="stochastic"`` to the
 ``"stochastic"`` backend (the same hardware-default dispatch the legacy
-executor used). ``_run_pool`` re-exports the engine's pooling kernel for
-the tests that poke it directly.
+executor used). ``_run_pool`` re-exports the pooling kernel (now owned
+by :mod:`repro.runtime.plan`, re-exported through the engine facade)
+for the tests that poke it directly.
 """
 
 from __future__ import annotations

@@ -1,0 +1,75 @@
+"""``repro.runtime`` — execution planning, scheduling, transport, serving.
+
+The runtime subsystem sits between the :class:`~repro.api.Engine`
+facade and the layer-level execution backends
+(:mod:`repro.api.backends`). It owns the full request lifecycle::
+
+    request -> plan -> schedule -> transport -> results
+
+* :mod:`repro.runtime.plan` — :func:`plan_shards` /
+  :class:`ShardPlan` (row ranges + per-shard child seeds, the
+  reproducibility contract), :func:`compile_plan` /
+  :class:`ExecutionPlan` (the explicit (shard x stage x tile) task DAG
+  with window-count cost estimates), and the shared stage pipeline
+  :func:`run_stages` + :func:`seed_shard` every execution path runs
+  through.
+* :mod:`repro.runtime.scheduler` — pluggable string-keyed schedulers:
+  ``"serial"``, ``"shard-parallel"`` (process pool), and
+  ``"tile-parallel"`` (concurrent column tiles). Extend via
+  :func:`register_scheduler`.
+* :mod:`repro.runtime.transport` — shared-memory activation ring
+  buffers that replace pickled ndarray shipping to pool workers.
+* :mod:`repro.runtime.daemon` — :class:`ServingDaemon`, the long-lived
+  queued serving loop with deadline-based batch coalescing (coalesced
+  waves stay bit-identical to uncoalesced execution for seeded
+  daemons).
+
+The :mod:`repro.api` surface (Engine / Session / Serving /
+StochasticParallelBackend) is a facade over this package; existing
+code keeps working unchanged.
+"""
+
+from repro.runtime.daemon import DaemonStats, ServingDaemon
+from repro.runtime.plan import (
+    ExecutionPlan,
+    Shard,
+    ShardPlan,
+    StageTask,
+    compile_plan,
+    concat_plans,
+    plan_shards,
+    run_stages,
+    seed_shard,
+)
+from repro.runtime.scheduler import (
+    SerialScheduler,
+    ShardParallelScheduler,
+    TileParallelScheduler,
+    available_schedulers,
+    register_scheduler,
+    resolve_scheduler,
+)
+from repro.runtime.transport import ActivationRing, ShmTicket, TransportUnavailable
+
+__all__ = [
+    "ExecutionPlan",
+    "StageTask",
+    "Shard",
+    "ShardPlan",
+    "compile_plan",
+    "concat_plans",
+    "plan_shards",
+    "run_stages",
+    "seed_shard",
+    "SerialScheduler",
+    "ShardParallelScheduler",
+    "TileParallelScheduler",
+    "available_schedulers",
+    "register_scheduler",
+    "resolve_scheduler",
+    "ActivationRing",
+    "ShmTicket",
+    "TransportUnavailable",
+    "ServingDaemon",
+    "DaemonStats",
+]

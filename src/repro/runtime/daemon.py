@@ -1,0 +1,454 @@
+"""Long-lived queued serving with deadline-based batch coalescing.
+
+:class:`ServingDaemon` is the runtime's serving loop: a bounded request
+queue, one consumer thread, and a coalescing window. Requests that
+arrive within ``coalesce_window_s`` of each other are merged into one
+**wave** — their activation buffers concatenated, their shard plans
+appended — and executed in a single sweep through the scheduler, which
+amortizes lock round-trips, pool submissions, and pipeline warmup
+across requests (the single biggest lever for the RNG-bound stochastic
+path, per the kernel benchmarks).
+
+Coalescing is a *scheduling* decision, never a semantics change. Each
+request keeps its own shard boundaries and its own seeds: the wave plan
+is :func:`~repro.runtime.plan.concat_plans` of the per-request plans,
+and seeds are drawn request by request in arrival order — exactly the
+draws a serial :class:`~repro.api.Session` would make running the same
+requests one at a time. Coalesced logits are therefore **bit-identical
+to uncoalesced** execution for a seeded daemon:
+
+* default mode: one session seed; waves replay
+  ``Session(engine, seed=...).run_many(requests)`` bit for bit;
+* ``seed_per_request=True``: each request gets a child seed drawn in
+  arrival order (the :class:`~repro.api.serving.Serving` front-end's
+  contract), replaying per-request child-seeded sessions bit for bit;
+* an explicit ``seed=`` on :meth:`submit` pins one request's plan
+  regardless of mode.
+
+A request whose execution raises fails *its own future only* — the
+wave re-runs request by request from the already-drawn plans, so one
+poisoned request can neither wedge the queue nor perturb its
+neighbours' randomness.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.api.backends import resolve_strategy
+from repro.api.results import InferenceResult, ServingReport, merge_telemetry
+from repro.runtime.plan import ShardPlan, concat_plans, plan_shards
+from repro.runtime.scheduler import SerialScheduler
+from repro.utils.rng import SeedLike, new_rng
+
+#: Sentinel mirroring :data:`repro.api.engine._INHERIT` without the
+#: circular import (the daemon is below the api facade).
+_INHERIT = object()
+
+
+@dataclass
+class DaemonStats:
+    """Counters of one daemon's lifetime (snapshot via
+    :attr:`ServingDaemon.stats`)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    waves: int = 0
+    coalesced_requests: int = 0  # requests that shared a wave with others
+    max_wave_requests: int = 0
+    total_images: int = 0
+    queue_high_water: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _Request:
+    """One queued request: payload + the future its caller holds."""
+
+    images: np.ndarray
+    labels: Optional[np.ndarray]
+    future: Future
+    seed: Optional[int] = None  # explicit per-request seed (optional)
+    plan: Optional[ShardPlan] = None  # assigned at wave assembly
+    rows: int = 0
+
+
+class ServingDaemon:
+    """Queued inference serving over one engine, with batch coalescing.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.api.Engine` to serve.
+    backend:
+        Execution strategy shared by every wave — a registered name or
+        a ready-made instance (pass a configured
+        :class:`~repro.api.parallel.StochasticParallelBackend` so waves
+        fan out over its worker pool). Defaults to the engine's backend.
+    seed:
+        Seeds the daemon generator. A seeded daemon is deterministic:
+        request plans draw from the generator in arrival order, so the
+        results replay a serial session (or per-request child-seeded
+        sessions, with ``seed_per_request=True``) bit for bit.
+    seed_per_request:
+        False (default): plans draw straight from the daemon generator
+        — coalesced output is bit-identical to
+        ``Session(seed=...).run_many`` of the same requests in order.
+        True: each request first draws a child seed (the
+        :class:`~repro.api.serving.Serving` front-end convention).
+    micro_batch:
+        Per-request shard size (inherits the engine default).
+    max_queue:
+        Bound on queued requests; :meth:`submit` blocks (or times out)
+        when full.
+    coalesce_window_s:
+        How long the consumer waits for follow-up requests after the
+        first of a wave. 0 still coalesces whatever is already queued.
+    max_wave_images:
+        Image-count ceiling per wave (the window closes early once
+        reached).
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        backend=None,
+        seed: SeedLike = None,
+        seed_per_request: bool = False,
+        micro_batch=_INHERIT,
+        max_queue: int = 64,
+        coalesce_window_s: float = 0.002,
+        max_wave_images: int = 4096,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if coalesce_window_s < 0:
+            raise ValueError(
+                f"coalesce_window_s must be >= 0, got {coalesce_window_s}"
+            )
+        self.engine = engine
+        source = backend if backend is not None else engine.backend
+        self._strategy, self._owns_strategy = resolve_strategy(source)
+        self.backend = getattr(self._strategy, "name", str(source))
+        self.micro_batch = (
+            engine.micro_batch if micro_batch is _INHERIT else micro_batch
+        )
+        self.seed_per_request = bool(seed_per_request)
+        self._seeded = seed is not None
+        self.rng = new_rng(seed)
+        self.coalesce_window_s = float(coalesce_window_s)
+        self.max_wave_images = int(max_wave_images)
+        self._queue: "queue.Queue[_Request]" = queue.Queue(maxsize=max_queue)
+        self._serial = SerialScheduler()
+        self._stats = DaemonStats()
+        self._stats_lock = threading.Lock()
+        self._closing = False
+        self._drain = True
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._consume, name="repro-serving-daemon", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission side
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        images: np.ndarray,
+        labels=None,
+        *,
+        seed: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Enqueue one request; returns a Future of its
+        :class:`~repro.api.results.InferenceResult`.
+
+        Blocks while the queue is full (``queue.Full`` after
+        ``timeout`` seconds, if given). Malformed requests (non-batched
+        arrays) are rejected here, in the caller's thread.
+        """
+        if self._closing or self._closed:
+            raise RuntimeError("cannot submit to a closed ServingDaemon")
+        x = np.asarray(images)
+        if x.ndim < 2:
+            raise ValueError(
+                f"images must be batched (N, ...), got shape {x.shape}"
+            )
+        request = _Request(
+            images=x,
+            labels=None if labels is None else np.asarray(labels),
+            future=Future(),
+            seed=None if seed is None else int(seed),
+        )
+        self._queue.put(request, timeout=timeout)
+        with self._stats_lock:
+            self._stats.submitted += 1
+            self._stats.queue_high_water = max(
+                self._stats.queue_high_water, self._queue.qsize()
+            )
+        return request.future
+
+    def run_many(
+        self,
+        requests: Sequence[np.ndarray],
+        labels: Optional[Sequence] = None,
+    ) -> List[InferenceResult]:
+        """Submit a batch of requests and wait for all results (in
+        submission order). An empty batch returns an empty list."""
+        if labels is None:
+            labels = [None] * len(requests)
+        elif len(labels) != len(requests):
+            raise ValueError(
+                f"labels length {len(labels)} != requests length {len(requests)}"
+            )
+        futures = [
+            self.submit(request, labels=request_labels)
+            for request, request_labels in zip(requests, labels)
+        ]
+        return [future.result() for future in futures]
+
+    def serve(
+        self,
+        requests: Sequence[np.ndarray],
+        labels: Optional[Sequence] = None,
+    ) -> ServingReport:
+        """:meth:`run_many` wrapped in a throughput
+        :class:`~repro.api.results.ServingReport` (mirrors
+        :meth:`repro.api.serving.Serving.serve`)."""
+        start = time.perf_counter()
+        before = self.stats.waves
+        results = self.run_many(requests, labels=labels)
+        return ServingReport(
+            results=results,
+            wall_time_s=time.perf_counter() - start,
+            workers=getattr(self._strategy, "workers", 1),
+            backend=self.backend,
+            waves=self.stats.waves - before,
+        )
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def _consume(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.02)
+            except queue.Empty:
+                if self._closing:
+                    break
+                continue
+            wave = [first]
+            rows = first.images.shape[0]
+            deadline = time.monotonic() + self.coalesce_window_s
+            while rows < self.max_wave_images:
+                remaining = deadline - time.monotonic()
+                try:
+                    if remaining > 0:
+                        item = self._queue.get(timeout=remaining)
+                    else:
+                        item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                wave.append(item)
+                rows += item.images.shape[0]
+            self._run_wave(wave)
+        # Drain or fail whatever is still queued after the stop signal.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if self._drain:
+                self._run_wave([item])
+            else:
+                self._fail(item, RuntimeError("ServingDaemon closed"))
+
+    def _plan_request(self, n: int) -> ShardPlan:
+        """One request's shard plan, drawn in arrival order.
+
+        The draw pattern exactly replays the uncoalesced references:
+        session mode consumes the daemon generator the way successive
+        ``Session.run`` calls would; per-request mode first derives a
+        child seed the way :class:`~repro.api.serving.Serving` does.
+        Unseeded daemons plan from fresh entropy when the strategy
+        needs real seeds (process pools), seedless shards otherwise
+        (continuing the network's compile-time streams, like an
+        unseeded serial session).
+        """
+        if self.seed_per_request:
+            child = int(self.rng.integers(0, 2**63 - 1))
+            return plan_shards(n, self.micro_batch, rng=new_rng(child))
+        if self._seeded:
+            return plan_shards(n, self.micro_batch, rng=self.rng)
+        if hasattr(self._strategy, "run_plan") or hasattr(
+            self._strategy, "run_shards"
+        ):
+            return plan_shards(n, self.micro_batch, rng=new_rng(None))
+        return plan_shards(n, self.micro_batch)
+
+    def _run_wave(self, wave: List[_Request]) -> None:
+        # 1. Plan every request in arrival order (isolating per-request
+        # failures so a bad payload cannot consume a neighbour's seeds).
+        ready: List[_Request] = []
+        for item in wave:
+            try:
+                item.rows = item.images.shape[0]
+                if item.seed is not None:
+                    item.plan = plan_shards(
+                        item.rows, self.micro_batch, rng=new_rng(item.seed)
+                    )
+                else:
+                    item.plan = self._plan_request(item.rows)
+                ready.append(item)
+            except Exception as exc:  # noqa: BLE001 - forwarded to caller
+                self._fail(item, exc)
+        if not ready:
+            return
+        with self._stats_lock:
+            self._stats.waves += 1
+            self._stats.max_wave_requests = max(
+                self._stats.max_wave_requests, len(ready)
+            )
+            if len(ready) > 1:
+                self._stats.coalesced_requests += len(ready)
+
+        # 2. One coalesced execution; on any failure fall back to
+        # request-by-request execution of the already-drawn plans so
+        # only the offending request fails. A merged-only strategy
+        # (bare ``run_plan``, no per-shard protocol) cannot be sliced
+        # back into per-request results, so its waves run per request.
+        try:
+            if len(ready) == 1 or not self._can_slice():
+                for item in ready:
+                    self._run_single(item)
+                return
+            combined = concat_plans([item.plan for item in ready])
+            x = np.concatenate([item.images for item in ready], axis=0)
+            start = time.perf_counter()
+            outputs = self._execute_shards(x, combined)
+            wall = time.perf_counter() - start
+            self._slice_results(ready, outputs, wall)
+        except Exception:
+            for item in ready:
+                if not item.future.done():
+                    self._run_single(item)
+
+    def _can_slice(self) -> bool:
+        strategy = self._strategy
+        return hasattr(strategy, "run_shards") or not hasattr(strategy, "run_plan")
+
+    def _run_single(self, item: _Request) -> None:
+        try:
+            start = time.perf_counter()
+            if self._can_slice():
+                outputs = self._execute_shards(item.images, item.plan)
+            else:
+                logits, telemetry = self._strategy.run_plan(
+                    self.engine.network, item.images, item.plan
+                )
+                outputs = None
+            wall = time.perf_counter() - start
+            if outputs is not None:
+                self._slice_results([item], outputs, wall)
+            else:
+                self._finish(item, logits, telemetry, len(item.plan), wall)
+        except Exception as exc:  # noqa: BLE001 - forwarded to caller
+            self._fail(item, exc)
+
+    def _execute_shards(self, x: np.ndarray, plan: ShardPlan):
+        """Per-shard (logits, telemetry) pairs for one buffer + plan."""
+        strategy = self._strategy
+        if hasattr(strategy, "run_shards"):
+            return strategy.run_shards(self.engine.network, x, plan)
+        return self._serial.run_shards(
+            self.engine.network,
+            x,
+            plan,
+            strategy=strategy,
+            exec_lock=self.engine._exec_lock,
+            rng=self.rng,
+        )
+
+    def _slice_results(self, ready: List[_Request], outputs, wall: float) -> None:
+        """Regroup per-shard outputs into per-request results."""
+        cursor = 0
+        for item in ready:
+            n_shards = len(item.plan)
+            shard_outputs = outputs[cursor : cursor + n_shards]
+            cursor += n_shards
+            parts = [logits for logits, _ in shard_outputs]
+            telemetry = merge_telemetry(records for _, records in shard_outputs)
+            logits = (
+                np.concatenate(parts, axis=0) if len(parts) > 1 else parts[0]
+            )
+            self._finish(item, logits, telemetry, n_shards, wall)
+
+    def _finish(self, item: _Request, logits, telemetry, n_shards, wall) -> None:
+        result = InferenceResult(
+            logits=logits,
+            backend=self.backend,
+            batch_size=item.rows,
+            micro_batches=n_shards,
+            wall_time_s=wall,
+            layers=telemetry,
+            labels=item.labels,
+        )
+        with self._stats_lock:
+            self._stats.completed += 1
+            self._stats.total_images += item.rows
+        if not item.future.done():
+            item.future.set_result(result)
+
+    def _fail(self, item: _Request, exc: BaseException) -> None:
+        with self._stats_lock:
+            self._stats.failed += 1
+        if not item.future.done():
+            item.future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> DaemonStats:
+        """A snapshot of the daemon's counters."""
+        with self._stats_lock:
+            return DaemonStats(**self._stats.as_dict())
+
+    def close(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the daemon. ``drain=True`` (default) finishes every
+        queued request first; ``drain=False`` fails still-queued
+        requests with ``RuntimeError`` (in-flight waves always finish).
+        Idempotent."""
+        if self._closed:
+            return
+        self._drain = drain
+        self._closing = True
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():  # pragma: no cover - pathological
+            raise RuntimeError("ServingDaemon consumer did not stop in time")
+        self._closed = True
+        if self._owns_strategy and hasattr(self._strategy, "close"):
+            self._strategy.close()
+
+    def __enter__(self) -> "ServingDaemon":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServingDaemon(backend={self.backend!r}, "
+            f"window={self.coalesce_window_s * 1e3:.1f}ms, "
+            f"queue<= {self._queue.maxsize}, engine={self.engine!r})"
+        )

@@ -1,0 +1,479 @@
+"""Execution planning: shards, stage tasks, and compiled plans.
+
+This module is the planning layer of the runtime subsystem.  It owns
+the machinery that used to be inlined in :mod:`repro.api.engine`:
+
+* :class:`Shard` / :class:`ShardPlan` / :func:`plan_shards` — how one
+  batched request is split into independently executable, independently
+  seeded micro-batches;
+* :func:`seed_shard` — pinning a compiled network's full sampler state
+  from one shard seed (the reproducibility primitive every execution
+  path shares);
+* :func:`run_stages` — one micro-batch through the stage pipeline (the
+  single dataflow implementation used by the serial loop, the process
+  pool workers, and the tile-parallel scheduler alike);
+
+plus the new *explicit* plan representation:
+
+* :class:`StageTask` — one schedulable unit of work: a (shard, stage,
+  column-tile) triple with an estimated cost and its dependencies;
+* :class:`ExecutionPlan` — the full DAG of stage tasks for a request,
+  compiled by :func:`compile_plan` from a network + :class:`ShardPlan`.
+  Costs are derived from the same geometry that feeds the existing
+  :class:`~repro.hardware.cost.LayerWorkload` telemetry (sampled
+  observation windows for crossbar stages), so schedulers reason about
+  the exact quantity the benchmarks show dominates the stochastic path.
+
+Shards are always independent (separate rows, separate seeds); within a
+shard, stage ``i`` depends on every task of stage ``i - 1``, and a
+crossbar stage fans out into one task per column tile — the axis the
+``"tile-parallel"`` scheduler exploits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.results import LayerTelemetry
+from repro.autograd.functional import im2col
+from repro.hardware.cost import LayerWorkload
+from repro.mapping.compiler import (
+    CompiledNetwork,
+    ConvStage,
+    HeadStage,
+    LinearStage,
+    PoolStage,
+    SignStage,
+    ThermometerStage,
+)
+from repro.mapping.tiling import conv_output_geometry
+from repro.utils.rng import new_rng, spawn_rng
+
+_INT8_ONE = np.int8(1)
+_INT8_MINUS_ONE = np.int8(-1)
+
+
+def _run_pool(stage: PoolStage, x: np.ndarray) -> np.ndarray:
+    """2x2-style max pooling of +-1 maps (a digital OR in hardware)."""
+    n, c, h, w = x.shape
+    k = stage.kernel
+    if h % k or w % k:
+        raise ValueError(f"pooling {k} does not divide spatial dims {(h, w)}")
+    view = x.reshape(n, c, h // k, k, w // k, k)
+    return view.max(axis=(3, 5))
+
+
+# ----------------------------------------------------------------------
+# Shard planning — the one splitting/seeding code path shared by every
+# scheduler (serial, shard-parallel, tile-parallel) and the daemon.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Shard:
+    """One micro-batch of a request: a half-open row range plus the
+    child seed that pins the network's sampler state for it."""
+
+    index: int
+    start: int
+    stop: int
+    seed: Optional[int]
+
+    @property
+    def rows(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How one batched request is split into independently executable,
+    independently seeded micro-batches.
+
+    The plan is the unit of reproducibility for sharded execution:
+    executing the same plan over the same inputs yields bit-identical
+    logits no matter which process runs which shard, because each shard
+    re-establishes the sampler state from its own ``seed`` first (see
+    :func:`seed_shard`).
+    """
+
+    batch_size: int
+    shards: Tuple[Shard, ...]
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def offset(self, rows: int, base_index: int = 0) -> "ShardPlan":
+        """This plan translated ``rows`` down a larger concatenated
+        buffer (shard indices shifted by ``base_index``).
+
+        The seeds travel untouched — which is exactly what makes a
+        coalesced daemon wave bit-identical to running each request's
+        own plan separately: translation changes *where* a shard's rows
+        live, never *what* the shard draws.
+        """
+        return ShardPlan(
+            batch_size=self.batch_size,
+            shards=tuple(
+                Shard(
+                    index=base_index + s.index,
+                    start=s.start + rows,
+                    stop=s.stop + rows,
+                    seed=s.seed,
+                )
+                for s in self.shards
+            ),
+        )
+
+
+def plan_shards(
+    n: int, micro_batch: Optional[int], rng: Optional[np.random.Generator] = None
+) -> ShardPlan:
+    """Split an ``n``-row request into ``micro_batch``-sized shards.
+
+    ``rng`` supplies one child seed per shard (drawn in shard order, so
+    the draw count — and therefore the generator's subsequent state —
+    depends only on the shard count, never on who executes the plan).
+    Without a generator the shards carry ``seed=None`` and execution
+    falls back to each worker's own entropy.
+
+    An empty request still gets one (empty) shard so it flows through
+    the pipeline once, preserving the legacy ``(0, n_classes)`` output.
+    """
+    size = micro_batch or n or 1
+    starts = range(0, max(n, 1), size)
+    if rng is None:
+        seeds: List[Optional[int]] = [None] * len(starts)
+    else:
+        seeds = [int(s) for s in rng.integers(0, 2**63 - 1, size=len(starts))]
+    shards = tuple(
+        Shard(index=i, start=lo, stop=min(lo + size, n), seed=seeds[i])
+        for i, lo in enumerate(starts)
+    )
+    return ShardPlan(batch_size=n, shards=shards)
+
+
+def concat_plans(plans: Sequence[ShardPlan]) -> ShardPlan:
+    """Merge per-request plans into one combined plan over their
+    concatenated row buffers.
+
+    Each request keeps its own shard boundaries and its own seeds —
+    coalescing never re-shards across request edges, so executing the
+    combined plan is bit-identical to executing every constituent plan
+    on its own (the daemon's coalescing guarantee).
+    """
+    shards: List[Shard] = []
+    rows = 0
+    for plan in plans:
+        shifted = plan.offset(rows, base_index=len(shards))
+        shards.extend(shifted.shards)
+        rows += plan.batch_size
+    return ShardPlan(batch_size=rows, shards=tuple(shards))
+
+
+def seed_shard(
+    network: CompiledNetwork, seed: Optional[int]
+) -> np.random.Generator:
+    """Pin every sampler in ``network`` for one shard; returns the shard
+    generator (backends that draw directly, like
+    ``"stochastic-fused-batched"``, consume it after the reseed).
+
+    The derivation is pure: shard seed -> per-layer children -> per-tile
+    children, so any process holding an equivalent copy of the network
+    replays identical stochastic draws for the shard. ``seed=None``
+    (unplanned execution) leaves the network's current streams untouched.
+    """
+    if seed is None:
+        return new_rng(None)
+    rng = new_rng(seed)
+    layers = network.tiled_layers
+    for layer, child in zip(layers, spawn_rng(rng, len(layers))):
+        layer.reseed_sampling(child)
+    return rng
+
+
+def run_stages(
+    network: CompiledNetwork,
+    x: np.ndarray,
+    strategy,
+    rng: np.random.Generator,
+    telemetry: List[LayerTelemetry],
+) -> np.ndarray:
+    """One micro-batch through the stage pipeline (same dataflow and
+    dtype discipline as the legacy executor, plus telemetry).
+
+    Module-level on purpose: the in-process serial scheduler, the
+    tile-parallel scheduler, and the process-pool workers all execute
+    shards through this exact function, so the paths cannot drift.
+    ``telemetry`` accumulates in place — later micro-batches fold into
+    the first's records.
+    """
+    merge = bool(telemetry)
+    deterministic = getattr(strategy, "deterministic", False)
+    n = x.shape[0]
+    trusted = False
+    for index, stage in enumerate(network.stages):
+        t0 = time.perf_counter()
+        record = LayerTelemetry(index=index, kind="?")
+        if isinstance(stage, SignStage):
+            x = np.where(x >= 0, _INT8_ONE, _INT8_MINUS_ONE)
+            trusted = True
+            record.kind = "encode"
+        elif isinstance(stage, ThermometerStage):
+            planes = [
+                np.where(x - t >= 0, _INT8_ONE, _INT8_MINUS_ONE)
+                for t in stage.thresholds
+            ]
+            x = np.concatenate(planes, axis=1)
+            trusted = True
+            record.kind = "encode"
+        elif isinstance(stage, ConvStage):
+            validate = None if not trusted else False
+            h, w = x.shape[2], x.shape[3]
+            h_out, w_out = conv_output_geometry(
+                h, w, stage.kernel, stage.stride, stage.padding
+            )
+            cols, _ = im2col(x, stage.kernel, stage.stride, stage.padding)
+            fan_in = cols.shape[1]
+            flat = cols.transpose(0, 2, 1).reshape(-1, fan_in)
+            out = strategy.run_layer(stage.layer, flat, rng=rng, validate=validate)
+            out = out.reshape(n, h_out * w_out, stage.out_channels).transpose(
+                0, 2, 1
+            )
+            x = out.reshape(n, stage.out_channels, h_out, w_out)
+            x = x.astype(np.int8, copy=False)
+            trusted = True
+            record.kind = "conv"
+            record.in_features = stage.layer.in_features
+            record.out_features = stage.layer.out_features
+            record.positions = h_out * w_out
+            if not deterministic:
+                record.windows = (
+                    n
+                    * record.positions
+                    * stage.layer.n_row_tiles
+                    * stage.layer.n_col_tiles
+                )
+        elif isinstance(stage, LinearStage):
+            validate = None if not trusted else False
+            if x.ndim > 2:
+                # explicit fan-in (reshape -1 cannot infer it when N=0)
+                x = x.reshape(x.shape[0], int(np.prod(x.shape[1:])))
+            x = strategy.run_layer(stage.layer, x, rng=rng, validate=validate)
+            x = x.astype(np.int8, copy=False)
+            trusted = True
+            record.kind = "linear"
+            record.in_features = stage.layer.in_features
+            record.out_features = stage.layer.out_features
+            if not deterministic:
+                record.windows = (
+                    n * stage.layer.n_row_tiles * stage.layer.n_col_tiles
+                )
+        elif isinstance(stage, PoolStage):
+            x = _run_pool(stage, x)
+            record.kind = "pool"
+        elif isinstance(stage, HeadStage):
+            if x.ndim > 2:
+                # explicit fan-in (reshape -1 cannot infer it when N=0)
+                x = x.reshape(x.shape[0], int(np.prod(x.shape[1:])))
+            x = stage.logits(x)
+            record.kind = "head"
+            record.in_features = stage.weight.shape[1]
+            record.out_features = stage.weight.shape[0]
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown stage {type(stage).__name__}")
+        record.wall_time_s = time.perf_counter() - t0
+        if merge:
+            telemetry[index].merge(record)
+        else:
+            telemetry.append(record)
+    return x
+
+
+# ----------------------------------------------------------------------
+# Explicit execution plans: the (shard x stage x tile) task DAG.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StageTask:
+    """One schedulable unit of work in an :class:`ExecutionPlan`.
+
+    ``tile`` is the column-tile index for crossbar stages (conv/linear)
+    and None for everything else; ``cost`` is the estimated number of
+    sampled observation windows the task draws (zero for deterministic
+    stages) — the quantity the kernel benchmarks show bounds the
+    stochastic path. ``deps`` lists the task ids that must complete
+    first (all tasks of the previous stage in the same shard).
+    """
+
+    id: int
+    shard: int
+    stage: int
+    kind: str  # "encode" | "conv" | "linear" | "pool" | "head"
+    tile: Optional[int]
+    cost: float
+    deps: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A request compiled into an explicit task DAG.
+
+    Wraps the :class:`ShardPlan` (row ranges + seeds — the
+    reproducibility contract) with per-(shard, stage, tile) tasks and
+    cost estimates, plus the per-stage
+    :class:`~repro.hardware.cost.LayerWorkload` records the estimates
+    derive from. Tasks are stored in topological order (shard-major,
+    stage-minor), so iterating ``tasks`` is a valid serial schedule.
+    """
+
+    shard_plan: ShardPlan
+    tasks: Tuple[StageTask, ...]
+    stage_workloads: Tuple[Optional[LayerWorkload], ...]
+
+    @property
+    def batch_size(self) -> int:
+        return self.shard_plan.batch_size
+
+    @property
+    def shards(self) -> Tuple[Shard, ...]:
+        return self.shard_plan.shards
+
+    def __len__(self) -> int:
+        return len(self.shard_plan)
+
+    @property
+    def total_cost(self) -> float:
+        """Estimated sampled windows across every task in the plan."""
+        return sum(t.cost for t in self.tasks)
+
+    def critical_path_cost(self) -> float:
+        """Longest dependency chain by cost — the plan's lower bound
+        under unlimited parallelism (shards and column tiles run
+        concurrently; stages within a shard cannot)."""
+        finish: Dict[int, float] = {}
+        best = 0.0
+        for task in self.tasks:  # already topologically ordered
+            start = max((finish[d] for d in task.deps), default=0.0)
+            finish[task.id] = start + task.cost
+            best = max(best, finish[task.id])
+        return best
+
+    def tile_width(self, stage: int) -> int:
+        """How many column-tile tasks ``stage`` fans out into per shard
+        (1 for non-crossbar stages) — the tile-parallel scheduler's
+        fan-out decision."""
+        width = 0
+        for task in self.tasks:
+            if task.stage == stage and task.shard == self.tasks[0].shard:
+                width += 1
+        return max(width, 1)
+
+    def shard_tasks(self, shard: int) -> List[StageTask]:
+        return [t for t in self.tasks if t.shard == shard]
+
+
+def _stage_geometry(network: CompiledNetwork, input_shape):
+    """Per-stage (kind, positions, layer-or-None) walk.
+
+    ``input_shape`` is the per-item shape (C, H, W) for image inputs or
+    (features,) for flat inputs; conv geometry needs the spatial dims,
+    everything else is shape-agnostic.
+    """
+    spatial = tuple(input_shape or ())
+    h, w = (spatial[1], spatial[2]) if len(spatial) == 3 else (0, 0)
+    records = []
+    for stage in network.stages:
+        if isinstance(stage, (SignStage, ThermometerStage)):
+            records.append(("encode", 1, None))
+        elif isinstance(stage, ConvStage):
+            h, w = conv_output_geometry(
+                h, w, stage.kernel, stage.stride, stage.padding
+            )
+            records.append(("conv", h * w, stage.layer))
+        elif isinstance(stage, PoolStage):
+            h //= stage.kernel
+            w //= stage.kernel
+            records.append(("pool", 1, None))
+        elif isinstance(stage, LinearStage):
+            records.append(("linear", 1, stage.layer))
+        elif isinstance(stage, HeadStage):
+            records.append(("head", 1, None))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown stage {type(stage).__name__}")
+    return records
+
+
+def compile_plan(
+    network: CompiledNetwork,
+    shard_plan: ShardPlan,
+    input_shape=None,
+) -> ExecutionPlan:
+    """Compile a network + shard plan into an explicit task DAG.
+
+    One task per (shard, stage) pair, fanned out per column tile for
+    crossbar stages. Task costs are estimated sampled windows —
+    ``rows * positions * n_row_tiles`` per column tile, the same
+    geometry the :class:`~repro.api.results.LayerTelemetry` workload
+    records report after the fact — so a scheduler's view of the plan
+    matches what the telemetry will measure.
+    """
+    geometry = _stage_geometry(network, input_shape)
+    workloads: List[Optional[LayerWorkload]] = []
+    for (kind, positions, layer), stage in zip(geometry, network.stages):
+        if kind in ("conv", "linear"):
+            workloads.append(
+                LayerWorkload(
+                    in_features=layer.in_features,
+                    out_features=layer.out_features,
+                    positions=positions,
+                )
+            )
+        elif kind == "head":
+            workloads.append(
+                LayerWorkload(
+                    in_features=stage.weight.shape[1],
+                    out_features=stage.weight.shape[0],
+                )
+            )
+        else:
+            workloads.append(None)
+
+    tasks: List[StageTask] = []
+    for shard in shard_plan.shards:
+        rows = shard.rows
+        previous: Tuple[int, ...] = ()
+        for stage_index, (kind, positions, layer) in enumerate(geometry):
+            current: List[int] = []
+            if layer is not None:
+                per_tile = float(rows * positions * layer.n_row_tiles)
+                for tile in range(layer.n_col_tiles):
+                    task = StageTask(
+                        id=len(tasks),
+                        shard=shard.index,
+                        stage=stage_index,
+                        kind=kind,
+                        tile=tile,
+                        cost=per_tile,
+                        deps=previous,
+                    )
+                    tasks.append(task)
+                    current.append(task.id)
+            else:
+                task = StageTask(
+                    id=len(tasks),
+                    shard=shard.index,
+                    stage=stage_index,
+                    kind=kind,
+                    tile=None,
+                    cost=0.0,
+                    deps=previous,
+                )
+                tasks.append(task)
+                current.append(task.id)
+            previous = tuple(current)
+    return ExecutionPlan(
+        shard_plan=shard_plan,
+        tasks=tuple(tasks),
+        stage_workloads=tuple(workloads),
+    )

@@ -1,0 +1,531 @@
+"""Pluggable, string-keyed execution schedulers for compiled plans.
+
+A scheduler decides *where and in what order* the shards (and tiles) of
+an :class:`~repro.runtime.plan.ExecutionPlan` run; the layer-level
+execution *strategy* (:mod:`repro.api.backends`) still decides *how*
+each crossbar stage is sampled. Three first-class schedulers:
+
+``"serial"``
+    In-process, shard by shard, under the engine's execution lock —
+    exactly the session loop the Engine has always run.
+``"shard-parallel"``
+    Shards fan out over a worker process pool (the pool machinery that
+    used to live in :mod:`repro.api.parallel`). Activations ship
+    through the shared-memory :class:`~repro.runtime.transport.ActivationRing`
+    by default; per-shard reseeding keeps N-worker output bit-identical
+    to serial for the same plan.
+``"tile-parallel"``
+    Shards stay in-process but every crossbar stage's *column tiles*
+    run concurrently on a thread pool — the axis that still has
+    headroom after the shard axis saturates at ``batch / micro_batch``.
+    Tiles draw from their own per-tile generators, so the results are
+    bit-identical to the serial ``"stochastic-packed"`` path.
+
+All three return **per-shard** ``(logits, telemetry)`` pairs in plan
+order, which is what lets the serving daemon slice a coalesced wave
+back into per-request results.
+
+``REPRO_MAX_POOL_WORKERS`` (environment) caps worker counts of the
+pool-backed schedulers — the ``make check-runtime`` tier sets it to 2
+so pool tests cannot oversubscribe CI hosts.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
+from typing import Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.api.backends import get_backend
+from repro.api.results import LayerTelemetry, merge_telemetry
+from repro.runtime import transport
+from repro.runtime.plan import (
+    ExecutionPlan,
+    ShardPlan,
+    run_stages,
+    seed_shard,
+)
+
+#: (logits, per-stage telemetry) for one shard — every scheduler's unit
+#: of output.
+ShardResult = Tuple[np.ndarray, List[LayerTelemetry]]
+
+_SCHEDULERS: Dict[str, Type] = {}
+
+
+def register_scheduler(name: str, *, summary: str = ""):
+    """Class decorator registering a scheduler under ``name``.
+
+    The class must provide
+    ``run_shards(network, x, plan, *, strategy, exec_lock, rng)``
+    returning per-shard :data:`ShardResult` pairs in plan order.
+    """
+
+    def decorator(cls):
+        if name in _SCHEDULERS:
+            raise ValueError(f"scheduler {name!r} is already registered")
+        cls.name = name
+        if summary:
+            cls.summary = summary
+        _SCHEDULERS[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_schedulers() -> List[str]:
+    """Registered scheduler names, sorted."""
+    return sorted(_SCHEDULERS)
+
+
+def resolve_scheduler(source) -> Tuple[object, bool]:
+    """Resolve ``source`` (name or instance) to ``(scheduler, owned)``.
+
+    ``owned`` is True when this call constructed a resource-carrying
+    scheduler from a name — the caller must then close it. Instances
+    pass through unowned; the stateless serial scheduler is shared.
+    """
+    if hasattr(source, "run_shards"):
+        return source, False
+    cls = _SCHEDULERS.get(source)
+    if cls is None:
+        raise KeyError(
+            f"unknown scheduler {source!r}; registered: "
+            f"{', '.join(available_schedulers())}"
+        )
+    if getattr(cls, "stateless", False):
+        instance = getattr(cls, "_shared", None)
+        if instance is None:
+            instance = cls._shared = cls()
+        return instance, False
+    return cls(), True
+
+
+def _worker_cap(workers: int) -> int:
+    """Apply the ``REPRO_MAX_POOL_WORKERS`` environment cap."""
+    cap = os.environ.get("REPRO_MAX_POOL_WORKERS")
+    if cap:
+        try:
+            return max(1, min(workers, int(cap)))
+        except ValueError:  # pragma: no cover - malformed env
+            return workers
+    return workers
+
+
+def _shard_plan_of(plan) -> ShardPlan:
+    """Accept either an :class:`ExecutionPlan` or a bare
+    :class:`ShardPlan` (legacy ``run_plan`` callers)."""
+    return getattr(plan, "shard_plan", plan)
+
+
+# ----------------------------------------------------------------------
+# Serial: the in-process session loop.
+# ----------------------------------------------------------------------
+@register_scheduler("serial", summary="in-process, shard by shard")
+class SerialScheduler:
+    """Execute shards one after another in the calling process.
+
+    Each shard's (reseed, execute) pair runs under ``exec_lock`` (the
+    engine's execution lock): the shared layers hold that shard's
+    sampler state for exactly the critical section, so concurrent
+    sessions interleave at shard granularity without clobbering each
+    other. Seedless shards (unseeded sessions) continue the network's
+    current streams via ``rng``, exactly like the legacy executor.
+    """
+
+    stateless = True
+
+    def run_shards(
+        self,
+        network,
+        x: np.ndarray,
+        plan,
+        *,
+        strategy,
+        exec_lock=None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[ShardResult]:
+        lock = exec_lock if exec_lock is not None else threading.RLock()
+        outputs: List[ShardResult] = []
+        for shard in _shard_plan_of(plan).shards:
+            # float64 conversion happens per shard so micro-batching
+            # bounds peak memory on large requests.
+            chunk = np.asarray(x[shard.start : shard.stop], dtype=np.float64)
+            with lock:
+                shard_rng = (
+                    rng if shard.seed is None else seed_shard(network, shard.seed)
+                )
+                if shard_rng is None:  # pragma: no cover - defensive
+                    shard_rng = np.random.default_rng()
+                telemetry: List[LayerTelemetry] = []
+                logits = run_stages(network, chunk, strategy, shard_rng, telemetry)
+            outputs.append((logits, telemetry))
+        return outputs
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<scheduler serial>"
+
+
+# ----------------------------------------------------------------------
+# Shard-parallel: the process pool (moved from repro.api.parallel).
+# ----------------------------------------------------------------------
+#: Per-worker-process state, populated by the pool initializer: each
+#: worker holds its own copy of the compiled network plus the inner
+#: layer-level strategy it executes shards with.
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(network, inner_backend: str) -> None:
+    """Pool initializer: receive the network once, resolve the inner
+    strategy. Runs in the worker process. The inner resolution bypasses
+    any dispatch override a forked worker inherited from the parent —
+    a worker must execute layers in-process, never recurse into
+    another pool."""
+    _WORKER_STATE["network"] = network
+    _WORKER_STATE["strategy"] = get_backend(inner_backend, allow_override=False)
+
+
+def _run_shard_local(chunk: np.ndarray, seed: Optional[int]) -> ShardResult:
+    network = _WORKER_STATE["network"]
+    strategy = _WORKER_STATE["strategy"]
+    rng = seed_shard(network, seed)
+    telemetry: List[LayerTelemetry] = []
+    logits = run_stages(
+        network, np.asarray(chunk, dtype=np.float64), strategy, rng, telemetry
+    )
+    return logits, telemetry
+
+
+def _worker_run_shard(chunk: np.ndarray, seed: Optional[int]) -> ShardResult:
+    """Pickled-transport shard task: the activation slice rode the
+    pool's IPC pipe."""
+    return _run_shard_local(chunk, seed)
+
+
+def _worker_run_shard_shm(
+    ticket: transport.ShmTicket, seed: Optional[int]
+) -> ShardResult:
+    """Shared-memory shard task: only the ticket crossed the pipe; the
+    activations are read straight out of the ring slot."""
+    return _run_shard_local(transport.load(ticket), seed)
+
+
+@register_scheduler(
+    "shard-parallel",
+    summary="process-pool shards over shared-memory transport",
+)
+class ShardParallelScheduler:
+    """Fan a plan's shards over a worker process pool.
+
+    The compiled network ships once per worker via the pool
+    initializer; each shard task re-derives the full sampler state from
+    its child seed and executes through the same
+    :func:`~repro.runtime.plan.run_stages` the serial scheduler uses,
+    so which worker runs which shard is irrelevant — N-worker output is
+    bit-identical to serial for the same plan.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to the host's CPU count (capped by the
+        ``REPRO_MAX_POOL_WORKERS`` environment variable).
+    inner:
+        Layer-level backend each worker executes shards with.
+    transport:
+        ``"shm"`` (default) ships activations through the
+        shared-memory ring; ``"pickle"`` uses the classic pickled
+        slices. Falls back to pickle automatically if shared memory is
+        unavailable at runtime.
+    ring_slots:
+        How many waves the activation ring keeps in flight.
+    """
+
+    stateless = False
+    requires_seeds = True
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        inner: str = "stochastic",
+        transport: str = "shm",
+        ring_slots: int = 4,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if transport not in ("shm", "pickle"):
+            raise ValueError(f"transport must be 'shm' or 'pickle', got {transport!r}")
+        self.workers = _worker_cap(int(workers or os.cpu_count() or 1))
+        self.inner = inner
+        get_backend(inner, allow_override=False)  # fail fast on unknown names
+        self.transport = transport
+        self._ring_slots = int(ring_slots)
+        self._ring: Optional[transport.ActivationRing] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_network = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def run_shards(
+        self,
+        network,
+        x: np.ndarray,
+        plan,
+        *,
+        strategy=None,
+        exec_lock=None,
+        rng=None,
+    ) -> List[ShardResult]:
+        """Execute every shard on the pool; per-shard results in plan
+        order. ``strategy``/``exec_lock``/``rng`` are accepted for
+        interface parity but unused — workers resolve their own inner
+        strategy and own their own network copies."""
+        shard_plan = _shard_plan_of(plan)
+        if shard_plan.batch_size == 0:
+            # N=0 draws nothing, so skip the reseed too: the shared
+            # layers are left untouched (no lock needed) and the
+            # (0, n_classes) output is identical to serial.
+            telemetry: List[LayerTelemetry] = []
+            logits = run_stages(
+                network,
+                np.asarray(x[0:0], dtype=np.float64),
+                get_backend(self.inner, allow_override=False),
+                np.random.default_rng(),
+                telemetry,
+            )
+            return [(logits, telemetry)]
+        pool = self._ensure_pool(network)
+        lease = None
+        if self.transport == "shm":
+            try:
+                lease = self._ensure_ring().publish(np.ascontiguousarray(x))
+            except transport.TransportUnavailable:
+                # Host cannot do shared memory — flip to pickle for the
+                # lifetime of this scheduler and carry on.
+                self.transport = "pickle"
+        futures = []
+        try:
+            if lease is not None:
+                futures = [
+                    pool.submit(
+                        _worker_run_shard_shm,
+                        lease.ticket(shard.start, shard.stop),
+                        shard.seed,
+                    )
+                    for shard in shard_plan.shards
+                ]
+            else:
+                futures = [
+                    pool.submit(
+                        _worker_run_shard, x[shard.start : shard.stop], shard.seed
+                    )
+                    for shard in shard_plan.shards
+                ]
+            return [future.result() for future in futures]
+        finally:
+            if lease is not None:
+                # An early future's exception must not release the slot
+                # while later shards are still reading it — the ring's
+                # never-rewrite-while-read invariant. Wait out every
+                # in-flight task first (a no-op on the happy path).
+                wait(futures)
+                lease.release()
+
+    def run_plan(self, network, x: np.ndarray, plan):
+        """Merged ``(logits, telemetry)`` over the whole plan — the
+        shard-level backend protocol (:meth:`repro.api.Session.run`)."""
+        outputs = self.run_shards(network, x, plan)
+        parts = [logits for logits, _ in outputs]
+        telemetry = merge_telemetry(records for _, records in outputs)
+        logits = np.concatenate(parts, axis=0) if len(parts) > 1 else parts[0]
+        return logits, telemetry
+
+    def _ensure_pool(self, network) -> ProcessPoolExecutor:
+        """The live pool for ``network``, (re)created under a lock so a
+        serving front-end's threads can share one scheduler instance."""
+        with self._lock:
+            if self._pool is not None and self._pool_network is not network:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_worker_init,
+                    initargs=(network, self.inner),
+                )
+                self._pool_network = network
+            return self._pool
+
+    def _ensure_ring(self) -> transport.ActivationRing:
+        with self._lock:
+            if self._ring is None:
+                self._ring = transport.ActivationRing(slots=self._ring_slots)
+            return self._ring
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool and activation ring down (idempotent)."""
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+                self._pool_network = None
+            if self._ring is not None:
+                self._ring.close()
+                self._ring = None
+
+    def __enter__(self) -> "ShardParallelScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<scheduler {self.name} workers={self.workers} "
+            f"inner={self.inner!r} transport={self.transport!r}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Tile-parallel: concurrent column tiles within each shard.
+# ----------------------------------------------------------------------
+class _TileSplitStrategy:
+    """Layer-level strategy wrapper that executes a crossbar layer's
+    column tiles concurrently on a thread pool.
+
+    Every tile samples through its *own* generator
+    (``layer.tiles[i][j]`` each carry one), so execution order across
+    tiles cannot change the draws — the output is bit-identical to the
+    serial packed path for the same layer state. Layers with a single
+    column tile (and all non-crossbar work) delegate to the base
+    strategy untouched.
+    """
+
+    def __init__(self, base, pool: ThreadPoolExecutor, dense: bool) -> None:
+        self._base = base
+        self._pool = pool
+        self._dense = dense
+        self.deterministic = getattr(base, "deterministic", False)
+        self.name = f"tile-parallel({getattr(base, 'name', base)!r})"
+
+    def run_layer(self, layer, flat, *, rng, validate=None):
+        if layer.n_col_tiles < 2 or self.deterministic:
+            return self._base.run_layer(layer, flat, rng=rng, validate=validate)
+        chunks = layer._split_activations(flat)
+        n = chunks[0].shape[0]
+
+        def one_tile(j: int) -> np.ndarray:
+            if self._dense:
+                streams = np.stack(
+                    [
+                        layer.tiles[i][j].sample_window(chunks[i], validate=validate)
+                        for i in range(layer.n_row_tiles)
+                    ],
+                    axis=0,
+                )
+                return layer.module.accumulate(streams)
+            words = np.stack(
+                [
+                    layer.tiles[i][j]
+                    .sample_window(chunks[i], packed=True, validate=validate)
+                    .words
+                    for i in range(layer.n_row_tiles)
+                ],
+                axis=0,
+            )
+            return layer.module.accumulate_packed(words)
+
+        outputs = list(self._pool.map(one_tile, range(layer.n_col_tiles)))
+        # Counters fold in once per layer pass (the per-tile workers
+        # must not race on them).
+        layer.n_passes += layer.n_row_tiles * layer.n_col_tiles
+        layer.n_inferences += n
+        return np.concatenate(outputs, axis=-1)
+
+
+@register_scheduler(
+    "tile-parallel",
+    summary="in-process shards, concurrent column tiles per stage",
+)
+class TileParallelScheduler:
+    """Serial over shards, parallel over each crossbar stage's column
+    tiles — the intra-shard axis the shard schedulers leave untouched.
+
+    Tiles execute the bit-level path on their own per-tile generators,
+    so results are **bit-identical to the serial** ``"stochastic-packed"``
+    **backend** for the same session seed (per-tile independence makes
+    tile execution order irrelevant). Pair it with the
+    ``"stochastic-dense"`` strategy to split the dense reference path
+    instead.
+    """
+
+    stateless = False
+    #: Asks the session to compile the ExecutionPlan task DAG (the
+    #: fan-out decision reads it); plain shard schedulers skip that
+    #: per-request compile entirely.
+    needs_task_graph = True
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = _worker_cap(int(workers or os.cpu_count() or 1))
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._serial = SerialScheduler()
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-tile",
+                )
+            return self._pool
+
+    def run_shards(
+        self,
+        network,
+        x: np.ndarray,
+        plan,
+        *,
+        strategy,
+        exec_lock=None,
+        rng=None,
+    ) -> List[ShardResult]:
+        # The plan's task DAG tells us whether any stage actually fans
+        # out; a pure single-tile network skips the wrapper entirely.
+        fans_out = True
+        if isinstance(plan, ExecutionPlan):
+            fans_out = any(
+                task.tile is not None and task.tile > 0 for task in plan.tasks
+            )
+        if not fans_out:
+            return self._serial.run_shards(
+                network, x, plan, strategy=strategy, exec_lock=exec_lock, rng=rng
+            )
+        dense = getattr(strategy, "name", "") == "stochastic-dense"
+        wrapped = _TileSplitStrategy(strategy, self._ensure_pool(), dense)
+        return self._serial.run_shards(
+            network, x, plan, strategy=wrapped, exec_lock=exec_lock, rng=rng
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "TileParallelScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<scheduler {self.name} workers={self.workers}>"

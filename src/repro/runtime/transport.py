@@ -1,0 +1,226 @@
+"""Shared-memory activation transport for the process-pool schedulers.
+
+Shipping a shard to a worker used to pickle the activation slice into
+the pool's IPC pipe — serialize, copy through a pipe buffer,
+deserialize — which the PR 3 benchmarks showed is the dominant per-shard
+overhead once the sampling kernels are fast. This module replaces the
+pickled payload with :mod:`multiprocessing.shared_memory` ring buffers:
+
+* the parent :meth:`ActivationRing.publish`\\ es one wave's activation
+  buffer into a reusable shared-memory slot and hands workers tiny
+  :class:`ShmTicket`\\ s (segment name + dtype + shape + row range);
+* each worker :func:`load`\\ s its ticket — attach (cached per segment),
+  view, copy out its rows — so the bytes cross processes through one
+  mmap instead of a pickle round-trip;
+* slots are leased: the parent releases a lease only after every future
+  reading from it has resolved, then the slot is reused by the next
+  wave (a bounded ring, not an allocation per request).
+
+The transport is an optimization, never a semantics change: tickets
+carry no randomness, so shm and pickle transports produce bit-identical
+results. When shared memory is unavailable (exotic platforms, exhausted
+/dev/shm) the scheduler falls back to the pickled path — construction
+failures raise :class:`TransportUnavailable` exactly once and the
+scheduler flips itself to ``"pickle"``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Smallest segment worth allocating — tiny waves round up so the ring
+#: can absorb slightly larger follow-up waves without reallocating.
+_MIN_SLOT_BYTES = 1 << 16
+
+
+class TransportUnavailable(RuntimeError):
+    """Shared-memory segments cannot be created on this host."""
+
+
+@dataclass(frozen=True)
+class ShmTicket:
+    """A worker's claim check for shard activations: which segment,
+    what array lives in it, and which row range belongs to the shard."""
+
+    segment: str
+    dtype: str
+    shape: Tuple[int, ...]
+    start: int
+    stop: int
+
+
+class Lease:
+    """One published wave: the slot stays pinned until :meth:`release`.
+
+    The parent releases only after every shard future that reads from
+    the slot has resolved, so workers never observe a slot being
+    rewritten mid-read.
+    """
+
+    def __init__(self, ring: "ActivationRing", slot: "_Slot", shape, dtype) -> None:
+        self._ring = ring
+        self._slot = slot
+        self._shape = tuple(shape)
+        self._dtype = str(dtype)
+        self._released = False
+
+    def ticket(self, start: int, stop: int) -> ShmTicket:
+        return ShmTicket(
+            segment=self._slot.shm.name,
+            dtype=self._dtype,
+            shape=self._shape,
+            start=start,
+            stop=stop,
+        )
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._ring._release(self._slot)
+
+
+class _Slot:
+    __slots__ = ("shm", "nbytes")
+
+    def __init__(self, shm: shared_memory.SharedMemory) -> None:
+        self.shm = shm
+        self.nbytes = shm.size
+
+
+class ActivationRing:
+    """A bounded pool of reusable shared-memory slots (parent side).
+
+    ``slots`` bounds how many waves may be in flight at once;
+    :meth:`publish` blocks when the ring is full. Slots are sized
+    lazily: a wave that outgrows every free slot replaces the smallest
+    one (old segments are unlinked — names are never reused, so a
+    worker's cached attachment can never alias a new wave's data).
+    """
+
+    def __init__(self, slots: int = 4) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self.slots = int(slots)
+        self._free: List[_Slot] = []
+        self._active: int = 0
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def publish(self, array: np.ndarray) -> Lease:
+        """Copy ``array`` into a slot; returns the :class:`Lease`."""
+        a = np.ascontiguousarray(array)
+        nbytes = max(int(a.nbytes), 1)
+        with self._cond:
+            if self._closed:
+                raise TransportUnavailable("activation ring is closed")
+            while self._active >= self.slots:
+                self._cond.wait()
+            slot = self._take_slot(nbytes)
+            self._active += 1
+        buf = np.ndarray(a.shape, dtype=a.dtype, buffer=slot.shm.buf)
+        buf[...] = a
+        del buf  # drop the exported view before anyone can close the mmap
+        return Lease(self, slot, a.shape, a.dtype)
+
+    def _take_slot(self, nbytes: int) -> _Slot:
+        """A free slot of capacity >= nbytes (smallest fit), else a
+        fresh segment (evicting the smallest free slot when at bound)."""
+        fits = [s for s in self._free if s.nbytes >= nbytes]
+        if fits:
+            slot = min(fits, key=lambda s: s.nbytes)
+            self._free.remove(slot)
+            return slot
+        if self._free and self._active + len(self._free) >= self.slots:
+            victim = min(self._free, key=lambda s: s.nbytes)
+            self._free.remove(victim)
+            _destroy(victim.shm)
+        try:
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(nbytes, _MIN_SLOT_BYTES)
+            )
+        except OSError as exc:  # pragma: no cover - host-dependent
+            raise TransportUnavailable(f"cannot create shared memory: {exc}")
+        return _Slot(shm)
+
+    def _release(self, slot: _Slot) -> None:
+        with self._cond:
+            self._active -= 1
+            if self._closed:
+                _destroy(slot.shm)
+            else:
+                self._free.append(slot)
+            self._cond.notify()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unlink every free segment; outstanding leases are destroyed
+        on release. Idempotent."""
+        with self._cond:
+            self._closed = True
+            free, self._free = self._free, []
+        for slot in free:
+            _destroy(slot.shm)
+
+    def __enter__(self) -> "ActivationRing":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _destroy(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+        shm.unlink()
+    except (OSError, FileNotFoundError):  # pragma: no cover - already gone
+        pass
+
+
+# ----------------------------------------------------------------------
+# Worker side: attach, view, copy out. Attachments are cached per
+# segment name — a ring reuses its slots wave after wave, so each worker
+# pays the shm_open + mmap once per slot, not once per shard.
+# ----------------------------------------------------------------------
+_ATTACH_CACHE: Dict[str, shared_memory.SharedMemory] = {}
+_ATTACH_ORDER: List[str] = []
+_ATTACH_CACHE_MAX = 8
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    shm = _ATTACH_CACHE.get(name)
+    if shm is not None:
+        return shm
+    shm = shared_memory.SharedMemory(name=name)
+    # Fork-started workers share the parent's resource_tracker process,
+    # where the attach-side registration (Python < 3.13 registers on
+    # attach) is an idempotent set-add — the parent's unlink clears it
+    # exactly once. Unregistering here would clobber the parent's own
+    # registration in that shared tracker, so we deliberately leave the
+    # registration alone.
+    _ATTACH_CACHE[name] = shm
+    _ATTACH_ORDER.append(name)
+    while len(_ATTACH_ORDER) > _ATTACH_CACHE_MAX:
+        stale_name = _ATTACH_ORDER.pop(0)
+        stale_shm = _ATTACH_CACHE.pop(stale_name)
+        try:
+            stale_shm.close()
+        except BufferError:  # pragma: no cover - view still exported
+            _ATTACH_CACHE[stale_name] = stale_shm
+            _ATTACH_ORDER.insert(0, stale_name)
+            break
+    return shm
+
+
+def load(ticket: ShmTicket) -> np.ndarray:
+    """Materialize a ticket's row range as an owned ndarray copy."""
+    shm = _attach(ticket.segment)
+    view = np.ndarray(
+        ticket.shape, dtype=np.dtype(ticket.dtype), buffer=shm.buf
+    )
+    return np.array(view[ticket.start : ticket.stop])
