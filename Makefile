@@ -6,12 +6,19 @@
 # pre-commit runs; `make check-runtime` runs the parallel/daemon tests
 # alone with a 2-worker pool cap (REPRO_MAX_POOL_WORKERS) and a hard
 # timeout, so a pool/queue deadlock fails the build fast instead of
-# hanging the whole suite; `make bench` times the simulation kernels —
-# including the serial vs stochastic-parallel session rows and the
-# serving/daemon rows — and appends the results to BENCH_kernels.json
-# (the cross-PR perf trajectory); `make lint` is a fast syntax/bytecode
-# sweep covering src (incl. the runtime/ package), tests, benchmarks,
-# and examples (no third-party linter is baked into the image).
+# hanging the whole suite (GNU `timeout` when available, otherwise an
+# in-process watchdog via REPRO_TEST_TIMEOUT — see tests/conftest.py —
+# so minimal CI containers still get the ceiling); `make coverage` runs
+# the tier-1 tests under pytest-cov (skips gracefully when the plugin
+# is absent — CI wires it in as a non-blocking report step); `make
+# bench` times the simulation kernels — including the serial vs
+# stochastic-parallel vs adaptive-scheduler session rows and the
+# serving/daemon rows — appends the results to BENCH_kernels.json (the
+# cross-PR perf trajectory), and refreshes the calibrated cost-model
+# coefficients in benchmarks/results/; `make lint` is a fast
+# syntax/bytecode sweep covering src (incl. the runtime/ package),
+# tests, benchmarks, and examples (no third-party linter is baked into
+# the image).
 
 PYTHON ?= python
 PYTHONPATH := src
@@ -23,23 +30,44 @@ FAST ?=
 FAST_DESELECTS := \
 	--deselect benchmarks/test_fig10_bitstream_sweep.py::test_fig10_bitstream_length_sweep \
 	--deselect tests/test_integration.py::TestFullPipeline::test_window_sweep_shape
-PYTEST_FLAGS := $(if $(FAST),$(FAST_DESELECTS),)
+# PYTEST_EXTRA: extra pytest flags appended by callers (CI passes
+# --junitxml=... here without the Makefile hard-coding report paths).
+PYTEST_EXTRA ?=
+PYTEST_FLAGS := $(if $(FAST),$(FAST_DESELECTS),) $(PYTEST_EXTRA)
 
 # Hard ceiling for the runtime tier: pool/daemon deadlocks surface as a
-# timeout failure instead of a hung CI job.
+# timeout failure instead of a hung CI job. GNU `timeout` enforces it
+# from outside when present; otherwise tests/conftest.py arms an
+# in-process watchdog from REPRO_TEST_TIMEOUT (same exit code, 124).
 RUNTIME_TIMEOUT ?= 600
-RUNTIME_TESTS := tests/test_api_parallel.py tests/test_runtime_plan.py tests/test_runtime_daemon.py
+RUNTIME_TESTS := tests/test_api_parallel.py tests/test_runtime_plan.py \
+	tests/test_runtime_daemon.py tests/test_runtime_adaptive.py
+TIMEOUT_BIN := $(shell command -v timeout 2>/dev/null)
 
-.PHONY: test bench lint check check-runtime
+.PHONY: test bench lint check check-runtime coverage
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q $(PYTEST_FLAGS)
 
 check-runtime:
+ifneq ($(TIMEOUT_BIN),)
 	REPRO_MAX_POOL_WORKERS=2 PYTHONPATH=$(PYTHONPATH) \
-		timeout $(RUNTIME_TIMEOUT) $(PYTHON) -m pytest $(RUNTIME_TESTS) -q
+		timeout $(RUNTIME_TIMEOUT) $(PYTHON) -m pytest $(RUNTIME_TESTS) -q $(PYTEST_EXTRA)
+else
+	@echo "GNU timeout not found; using in-process REPRO_TEST_TIMEOUT watchdog"
+	REPRO_MAX_POOL_WORKERS=2 REPRO_TEST_TIMEOUT=$(RUNTIME_TIMEOUT) \
+		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest $(RUNTIME_TESTS) -q $(PYTEST_EXTRA)
+endif
 
 check: lint check-runtime test
+
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q \
+			--cov=repro --cov-report=term --cov-report=xml:coverage.xml $(PYTEST_FLAGS); \
+	else \
+		echo "pytest-cov is not installed; skipping coverage (pip install pytest-cov)"; \
+	fi
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/test_kernel_performance.py -q --bench-json=BENCH_kernels.json

@@ -176,6 +176,72 @@ def test_perf_session_parallel_shards(benchmark, shard_engine, workers):
 
 
 # ----------------------------------------------------------------------
+# Adaptive scheduler vs the fixed schedulers, on the same request the
+# serial/parallel session rows above time: the adaptive row should
+# track whichever fixed row its cost model predicts is cheapest (with
+# default coefficients this 8k-window plan sits below break-even, so it
+# tracks serial — the row pair quantifies the chooser's overhead), and
+# the small-batch row shows the break-even fallback costs nothing.
+# `make bench` also refreshes the calibrated coefficients next to the
+# timings (benchmarks/results/cost_coefficients.json).
+# ----------------------------------------------------------------------
+def test_perf_session_adaptive_scheduler(benchmark, shard_engine):
+    from repro.api import AdaptiveScheduler
+
+    engine, images = shard_engine
+    with AdaptiveScheduler(workers=4) as scheduler:
+        session = engine.session(seed=0, backend="stochastic", scheduler=scheduler)
+        result = session.run(images)  # warm path (and any pool) once
+        benchmark.pedantic(session.run, args=(images,), rounds=5, iterations=1)
+        result = session.run(images)
+    assert result.logits.shape == (256, 10)
+    assert result.decisions is not None  # chooser telemetry present
+    assert all(d.mode in ("serial", "shard-parallel") for d in result.decisions)
+
+
+def test_perf_session_adaptive_small_batch(benchmark, shard_engine):
+    """Sub-break-even request: the chooser must fall back to serial, so
+    this row measures the pure decision overhead on tiny plans."""
+    from repro.api import AdaptiveScheduler
+
+    engine, images = shard_engine
+    small = images[:16]
+    with AdaptiveScheduler(workers=4) as scheduler:
+        session = engine.session(seed=0, backend="stochastic", scheduler=scheduler)
+        session.run(small)
+        benchmark.pedantic(session.run, args=(small,), rounds=5, iterations=1)
+        result = session.run(small)
+    assert result.logits.shape == (16, 10)
+    assert {d.mode for d in result.decisions} == {"serial"}
+
+
+def test_perf_cost_model_calibration(benchmark, shard_engine, request):
+    """One calibration pass over the shard engine. Only a `make bench`
+    run (--bench-json active) refreshes the persisted coefficients —
+    plain test runs must not overwrite the tracked artifact with
+    whatever machine happened to run them."""
+    import pathlib
+
+    from repro.api import calibrate
+
+    engine, images = shard_engine
+    model = benchmark.pedantic(
+        calibrate,
+        args=(engine, images[:64]),
+        kwargs=dict(repeats=1, workers=2),
+        rounds=1,
+        iterations=1,
+    )
+    coefficients = model.coefficients
+    assert coefficients.source == "calibrated"
+    assert coefficients.window_cost_s > 0
+    if request.config.getoption("--bench-json"):
+        results_dir = pathlib.Path(__file__).parent / "results"
+        results_dir.mkdir(exist_ok=True)
+        coefficients.save(results_dir / "cost_coefficients.json")
+
+
+# ----------------------------------------------------------------------
 # Serving front-ends: the PR 3 thread-pool `Serving` baseline vs the
 # runtime's coalescing `ServingDaemon`, both at 4 workers on the
 # in-process "stochastic" backend over the same 8 x 32-row requests.

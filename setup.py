@@ -1,4 +1,6 @@
-"""Setuptools shim for offline editable installs (no `wheel` available)."""
+"""Legacy setuptools shim kept for offline editable installs (PEP 660
+build isolation would fetch the backend from an index); all metadata
+lives in pyproject.toml."""
 
 from setuptools import setup
 

@@ -24,8 +24,10 @@ Façade over model compilation, execution, and metrics:
   daemons.
 * runtime subsystem (:mod:`repro.runtime`) — explicit
   :class:`ExecutionPlan` task DAGs (:func:`compile_plan`), pluggable
-  schedulers (``"serial"`` / ``"shard-parallel"`` / ``"tile-parallel"``),
-  and shared-memory activation transport.
+  schedulers (``"serial"`` / ``"shard-parallel"`` / ``"tile-parallel"``
+  / ``"adaptive"``, the cost-model chooser), the calibratable
+  :class:`CostModel` (:func:`calibrate`), and shared-memory activation
+  transport.
 * experiment registry — every paper artifact, runnable by name
   (:func:`run_experiment`, CLI ``repro run``).
 
@@ -74,9 +76,14 @@ from repro.api.results import (
 )
 from repro.api.serving import Serving
 from repro.runtime import (
+    AdaptiveScheduler,
+    CostCoefficients,
+    CostModel,
     DaemonStats,
     ServingDaemon,
+    StageDecision,
     available_schedulers,
+    calibrate,
     register_scheduler,
 )
 
@@ -95,6 +102,11 @@ __all__ = [
     "ServingReport",
     "available_schedulers",
     "register_scheduler",
+    "AdaptiveScheduler",
+    "CostModel",
+    "CostCoefficients",
+    "StageDecision",
+    "calibrate",
     "StochasticParallelBackend",
     "InferenceResult",
     "LayerTelemetry",

@@ -96,7 +96,14 @@ class Session:
     ``scheduler`` selects a runtime scheduler by name or instance
     (:mod:`repro.runtime.scheduler`); the default is the serial
     in-process loop, unless the backend is a shard-level strategy
-    (``run_plan``) that executes plans itself.
+    (``run_plan``) that executes plans itself. For pool-capable
+    backends (any registered layer-level backend) the documented
+    default is ``scheduler="adaptive"``: the cost-model chooser
+    inspects the compiled :class:`ExecutionPlan` and picks serial,
+    shard-parallel, or tile-parallel fan-out per request — always
+    bit-identical to serial for the same session seed, with the
+    per-stage decision surfaced in
+    :attr:`~repro.api.results.InferenceResult.decisions`.
     """
 
     def __init__(
@@ -222,8 +229,11 @@ class Session:
                 # whole plan against its own per-worker network copies,
                 # so the engine's shared layers are never touched here.
                 logits, telemetry = strategy.run_plan(self.engine.network, x, plan)
+                decisions = None
             else:
-                logits, telemetry = self._run_scheduled(x, plan, strategy)
+                logits, telemetry, decisions = self._run_scheduled(
+                    x, plan, strategy
+                )
             return InferenceResult(
                 logits=logits,
                 # With a pool scheduler the workers executed the
@@ -239,6 +249,7 @@ class Session:
                 wall_time_s=time.perf_counter() - start,
                 layers=telemetry,
                 labels=None if labels is None else np.asarray(labels),
+                decisions=decisions,
             )
         finally:
             if owned and hasattr(strategy, "close"):
@@ -331,8 +342,11 @@ class Session:
         """Execute a plan through the session's runtime scheduler
         (serial by default): run per-shard, merge. The ExecutionPlan
         task DAG is compiled only for schedulers that consume it
-        (``needs_task_graph``) — the plain shard schedulers execute
-        straight off the ShardPlan.
+        (``needs_task_graph`` — the ``"adaptive"`` chooser and the
+        tile scheduler) — the plain shard schedulers execute straight
+        off the ShardPlan. Returns ``(logits, telemetry, decisions)``;
+        ``decisions`` is the adaptive scheduler's per-stage record for
+        this run (None for fixed schedulers).
         """
         scheduler = self._scheduler
         if scheduler is None:
@@ -351,10 +365,11 @@ class Session:
             exec_lock=self.engine._exec_lock,
             rng=self.rng,
         )
+        decisions = getattr(scheduler, "last_decisions", None)
         parts = [logits for logits, _ in outputs]
         telemetry = merge_telemetry(records for _, records in outputs)
         logits = np.concatenate(parts, axis=0) if len(parts) > 1 else parts[0]
-        return logits, telemetry
+        return logits, telemetry, decisions
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -461,8 +476,11 @@ class Engine:
         ``micro_batch``: omit to inherit the engine default, pass an int
         to shard requests at that size, or ``None`` to disable sharding.
         ``scheduler``: a runtime scheduler name (``"serial"``,
-        ``"shard-parallel"``, ``"tile-parallel"``) or instance; omit
-        for the default serial loop.
+        ``"shard-parallel"``, ``"tile-parallel"``, ``"adaptive"``) or
+        instance; omit for the serial loop. ``"adaptive"`` is the
+        recommended default for pool-capable backends — it picks the
+        fan-out per request from the plan's cost model and stays
+        bit-identical to serial.
         """
         return Session(
             self,

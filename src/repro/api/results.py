@@ -85,7 +85,13 @@ def merge_telemetry(per_shard) -> List["LayerTelemetry"]:
 
 @dataclass
 class InferenceResult:
-    """Outputs plus telemetry for one batched inference request."""
+    """Outputs plus telemetry for one batched inference request.
+
+    ``decisions`` is present only when the request ran under the
+    ``"adaptive"`` runtime scheduler: one
+    :class:`~repro.runtime.costmodel.StageDecision` per stage recording
+    the chosen execution mode and the predicted vs measured cost.
+    """
 
     logits: np.ndarray
     backend: str
@@ -94,6 +100,7 @@ class InferenceResult:
     wall_time_s: float
     layers: List[LayerTelemetry] = field(default_factory=list)
     labels: Optional[np.ndarray] = None
+    decisions: Optional[List] = None  # List[StageDecision] (adaptive runs)
 
     @property
     def predictions(self) -> np.ndarray:
@@ -141,6 +148,10 @@ class InferenceResult:
         }
         if self.labels is not None:
             report["accuracy"] = self.accuracy
+        if self.decisions:
+            report["scheduler_modes"] = ",".join(
+                sorted({d.mode for d in self.decisions})
+            )
         return report
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -75,6 +75,13 @@ class Serving:
         fresh entropy.
     micro_batch:
         Per-session micro-batch override (inherits the engine default).
+    scheduler:
+        Runtime scheduler spec passed through to every request session
+        (:mod:`repro.runtime.scheduler` name or instance). A *name* is
+        resolved per session — each request then owns its scheduler —
+        so prefer passing a shared instance (or use the coalescing
+        :class:`~repro.runtime.daemon.ServingDaemon`, which owns one
+        scheduler for all waves) when the scheduler carries a pool.
     """
 
     def __init__(
@@ -85,6 +92,7 @@ class Serving:
         backend=None,
         seed: SeedLike = None,
         micro_batch=_INHERIT,
+        scheduler=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -96,6 +104,7 @@ class Serving:
         self._strategy, self._owns_strategy = resolve_strategy(source)
         self.backend = getattr(self._strategy, "name", str(source))
         self.micro_batch = micro_batch
+        self.scheduler = scheduler
         self.rng = new_rng(seed)
 
     # ------------------------------------------------------------------
@@ -125,13 +134,14 @@ class Serving:
         ]
 
         def _serve_one(index: int) -> InferenceResult:
-            session = Session(
+            with Session(
                 self.engine,
                 seed=seeds[index],
                 backend=self._strategy,
                 micro_batch=self.micro_batch,
-            )
-            return session.run(requests[index], labels=labels[index])
+                scheduler=self.scheduler,
+            ) as session:
+                return session.run(requests[index], labels=labels[index])
 
         start = time.perf_counter()
         if not requests:

@@ -21,7 +21,16 @@ emits JSON::
                                                    # on a 4-process pool
 
 ``backends`` lists the registered inference execution backends (and
-their aliases). ``serve-bench`` trains a small reference model and
+their aliases). ``plan-inspect`` compiles a request into its
+:class:`~repro.runtime.plan.ExecutionPlan` task DAG and prints the
+per-stage tasks, window-cost estimates, and the adaptive scheduler's
+cost-model decision (chosen mode + predicted wall time per candidate)::
+
+    python -m repro.cli plan-inspect --batch 256 --workers 4
+    python -m repro.cli plan-inspect --batch 8 --backend stochastic-packed
+    python -m repro.cli plan-inspect --coefficients coeffs.json --tasks
+
+``serve-bench`` trains a small reference model and
 measures concurrent serving throughput across the serving front-ends:
 the thread-pool ``Serving`` baseline, the coalescing ``ServingDaemon``,
 each over both the in-process and process-parallel execution paths
@@ -217,6 +226,82 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_plan_inspect(args) -> int:
+    from repro.api import Engine
+    from repro.api.backends import get_backend
+    from repro.experiments.common import trained_mlp
+    from repro.hardware.config import HardwareConfig
+    from repro.runtime.costmodel import candidate_modes, load_cost_model
+
+    hardware = HardwareConfig(
+        crossbar_size=args.crossbar_size,
+        gray_zone_ua=10.0,
+        window_bits=args.window_bits,
+    )
+    print(f"training reference MLP (epochs={args.epochs}) ...")
+    model, _, test, _ = trained_mlp(hardware, epochs=args.epochs)
+    engine = Engine.from_model(model)
+    session = engine.session(
+        seed=args.seed, backend=args.backend, micro_batch=args.micro_batch
+    )
+    images = test.images[: args.batch]
+    plan = session.preview_plan(images)
+    cost_model = load_cost_model(args.coefficients)
+    strategy = get_backend(args.backend)
+    modes = candidate_modes(
+        plan,
+        backend_name=getattr(strategy, "name", None),
+        deterministic=getattr(strategy, "deterministic", False),
+    )
+    choice = cost_model.choose(plan, workers=args.workers, modes=modes)
+
+    print(
+        f"\nplan: batch={plan.batch_size} shards={len(plan)} "
+        f"tasks={len(plan.tasks)} total_cost={plan.total_cost:.0f} windows "
+        f"critical_path={plan.critical_path_cost():.0f} windows"
+    )
+    print(
+        f"cost model: {cost_model.coefficients.source} "
+        f"(break-even {cost_model.coefficients.break_even_windows:.0f} windows); "
+        f"workers={args.workers}"
+    )
+    print(f"\n{'mode':<16} {'predicted(ms)':>14}  candidate")
+    for mode in ("serial", "shard-parallel", "tile-parallel"):
+        if mode in choice.predictions:
+            marker = "<- chosen" if mode == choice.mode else ""
+            print(
+                f"{mode:<16} {choice.predictions[mode] * 1e3:>14.3f}  {marker}"
+            )
+        else:
+            print(f"{mode:<16} {'-':>14}  (unavailable)")
+    print(f"decision: {choice.mode} — {choice.reason}")
+
+    # Per-stage predicted_s is the stage's aggregate work (summed over
+    # shards/workers — what the telemetry will measure), while the mode
+    # table above compares wall-clock predictions.
+    print(
+        f"\n{'stage':>5} {'kind':<7} {'tiles':>5} {'windows':>10} "
+        f"{'mode':<15} {'work(ms)':>14}"
+    )
+    for decision in choice.stages:
+        print(
+            f"{decision.stage:>5} {decision.kind:<7} {decision.tile_width:>5} "
+            f"{decision.cost_windows:>10.0f} {decision.mode:<15} "
+            f"{decision.predicted_s * 1e3:>14.3f}"
+        )
+    if args.tasks:
+        print(f"\n{'id':>4} {'shard':>5} {'stage':>5} {'kind':<7} "
+              f"{'tile':>4} {'cost':>10} deps")
+        for task in plan.tasks:
+            tile = "-" if task.tile is None else str(task.tile)
+            deps = ",".join(str(d) for d in task.deps) or "-"
+            print(
+                f"{task.id:>4} {task.shard:>5} {task.stage:>5} "
+                f"{task.kind:<7} {tile:>4} {task.cost:>10.0f} {deps}"
+            )
+    return 0
+
+
 def _cmd_table1(args) -> int:
     from repro.experiments.table1 import crossbar_hardware_table
 
@@ -388,6 +473,39 @@ def build_parser() -> argparse.ArgumentParser:
         "backends", help="list inference execution backends (and aliases)"
     )
     p.set_defaults(func=_cmd_backends)
+
+    p = sub.add_parser(
+        "plan-inspect",
+        help="print a request's ExecutionPlan tasks, costs, and the "
+        "adaptive scheduler's per-stage decision",
+    )
+    p.add_argument("--batch", type=int, default=256, help="images in the request")
+    p.add_argument(
+        "--micro-batch", type=int, default=32, dest="micro_batch",
+        help="shard size the session plans with",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4,
+        help="fan-out width the cost model assumes",
+    )
+    p.add_argument(
+        "--backend", default="stochastic",
+        help="execution backend the plan is chosen for",
+    )
+    p.add_argument(
+        "--coefficients", default=None, metavar="PATH",
+        help="cost-coefficients JSON (default: REPRO_COST_COEFFICIENTS "
+        "or built-in defaults)",
+    )
+    p.add_argument(
+        "--tasks", action="store_true",
+        help="also print the full per-task DAG listing",
+    )
+    p.add_argument("--epochs", type=int, default=2, help="reference-model training epochs")
+    p.add_argument("--crossbar-size", type=int, default=16, dest="crossbar_size")
+    p.add_argument("--window-bits", type=int, default=8, dest="window_bits")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_plan_inspect)
 
     p = sub.add_parser(
         "serve-bench",

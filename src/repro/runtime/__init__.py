@@ -29,6 +29,16 @@ StochasticParallelBackend) is a facade over this package; existing
 code keeps working unchanged.
 """
 
+from repro.runtime.costmodel import (
+    ADAPTIVE_MODES,
+    AdaptiveChoice,
+    CostCoefficients,
+    CostModel,
+    StageDecision,
+    calibrate,
+    candidate_modes,
+    load_cost_model,
+)
 from repro.runtime.daemon import DaemonStats, ServingDaemon
 from repro.runtime.plan import (
     ExecutionPlan,
@@ -42,6 +52,7 @@ from repro.runtime.plan import (
     seed_shard,
 )
 from repro.runtime.scheduler import (
+    AdaptiveScheduler,
     SerialScheduler,
     ShardParallelScheduler,
     TileParallelScheduler,
@@ -61,12 +72,21 @@ __all__ = [
     "plan_shards",
     "run_stages",
     "seed_shard",
+    "AdaptiveScheduler",
     "SerialScheduler",
     "ShardParallelScheduler",
     "TileParallelScheduler",
     "available_schedulers",
     "register_scheduler",
     "resolve_scheduler",
+    "ADAPTIVE_MODES",
+    "AdaptiveChoice",
+    "CostCoefficients",
+    "CostModel",
+    "StageDecision",
+    "calibrate",
+    "candidate_modes",
+    "load_cost_model",
     "ActivationRing",
     "ShmTicket",
     "TransportUnavailable",

@@ -37,15 +37,15 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.api.backends import resolve_strategy
+from repro.api.backends import get_backend, resolve_strategy
 from repro.api.results import InferenceResult, ServingReport, merge_telemetry
-from repro.runtime.plan import ShardPlan, concat_plans, plan_shards
-from repro.runtime.scheduler import SerialScheduler
+from repro.runtime.plan import ShardPlan, compile_plan, concat_plans, plan_shards
+from repro.runtime.scheduler import SerialScheduler, resolve_scheduler
 from repro.utils.rng import SeedLike, new_rng
 
 #: Sentinel mirroring :data:`repro.api.engine._INHERIT` without the
@@ -56,7 +56,16 @@ _INHERIT = object()
 @dataclass
 class DaemonStats:
     """Counters of one daemon's lifetime (snapshot via
-    :attr:`ServingDaemon.stats`)."""
+    :attr:`ServingDaemon.stats`).
+
+    ``decisions`` and ``mode_waves`` are populated only when the daemon
+    runs with an adaptive runtime scheduler: ``decisions`` holds the
+    most recent wave's per-stage decision records (stage -> chosen mode
+    + predicted vs measured cost, as dicts), and ``mode_waves`` counts
+    executed waves by the plan-level mode the chooser picked — the
+    telemetry that shows coalescing flipping small serial requests into
+    fanned-out waves.
+    """
 
     submitted: int = 0
     completed: int = 0
@@ -66,9 +75,15 @@ class DaemonStats:
     max_wave_requests: int = 0
     total_images: int = 0
     queue_high_water: int = 0
+    decisions: Optional[List[dict]] = None  # latest wave's stage decisions
+    mode_waves: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
-        return dict(self.__dict__)
+        payload = dict(self.__dict__)
+        payload["mode_waves"] = dict(self.mode_waves)
+        if self.decisions is not None:
+            payload["decisions"] = [dict(d) for d in self.decisions]
+        return payload
 
 
 @dataclass
@@ -117,6 +132,16 @@ class ServingDaemon:
     max_wave_images:
         Image-count ceiling per wave (the window closes early once
         reached).
+    scheduler:
+        An in-process runtime scheduler name or instance the waves
+        execute through — pass ``"adaptive"`` so each *coalesced wave's*
+        combined plan goes through the cost-model chooser: a singleton
+        request below the break-even threshold runs serial, while a
+        coalesced wave whose merged plan crosses it fans out over the
+        pool. Requires a layer-level backend. The chooser's per-stage
+        decisions surface in :attr:`DaemonStats.decisions` /
+        :attr:`DaemonStats.mode_waves`. ``None`` keeps the classic
+        strategy-driven execution.
     """
 
     def __init__(
@@ -130,6 +155,7 @@ class ServingDaemon:
         max_queue: int = 64,
         coalesce_window_s: float = 0.002,
         max_wave_images: int = 4096,
+        scheduler=None,
     ) -> None:
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
@@ -141,6 +167,24 @@ class ServingDaemon:
         source = backend if backend is not None else engine.backend
         self._strategy, self._owns_strategy = resolve_strategy(source)
         self.backend = getattr(self._strategy, "name", str(source))
+        if scheduler is None:
+            self._scheduler, self._owns_scheduler = None, False
+        else:
+            self._scheduler, self._owns_scheduler = resolve_scheduler(scheduler)
+            if not hasattr(self._scheduler, "run_shards"):
+                raise ValueError(
+                    f"daemon scheduler "
+                    f"{getattr(self._scheduler, 'name', scheduler)!r} must "
+                    f"implement the per-shard run_shards protocol (the wave "
+                    f"results are sliced back per request)"
+                )
+            if not hasattr(self._strategy, "run_layer"):
+                raise ValueError(
+                    f"a daemon scheduler executes in-process and needs a "
+                    f"layer-level backend, but {self.backend!r} is "
+                    f"shard-level (run_plan only)"
+                )
+            self._align_pool_scheduler(backend)
         self.micro_batch = (
             engine.micro_batch if micro_batch is _INHERIT else micro_batch
         )
@@ -275,6 +319,41 @@ class ServingDaemon:
             else:
                 self._fail(item, RuntimeError("ServingDaemon closed"))
 
+    def _align_pool_scheduler(self, requested_backend) -> None:
+        """Keep a pool scheduler's worker-side execution consistent
+        with the daemon's backend — never silently run something else
+        (mirrors :meth:`repro.api.Session._align_pool_scheduler`).
+
+        Pool schedulers (those carrying an ``inner`` backend name)
+        ignore the in-process strategy: their workers resolve ``inner``
+        by name. A scheduler the daemon built from a name adopts the
+        daemon backend as ``inner``; a caller-configured instance wins
+        instead — the daemon relabels itself so results report what
+        actually executed, and an explicitly conflicting ``backend=``
+        is rejected rather than dropped. Schedulers without ``inner``
+        (serial/tile/adaptive) execute the daemon's strategy directly.
+        """
+        inner = getattr(self._scheduler, "inner", None)
+        if inner is None:
+            return
+        if self._owns_scheduler:
+            try:
+                get_backend(self.backend, allow_override=False)
+            except KeyError:
+                raise ValueError(
+                    f"backend {self.backend!r} is not a registered name; pool "
+                    f"workers resolve their strategy by name — register it or "
+                    f"pass a configured scheduler instance (inner=...)"
+                )
+            self._scheduler.inner = self.backend
+        elif requested_backend is not None and self.backend != inner:
+            raise ValueError(
+                f"daemon backend {self.backend!r} conflicts with the "
+                f"scheduler's inner backend {inner!r}; configure one of them"
+            )
+        else:
+            self.backend = inner
+
     def _plan_request(self, n: int) -> ShardPlan:
         """One request's shard plan, drawn in arrival order.
 
@@ -295,6 +374,11 @@ class ServingDaemon:
         if hasattr(self._strategy, "run_plan") or hasattr(
             self._strategy, "run_shards"
         ):
+            return plan_shards(n, self.micro_batch, rng=new_rng(None))
+        if getattr(self._scheduler, "requires_seeds", False):
+            # The adaptive chooser may send this plan to the process
+            # pool, where seedless shards would replay every worker's
+            # identical compile-time streams.
             return plan_shards(n, self.micro_batch, rng=new_rng(None))
         return plan_shards(n, self.micro_batch)
 
@@ -370,6 +454,22 @@ class ServingDaemon:
     def _execute_shards(self, x: np.ndarray, plan: ShardPlan):
         """Per-shard (logits, telemetry) pairs for one buffer + plan."""
         strategy = self._strategy
+        if self._scheduler is not None:
+            exec_plan = plan
+            if getattr(self._scheduler, "needs_task_graph", False):
+                exec_plan = compile_plan(
+                    self.engine.network, plan, input_shape=np.asarray(x).shape[1:]
+                )
+            outputs = self._scheduler.run_shards(
+                self.engine.network,
+                x,
+                exec_plan,
+                strategy=strategy,
+                exec_lock=self.engine._exec_lock,
+                rng=self.rng,
+            )
+            self._record_choice()
+            return outputs
         if hasattr(strategy, "run_shards"):
             return strategy.run_shards(self.engine.network, x, plan)
         return self._serial.run_shards(
@@ -380,6 +480,18 @@ class ServingDaemon:
             exec_lock=self.engine._exec_lock,
             rng=self.rng,
         )
+
+    def _record_choice(self) -> None:
+        """Copy the scheduler's latest decision telemetry (adaptive
+        schedulers only) into the daemon stats."""
+        choice = getattr(self._scheduler, "last_choice", None)
+        if choice is None:
+            return
+        with self._stats_lock:
+            self._stats.decisions = [d.as_dict() for d in choice.stages]
+            self._stats.mode_waves[choice.mode] = (
+                self._stats.mode_waves.get(choice.mode, 0) + 1
+            )
 
     def _slice_results(self, ready: List[_Request], outputs, wall: float) -> None:
         """Regroup per-shard outputs into per-request results."""
@@ -439,6 +551,8 @@ class ServingDaemon:
         self._closed = True
         if self._owns_strategy and hasattr(self._strategy, "close"):
             self._strategy.close()
+        if self._owns_scheduler and hasattr(self._scheduler, "close"):
+            self._scheduler.close()
 
     def __enter__(self) -> "ServingDaemon":
         return self

@@ -369,6 +369,20 @@ class ExecutionPlan:
                 width += 1
         return max(width, 1)
 
+    @property
+    def max_tile_width(self) -> int:
+        """The widest per-stage column-tile fan-out in the plan — the
+        upper bound on what tile-parallel execution can exploit."""
+        if not self.tasks:
+            return 1
+        first = self.tasks[0].shard
+        widths: Dict[int, int] = {}
+        for task in self.tasks:
+            if task.shard != first:
+                break  # tasks are shard-major; later shards repeat the shape
+            widths[task.stage] = widths.get(task.stage, 0) + 1
+        return max(widths.values(), default=1)
+
     def shard_tasks(self, shard: int) -> List[StageTask]:
         return [t for t in self.tasks if t.shard == shard]
 

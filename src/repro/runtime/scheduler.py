@@ -3,7 +3,7 @@
 A scheduler decides *where and in what order* the shards (and tiles) of
 an :class:`~repro.runtime.plan.ExecutionPlan` run; the layer-level
 execution *strategy* (:mod:`repro.api.backends`) still decides *how*
-each crossbar stage is sampled. Three first-class schedulers:
+each crossbar stage is sampled. Four first-class schedulers:
 
 ``"serial"``
     In-process, shard by shard, under the engine's execution lock —
@@ -20,8 +20,17 @@ each crossbar stage is sampled. Three first-class schedulers:
     headroom after the shard axis saturates at ``batch / micro_batch``.
     Tiles draw from their own per-tile generators, so the results are
     bit-identical to the serial ``"stochastic-packed"`` path.
+``"adaptive"``
+    Inspects the compiled :class:`~repro.runtime.plan.ExecutionPlan`
+    before execution and *chooses* one of the other three per request,
+    driven by the calibratable cost model of
+    :mod:`repro.runtime.costmodel` (plans below the break-even window
+    count always run serial). The recommended default for
+    pool-capable backends; ``REPRO_FORCE_SCHEDULER`` overrides the
+    choice, per-stage decisions surface in
+    :attr:`repro.api.results.InferenceResult.decisions`.
 
-All three return **per-shard** ``(logits, telemetry)`` pairs in plan
+All of them return **per-shard** ``(logits, telemetry)`` pairs in plan
 order, which is what lets the serving daemon slice a coalesced wave
 back into per-request results.
 
@@ -32,7 +41,9 @@ so pool tests cannot oversubscribe CI hosts.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import sys
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
 from typing import Dict, List, Optional, Tuple, Type
@@ -42,9 +53,17 @@ import numpy as np
 from repro.api.backends import get_backend
 from repro.api.results import LayerTelemetry, merge_telemetry
 from repro.runtime import transport
+from repro.runtime.costmodel import (
+    ADAPTIVE_MODES,
+    AdaptiveChoice,
+    CostModel,
+    candidate_modes,
+    load_cost_model,
+)
 from repro.runtime.plan import (
     ExecutionPlan,
     ShardPlan,
+    compile_plan,
     run_stages,
     seed_shard,
 )
@@ -105,20 +124,63 @@ def resolve_scheduler(source) -> Tuple[object, bool]:
 
 
 def _worker_cap(workers: int) -> int:
-    """Apply the ``REPRO_MAX_POOL_WORKERS`` environment cap."""
+    """Apply the ``REPRO_MAX_POOL_WORKERS`` environment cap.
+
+    A malformed or non-positive cap fails loudly here, at scheduler
+    construction, instead of surfacing as an opaque crash deep inside
+    the process pool (a mis-set CI variable should stop the build with
+    a message that names itself).
+    """
     cap = os.environ.get("REPRO_MAX_POOL_WORKERS")
-    if cap:
-        try:
-            return max(1, min(workers, int(cap)))
-        except ValueError:  # pragma: no cover - malformed env
-            return workers
-    return workers
+    if cap is None or not cap.strip():
+        return workers
+    try:
+        value = int(cap)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_MAX_POOL_WORKERS must be a positive integer, got {cap!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"REPRO_MAX_POOL_WORKERS must be >= 1, got {value}"
+        )
+    return max(1, min(workers, value))
 
 
 def _shard_plan_of(plan) -> ShardPlan:
     """Accept either an :class:`ExecutionPlan` or a bare
     :class:`ShardPlan` (legacy ``run_plan`` callers)."""
     return getattr(plan, "shard_plan", plan)
+
+
+def _pool_context():
+    """The multiprocessing context worker pools are built from.
+
+    ``forkserver`` when the platform offers it: serving front-ends
+    create pools lazily from worker *threads*, and a plain ``fork``
+    there occasionally snapshots another thread's held lock into the
+    child, deadlocking the pool initializer (the flaky check-runtime
+    hang). The fork server is a fresh single-threaded process (started
+    via fork+exec), so its forks are always clean. Like any spawn-based
+    start method it re-imports ``__main__`` in the child, so falls back
+    to the platform default both where forkserver is unavailable and
+    when the parent's ``__main__`` is not importable from a real file
+    (``python - <<...`` / piped-stdin scripts, whose recorded path is
+    the literal ``<stdin>``).
+    """
+    main = sys.modules.get("__main__")
+    main_file = getattr(main, "__file__", None)
+    if main_file is not None and not os.path.exists(main_file):
+        return multiprocessing.get_context()
+    try:
+        context = multiprocessing.get_context("forkserver")
+    except ValueError:  # pragma: no cover - platform without forkserver
+        return multiprocessing.get_context()
+    # Preload this module (and with it numpy + the repro package) into
+    # the fork server once, so every worker forks with warm imports
+    # instead of re-importing the scientific stack per process.
+    context.set_forkserver_preload(["repro.runtime.scheduler"])
+    return context
 
 
 # ----------------------------------------------------------------------
@@ -355,6 +417,7 @@ class ShardParallelScheduler:
             if self._pool is None:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
+                    mp_context=_pool_context(),
                     initializer=_worker_init,
                     initargs=(network, self.inner),
                 )
@@ -529,3 +592,194 @@ class TileParallelScheduler:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<scheduler {self.name} workers={self.workers}>"
+
+
+# ----------------------------------------------------------------------
+# Adaptive: the cost-model chooser over the other three.
+# ----------------------------------------------------------------------
+@register_scheduler(
+    "adaptive",
+    summary="cost-model chooser: serial / shard / tile fan-out per plan",
+)
+class AdaptiveScheduler:
+    """Choose the fan-out per request from the compiled plan's costs.
+
+    Before executing, the scheduler ranks the *correct* candidate modes
+    (:func:`~repro.runtime.costmodel.candidate_modes`: shard fan-out
+    needs seeded shards and a registered backend name; tile fan-out
+    needs a per-tile-generator backend) with the
+    :class:`~repro.runtime.costmodel.CostModel` and dispatches the plan
+    to the matching sub-scheduler. Because every candidate is
+    bit-identical to serial for the same plan, the choice can never
+    change the logits — only the wall time. Plans whose total estimated
+    windows sit below the model's break-even threshold short-circuit to
+    serial, so tiny requests never pay pool tax.
+
+    The per-stage decisions of the latest run (chosen mode, predicted
+    vs measured cost) are exposed as :attr:`last_decisions` /
+    :attr:`last_choice`; the :class:`~repro.api.Session` copies them
+    into :attr:`~repro.api.results.InferenceResult.decisions` and the
+    :class:`~repro.runtime.daemon.ServingDaemon` into
+    :attr:`~repro.runtime.daemon.DaemonStats.decisions`.
+
+    Parameters
+    ----------
+    workers:
+        Fan-out width for both the process pool and the tile threads
+        (defaults to the CPU count, capped by
+        ``REPRO_MAX_POOL_WORKERS``).
+    cost_model:
+        A ready-made :class:`~repro.runtime.costmodel.CostModel`, a
+        :class:`~repro.runtime.costmodel.CostCoefficients`, or a path
+        to saved coefficients JSON. ``None`` honors the
+        ``REPRO_COST_COEFFICIENTS`` environment variable and falls back
+        to the defaults.
+
+    ``REPRO_FORCE_SCHEDULER`` (environment) pins the choice to one of
+    ``serial`` / ``shard-parallel`` / ``tile-parallel`` for A/B runs;
+    forcing a mode that is unavailable for correctness reasons raises.
+    """
+
+    stateless = False
+    #: The chooser reads the task DAG, so the session must compile it.
+    needs_task_graph = True
+    #: Plans must carry real seeds — the chooser may send them to the
+    #: process pool, where seedless shards would replay each worker's
+    #: identical compile-time streams.
+    requires_seeds = True
+
+    def __init__(self, workers: Optional[int] = None, cost_model=None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = _worker_cap(int(workers or os.cpu_count() or 1))
+        self.cost_model: CostModel = load_cost_model(cost_model)
+        self._serial = SerialScheduler()
+        self._tile: Optional[TileParallelScheduler] = None
+        # One pool per inner backend name: a scheduler shared by
+        # sessions with different backends must never tear a pool down
+        # under another thread's in-flight run.
+        self._shards: Dict[str, ShardParallelScheduler] = {}
+        self._lock = threading.Lock()
+        # Decision telemetry is thread-local: a scheduler instance
+        # shared across serving threads reports each request's own
+        # choice to the thread that ran it.
+        self._decisions = threading.local()
+
+    @property
+    def last_choice(self) -> Optional[AdaptiveChoice]:
+        """The calling thread's most recent chooser outcome (None
+        before this thread has executed a plan)."""
+        return getattr(self._decisions, "choice", None)
+
+    @property
+    def last_decisions(self):
+        """Per-stage decision records of the calling thread's most
+        recent run (what :attr:`InferenceResult.decisions` surfaces)."""
+        choice = self.last_choice
+        return None if choice is None else choice.stages
+
+    # ------------------------------------------------------------------
+    def run_shards(
+        self,
+        network,
+        x: np.ndarray,
+        plan,
+        *,
+        strategy,
+        exec_lock=None,
+        rng=None,
+    ) -> List[ShardResult]:
+        if not isinstance(plan, ExecutionPlan):
+            # Callers that hand over a bare ShardPlan (the daemon's
+            # legacy path) still get the chooser: compile the DAG here.
+            plan = compile_plan(
+                network,
+                _shard_plan_of(plan),
+                input_shape=np.asarray(x).shape[1:],
+            )
+        choice = self._choose(plan, strategy)
+        if choice.mode == "shard-parallel":
+            scheduler = self._ensure_shard(getattr(strategy, "name"))
+            outputs = scheduler.run_shards(network, x, plan)
+        elif choice.mode == "tile-parallel":
+            scheduler = self._ensure_tile()
+            outputs = scheduler.run_shards(
+                network, x, plan, strategy=strategy, exec_lock=exec_lock, rng=rng
+            )
+        else:
+            outputs = self._serial.run_shards(
+                network, x, plan, strategy=strategy, exec_lock=exec_lock, rng=rng
+            )
+        self._record_measured(choice, outputs)
+        self._decisions.choice = choice
+        return outputs
+
+    def _choose(self, plan: ExecutionPlan, strategy) -> AdaptiveChoice:
+        modes = candidate_modes(
+            plan,
+            backend_name=getattr(strategy, "name", None),
+            deterministic=getattr(strategy, "deterministic", False),
+        )
+        force = os.environ.get("REPRO_FORCE_SCHEDULER")
+        if force is not None:
+            force = force.strip() or None
+        if force is not None and force not in ADAPTIVE_MODES:
+            raise ValueError(
+                f"REPRO_FORCE_SCHEDULER must be one of "
+                f"{', '.join(ADAPTIVE_MODES)}; got {force!r}"
+            )
+        return self.cost_model.choose(
+            plan, workers=self.workers, modes=modes, force=force
+        )
+
+    @staticmethod
+    def _record_measured(choice: AdaptiveChoice, outputs: List[ShardResult]) -> None:
+        """Fill each stage decision's ``measured_s`` from the executed
+        telemetry (summed across shards, without mutating the records
+        the session will merge afterwards)."""
+        measured: Dict[int, float] = {}
+        for _, records in outputs:
+            for record in records:
+                measured[record.index] = (
+                    measured.get(record.index, 0.0) + record.wall_time_s
+                )
+        for decision in choice.stages:
+            decision.measured_s = measured.get(decision.stage)
+
+    # ------------------------------------------------------------------
+    def _ensure_shard(self, inner: str) -> ShardParallelScheduler:
+        with self._lock:
+            scheduler = self._shards.get(inner)
+            if scheduler is None:
+                scheduler = self._shards[inner] = ShardParallelScheduler(
+                    workers=self.workers, inner=inner
+                )
+            return scheduler
+
+    def _ensure_tile(self) -> TileParallelScheduler:
+        with self._lock:
+            if self._tile is None:
+                self._tile = TileParallelScheduler(workers=self.workers)
+            return self._tile
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            for scheduler in self._shards.values():
+                scheduler.close()
+            self._shards.clear()
+            if self._tile is not None:
+                self._tile.close()
+                self._tile = None
+
+    def __enter__(self) -> "AdaptiveScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<scheduler {self.name} workers={self.workers} "
+            f"coefficients={self.cost_model.coefficients.source!r}>"
+        )

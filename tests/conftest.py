@@ -1,6 +1,16 @@
-"""Shared fixtures: seeded RNGs, datasets, and a session-scoped trained model."""
+"""Shared fixtures: seeded RNGs, datasets, and a session-scoped trained
+model — plus the in-process run-timeout watchdog the runtime test tier
+falls back to when GNU ``timeout`` is unavailable (minimal CI
+containers): set ``REPRO_TEST_TIMEOUT`` to a ceiling in seconds and a
+daemon timer aborts the whole pytest process with exit code 124 (the
+same code GNU timeout uses) once it elapses, so a pool/queue deadlock
+still fails the build fast."""
 
 from __future__ import annotations
+
+import os
+import sys
+import threading
 
 import numpy as np
 import pytest
@@ -10,6 +20,41 @@ from repro.data.loaders import DataLoader
 from repro.data.synthetic import make_mnist_like
 from repro.hardware.config import HardwareConfig
 from repro.models.mlp import Mlp
+
+
+def pytest_configure(config):
+    ceiling = os.environ.get("REPRO_TEST_TIMEOUT")
+    if not ceiling or not ceiling.strip():
+        return
+    try:
+        seconds = float(ceiling)
+    except ValueError:
+        raise pytest.UsageError(
+            f"REPRO_TEST_TIMEOUT must be a number of seconds, got {ceiling!r}"
+        )
+    if seconds <= 0:
+        raise pytest.UsageError(
+            f"REPRO_TEST_TIMEOUT must be > 0, got {seconds}"
+        )
+
+    def _abort() -> None:  # pragma: no cover - only fires on deadlock
+        sys.stderr.write(
+            f"\nREPRO_TEST_TIMEOUT: run exceeded the {seconds:.0f}s ceiling; "
+            f"aborting (suspected pool/queue deadlock)\n"
+        )
+        sys.stderr.flush()
+        os._exit(124)  # match GNU timeout's exit code
+
+    timer = threading.Timer(seconds, _abort)
+    timer.daemon = True
+    timer.start()
+    config._repro_timeout_timer = timer
+
+
+def pytest_unconfigure(config):
+    timer = getattr(config, "_repro_timeout_timer", None)
+    if timer is not None:
+        timer.cancel()
 
 
 @pytest.fixture
