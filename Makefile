@@ -8,7 +8,12 @@
 # timeout, so a pool/queue deadlock fails the build fast instead of
 # hanging the whole suite (GNU `timeout` when available, otherwise an
 # in-process watchdog via REPRO_TEST_TIMEOUT — see tests/conftest.py —
-# so minimal CI containers still get the ceiling); `make coverage` runs
+# so minimal CI containers still get the ceiling); `make check-chaos`
+# runs the fault-injection tier the same way — deterministic worker
+# kills, transport outages, blown deadlines, and poisoned payloads
+# against real process pools (tests/test_runtime_faults.py +
+# tests/test_runtime_chaos.py), where a recovery bug surfaces as a
+# timeout or a bit-identity failure; `make coverage` runs
 # the tier-1 tests under pytest-cov (skips gracefully when the plugin
 # is absent — CI wires it in as a non-blocking report step); `make
 # bench` times the simulation kernels — including the serial vs
@@ -42,9 +47,15 @@ PYTEST_FLAGS := $(if $(FAST),$(FAST_DESELECTS),) $(PYTEST_EXTRA)
 RUNTIME_TIMEOUT ?= 600
 RUNTIME_TESTS := tests/test_api_parallel.py tests/test_runtime_plan.py \
 	tests/test_runtime_daemon.py tests/test_runtime_adaptive.py
+
+# The chaos tier: deterministic fault injection against real pools.
+# Bounded the same way as the runtime tier — a recovery path that
+# wedges (instead of retrying / falling back) fails as a timeout.
+CHAOS_TIMEOUT ?= 600
+CHAOS_TESTS := tests/test_runtime_faults.py tests/test_runtime_chaos.py
 TIMEOUT_BIN := $(shell command -v timeout 2>/dev/null)
 
-.PHONY: test bench lint check check-runtime coverage
+.PHONY: test bench lint check check-runtime check-chaos coverage
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q $(PYTEST_FLAGS)
@@ -59,7 +70,17 @@ else
 		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest $(RUNTIME_TESTS) -q $(PYTEST_EXTRA)
 endif
 
-check: lint check-runtime test
+check-chaos:
+ifneq ($(TIMEOUT_BIN),)
+	REPRO_MAX_POOL_WORKERS=2 PYTHONPATH=$(PYTHONPATH) \
+		timeout $(CHAOS_TIMEOUT) $(PYTHON) -m pytest $(CHAOS_TESTS) -q $(PYTEST_EXTRA)
+else
+	@echo "GNU timeout not found; using in-process REPRO_TEST_TIMEOUT watchdog"
+	REPRO_MAX_POOL_WORKERS=2 REPRO_TEST_TIMEOUT=$(CHAOS_TIMEOUT) \
+		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest $(CHAOS_TESTS) -q $(PYTEST_EXTRA)
+endif
+
+check: lint check-runtime check-chaos test
 
 coverage:
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \

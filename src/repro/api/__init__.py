@@ -28,6 +28,12 @@ Façade over model compilation, execution, and metrics:
   / ``"adaptive"``, the cost-model chooser), the calibratable
   :class:`CostModel` (:func:`calibrate`), and shared-memory activation
   transport.
+* fault tolerance (:mod:`repro.runtime.faults` /
+  :mod:`repro.runtime.recovery`) — deterministic fault injection
+  (:class:`FaultPlan`), retry/backoff with pool rebuild
+  (:class:`RetryPolicy`), per-request deadlines, and bit-identical
+  serial fallback; outcomes surface in
+  :attr:`InferenceResult.recovery` and :class:`DaemonStats`.
 * experiment registry — every paper artifact, runnable by name
   (:func:`run_experiment`, CLI ``repro run``).
 
@@ -80,10 +86,19 @@ from repro.runtime import (
     CostCoefficients,
     CostModel,
     DaemonStats,
+    DeadlineExceeded,
+    FaultPlan,
+    FaultSpec,
+    PoisonedPayload,
+    QueueFull,
+    RecoveryLog,
+    RequestError,
+    RetryPolicy,
     ServingDaemon,
     StageDecision,
     available_schedulers,
     calibrate,
+    fault_injection,
     register_scheduler,
 )
 
@@ -123,4 +138,13 @@ __all__ = [
     "run_experiment",
     "network_workloads",
     "DEFAULT_MICRO_BATCH",
+    "FaultPlan",
+    "FaultSpec",
+    "fault_injection",
+    "RetryPolicy",
+    "RecoveryLog",
+    "RequestError",
+    "DeadlineExceeded",
+    "PoisonedPayload",
+    "QueueFull",
 ]

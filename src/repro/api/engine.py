@@ -104,6 +104,13 @@ class Session:
     bit-identical to serial for the same session seed, with the
     per-stage decision surfaced in
     :attr:`~repro.api.results.InferenceResult.decisions`.
+
+    ``deadline_s`` bounds each request's pool execution: a wave that
+    blows it abandons its stragglers and re-executes serially —
+    bit-identical, since every shard re-derives its sampler state from
+    its own plan seed. What recovery a run needed (retries, pool
+    rebuilds, serial fallback) surfaces in
+    :attr:`~repro.api.results.InferenceResult.recovery`.
     """
 
     def __init__(
@@ -114,6 +121,7 @@ class Session:
         backend=None,
         micro_batch=_INHERIT,
         scheduler=None,
+        deadline_s: Optional[float] = None,
     ) -> None:
         self.engine = engine
         source = backend if backend is not None else engine.backend
@@ -141,6 +149,9 @@ class Session:
         )
         if self.micro_batch is not None and self.micro_batch < 1:
             raise ValueError(f"micro_batch must be >= 1, got {self.micro_batch}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
+        self.deadline_s = deadline_s
         self._seeded = seed is not None
         self.rng = new_rng(seed)
         self._closed = False
@@ -228,10 +239,21 @@ class Session:
                 # Shard-level backend (process pool): it executes the
                 # whole plan against its own per-worker network copies,
                 # so the engine's shared layers are never touched here.
-                logits, telemetry = strategy.run_plan(self.engine.network, x, plan)
+                # Recovery extras ride as kwargs only when configured,
+                # so duck-typed strategies with the legacy three-arg
+                # run_plan keep working.
+                kwargs = (
+                    {}
+                    if self.deadline_s is None
+                    else {"deadline_s": self.deadline_s}
+                )
+                logits, telemetry = strategy.run_plan(
+                    self.engine.network, x, plan, **kwargs
+                )
                 decisions = None
+                recovery = self._recovery_of(strategy)
             else:
-                logits, telemetry, decisions = self._run_scheduled(
+                logits, telemetry, decisions, recovery = self._run_scheduled(
                     x, plan, strategy
                 )
             return InferenceResult(
@@ -250,6 +272,7 @@ class Session:
                 layers=telemetry,
                 labels=None if labels is None else np.asarray(labels),
                 decisions=decisions,
+                recovery=recovery,
             )
         finally:
             if owned and hasattr(strategy, "close"):
@@ -313,12 +336,12 @@ class Session:
         if self._owns_scheduler:
             try:
                 get_backend(self.backend, allow_override=False)
-            except KeyError:
+            except KeyError as exc:
                 raise ValueError(
                     f"backend {self.backend!r} is not a registered name; pool "
                     f"workers resolve their strategy by name — register it or "
                     f"pass a configured ShardParallelScheduler(inner=...)"
-                )
+                ) from exc
             self._scheduler.inner = self.backend
         elif requested_backend is not None and self.backend != inner:
             raise ValueError(
@@ -338,15 +361,24 @@ class Session:
             return self._strategy, False
         return resolve_strategy(backend)
 
+    @staticmethod
+    def _recovery_of(source) -> Optional[dict]:
+        """The latest :class:`~repro.runtime.recovery.RecoveryLog` of a
+        recovering scheduler/strategy, as a dict (None for paths with
+        nothing to recover)."""
+        log = getattr(source, "last_recovery", None)
+        return None if log is None else log.as_dict()
+
     def _run_scheduled(self, x, plan: ShardPlan, strategy):
         """Execute a plan through the session's runtime scheduler
         (serial by default): run per-shard, merge. The ExecutionPlan
         task DAG is compiled only for schedulers that consume it
         (``needs_task_graph`` — the ``"adaptive"`` chooser and the
         tile scheduler) — the plain shard schedulers execute straight
-        off the ShardPlan. Returns ``(logits, telemetry, decisions)``;
-        ``decisions`` is the adaptive scheduler's per-stage record for
-        this run (None for fixed schedulers).
+        off the ShardPlan. Returns ``(logits, telemetry, decisions,
+        recovery)``; ``decisions`` is the adaptive scheduler's per-stage
+        record for this run, ``recovery`` the recovery log of a
+        recovering path (each None otherwise).
         """
         scheduler = self._scheduler
         if scheduler is None:
@@ -364,12 +396,14 @@ class Session:
             strategy=strategy,
             exec_lock=self.engine._exec_lock,
             rng=self.rng,
+            deadline_s=self.deadline_s,
         )
         decisions = getattr(scheduler, "last_decisions", None)
+        recovery = self._recovery_of(scheduler)
         parts = [logits for logits, _ in outputs]
         telemetry = merge_telemetry(records for _, records in outputs)
         logits = np.concatenate(parts, axis=0) if len(parts) > 1 else parts[0]
-        return logits, telemetry, decisions
+        return logits, telemetry, decisions, recovery
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -467,6 +501,7 @@ class Engine:
         backend=None,
         micro_batch=_INHERIT,
         scheduler=None,
+        deadline_s: Optional[float] = None,
     ) -> Session:
         """Open a :class:`Session` (pinned RNG + batched requests).
 
@@ -480,7 +515,9 @@ class Engine:
         instance; omit for the serial loop. ``"adaptive"`` is the
         recommended default for pool-capable backends — it picks the
         fan-out per request from the plan's cost model and stays
-        bit-identical to serial.
+        bit-identical to serial. ``deadline_s`` bounds each request's
+        pool execution (blown deadlines recover via bit-identical
+        serial re-execution).
         """
         return Session(
             self,
@@ -488,6 +525,7 @@ class Engine:
             backend=backend,
             micro_batch=micro_batch,
             scheduler=scheduler,
+            deadline_s=deadline_s,
         )
 
     def run(

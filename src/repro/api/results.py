@@ -91,6 +91,15 @@ class InferenceResult:
     ``"adaptive"`` runtime scheduler: one
     :class:`~repro.runtime.costmodel.StageDecision` per stage recording
     the chosen execution mode and the predicted vs measured cost.
+
+    ``recovery`` is present when the request ran through a recovering
+    execution path (the shard-parallel pool, directly or under the
+    adaptive chooser): the
+    :class:`~repro.runtime.recovery.RecoveryLog` as a dict —
+    ``attempts``, per-retry actions, and whether a serial fallback
+    rescued the request. A clean first-attempt run reports
+    ``attempts=1`` with no retries; the logits are bit-identical either
+    way.
     """
 
     logits: np.ndarray
@@ -101,6 +110,7 @@ class InferenceResult:
     layers: List[LayerTelemetry] = field(default_factory=list)
     labels: Optional[np.ndarray] = None
     decisions: Optional[List] = None  # List[StageDecision] (adaptive runs)
+    recovery: Optional[dict] = None  # RecoveryLog.as_dict() (recovering paths)
 
     @property
     def predictions(self) -> np.ndarray:
@@ -152,6 +162,9 @@ class InferenceResult:
             report["scheduler_modes"] = ",".join(
                 sorted({d.mode for d in self.decisions})
             )
+        if self.recovery is not None and self.recovery.get("recovered"):
+            report["recovered"] = True
+            report["recovery_attempts"] = self.recovery.get("attempts", 0)
         return report
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

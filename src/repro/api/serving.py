@@ -106,6 +106,7 @@ class Serving:
         self.micro_batch = micro_batch
         self.scheduler = scheduler
         self.rng = new_rng(seed)
+        self._closed = False
 
     # ------------------------------------------------------------------
     def serve(
@@ -118,6 +119,8 @@ class Serving:
         ``labels`` is an optional sequence aligned with ``requests``
         (entries may be None); results come back in submission order.
         """
+        if self._closed:
+            raise RuntimeError("cannot serve through a closed Serving front-end")
         if labels is None:
             labels = [None] * len(requests)
         elif len(labels) != len(requests):
@@ -161,7 +164,12 @@ class Serving:
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Release the strategy if the front end owns it (e.g. shut
-        down a process pool resolved from a backend name)."""
+        down a process pool resolved from a backend name). Idempotent;
+        a closed front-end rejects further batches with
+        :class:`RuntimeError`."""
+        if self._closed:
+            return
+        self._closed = True
         if self._owns_strategy and hasattr(self._strategy, "close"):
             self._strategy.close()
 

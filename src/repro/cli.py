@@ -161,6 +161,7 @@ def _cmd_serve_bench(args) -> int:
 
     window_s = args.window_ms / 1e3
     rows = []  # (mode, ServingReport)
+    daemon_stats = []  # (mode, DaemonStats dict) for the daemon modes
     with Serving(engine, workers=1, backend="stochastic", seed=args.seed) as front:
         rows.append(("serving-serial", front.serve(requests, labels=labels)))
     # Coalescing daemon on the same in-process backend: requests merge
@@ -173,6 +174,7 @@ def _cmd_serve_bench(args) -> int:
         coalesce_window_s=window_s,
     ) as daemon:
         rows.append(("daemon-coalesced", daemon.serve(requests, labels=labels)))
+        daemon_stats.append(("daemon-coalesced", daemon.stats.as_dict()))
     for workers in args.workers:
         with StochasticParallelBackend(workers=workers) as backend:
             with Serving(
@@ -189,6 +191,7 @@ def _cmd_serve_bench(args) -> int:
                 rows.append(
                     ("daemon-parallel", daemon.serve(requests, labels=labels))
                 )
+                daemon_stats.append(("daemon-parallel", daemon.stats.as_dict()))
 
     print(
         f"\n{'mode':<17} {'backend':<21} {'workers':>7} {'wall(s)':>8} "
@@ -202,6 +205,13 @@ def _cmd_serve_bench(args) -> int:
             f"{report.wall_time_s:>8.3f} {report.requests_per_s:>8.2f} "
             f"{report.images_per_s:>9.1f} {report.mean_latency_s * 1e3:>12.1f} "
             f"{waves:>6} {report.accuracy:>9.3f}"
+        )
+    print("\ndaemon fault-tolerance counters:")
+    for mode, stats in daemon_stats:
+        print(
+            f"  {mode:<17} retries={stats['retries']} "
+            f"recoveries={stats['recoveries']} rejected={stats['rejected']} "
+            f"consumer_restarts={stats['consumer_restarts']}"
         )
     if args.json:
         payload = {
@@ -218,6 +228,10 @@ def _cmd_serve_bench(args) -> int:
             "rows": [
                 {"mode": mode, **_to_jsonable(report.summary())}
                 for mode, report in rows
+            ],
+            "daemon_stats": [
+                {"mode": mode, **_to_jsonable(stats)}
+                for mode, stats in daemon_stats
             ],
         }
         with open(args.json, "w") as fh:

@@ -23,6 +23,15 @@ facade and the layer-level execution backends
   queued serving loop with deadline-based batch coalescing (coalesced
   waves stay bit-identical to uncoalesced execution for seeded
   daemons).
+* :mod:`repro.runtime.faults` — the deterministic fault-injection
+  harness (:class:`FaultPlan` / :func:`fault_point`), armed via
+  :func:`install_fault_plan`, :class:`fault_injection`, or the
+  ``REPRO_FAULT_PLAN`` environment variable.
+* :mod:`repro.runtime.recovery` — failure classification (retryable
+  infrastructure vs fatal payload), :class:`RetryPolicy` with
+  exponential backoff and per-request deadlines, and the
+  :func:`run_with_recovery` loop whose outcomes surface as
+  :class:`RecoveryLog`.
 
 The :mod:`repro.api` surface (Engine / Session / Serving /
 StochasticParallelBackend) is a facade over this package; existing
@@ -40,6 +49,14 @@ from repro.runtime.costmodel import (
     load_cost_model,
 )
 from repro.runtime.daemon import DaemonStats, ServingDaemon
+from repro.runtime.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    fault_injection,
+    fault_point,
+    install_fault_plan,
+)
 from repro.runtime.plan import (
     ExecutionPlan,
     Shard,
@@ -50,6 +67,15 @@ from repro.runtime.plan import (
     plan_shards,
     run_stages,
     seed_shard,
+)
+from repro.runtime.recovery import (
+    DeadlineExceeded,
+    PoisonedPayload,
+    QueueFull,
+    RecoveryLog,
+    RequestError,
+    RetryPolicy,
+    run_with_recovery,
 )
 from repro.runtime.scheduler import (
     AdaptiveScheduler,
@@ -92,4 +118,17 @@ __all__ = [
     "TransportUnavailable",
     "ServingDaemon",
     "DaemonStats",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "fault_injection",
+    "fault_point",
+    "install_fault_plan",
+    "DeadlineExceeded",
+    "PoisonedPayload",
+    "QueueFull",
+    "RecoveryLog",
+    "RequestError",
+    "RetryPolicy",
+    "run_with_recovery",
 ]

@@ -29,6 +29,16 @@ A request whose execution raises fails *its own future only* — the
 wave re-runs request by request from the already-drawn plans, so one
 poisoned request can neither wedge the queue nor perturb its
 neighbours' randomness.
+
+Failures are *classified* (:mod:`repro.runtime.recovery`): the runtime
+scheduler retries and serially rescues infrastructure failures before
+the daemon ever sees them (counted in :attr:`DaemonStats.retries` /
+:attr:`DaemonStats.recoveries`); fatal payload errors land on the
+request's future with their original traceback chained. Admission is
+configurable (block vs reject-with-``QueueFull``), and a supervisor
+restarts the consumer thread if a wave's error handling is ever
+breached (:attr:`DaemonStats.consumer_restarts`) — queued requests
+survive the restart.
 """
 
 from __future__ import annotations
@@ -44,7 +54,9 @@ import numpy as np
 
 from repro.api.backends import get_backend, resolve_strategy
 from repro.api.results import InferenceResult, ServingReport, merge_telemetry
+from repro.runtime import faults
 from repro.runtime.plan import ShardPlan, compile_plan, concat_plans, plan_shards
+from repro.runtime.recovery import QueueFull, classified
 from repro.runtime.scheduler import SerialScheduler, resolve_scheduler
 from repro.utils.rng import SeedLike, new_rng
 
@@ -75,12 +87,19 @@ class DaemonStats:
     max_wave_requests: int = 0
     total_images: int = 0
     queue_high_water: int = 0
+    rejected: int = 0  # submissions refused at admission (QueueFull)
+    retries: int = 0  # pool attempts re-submitted by the recovery loop
+    recoveries: int = 0  # requests that completed via retry or fallback
+    consumer_restarts: int = 0  # supervisor restarts of a crashed consumer
+    recovery: Optional[dict] = None  # latest wave's RecoveryLog
     decisions: Optional[List[dict]] = None  # latest wave's stage decisions
     mode_waves: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         payload = dict(self.__dict__)
         payload["mode_waves"] = dict(self.mode_waves)
+        if self.recovery is not None:
+            payload["recovery"] = dict(self.recovery)
         if self.decisions is not None:
             payload["decisions"] = [dict(d) for d in self.decisions]
         return payload
@@ -124,8 +143,20 @@ class ServingDaemon:
     micro_batch:
         Per-request shard size (inherits the engine default).
     max_queue:
-        Bound on queued requests; :meth:`submit` blocks (or times out)
-        when full.
+        Bound on queued requests; what happens when it is full is the
+        ``admission`` policy's call.
+    admission:
+        ``"block"`` (default): a full queue makes :meth:`submit` wait
+        (raising :class:`~repro.runtime.recovery.QueueFull` after its
+        ``timeout``, if one was given). ``"reject"``: a full queue
+        fails the submission immediately with ``QueueFull`` — shed
+        load at the door instead of stacking callers. Rejections count
+        in :attr:`DaemonStats.rejected`.
+    deadline_s:
+        Per-request execution deadline handed to the runtime scheduler
+        (``None`` = none). A wave that blows it abandons its stragglers
+        and re-executes serially — bit-identical, with the recovery
+        recorded in :attr:`DaemonStats.recovery`.
     coalesce_window_s:
         How long the consumer waits for follow-up requests after the
         first of a wave. 0 still coalesces whatever is already queued.
@@ -153,12 +184,20 @@ class ServingDaemon:
         seed_per_request: bool = False,
         micro_batch=_INHERIT,
         max_queue: int = 64,
+        admission: str = "block",
+        deadline_s: Optional[float] = None,
         coalesce_window_s: float = 0.002,
         max_wave_images: int = 4096,
         scheduler=None,
     ) -> None:
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if admission not in ("block", "reject"):
+            raise ValueError(
+                f"admission must be 'block' or 'reject', got {admission!r}"
+            )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
         if coalesce_window_s < 0:
             raise ValueError(
                 f"coalesce_window_s must be >= 0, got {coalesce_window_s}"
@@ -191,6 +230,8 @@ class ServingDaemon:
         self.seed_per_request = bool(seed_per_request)
         self._seeded = seed is not None
         self.rng = new_rng(seed)
+        self.admission = admission
+        self.deadline_s = deadline_s
         self.coalesce_window_s = float(coalesce_window_s)
         self.max_wave_images = int(max_wave_images)
         self._queue: "queue.Queue[_Request]" = queue.Queue(maxsize=max_queue)
@@ -200,8 +241,9 @@ class ServingDaemon:
         self._closing = False
         self._drain = True
         self._closed = False
+        self._wave_recovery: Optional[dict] = None
         self._thread = threading.Thread(
-            target=self._consume, name="repro-serving-daemon", daemon=True
+            target=self._supervise, name="repro-serving-daemon", daemon=True
         )
         self._thread.start()
 
@@ -219,9 +261,12 @@ class ServingDaemon:
         """Enqueue one request; returns a Future of its
         :class:`~repro.api.results.InferenceResult`.
 
-        Blocks while the queue is full (``queue.Full`` after
-        ``timeout`` seconds, if given). Malformed requests (non-batched
-        arrays) are rejected here, in the caller's thread.
+        Admission is policy-driven: ``admission="block"`` waits out a
+        full queue (:class:`~repro.runtime.recovery.QueueFull` — a
+        ``queue.Full`` subclass — after ``timeout`` seconds, if given);
+        ``admission="reject"`` raises ``QueueFull`` immediately.
+        Malformed requests (non-batched arrays) are rejected here, in
+        the caller's thread.
         """
         if self._closing or self._closed:
             raise RuntimeError("cannot submit to a closed ServingDaemon")
@@ -236,7 +281,19 @@ class ServingDaemon:
             future=Future(),
             seed=None if seed is None else int(seed),
         )
-        self._queue.put(request, timeout=timeout)
+        try:
+            if self.admission == "reject":
+                self._queue.put_nowait(request)
+            else:
+                self._queue.put(request, timeout=timeout)
+        except queue.Full:
+            with self._stats_lock:
+                self._stats.rejected += 1
+            raise QueueFull(
+                f"ServingDaemon queue is at capacity "
+                f"({self._queue.maxsize} requests; admission="
+                f"{self.admission!r})"
+            ) from None
         with self._stats_lock:
             self._stats.submitted += 1
             self._stats.queue_high_water = max(
@@ -285,8 +342,45 @@ class ServingDaemon:
     # ------------------------------------------------------------------
     # Consumer side
     # ------------------------------------------------------------------
+    def _supervise(self) -> None:
+        """Consumer thread target: keep the consumer loop alive.
+
+        A consumer crash (anything an individual wave's own error
+        handling did not absorb) is counted, and the loop restarts —
+        requests already queued stay queued and are served by the
+        reincarnation. ``BaseException`` (``KeyboardInterrupt``,
+        ``SystemExit``) stops the daemon instead: queued requests are
+        failed so no caller is left holding a future that can never
+        resolve.
+        """
+        while True:
+            try:
+                self._consume()
+                return
+            except Exception:  # noqa: BLE001 - the supervisor's job
+                if self._closing or self._closed:
+                    return
+                with self._stats_lock:
+                    self._stats.consumer_restarts += 1
+            except BaseException as exc:
+                self._abort_queued(exc)
+                raise
+
+    def _abort_queued(self, exc: BaseException) -> None:
+        """Fail everything still queued (consumer is going away)."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            self._fail(
+                item,
+                RuntimeError(f"ServingDaemon consumer aborted: {exc!r}"),
+            )
+
     def _consume(self) -> None:
         while True:
+            faults.fault_point("daemon.consumer")
             try:
                 first = self._queue.get(timeout=0.02)
             except queue.Empty:
@@ -307,7 +401,7 @@ class ServingDaemon:
                     break
                 wave.append(item)
                 rows += item.images.shape[0]
-            self._run_wave(wave)
+            self._guarded_wave(wave)
         # Drain or fail whatever is still queued after the stop signal.
         while True:
             try:
@@ -315,9 +409,20 @@ class ServingDaemon:
             except queue.Empty:
                 break
             if self._drain:
-                self._run_wave([item])
+                self._guarded_wave([item])
             else:
                 self._fail(item, RuntimeError("ServingDaemon closed"))
+
+    def _guarded_wave(self, wave: List[_Request]) -> None:
+        """Run one wave; an exception that escapes the wave's own error
+        handling fails that wave's futures before propagating to the
+        supervisor — a consumer crash must never strand a caller."""
+        try:
+            self._run_wave(wave)
+        except BaseException as exc:
+            for item in wave:
+                self._fail(item, classified(exc))
+            raise
 
     def _align_pool_scheduler(self, requested_backend) -> None:
         """Keep a pool scheduler's worker-side execution consistent
@@ -339,12 +444,12 @@ class ServingDaemon:
         if self._owns_scheduler:
             try:
                 get_backend(self.backend, allow_override=False)
-            except KeyError:
+            except KeyError as exc:
                 raise ValueError(
                     f"backend {self.backend!r} is not a registered name; pool "
                     f"workers resolve their strategy by name — register it or "
                     f"pass a configured scheduler instance (inner=...)"
-                )
+                ) from exc
             self._scheduler.inner = self.backend
         elif requested_backend is not None and self.backend != inner:
             raise ValueError(
@@ -395,9 +500,13 @@ class ServingDaemon:
                     )
                 else:
                     item.plan = self._plan_request(item.rows)
+                # After the plan (and therefore this request's seeds)
+                # has been drawn: a poisoned request must never perturb
+                # its neighbours' randomness.
+                faults.fault_point("daemon.request", rows=item.rows)
                 ready.append(item)
             except Exception as exc:  # noqa: BLE001 - forwarded to caller
-                self._fail(item, exc)
+                self._fail(item, classified(exc))
         if not ready:
             return
         with self._stats_lock:
@@ -410,7 +519,9 @@ class ServingDaemon:
 
         # 2. One coalesced execution; on any failure fall back to
         # request-by-request execution of the already-drawn plans so
-        # only the offending request fails. A merged-only strategy
+        # only the offending request fails. (The scheduler has already
+        # retried / serially rescued everything retryable by the time
+        # an exception reaches this level.) A merged-only strategy
         # (bare ``run_plan``, no per-shard protocol) cannot be sliced
         # back into per-request results, so its waves run per request.
         try:
@@ -449,11 +560,12 @@ class ServingDaemon:
             else:
                 self._finish(item, logits, telemetry, len(item.plan), wall)
         except Exception as exc:  # noqa: BLE001 - forwarded to caller
-            self._fail(item, exc)
+            self._fail(item, classified(exc))
 
     def _execute_shards(self, x: np.ndarray, plan: ShardPlan):
         """Per-shard (logits, telemetry) pairs for one buffer + plan."""
         strategy = self._strategy
+        self._wave_recovery = None
         if self._scheduler is not None:
             exec_plan = plan
             if getattr(self._scheduler, "needs_task_graph", False):
@@ -467,11 +579,16 @@ class ServingDaemon:
                 strategy=strategy,
                 exec_lock=self.engine._exec_lock,
                 rng=self.rng,
+                deadline_s=self.deadline_s,
             )
             self._record_choice()
+            self._record_recovery(self._scheduler)
             return outputs
         if hasattr(strategy, "run_shards"):
-            return strategy.run_shards(self.engine.network, x, plan)
+            kwargs = {} if self.deadline_s is None else {"deadline_s": self.deadline_s}
+            outputs = strategy.run_shards(self.engine.network, x, plan, **kwargs)
+            self._record_recovery(strategy)
+            return outputs
         return self._serial.run_shards(
             self.engine.network,
             x,
@@ -480,6 +597,24 @@ class ServingDaemon:
             exec_lock=self.engine._exec_lock,
             rng=self.rng,
         )
+
+    def _record_recovery(self, source) -> None:
+        """Harvest the executing scheduler's recovery telemetry for the
+        wave that just ran: the latest log lands in
+        :attr:`DaemonStats.recovery` (and on each of the wave's
+        :class:`~repro.api.results.InferenceResult`\\ s), retried
+        attempts and recovered waves bump their counters."""
+        log = getattr(source, "last_recovery", None)
+        if log is None:
+            return
+        self._wave_recovery = log.as_dict()
+        with self._stats_lock:
+            self._stats.recovery = self._wave_recovery
+            self._stats.retries += sum(
+                1 for entry in log.retries if entry.get("action") != "serial-fallback"
+            )
+            if log.recovered:
+                self._stats.recoveries += 1
 
     def _record_choice(self) -> None:
         """Copy the scheduler's latest decision telemetry (adaptive
@@ -516,6 +651,7 @@ class ServingDaemon:
             wall_time_s=wall,
             layers=telemetry,
             labels=item.labels,
+            recovery=self._wave_recovery,
         )
         with self._stats_lock:
             self._stats.completed += 1

@@ -45,14 +45,17 @@ import multiprocessing
 import os
 import sys
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Tuple, Type
 
 import numpy as np
 
 from repro.api.backends import get_backend
 from repro.api.results import LayerTelemetry, merge_telemetry
-from repro.runtime import transport
+from repro.runtime import faults, transport
 from repro.runtime.costmodel import (
     ADAPTIVE_MODES,
     AdaptiveChoice,
@@ -67,6 +70,12 @@ from repro.runtime.plan import (
     run_stages,
     seed_shard,
 )
+from repro.runtime.recovery import (
+    DeadlineExceeded,
+    RecoveryLog,
+    RetryPolicy,
+    run_with_recovery,
+)
 
 #: (logits, per-stage telemetry) for one shard — every scheduler's unit
 #: of output.
@@ -79,8 +88,10 @@ def register_scheduler(name: str, *, summary: str = ""):
     """Class decorator registering a scheduler under ``name``.
 
     The class must provide
-    ``run_shards(network, x, plan, *, strategy, exec_lock, rng)``
-    returning per-shard :data:`ShardResult` pairs in plan order.
+    ``run_shards(network, x, plan, *, strategy, exec_lock, rng,
+    deadline_s)`` returning per-shard :data:`ShardResult` pairs in plan
+    order (``deadline_s`` may be ignored by schedulers that cannot
+    abandon stragglers — the serial loop is itself the rescue path).
     """
 
     def decorator(cls):
@@ -209,7 +220,11 @@ class SerialScheduler:
         strategy,
         exec_lock=None,
         rng: Optional[np.random.Generator] = None,
+        deadline_s: Optional[float] = None,
     ) -> List[ShardResult]:
+        # ``deadline_s`` is accepted for protocol parity and ignored:
+        # the serial loop has no stragglers to abandon — it *is* the
+        # rescue path every deadline recovery falls back to.
         lock = exec_lock if exec_lock is not None else threading.RLock()
         outputs: List[ShardResult] = []
         for shard in _shard_plan_of(plan).shards:
@@ -243,19 +258,32 @@ class SerialScheduler:
 _WORKER_STATE: dict = {}
 
 
-def _worker_init(network, inner_backend: str) -> None:
+def _worker_init(network, inner_backend: str, fault_plan: Optional[dict] = None) -> None:
     """Pool initializer: receive the network once, resolve the inner
     strategy. Runs in the worker process. The inner resolution bypasses
     any dispatch override a forked worker inherited from the parent —
     a worker must execute layers in-process, never recurse into
-    another pool."""
+    another pool. ``fault_plan`` (a serialized
+    :class:`~repro.runtime.faults.FaultPlan`) arms the chaos harness in
+    this worker; only the scheduler's *first* pool generation ships one,
+    so rebuilt pools come up healthy."""
     _WORKER_STATE["network"] = network
     _WORKER_STATE["strategy"] = get_backend(inner_backend, allow_override=False)
+    if fault_plan is not None:
+        faults.install_fault_plan(faults.FaultPlan.from_dict(fault_plan))
+    else:
+        # A fork(server) snapshot can carry the parent's installed plan
+        # in module globals; only explicitly shipped plans may arm here
+        # (rebuilt pools must come up healthy for recovery to converge).
+        faults.clear_inherited_plan()
 
 
-def _run_shard_local(chunk: np.ndarray, seed: Optional[int]) -> ShardResult:
+def _run_shard_local(
+    chunk: np.ndarray, seed: Optional[int], index: int = 0
+) -> ShardResult:
     network = _WORKER_STATE["network"]
     strategy = _WORKER_STATE["strategy"]
+    faults.fault_point("worker.shard", shard=index, rows=int(np.shape(chunk)[0]))
     rng = seed_shard(network, seed)
     telemetry: List[LayerTelemetry] = []
     logits = run_stages(
@@ -264,18 +292,20 @@ def _run_shard_local(chunk: np.ndarray, seed: Optional[int]) -> ShardResult:
     return logits, telemetry
 
 
-def _worker_run_shard(chunk: np.ndarray, seed: Optional[int]) -> ShardResult:
+def _worker_run_shard(
+    chunk: np.ndarray, seed: Optional[int], index: int = 0
+) -> ShardResult:
     """Pickled-transport shard task: the activation slice rode the
     pool's IPC pipe."""
-    return _run_shard_local(chunk, seed)
+    return _run_shard_local(chunk, seed, index)
 
 
 def _worker_run_shard_shm(
-    ticket: transport.ShmTicket, seed: Optional[int]
+    ticket: transport.ShmTicket, seed: Optional[int], index: int = 0
 ) -> ShardResult:
     """Shared-memory shard task: only the ticket crossed the pipe; the
     activations are read straight out of the ring slot."""
-    return _run_shard_local(transport.load(ticket), seed)
+    return _run_shard_local(transport.load(ticket), seed, index)
 
 
 @register_scheduler(
@@ -306,6 +336,17 @@ class ShardParallelScheduler:
         unavailable at runtime.
     ring_slots:
         How many waves the activation ring keeps in flight.
+    recovery:
+        The :class:`~repro.runtime.recovery.RetryPolicy` governing how
+        worker-pool failures are handled (``None`` reads the
+        ``REPRO_MAX_RETRIES`` / ``REPRO_REQUEST_DEADLINE_S`` family
+        from the environment). A ``BrokenProcessPool`` rebuilds the
+        pool and retries with backoff; a shared-memory outage flips to
+        pickle transport and retries; a blown deadline abandons the
+        stragglers and re-executes serially in-process — bit-identical,
+        because every shard re-derives its sampler state from its own
+        plan seed. :attr:`last_recovery` reports what the calling
+        thread's most recent wave went through.
     """
 
     stateless = False
@@ -317,6 +358,7 @@ class ShardParallelScheduler:
         inner: str = "stochastic",
         transport: str = "shm",
         ring_slots: int = 4,
+        recovery: Optional[RetryPolicy] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -326,11 +368,25 @@ class ShardParallelScheduler:
         self.inner = inner
         get_backend(inner, allow_override=False)  # fail fast on unknown names
         self.transport = transport
+        self.recovery = recovery if recovery is not None else RetryPolicy.from_env()
         self._ring_slots = int(ring_slots)
         self._ring: Optional[transport.ActivationRing] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_network = None
+        self._pool_generation = 0
+        self._serial = SerialScheduler()
         self._lock = threading.Lock()
+        # Per-thread recovery telemetry, mirroring the adaptive
+        # scheduler's decision telemetry: serving threads sharing one
+        # scheduler each see their own wave's log.
+        self._recovery_local = threading.local()
+
+    @property
+    def last_recovery(self) -> Optional[RecoveryLog]:
+        """The calling thread's most recent wave's
+        :class:`~repro.runtime.recovery.RecoveryLog` (None before this
+        thread has executed a plan)."""
+        return getattr(self._recovery_local, "log", None)
 
     # ------------------------------------------------------------------
     def run_shards(
@@ -342,12 +398,18 @@ class ShardParallelScheduler:
         strategy=None,
         exec_lock=None,
         rng=None,
+        deadline_s: Optional[float] = None,
     ) -> List[ShardResult]:
-        """Execute every shard on the pool; per-shard results in plan
-        order. ``strategy``/``exec_lock``/``rng`` are accepted for
+        """Execute every shard on the pool under the recovery policy;
+        per-shard results in plan order. ``strategy`` is accepted for
         interface parity but unused — workers resolve their own inner
-        strategy and own their own network copies."""
+        strategy and own their own network copies. ``exec_lock``/``rng``
+        are only touched by the serial rescue path. ``deadline_s``
+        (default: the policy's) bounds the wall time of the pool
+        attempts; a blown deadline abandons the stragglers and
+        re-executes serially."""
         shard_plan = _shard_plan_of(plan)
+        self._recovery_local.log = None
         if shard_plan.batch_size == 0:
             # N=0 draws nothing, so skip the reseed too: the shared
             # layers are left untouched (no lock needed) and the
@@ -361,6 +423,35 @@ class ShardParallelScheduler:
                 telemetry,
             )
             return [(logits, telemetry)]
+        faults.fault_point(
+            "scheduler.wave",
+            shards=len(shard_plan.shards),
+            rows=shard_plan.batch_size,
+        )
+        fallback = None
+        if self.recovery.serial_fallback:
+            fallback = lambda: self._serial_rescue(  # noqa: E731
+                network, x, shard_plan, exec_lock, rng
+            )
+        outputs, log = run_with_recovery(
+            lambda remaining: self._run_pool_once(network, x, shard_plan, remaining),
+            policy=self.recovery,
+            deadline_s=deadline_s,
+            fallback=fallback,
+            on_retry=self._repair,
+        )
+        self._recovery_local.log = log
+        return outputs
+
+    def _run_pool_once(
+        self,
+        network,
+        x: np.ndarray,
+        shard_plan: ShardPlan,
+        remaining: Optional[float],
+    ) -> List[ShardResult]:
+        """One pool attempt: publish, fan out, gather under the
+        remaining deadline budget."""
         pool = self._ensure_pool(network)
         lease = None
         if self.transport == "shm":
@@ -370,7 +461,9 @@ class ShardParallelScheduler:
                 # Host cannot do shared memory — flip to pickle for the
                 # lifetime of this scheduler and carry on.
                 self.transport = "pickle"
+        deadline = None if remaining is None else time.monotonic() + remaining
         futures = []
+        abandoned = False
         try:
             if lease is not None:
                 futures = [
@@ -378,30 +471,109 @@ class ShardParallelScheduler:
                         _worker_run_shard_shm,
                         lease.ticket(shard.start, shard.stop),
                         shard.seed,
+                        index,
                     )
-                    for shard in shard_plan.shards
+                    for index, shard in enumerate(shard_plan.shards)
                 ]
             else:
                 futures = [
                     pool.submit(
-                        _worker_run_shard, x[shard.start : shard.stop], shard.seed
+                        _worker_run_shard,
+                        x[shard.start : shard.stop],
+                        shard.seed,
+                        index,
                     )
-                    for shard in shard_plan.shards
+                    for index, shard in enumerate(shard_plan.shards)
                 ]
-            return [future.result() for future in futures]
+            outputs: List[ShardResult] = []
+            for future in futures:
+                budget = None if deadline is None else deadline - time.monotonic()
+                if budget is not None and budget <= 0:
+                    raise DeadlineExceeded(
+                        "wave deadline exhausted while gathering shards"
+                    )
+                try:
+                    outputs.append(future.result(timeout=budget))
+                except (FuturesTimeout, TimeoutError):
+                    raise DeadlineExceeded(
+                        "wave deadline exhausted while gathering shards"
+                    ) from None
+            return outputs
+        except DeadlineExceeded:
+            # Straggler path: cancel what has not started and walk away
+            # — never wait out a wedged worker.
+            abandoned = True
+            for future in futures:
+                future.cancel()
+            raise
         finally:
             if lease is not None:
-                # An early future's exception must not release the slot
-                # while later shards are still reading it — the ring's
-                # never-rewrite-while-read invariant. Wait out every
-                # in-flight task first (a no-op on the happy path).
-                wait(futures)
-                lease.release()
+                if abandoned:
+                    # A straggler may still be reading the slot; destroy
+                    # the segment instead of recycling it so a retry can
+                    # never rewrite memory under a live reader.
+                    lease.abandon()
+                else:
+                    # An early future's exception must not release the
+                    # slot while later shards are still reading it — the
+                    # ring's never-rewrite-while-read invariant. Wait
+                    # out every in-flight task first (a no-op on the
+                    # happy path).
+                    wait(futures)
+                    lease.release()
 
-    def run_plan(self, network, x: np.ndarray, plan):
+    def _repair(self, exc: BaseException) -> Optional[str]:
+        """Fix the broken resource before a retry; returns the action
+        label recorded in the :class:`RecoveryLog`."""
+        if isinstance(exc, BrokenProcessPool):
+            self._rebuild_pool()
+            return "rebuild-pool"
+        if isinstance(exc, transport.TransportUnavailable):
+            self.transport = "pickle"
+            return "pickle-transport"
+        return None
+
+    def _rebuild_pool(self) -> None:
+        """Tear down a broken pool so the next attempt builds a fresh
+        one (generation > 0, so no fault plan ships to its workers)."""
+        with self._lock:
+            if self._pool is not None:
+                # The pool is broken — its workers are gone; waiting on
+                # it can only block.
+                self._pool.shutdown(wait=False)
+                self._pool = None
+                self._pool_network = None
+
+    def _serial_rescue(
+        self, network, x: np.ndarray, shard_plan: ShardPlan, exec_lock, rng
+    ) -> List[ShardResult]:
+        """In-process re-execution of the whole wave — always completes
+        and is bit-identical to a pool run of the same plan, because
+        every shard re-derives its sampler state from its own seed."""
+        return self._serial.run_shards(
+            network,
+            x,
+            shard_plan,
+            strategy=get_backend(self.inner, allow_override=False),
+            exec_lock=exec_lock,
+            rng=rng,
+        )
+
+    def run_plan(
+        self,
+        network,
+        x: np.ndarray,
+        plan,
+        *,
+        exec_lock=None,
+        rng=None,
+        deadline_s: Optional[float] = None,
+    ):
         """Merged ``(logits, telemetry)`` over the whole plan — the
         shard-level backend protocol (:meth:`repro.api.Session.run`)."""
-        outputs = self.run_shards(network, x, plan)
+        outputs = self.run_shards(
+            network, x, plan, exec_lock=exec_lock, rng=rng, deadline_s=deadline_s
+        )
         parts = [logits for logits, _ in outputs]
         telemetry = merge_telemetry(records for _, records in outputs)
         logits = np.concatenate(parts, axis=0) if len(parts) > 1 else parts[0]
@@ -409,20 +581,55 @@ class ShardParallelScheduler:
 
     def _ensure_pool(self, network) -> ProcessPoolExecutor:
         """The live pool for ``network``, (re)created under a lock so a
-        serving front-end's threads can share one scheduler instance."""
+        serving front-end's threads can share one scheduler instance.
+
+        Only the *first* generation ships the active fault plan to its
+        workers: a rebuilt pool models "the crashed worker's replacement
+        is healthy", which is what lets retry-based recovery converge
+        instead of re-injecting the same crash forever.
+        """
         with self._lock:
             if self._pool is not None and self._pool_network is not network:
                 self._pool.shutdown(wait=True)
                 self._pool = None
             if self._pool is None:
+                plan = faults.active_fault_plan()
+                shipped = (
+                    plan.as_dict()
+                    if plan is not None and self._pool_generation == 0
+                    else None
+                )
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
                     mp_context=_pool_context(),
                     initializer=_worker_init,
-                    initargs=(network, self.inner),
+                    initargs=(network, self.inner, shipped),
                 )
+                self._prespawn_workers(self._pool)
                 self._pool_network = network
+                self._pool_generation += 1
             return self._pool
+
+    def _prespawn_workers(self, pool: ProcessPoolExecutor) -> None:
+        """Start every worker before any task is submitted.
+
+        The executor spawns workers lazily, one per submit — so a worker
+        crash mid-wave can race a sibling's in-flight spawn, and the
+        executor's broken-pool teardown then terminates only the workers
+        registered at that instant but *joins* the late-registered one
+        too, which (never signalled, blocked on the torn-down call
+        queue) hangs the join forever. With the full complement spawned
+        up front there is never a spawn in flight for a crash to race.
+        No tasks exist yet, so poking the executor's spawn machinery
+        here is single-threaded; if the stdlib internals ever move, the
+        lazy path is only a hang-risk under injected crashes.
+        """
+        try:  # pragma: no branch
+            with pool._shutdown_lock:
+                while len(pool._processes) < self.workers:
+                    pool._spawn_process()
+        except AttributeError:  # pragma: no cover - stdlib internals moved
+            pass
 
     def _ensure_ring(self) -> transport.ActivationRing:
         with self._lock:
@@ -560,7 +767,11 @@ class TileParallelScheduler:
         strategy,
         exec_lock=None,
         rng=None,
+        deadline_s: Optional[float] = None,
     ) -> List[ShardResult]:
+        # ``deadline_s`` is accepted for protocol parity and ignored:
+        # tiles run in-process and always complete, like the serial
+        # rescue path.
         # The plan's task DAG tells us whether any stage actually fans
         # out; a pure single-tile network skips the wrapper entirely.
         fans_out = True
@@ -634,6 +845,11 @@ class AdaptiveScheduler:
         to saved coefficients JSON. ``None`` honors the
         ``REPRO_COST_COEFFICIENTS`` environment variable and falls back
         to the defaults.
+    recovery:
+        :class:`~repro.runtime.recovery.RetryPolicy` handed to the
+        shard-parallel sub-schedulers (``None`` = environment
+        defaults); :attr:`last_recovery` relays what the chosen path
+        went through.
 
     ``REPRO_FORCE_SCHEDULER`` (environment) pins the choice to one of
     ``serial`` / ``shard-parallel`` / ``tile-parallel`` for A/B runs;
@@ -648,11 +864,17 @@ class AdaptiveScheduler:
     #: identical compile-time streams.
     requires_seeds = True
 
-    def __init__(self, workers: Optional[int] = None, cost_model=None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cost_model=None,
+        recovery: Optional[RetryPolicy] = None,
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = _worker_cap(int(workers or os.cpu_count() or 1))
         self.cost_model: CostModel = load_cost_model(cost_model)
+        self.recovery = recovery if recovery is not None else RetryPolicy.from_env()
         self._serial = SerialScheduler()
         self._tile: Optional[TileParallelScheduler] = None
         # One pool per inner backend name: a scheduler shared by
@@ -678,6 +900,12 @@ class AdaptiveScheduler:
         choice = self.last_choice
         return None if choice is None else choice.stages
 
+    @property
+    def last_recovery(self) -> Optional[RecoveryLog]:
+        """The calling thread's most recent run's recovery log (None
+        unless the chooser dispatched to a recovering path)."""
+        return getattr(self._decisions, "recovery", None)
+
     # ------------------------------------------------------------------
     def run_shards(
         self,
@@ -688,6 +916,7 @@ class AdaptiveScheduler:
         strategy,
         exec_lock=None,
         rng=None,
+        deadline_s: Optional[float] = None,
     ) -> List[ShardResult]:
         if not isinstance(plan, ExecutionPlan):
             # Callers that hand over a bare ShardPlan (the daemon's
@@ -698,9 +927,18 @@ class AdaptiveScheduler:
                 input_shape=np.asarray(x).shape[1:],
             )
         choice = self._choose(plan, strategy)
+        self._decisions.recovery = None
         if choice.mode == "shard-parallel":
             scheduler = self._ensure_shard(getattr(strategy, "name"))
-            outputs = scheduler.run_shards(network, x, plan)
+            outputs = scheduler.run_shards(
+                network,
+                x,
+                plan,
+                exec_lock=exec_lock,
+                rng=rng,
+                deadline_s=deadline_s,
+            )
+            self._decisions.recovery = scheduler.last_recovery
         elif choice.mode == "tile-parallel":
             scheduler = self._ensure_tile()
             outputs = scheduler.run_shards(
@@ -752,7 +990,7 @@ class AdaptiveScheduler:
             scheduler = self._shards.get(inner)
             if scheduler is None:
                 scheduler = self._shards[inner] = ShardParallelScheduler(
-                    workers=self.workers, inner=inner
+                    workers=self.workers, inner=inner, recovery=self.recovery
                 )
             return scheduler
 

@@ -22,24 +22,53 @@ results. When shared memory is unavailable (exotic platforms, exhausted
 /dev/shm) the scheduler falls back to the pickled path — construction
 failures raise :class:`TransportUnavailable` exactly once and the
 scheduler flips itself to ``"pickle"``.
+
+Fault tolerance: a wave that *fails* still flows through the
+scheduler's ``finally`` and releases its lease, and two further guards
+keep a crashed or wedged consumer from pinning the ring forever:
+
+* **lease timeout** — a lease older than ``lease_timeout_s`` is
+  *reclaimed* while another publisher waits: its segment is abandoned
+  (unlinked, never reused — a straggling worker's existing mapping
+  stays valid, it simply reads data nobody wants anymore) and the slot
+  count is freed. A late :meth:`Lease.release` on a reclaimed lease is
+  a no-op.
+* **publish timeout** — ``publish`` raises
+  :class:`TransportUnavailable` instead of blocking forever when no
+  slot frees up in ``publish_timeout_s``, letting the scheduler flip
+  to the pickle path and carry on.
+
+:meth:`Lease.abandon` is the deadline-recovery hook: when a scheduler
+gives up on a wave whose workers may still be reading, abandoning
+destroys the segment instead of recycling it, so a retry can never
+rewrite memory a straggler is scanning.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.runtime import faults
+
 #: Smallest segment worth allocating — tiny waves round up so the ring
 #: can absorb slightly larger follow-up waves without reallocating.
 _MIN_SLOT_BYTES = 1 << 16
 
+#: Default ceiling on how long a lease may stay unreleased before a
+#: waiting publisher may reclaim its slot (a dead consumer's lease must
+#: never wedge the ring permanently).
+DEFAULT_LEASE_TIMEOUT_S = 60.0
+
 
 class TransportUnavailable(RuntimeError):
-    """Shared-memory segments cannot be created on this host."""
+    """Shared-memory segments cannot be created (or leased) on this
+    host right now."""
 
 
 @dataclass(frozen=True)
@@ -59,7 +88,11 @@ class Lease:
 
     The parent releases only after every shard future that reads from
     the slot has resolved, so workers never observe a slot being
-    rewritten mid-read.
+    rewritten mid-read. :meth:`abandon` is the failure path: the
+    segment is destroyed (not recycled), so a straggler still holding a
+    mapping reads stale-but-stable bytes instead of a retry's fresh
+    data. Both are idempotent, including after the ring reclaimed an
+    expired lease.
     """
 
     def __init__(self, ring: "ActivationRing", slot: "_Slot", shape, dtype) -> None:
@@ -67,7 +100,7 @@ class Lease:
         self._slot = slot
         self._shape = tuple(shape)
         self._dtype = str(dtype)
-        self._released = False
+        self.created_at = time.monotonic()
 
     def ticket(self, start: int, stop: int) -> ShmTicket:
         return ShmTicket(
@@ -79,9 +112,12 @@ class Lease:
         )
 
     def release(self) -> None:
-        if not self._released:
-            self._released = True
-            self._ring._release(self._slot)
+        self._ring._settle(self, destroy=False)
+
+    def abandon(self) -> None:
+        """Release the slot *without* recycling it (workers may still
+        be reading): the segment is unlinked and the capacity freed."""
+        self._ring._settle(self, destroy=True)
 
 
 class _Slot:
@@ -96,37 +132,101 @@ class ActivationRing:
     """A bounded pool of reusable shared-memory slots (parent side).
 
     ``slots`` bounds how many waves may be in flight at once;
-    :meth:`publish` blocks when the ring is full. Slots are sized
-    lazily: a wave that outgrows every free slot replaces the smallest
-    one (old segments are unlinked — names are never reused, so a
-    worker's cached attachment can never alias a new wave's data).
+    :meth:`publish` blocks when the ring is full — up to
+    ``publish_timeout_s`` (then :class:`TransportUnavailable`), while
+    reclaiming leases older than ``lease_timeout_s`` so a crashed
+    consumer can never wedge the ring. Slots are sized lazily: a wave
+    that outgrows every free slot replaces the smallest one (old
+    segments are unlinked — names are never reused, so a worker's
+    cached attachment can never alias a new wave's data).
     """
 
-    def __init__(self, slots: int = 4) -> None:
+    def __init__(
+        self,
+        slots: int = 4,
+        *,
+        lease_timeout_s: Optional[float] = DEFAULT_LEASE_TIMEOUT_S,
+        publish_timeout_s: Optional[float] = None,
+    ) -> None:
         if slots < 1:
             raise ValueError(f"slots must be >= 1, got {slots}")
+        if lease_timeout_s is not None and lease_timeout_s <= 0:
+            raise ValueError(
+                f"lease_timeout_s must be > 0 or None, got {lease_timeout_s}"
+            )
+        if publish_timeout_s is not None and publish_timeout_s <= 0:
+            raise ValueError(
+                f"publish_timeout_s must be > 0 or None, got {publish_timeout_s}"
+            )
         self.slots = int(slots)
+        self.lease_timeout_s = lease_timeout_s
+        self.publish_timeout_s = publish_timeout_s
         self._free: List[_Slot] = []
-        self._active: int = 0
+        self._leases: Dict[int, Lease] = {}  # id(lease) -> lease
         self._cond = threading.Condition()
         self._closed = False
+        self.reclaimed = 0  # expired leases forcibly reclaimed (telemetry)
 
     # ------------------------------------------------------------------
     def publish(self, array: np.ndarray) -> Lease:
         """Copy ``array`` into a slot; returns the :class:`Lease`."""
         a = np.ascontiguousarray(array)
         nbytes = max(int(a.nbytes), 1)
+        faults.fault_point("transport.publish", nbytes=nbytes)
+        deadline = (
+            None
+            if self.publish_timeout_s is None
+            else time.monotonic() + self.publish_timeout_s
+        )
         with self._cond:
             if self._closed:
                 raise TransportUnavailable("activation ring is closed")
-            while self._active >= self.slots:
-                self._cond.wait()
+            while len(self._leases) >= self.slots:
+                self._reclaim_expired_locked()
+                if len(self._leases) < self.slots:
+                    break
+                wait = self._next_wakeup_locked(deadline)
+                if wait is not None and wait <= 0:
+                    raise TransportUnavailable(
+                        f"no activation slot freed within "
+                        f"{self.publish_timeout_s}s ({self.slots} leases "
+                        f"outstanding)"
+                    )
+                self._cond.wait(timeout=wait)
+                if self._closed:
+                    raise TransportUnavailable("activation ring is closed")
             slot = self._take_slot(nbytes)
-            self._active += 1
+            lease = Lease(self, slot, a.shape, a.dtype)
+            self._leases[id(lease)] = lease
         buf = np.ndarray(a.shape, dtype=a.dtype, buffer=slot.shm.buf)
         buf[...] = a
         del buf  # drop the exported view before anyone can close the mmap
-        return Lease(self, slot, a.shape, a.dtype)
+        return lease
+
+    def _next_wakeup_locked(self, deadline: Optional[float]) -> Optional[float]:
+        """How long publish may sleep before something actionable: the
+        publish deadline, the next lease expiry, or (neither) forever.
+        Returns <= 0 when the publish deadline has already passed."""
+        now = time.monotonic()
+        candidates = []
+        if deadline is not None:
+            candidates.append(deadline - now)
+        if self.lease_timeout_s is not None and self._leases:
+            oldest = min(l.created_at for l in self._leases.values())
+            candidates.append(max(oldest + self.lease_timeout_s - now, 0.001))
+        return min(candidates) if candidates else None
+
+    def _reclaim_expired_locked(self) -> None:
+        if self.lease_timeout_s is None:
+            return
+        cutoff = time.monotonic() - self.lease_timeout_s
+        expired = [
+            lease for lease in self._leases.values() if lease.created_at < cutoff
+        ]
+        for lease in expired:
+            del self._leases[id(lease)]
+            _destroy(lease._slot.shm)
+            self.reclaimed += 1
 
     def _take_slot(self, nbytes: int) -> _Slot:
         """A free slot of capacity >= nbytes (smallest fit), else a
@@ -136,7 +236,7 @@ class ActivationRing:
             slot = min(fits, key=lambda s: s.nbytes)
             self._free.remove(slot)
             return slot
-        if self._free and self._active + len(self._free) >= self.slots:
+        if self._free and len(self._leases) + len(self._free) >= self.slots:
             victim = min(self._free, key=lambda s: s.nbytes)
             self._free.remove(victim)
             _destroy(victim.shm)
@@ -145,25 +245,37 @@ class ActivationRing:
                 create=True, size=max(nbytes, _MIN_SLOT_BYTES)
             )
         except OSError as exc:  # pragma: no cover - host-dependent
-            raise TransportUnavailable(f"cannot create shared memory: {exc}")
+            raise TransportUnavailable(
+                f"cannot create shared memory: {exc}"
+            ) from exc
         return _Slot(shm)
 
-    def _release(self, slot: _Slot) -> None:
+    def _settle(self, lease: Lease, *, destroy: bool) -> None:
+        """Release or abandon one lease (no-op if already settled or
+        reclaimed by the expiry sweep)."""
         with self._cond:
-            self._active -= 1
-            if self._closed:
-                _destroy(slot.shm)
+            if self._leases.pop(id(lease), None) is None:
+                return
+            if destroy or self._closed:
+                _destroy(lease._slot.shm)
             else:
-                self._free.append(slot)
+                self._free.append(lease._slot)
             self._cond.notify()
 
     # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Leases currently pinned (telemetry / tests)."""
+        with self._cond:
+            return len(self._leases)
+
     def close(self) -> None:
         """Unlink every free segment; outstanding leases are destroyed
         on release. Idempotent."""
         with self._cond:
             self._closed = True
             free, self._free = self._free, []
+            self._cond.notify_all()
         for slot in free:
             _destroy(slot.shm)
 
@@ -193,6 +305,7 @@ _ATTACH_CACHE_MAX = 8
 
 
 def _attach(name: str) -> shared_memory.SharedMemory:
+    faults.fault_point("transport.attach", segment=name)
     shm = _ATTACH_CACHE.get(name)
     if shm is not None:
         return shm
