@@ -8,7 +8,11 @@
 # timeout, so a pool/queue deadlock fails the build fast instead of
 # hanging the whole suite (GNU `timeout` when available, otherwise an
 # in-process watchdog via REPRO_TEST_TIMEOUT — see tests/conftest.py —
-# so minimal CI containers still get the ceiling); `make check-chaos`
+# so minimal CI containers still get the ceiling; the tier includes the
+# network serving tests, which drive real sockets through the asyncio
+# front-end); `make bench-serving` sweeps the network tier's offered
+# load with SERVE_CLIENTS concurrent connections and writes the
+# latency/saturation rows to BENCH_serving.json; `make check-chaos`
 # runs the fault-injection tier the same way — deterministic worker
 # kills, transport outages, blown deadlines, and poisoned payloads
 # against real process pools (tests/test_runtime_faults.py +
@@ -46,7 +50,8 @@ PYTEST_FLAGS := $(if $(FAST),$(FAST_DESELECTS),) $(PYTEST_EXTRA)
 # in-process watchdog from REPRO_TEST_TIMEOUT (same exit code, 124).
 RUNTIME_TIMEOUT ?= 600
 RUNTIME_TESTS := tests/test_api_parallel.py tests/test_runtime_plan.py \
-	tests/test_runtime_daemon.py tests/test_runtime_adaptive.py
+	tests/test_runtime_daemon.py tests/test_runtime_adaptive.py \
+	tests/test_net_serving.py
 
 # The chaos tier: deterministic fault injection against real pools.
 # Bounded the same way as the runtime tier — a recovery path that
@@ -55,7 +60,7 @@ CHAOS_TIMEOUT ?= 600
 CHAOS_TESTS := tests/test_runtime_faults.py tests/test_runtime_chaos.py
 TIMEOUT_BIN := $(shell command -v timeout 2>/dev/null)
 
-.PHONY: test bench lint check check-runtime check-chaos coverage
+.PHONY: test bench bench-serving lint check check-runtime check-chaos coverage
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q $(PYTEST_FLAGS)
@@ -92,6 +97,16 @@ coverage:
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/test_kernel_performance.py -q --bench-json=BENCH_kernels.json
+
+# Network serving latency/throughput sweep: N concurrent clients drive
+# the asyncio front-end over the framed wire protocol (in-process
+# server), verify every response bit-identical to serial Sessions, and
+# write the p50/p95/p99 + saturation rows to BENCH_serving.json.
+SERVE_CLIENTS ?= 8
+bench-serving:
+	REPRO_MAX_POOL_WORKERS=2 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli \
+		serve-bench --clients $(SERVE_CLIENTS) --connect \
+		--requests 16 --batch 32 --epochs 2 --json BENCH_serving.json
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

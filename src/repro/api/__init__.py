@@ -21,7 +21,14 @@ Façade over model compilation, execution, and metrics:
 * :class:`ServingDaemon` (from :mod:`repro.runtime`) — long-lived
   queued serving with deadline-based batch coalescing; coalesced waves
   are bit-identical to uncoalesced serial execution for seeded
-  daemons.
+  daemons. A second consumer overlaps wave assembly with wave
+  execution, and the live ``queue_depth`` / ``in_flight`` gauges plus
+  non-blocking ``try_submit`` feed the network tier's load shedding.
+* network serving tier (:mod:`repro.net`) — the framed wire protocol,
+  the asyncio :class:`~repro.net.server.NetworkServer` ingestion
+  front-end with per-client quotas and rate limiting, sync/async
+  clients, and the multi-client load generator behind
+  ``repro serve-bench --connect``.
 * runtime subsystem (:mod:`repro.runtime`) — explicit
   :class:`ExecutionPlan` task DAGs (:func:`compile_plan`), pluggable
   schedulers (``"serial"`` / ``"shard-parallel"`` / ``"tile-parallel"``

@@ -217,6 +217,17 @@ class ServingReport:
             return 0.0
         return sum(r.wall_time_s for r in self.results) / len(self.results)
 
+    def latency_percentile(self, q: float) -> float:
+        """Nearest-rank latency percentile over per-request wall times
+        (``q`` in [0, 100]; 0.0 for an empty report) — the same
+        convention as the network tier's load generator, so in-process
+        and over-the-wire serving benchmarks are directly comparable."""
+        if not self.results:
+            return 0.0
+        ordered = sorted(r.wall_time_s for r in self.results)
+        rank = int(np.ceil(q / 100.0 * len(ordered))) - 1
+        return float(ordered[max(0, min(len(ordered) - 1, rank))])
+
     @property
     def total_windows(self) -> int:
         return sum(r.total_windows for r in self.results)
@@ -246,6 +257,9 @@ class ServingReport:
             "requests_per_s": self.requests_per_s,
             "images_per_s": self.images_per_s,
             "mean_latency_s": self.mean_latency_s,
+            "latency_p50_s": self.latency_percentile(50),
+            "latency_p95_s": self.latency_percentile(95),
+            "latency_p99_s": self.latency_percentile(99),
         }
         if self.waves is not None:
             report["waves"] = self.waves

@@ -16,7 +16,10 @@ against). The runtime's successor is the long-lived
 with deadline-based batch coalescing — use it when requests arrive
 over time rather than as one batch, or to amortize execution across
 requests (``ServingDaemon(engine, seed_per_request=True)`` reproduces
-this front-end's seeding contract bit for bit).
+this front-end's seeding contract bit for bit). Remote clients reach
+that daemon over TCP through :mod:`repro.net` — the framed wire
+protocol, the asyncio :class:`~repro.net.server.NetworkServer`, and
+the ``repro serve`` / ``serve-bench --connect`` CLI entry points.
 
 Correctness under concurrency comes from the engine's per-shard
 execution discipline: every shard pins the shared layers' sampler

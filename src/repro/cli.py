@@ -34,10 +34,26 @@ cost-model decision (chosen mode + predicted wall time per candidate)::
 measures concurrent serving throughput across the serving front-ends:
 the thread-pool ``Serving`` baseline, the coalescing ``ServingDaemon``,
 each over both the in-process and process-parallel execution paths
-(``--json`` dumps the report rows machine-readably)::
+(``--json`` dumps the report rows machine-readably; every row carries
+the same fully-populated key set)::
 
     python -m repro.cli serve-bench --workers 1 2 4 --requests 8
     python -m repro.cli serve-bench --json serve_bench.json
+
+With ``--connect`` the benchmark goes over the wire instead: ``N``
+concurrent clients drive the asyncio :class:`~repro.net.server.NetworkServer`
+through the framed protocol, sweeping offered load (closed-loop
+saturation probe, then paced fractions), recording p50/p95/p99 latency
+and saturation throughput into ``BENCH_serving.json`` — and verifying
+every response bit-identical against in-process serial ``Session`` runs
+with the same explicit seeds::
+
+    python -m repro.cli serve-bench --clients 8 --connect        # in-process server
+    python -m repro.cli serve-bench --clients 8 --connect host:7433
+
+``serve`` runs that network front-end in the foreground::
+
+    python -m repro.cli serve --port 7433 --rate-limit 200
 """
 
 from __future__ import annotations
@@ -134,23 +150,33 @@ def _cmd_backends(args) -> int:
     return 0
 
 
-def _cmd_serve_bench(args) -> int:
-    import numpy as np
-
-    from repro.api import Engine, Serving, ServingDaemon
-    from repro.api.parallel import StochasticParallelBackend
-    from repro.experiments.common import trained_mlp
+def _bench_hardware(args):
     from repro.hardware.config import HardwareConfig
 
-    hardware = HardwareConfig(
+    return HardwareConfig(
         crossbar_size=args.crossbar_size,
         gray_zone_ua=10.0,
         window_bits=args.window_bits,
     )
+
+
+def _bench_engine(args):
+    """Train the shared reference model and wrap it in an Engine."""
+    from repro.api import Engine
+    from repro.experiments.common import trained_mlp
+
     print(f"training reference MLP (epochs={args.epochs}) ...")
-    model, _, test, software_accuracy = trained_mlp(hardware, epochs=args.epochs)
+    model, _, test, software_accuracy = trained_mlp(
+        _bench_hardware(args), epochs=args.epochs
+    )
     engine = Engine.from_model(model)
     print(f"software accuracy: {software_accuracy:.3f}; engine: {engine}")
+    return engine, test, software_accuracy
+
+
+def _request_pool(args, test):
+    """Deterministic pool of (images, labels) request batches."""
+    import numpy as np
 
     rng = np.random.default_rng(args.seed)
     requests, labels = [], []
@@ -158,12 +184,54 @@ def _cmd_serve_bench(args) -> int:
         idx = rng.integers(0, len(test.images), size=args.batch)
         requests.append(test.images[idx])
         labels.append(test.labels[idx])
+    return requests, labels
+
+
+def _serving_row(mode: str, report, stats=None) -> dict:
+    """One fully-populated ``serve-bench --json`` row.
+
+    Every row carries the same key set regardless of mode — counters a
+    mode cannot produce (waves for the thread-pool front-end, retries
+    for a clean run) are zeros, never missing keys — so downstream
+    tooling can diff rows without schema sniffing.
+    """
+    stats = stats or {}
+    return {
+        "mode": mode,
+        "backend": str(report.backend),
+        "workers": int(report.workers),
+        "n_requests": int(report.n_requests),
+        "total_images": int(report.total_images),
+        "waves": int(report.waves or 0),
+        "wall_time_s": float(report.wall_time_s),
+        "requests_per_s": float(report.requests_per_s),
+        "images_per_s": float(report.images_per_s),
+        "latency_mean_ms": float(report.mean_latency_s * 1e3),
+        "latency_p50_ms": float(report.latency_percentile(50) * 1e3),
+        "latency_p95_ms": float(report.latency_percentile(95) * 1e3),
+        "latency_p99_ms": float(report.latency_percentile(99) * 1e3),
+        "accuracy": float(report.accuracy or 0.0),
+        "retries": int(stats.get("retries", 0)),
+        "recoveries": int(stats.get("recoveries", 0)),
+        "rejected": int(stats.get("rejected", 0)),
+        "consumer_restarts": int(stats.get("consumer_restarts", 0)),
+    }
+
+
+def _cmd_serve_bench(args) -> int:
+    if args.connect is not None:
+        return _serve_bench_network(args)
+
+    from repro.api import Serving, ServingDaemon
+    from repro.api.parallel import StochasticParallelBackend
+
+    engine, test, software_accuracy = _bench_engine(args)
+    requests, labels = _request_pool(args, test)
 
     window_s = args.window_ms / 1e3
-    rows = []  # (mode, ServingReport)
-    daemon_stats = []  # (mode, DaemonStats dict) for the daemon modes
+    rows = []  # (mode, ServingReport, daemon-stats dict or None)
     with Serving(engine, workers=1, backend="stochastic", seed=args.seed) as front:
-        rows.append(("serving-serial", front.serve(requests, labels=labels)))
+        rows.append(("serving-serial", front.serve(requests, labels=labels), None))
     # Coalescing daemon on the same in-process backend: requests merge
     # into waves, bit-identical to the per-request sessions above.
     with ServingDaemon(
@@ -173,14 +241,16 @@ def _cmd_serve_bench(args) -> int:
         seed_per_request=True,
         coalesce_window_s=window_s,
     ) as daemon:
-        rows.append(("daemon-coalesced", daemon.serve(requests, labels=labels)))
-        daemon_stats.append(("daemon-coalesced", daemon.stats.as_dict()))
+        report = daemon.serve(requests, labels=labels)
+        rows.append(("daemon-coalesced", report, daemon.stats.as_dict()))
     for workers in args.workers:
         with StochasticParallelBackend(workers=workers) as backend:
             with Serving(
                 engine, workers=workers, backend=backend, seed=args.seed
             ) as front:
-                rows.append(("serving-parallel", front.serve(requests, labels=labels)))
+                rows.append(
+                    ("serving-parallel", front.serve(requests, labels=labels), None)
+                )
             with ServingDaemon(
                 engine,
                 backend=backend,
@@ -188,17 +258,15 @@ def _cmd_serve_bench(args) -> int:
                 seed_per_request=True,
                 coalesce_window_s=window_s,
             ) as daemon:
-                rows.append(
-                    ("daemon-parallel", daemon.serve(requests, labels=labels))
-                )
-                daemon_stats.append(("daemon-parallel", daemon.stats.as_dict()))
+                report = daemon.serve(requests, labels=labels)
+                rows.append(("daemon-parallel", report, daemon.stats.as_dict()))
 
     print(
         f"\n{'mode':<17} {'backend':<21} {'workers':>7} {'wall(s)':>8} "
         f"{'req/s':>8} {'img/s':>9} {'latency(ms)':>12} {'waves':>6} "
         f"{'accuracy':>9}"
     )
-    for mode, report in rows:
+    for mode, report, _ in rows:
         waves = "-" if report.waves is None else str(report.waves)
         print(
             f"{mode:<17} {report.backend:<21} {report.workers:>7d} "
@@ -207,7 +275,9 @@ def _cmd_serve_bench(args) -> int:
             f"{waves:>6} {report.accuracy:>9.3f}"
         )
     print("\ndaemon fault-tolerance counters:")
-    for mode, stats in daemon_stats:
+    for mode, _, stats in rows:
+        if stats is None:
+            continue
         print(
             f"  {mode:<17} retries={stats['retries']} "
             f"recoveries={stats['recoveries']} rejected={stats['rejected']} "
@@ -226,17 +296,214 @@ def _cmd_serve_bench(args) -> int:
                 "software_accuracy": software_accuracy,
             },
             "rows": [
-                {"mode": mode, **_to_jsonable(report.summary())}
-                for mode, report in rows
-            ],
-            "daemon_stats": [
-                {"mode": mode, **_to_jsonable(stats)}
-                for mode, stats in daemon_stats
+                _serving_row(mode, report, stats) for mode, report, stats in rows
             ],
         }
         with open(args.json, "w") as fh:
             fh.write(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")
+    return 0
+
+
+def _serve_bench_network(args) -> int:
+    """``serve-bench --clients N --connect``: drive the asyncio network
+    front-end over the framed wire protocol, sweep offered load, and
+    verify every response bit-identical to serial ``Session`` runs."""
+    import numpy as np
+
+    from repro.api import ServingDaemon, Session
+    from repro.net import ServerThread, sweep_load
+
+    engine, test, software_accuracy = _bench_engine(args)
+    pool, labels_pool = _request_pool(args, test)
+
+    in_process = args.connect == "auto"
+    verify = in_process and not args.no_verify
+    daemon = server_thread = None
+    server_stats = daemon_stats = {}
+    seed_base = 10_000 + args.seed
+    if in_process:
+        daemon = ServingDaemon(
+            engine,
+            backend="stochastic",
+            seed=args.seed,
+            coalesce_window_s=args.window_ms / 1e3,
+            max_queue=args.max_queue,
+        )
+        server_thread = ServerThread(
+            daemon,
+            max_inflight_per_client=args.quota,
+            rate_limit_rps=args.rate_limit,
+        )
+        host, port = server_thread.start()
+        print(f"in-process network server on {host}:{port}")
+    else:
+        host, sep, port_text = args.connect.rpartition(":")
+        if not sep or not port_text.isdigit():
+            print(
+                f"--connect must be HOST:PORT or bare (in-process server), "
+                f"got {args.connect!r}",
+                file=sys.stderr,
+            )
+            return 2
+        port = int(port_text)
+        print(
+            f"external server {host}:{port}: bit-identity verification "
+            f"is skipped (the remote model is not inspectable)"
+        )
+
+    try:
+        points = sweep_load(
+            host,
+            port,
+            clients=args.clients,
+            requests_per_point=args.requests,
+            pool=pool,
+            labels_pool=labels_pool,
+            seed_base=seed_base,
+            load_fractions=tuple(args.load_fractions),
+            keep_logits=verify,
+        )
+    finally:
+        if server_thread is not None:
+            server_stats = server_thread.server.stats.as_dict()
+            server_thread.close()
+        if daemon is not None:
+            daemon.close(drain=True)
+            daemon_stats = daemon.stats.as_dict()
+
+    print(
+        f"\n{'point':<14} {'offered(r/s)':>12} {'done':>5} {'shed':>5} "
+        f"{'fail':>5} {'ach(r/s)':>9} {'img/s':>9} {'p50(ms)':>8} "
+        f"{'p95(ms)':>8} {'p99(ms)':>8}"
+    )
+    for point, _ in points:
+        row = point.as_row()
+        offered = "closed" if not row["offered_rps"] else f"{row['offered_rps']:.1f}"
+        print(
+            f"{row['label']:<14} {offered:>12} {row['completed']:>5} "
+            f"{row['rejected']:>5} {row['failed']:>5} "
+            f"{row['achieved_rps']:>9.2f} {row['images_per_s']:>9.1f} "
+            f"{row['latency_p50_ms']:>8.1f} {row['latency_p95_ms']:>8.1f} "
+            f"{row['latency_p99_ms']:>8.1f}"
+        )
+    saturation = points[0][0]
+    print(
+        f"\nsaturation: {saturation.achieved_rps:.2f} req/s "
+        f"({saturation.images_per_s:.1f} img/s) with {args.clients} clients"
+    )
+
+    verification = None
+    exit_code = 0
+    if verify:
+        checked = matched = 0
+        for _, records in points:
+            for record in records:
+                if not record.ok or record.logits is None:
+                    continue
+                want = Session(engine, seed=record.seed).run(
+                    pool[record.pool_index]
+                )
+                checked += 1
+                if np.array_equal(record.logits, want.logits):
+                    matched += 1
+        verification = {
+            "checked": checked,
+            "matched": matched,
+            "bit_identical": bool(checked) and matched == checked,
+        }
+        print(
+            f"bit-identity: {matched}/{checked} wire responses match "
+            f"serial in-process Session runs with the same seeds"
+        )
+        if matched != checked:
+            print("BIT-IDENTITY VIOLATION", file=sys.stderr)
+            exit_code = 1
+
+    out_path = args.json or "BENCH_serving.json"
+    payload = {
+        "config": {
+            "clients": args.clients,
+            "connect": args.connect,
+            "requests_per_point": args.requests,
+            "batch": args.batch,
+            "epochs": args.epochs,
+            "crossbar_size": args.crossbar_size,
+            "window_bits": args.window_bits,
+            "coalesce_window_ms": args.window_ms,
+            "load_fractions": list(args.load_fractions),
+            "seed": args.seed,
+            "seed_base": seed_base,
+            "software_accuracy": software_accuracy,
+        },
+        "rows": [point.as_row() for point, _ in points],
+        "verification": verification,
+        "server_stats": _to_jsonable(server_stats),
+        "daemon_stats": _to_jsonable(daemon_stats),
+    }
+    with open(out_path, "w") as fh:
+        fh.write(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return exit_code
+
+
+def _cmd_serve(args) -> int:
+    """Run the asyncio network serving front-end in the foreground."""
+    import asyncio
+
+    from repro.api import ServingDaemon
+    from repro.api.parallel import StochasticParallelBackend
+    from repro.net import NetworkServer
+
+    engine, _, _ = _bench_engine(args)
+    backend = (
+        "stochastic"
+        if args.serve_workers <= 1
+        else StochasticParallelBackend(workers=args.serve_workers)
+    )
+    daemon = ServingDaemon(
+        engine,
+        backend=backend,
+        seed=args.seed,
+        coalesce_window_s=args.window_ms / 1e3,
+        max_queue=args.max_queue,
+    )
+
+    async def _amain() -> None:
+        server = NetworkServer(
+            daemon,
+            host=args.host,
+            port=args.port,
+            max_inflight_per_client=args.quota,
+            rate_limit_rps=args.rate_limit,
+        )
+        await server.start()
+        host, port = server.address
+        print(f"serving on {host}:{port} (Ctrl-C to stop)")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+            stats = server.stats.as_dict()
+            print(
+                "server stats: "
+                + " ".join(f"{k}={v}" for k, v in sorted(stats.items()))
+            )
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:
+        print("\nshutting down ...")
+    finally:
+        try:
+            daemon.close(drain=True)
+        except KeyboardInterrupt:
+            # Second Ctrl-C while draining: abandon queued requests
+            # instead of dying with a traceback mid-join.
+            print("forced shutdown, abandoning queued requests")
+            daemon.close(drain=False)
+        if not isinstance(backend, str):
+            backend.close()
     return 0
 
 
@@ -550,11 +817,99 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         default=None,
         metavar="PATH",
-        help="dump the ServingReport rows to PATH as JSON",
+        help="dump the report rows to PATH as JSON (network mode "
+        "defaults to BENCH_serving.json)",
     )
+    p.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent client connections in network mode",
+    )
+    p.add_argument(
+        "--connect",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="HOST:PORT",
+        help="benchmark over the network: HOST:PORT targets a running "
+        "'repro serve'; bare --connect spawns an in-process server and "
+        "verifies every response bit-identical to serial Session runs",
+    )
+    p.add_argument(
+        "--load-fractions",
+        type=float,
+        nargs="+",
+        default=[0.5, 0.9],
+        dest="load_fractions",
+        metavar="F",
+        help="paced sweep points as fractions of measured saturation",
+    )
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        dest="no_verify",
+        help="skip the per-response bit-identity check (network mode)",
+    )
+    _add_server_policy_args(p)
     p.set_defaults(func=_cmd_serve_bench)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the asyncio network serving front-end in the foreground",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7433, help="0 = ephemeral")
+    p.add_argument(
+        "--serve-workers",
+        type=int,
+        default=1,
+        dest="serve_workers",
+        metavar="N",
+        help="execute waves on an N-process pool (1 = in-process)",
+    )
+    p.add_argument("--epochs", type=int, default=8, help="reference-model training epochs")
+    p.add_argument("--crossbar-size", type=int, default=16, dest="crossbar_size")
+    p.add_argument("--window-bits", type=int, default=8, dest="window_bits")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--window-ms",
+        type=float,
+        default=10.0,
+        dest="window_ms",
+        help="daemon batch-coalescing window (milliseconds)",
+    )
+    _add_server_policy_args(p)
+    p.set_defaults(func=_cmd_serve)
+
     return parser
+
+
+def _add_server_policy_args(p) -> None:
+    """Admission-policy flags shared by ``serve`` and network-mode
+    ``serve-bench``."""
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        dest="max_queue",
+        help="daemon admission-queue depth",
+    )
+    p.add_argument(
+        "--quota",
+        type=int,
+        default=32,
+        help="per-connection in-flight request ceiling",
+    )
+    p.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        dest="rate_limit",
+        metavar="RPS",
+        help="per-connection token-bucket rate limit (requests/second)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,0 +1,95 @@
+"""``repro.net`` — the network serving tier.
+
+The ingestion edge in front of the runtime's
+:class:`~repro.runtime.daemon.ServingDaemon`::
+
+    clients ──frames──▶ asyncio server ──try_submit──▶ daemon queue
+       ▲                                                 │ waves
+       └───────────── response frames ◀── futures ───────┘
+
+* :mod:`repro.net.protocol` — the length-prefixed framed wire protocol
+  (versioned header, request ids, ndarray payloads, typed error
+  frames) with strict decode validation.
+* :mod:`repro.net.server` — :class:`NetworkServer`, the asyncio TCP
+  front-end with per-connection token-bucket rate limiting and
+  in-flight quotas; :class:`ServerThread` runs it from sync code.
+* :mod:`repro.net.client` — :class:`NetworkClient` (blocking) and
+  :class:`AsyncNetworkClient` (multiplexed asyncio) plus
+  :class:`RemoteResult` / :class:`RemoteError`.
+* :mod:`repro.net.loadgen` — the multi-client load generator behind
+  ``repro serve-bench --clients N --connect``: closed-loop saturation
+  probe + paced sweep, p50/p95/p99 latency, ``BENCH_serving.json``
+  rows, deterministic per-request seeds for bit-identity verification.
+"""
+
+from repro.net.client import AsyncNetworkClient, NetworkClient, RemoteError, RemoteResult
+from repro.net.loadgen import (
+    LoadPoint,
+    RequestRecord,
+    percentile,
+    run_load_point,
+    sweep_load,
+)
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ERROR,
+    PING,
+    PONG,
+    REQUEST,
+    RESPONSE,
+    RETRYABLE_CODES,
+    VERSION,
+    ControlFrame,
+    ErrorFrame,
+    FrameDecoder,
+    FrameTooLarge,
+    ProtocolError,
+    RequestFrame,
+    ResponseFrame,
+    decode_payload,
+    encode_error,
+    encode_ping,
+    encode_pong,
+    encode_request,
+    encode_response,
+    parse_header,
+)
+from repro.net.server import NetworkServer, ServerStats, ServerThread, TokenBucket
+
+__all__ = [
+    "VERSION",
+    "REQUEST",
+    "RESPONSE",
+    "ERROR",
+    "PING",
+    "PONG",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "RETRYABLE_CODES",
+    "RequestFrame",
+    "ResponseFrame",
+    "ErrorFrame",
+    "ControlFrame",
+    "FrameDecoder",
+    "ProtocolError",
+    "FrameTooLarge",
+    "encode_request",
+    "encode_response",
+    "encode_error",
+    "encode_ping",
+    "encode_pong",
+    "decode_payload",
+    "parse_header",
+    "NetworkServer",
+    "ServerThread",
+    "ServerStats",
+    "TokenBucket",
+    "NetworkClient",
+    "AsyncNetworkClient",
+    "RemoteResult",
+    "RemoteError",
+    "LoadPoint",
+    "RequestRecord",
+    "run_load_point",
+    "sweep_load",
+    "percentile",
+]

@@ -1,0 +1,297 @@
+"""Sync and async clients for the network serving tier.
+
+:class:`NetworkClient` is the blocking client: one socket, framed
+requests out, framed responses back, with optional pipelining (send
+several requests, then collect) — the load generator's workhorse.
+:class:`AsyncNetworkClient` multiplexes many in-flight requests over
+one connection inside an asyncio application: every ``infer`` call gets
+its own request id and awaits its own response while a single reader
+task dispatches frames as they arrive (responses may come back out of
+order; the id match makes that safe).
+
+Server-side failures surface as :class:`RemoteError` carrying the wire
+error code and its retryable flag — ``queue-full`` / ``rate-limited`` /
+``quota-exceeded`` mean *back off and resend*, ``bad-request`` means
+the payload can never execute.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.net import protocol
+
+
+class RemoteError(RuntimeError):
+    """A wire-level error frame, raised client-side.
+
+    ``code`` is one of the :mod:`repro.net.protocol` error codes;
+    ``retryable`` mirrors the server's classification.
+    """
+
+    def __init__(
+        self, code: str, message: str, *, retryable: bool, request_id: int = 0
+    ) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.retryable = retryable
+        self.request_id = request_id
+
+
+@dataclass
+class RemoteResult:
+    """One resolved remote request: logits + the flat wire summary."""
+
+    request_id: int
+    logits: np.ndarray
+    summary: Dict = field(default_factory=dict)
+
+    @property
+    def predictions(self) -> np.ndarray:
+        return self.logits.argmax(axis=1)
+
+    @property
+    def accuracy(self) -> Optional[float]:
+        value = self.summary.get("accuracy")
+        return None if value is None else float(value)
+
+
+def _frame_to_result(frame: protocol.Frame) -> RemoteResult:
+    if isinstance(frame, protocol.ErrorFrame):
+        raise RemoteError(
+            frame.code,
+            frame.message,
+            retryable=frame.retryable,
+            request_id=frame.request_id,
+        )
+    if not isinstance(frame, protocol.ResponseFrame):
+        raise protocol.ProtocolError(
+            f"expected a RESPONSE or ERROR frame, got kind {frame.kind}"
+        )
+    return RemoteResult(
+        request_id=frame.request_id,
+        logits=np.array(frame.logits),  # own the buffer past the frame
+        summary=dict(frame.summary),
+    )
+
+
+class NetworkClient:
+    """Blocking client for one server connection.
+
+    ``infer`` is the simple request/response call; ``send`` +
+    ``recv`` decouple the two halves so a caller can keep several
+    requests in flight on one connection (responses arrive in the
+    server's completion order — match on ``request_id``).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: Optional[float] = 60.0,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._decoder = protocol.FrameDecoder(max_frame_bytes=max_frame_bytes)
+        self._ready: list = []  # decoded frames not yet handed out
+        self._next_id = 1
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        images: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        *,
+        seed: Optional[int] = None,
+    ) -> int:
+        """Ship one request frame; returns its request id."""
+        if self._closed:
+            raise RuntimeError("client is closed")
+        request_id = self._next_id
+        self._next_id += 1
+        self._sock.sendall(
+            protocol.encode_request(request_id, images, labels, seed=seed)
+        )
+        return request_id
+
+    def recv(self) -> RemoteResult:
+        """Block for the next response frame (any request id); raises
+        :class:`RemoteError` if it is an error frame."""
+        while not self._ready:
+            data = self._sock.recv(65536)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            self._ready.extend(self._decoder.feed(data))
+        return _frame_to_result(self._ready.pop(0))
+
+    def infer(
+        self,
+        images: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        *,
+        seed: Optional[int] = None,
+    ) -> RemoteResult:
+        """One request, one response (the common synchronous call)."""
+        request_id = self.send(images, labels, seed=seed)
+        result = self.recv()
+        if result.request_id != request_id:
+            raise protocol.ProtocolError(
+                f"response id {result.request_id} does not match the "
+                f"pipelined request id {request_id}; use send/recv for "
+                f"overlapping requests"
+            )
+        return result
+
+    def ping(self) -> float:
+        """Round-trip a PING; returns the RTT in seconds."""
+        request_id = self._next_id
+        self._next_id += 1
+        start = time.perf_counter()
+        self._sock.sendall(protocol.encode_ping(request_id))
+        while True:
+            data = self._sock.recv(65536)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            for frame in self._decoder.feed(data):
+                if (
+                    isinstance(frame, protocol.ControlFrame)
+                    and frame.kind == protocol.PONG
+                    and frame.request_id == request_id
+                ):
+                    return time.perf_counter() - start
+                self._ready.append(frame)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "NetworkClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AsyncNetworkClient:
+    """Asyncio client multiplexing in-flight requests over one socket.
+
+    ::
+
+        client = await AsyncNetworkClient.connect(host, port)
+        results = await asyncio.gather(
+            *(client.infer(batch, seed=i) for i, batch in enumerate(batches))
+        )
+        await client.aclose()
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._max_frame_bytes = max_frame_bytes
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_id = 1
+        self._closed = False
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ) -> "AsyncNetworkClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_frame_bytes=max_frame_bytes)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                header = await self._reader.readexactly(protocol.HEADER.size)
+                kind, payload_len, request_id = protocol.parse_header(
+                    header, max_frame_bytes=self._max_frame_bytes
+                )
+                payload = (
+                    await self._reader.readexactly(payload_len)
+                    if payload_len
+                    else b""
+                )
+                frame = protocol.decode_payload(kind, request_id, payload)
+                future = self._pending.pop(request_id, None)
+                if future is None or future.done():
+                    continue  # late response for an abandoned request
+                try:
+                    future.set_result(_frame_to_result(frame))
+                except RemoteError as exc:
+                    future.set_exception(exc)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.CancelledError,
+        ) as exc:
+            self._fail_pending(ConnectionError(f"connection lost: {exc!r}"))
+        except protocol.ProtocolError as exc:
+            self._fail_pending(exc)
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def infer(
+        self,
+        images: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        *,
+        seed: Optional[int] = None,
+    ) -> RemoteResult:
+        if self._closed:
+            raise RuntimeError("client is closed")
+        request_id = self._next_id
+        self._next_id += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(
+            protocol.encode_request(request_id, images, labels, seed=seed)
+        )
+        await self._writer.drain()
+        return await future
+
+    async def aclose(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass

@@ -1,0 +1,272 @@
+"""Multi-client load generator for the network serving tier.
+
+Drives a running :class:`~repro.net.server.NetworkServer` with ``N``
+concurrent client connections and measures what a real client would
+measure: per-request wall-clock latency (send to response, queueing
+included) and end-to-end throughput. Two load shapes:
+
+* **closed loop** (``offered_rps=None``) — every client fires its next
+  request the moment the previous one resolves; the achieved rate *is*
+  the saturation throughput for that client count.
+* **paced / open loop** (``offered_rps=R``) — request *i* of the sweep
+  is scheduled at ``i / R`` seconds; latency then includes any queueing
+  the server imposes when offered load approaches saturation, which is
+  exactly the p99-vs-load curve the benchmark records.
+
+Every request carries a deterministic explicit seed
+(``seed_base + request index``), so each response is reproducible and
+bit-identity against an in-process serial
+``Session(engine, seed=...).run(images)`` can be asserted after the
+run — throughput numbers that silently returned wrong logits are
+worthless.
+
+:func:`sweep_load` chains points — a closed-loop saturation probe, then
+paced fractions of the measured saturation — into the rows
+``serve-bench --clients N`` writes to ``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.client import NetworkClient, RemoteError
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]); 0.0 when empty."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(np.ceil(q / 100.0 * len(ordered))) - 1))
+    return float(ordered[rank])
+
+
+@dataclass
+class RequestRecord:
+    """One request's outcome, kept for verification and percentiles."""
+
+    index: int  # global sweep index
+    seed: int
+    pool_index: int  # which pool batch was sent
+    latency_s: float = 0.0
+    ok: bool = False
+    code: str = ""  # wire error code when not ok
+    logits: Optional[np.ndarray] = None
+
+
+@dataclass
+class LoadPoint:
+    """Aggregate measurement of one load level."""
+
+    label: str
+    clients: int
+    offered_rps: float  # 0.0 = closed loop
+    n_requests: int
+    completed: int = 0
+    rejected: int = 0  # retryable wire errors (shed load)
+    failed: int = 0  # fatal wire/connection errors
+    total_images: int = 0
+    wall_time_s: float = 0.0
+    latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def achieved_rps(self) -> float:
+        return self.completed / self.wall_time_s if self.wall_time_s else 0.0
+
+    @property
+    def images_per_s(self) -> float:
+        return self.total_images / self.wall_time_s if self.wall_time_s else 0.0
+
+    def as_row(self) -> Dict:
+        """Flat, fully-populated row (absent values are zeros, never
+        missing keys) for ``BENCH_serving.json``."""
+        lat = self.latencies_s
+        return {
+            "label": self.label,
+            "clients": int(self.clients),
+            "offered_rps": float(self.offered_rps),
+            "n_requests": int(self.n_requests),
+            "completed": int(self.completed),
+            "rejected": int(self.rejected),
+            "failed": int(self.failed),
+            "total_images": int(self.total_images),
+            "wall_time_s": float(self.wall_time_s),
+            "achieved_rps": float(self.achieved_rps),
+            "images_per_s": float(self.images_per_s),
+            "latency_mean_ms": float(np.mean(lat) * 1e3) if lat else 0.0,
+            "latency_p50_ms": percentile(lat, 50) * 1e3,
+            "latency_p95_ms": percentile(lat, 95) * 1e3,
+            "latency_p99_ms": percentile(lat, 99) * 1e3,
+            "latency_max_ms": float(max(lat) * 1e3) if lat else 0.0,
+        }
+
+
+def run_load_point(
+    host: str,
+    port: int,
+    *,
+    clients: int,
+    n_requests: int,
+    pool: Sequence[np.ndarray],
+    labels_pool: Optional[Sequence[np.ndarray]] = None,
+    seed_base: int = 0,
+    offered_rps: Optional[float] = None,
+    label: Optional[str] = None,
+    keep_logits: bool = True,
+    timeout: float = 120.0,
+) -> Tuple[LoadPoint, List[RequestRecord]]:
+    """Run one load level; returns the aggregate point + per-request
+    records (in global index order).
+
+    Request ``i`` sends ``pool[i % len(pool)]`` with explicit seed
+    ``seed_base + i``; the indices are dealt round-robin to ``clients``
+    connections, so the seed assignment is deterministic regardless of
+    scheduling. Retryable wire errors (queue-full / rate-limited /
+    quota) are counted as shed load, not retried — retrying inside the
+    generator would hide the server's back-pressure from the benchmark.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    if not pool:
+        raise ValueError("pool of request batches must be non-empty")
+    if offered_rps is not None and offered_rps <= 0:
+        raise ValueError(f"offered_rps must be > 0 (or None), got {offered_rps}")
+
+    records = [
+        RequestRecord(index=i, seed=seed_base + i, pool_index=i % len(pool))
+        for i in range(n_requests)
+    ]
+    barrier = threading.Barrier(clients + 1)
+    start_stamp = [0.0]
+    interval = None if offered_rps is None else 1.0 / offered_rps
+
+    def _client(worker: int) -> None:
+        mine = range(worker, n_requests, clients)
+        try:
+            client = NetworkClient(host, port, timeout=timeout)
+        except OSError:
+            barrier.wait()
+            for i in mine:
+                records[i].code = "connect-failed"
+            return
+        try:
+            barrier.wait()
+            for i in mine:
+                record = records[i]
+                if interval is not None:
+                    due = start_stamp[0] + record.index * interval
+                    delay = due - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                sent = time.perf_counter()
+                try:
+                    result = client.infer(
+                        pool[record.pool_index],
+                        None
+                        if labels_pool is None
+                        else labels_pool[record.pool_index],
+                        seed=record.seed,
+                    )
+                except RemoteError as exc:
+                    record.latency_s = time.perf_counter() - sent
+                    record.code = exc.code
+                    continue
+                except (ConnectionError, OSError) as exc:
+                    record.code = f"connection: {exc}"
+                    return
+                record.latency_s = time.perf_counter() - sent
+                record.ok = True
+                if keep_logits:
+                    record.logits = result.logits
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=_client, args=(w,), daemon=True)
+        for w in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start_stamp[0] = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start_stamp[0]
+
+    point = LoadPoint(
+        label=label
+        or ("closed-loop" if offered_rps is None else f"paced-{offered_rps:g}rps"),
+        clients=clients,
+        offered_rps=0.0 if offered_rps is None else float(offered_rps),
+        n_requests=n_requests,
+        wall_time_s=wall,
+    )
+    for record in records:
+        if record.ok:
+            point.completed += 1
+            point.total_images += int(pool[record.pool_index].shape[0])
+            point.latencies_s.append(record.latency_s)
+        elif record.code in ("queue-full", "rate-limited", "quota-exceeded"):
+            point.rejected += 1
+        else:
+            point.failed += 1
+    return point, records
+
+
+def sweep_load(
+    host: str,
+    port: int,
+    *,
+    clients: int,
+    requests_per_point: int,
+    pool: Sequence[np.ndarray],
+    labels_pool: Optional[Sequence[np.ndarray]] = None,
+    seed_base: int = 0,
+    load_fractions: Sequence[float] = (0.5, 0.9),
+    keep_logits: bool = True,
+) -> List[Tuple[LoadPoint, List[RequestRecord]]]:
+    """Closed-loop saturation probe, then paced points at fractions of
+    the measured saturation rate. Seeds stay globally unique across the
+    sweep (each point advances ``seed_base`` by its request count)."""
+    points: List[Tuple[LoadPoint, List[RequestRecord]]] = []
+    saturation, records = run_load_point(
+        host,
+        port,
+        clients=clients,
+        n_requests=requests_per_point,
+        pool=pool,
+        labels_pool=labels_pool,
+        seed_base=seed_base,
+        offered_rps=None,
+        label="closed-loop",
+        keep_logits=keep_logits,
+    )
+    points.append((saturation, records))
+    seed_base += requests_per_point
+    rate = saturation.achieved_rps
+    for fraction in load_fractions:
+        offered = rate * fraction
+        if offered <= 0:
+            continue
+        point, records = run_load_point(
+            host,
+            port,
+            clients=clients,
+            n_requests=requests_per_point,
+            pool=pool,
+            labels_pool=labels_pool,
+            seed_base=seed_base,
+            offered_rps=offered,
+            label=f"paced-{fraction:.2f}x",
+            keep_logits=keep_logits,
+        )
+        points.append((point, records))
+        seed_base += requests_per_point
+    return points

@@ -1,0 +1,412 @@
+"""Length-prefixed framed wire protocol for the network serving tier.
+
+Every message on the wire is one **frame**::
+
+    0      2   3   4        8                16
+    +------+---+---+--------+----------------+------------------ ...
+    | 'RB' | v | k | length |   request id   |     payload
+    +------+---+---+--------+----------------+------------------ ...
+     magic  ver kind  u32         u64          `length` bytes
+
+* ``magic`` — the two bytes ``b"RB"``; anything else is a protocol
+  violation and the connection is torn down.
+* ``v`` — protocol version (currently :data:`VERSION` = 1); a version
+  the peer does not speak is rejected with an error frame.
+* ``k`` — frame kind: :data:`REQUEST`, :data:`RESPONSE`, :data:`ERROR`,
+  :data:`PING`, :data:`PONG`.
+* ``length`` — payload byte count (big-endian u32), bounded by
+  ``max_frame_bytes``; an oversize length prefix is rejected *before*
+  any allocation happens.
+* ``request id`` — caller-chosen u64 echoed on the response, so one
+  connection can multiplex many in-flight requests.
+
+The payload of a REQUEST/RESPONSE frame is a 4-byte meta length, a
+UTF-8 JSON *meta* document, then the raw ndarray bytes back to back in
+meta order::
+
+    +----------+-----------------+---------------+---------------+
+    | meta len |   meta (JSON)   | array 0 bytes | array 1 bytes |
+    +----------+-----------------+---------------+---------------+
+
+Meta describes each array as ``{"name", "dtype", "shape"}``; decode
+validates the dtype against a whitelist, the shape against the declared
+payload length, and rejects trailing garbage — a malformed frame can
+never make a consumer allocate unbounded memory or crash. ERROR frames
+carry ``{"code", "message", "retryable"}`` so a client can distinguish
+back-off-and-retry conditions (queue full, rate limited) from fatal
+ones (malformed request, protocol violation).
+
+The module is deliberately dependency-free (struct + json + numpy):
+both the asyncio server and the blocking sync client speak it through
+the same :class:`FrameDecoder` incremental state machine.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+MAGIC = b"RB"
+VERSION = 1
+
+#: Frame kinds.
+REQUEST = 1
+RESPONSE = 2
+ERROR = 3
+PING = 4
+PONG = 5
+_KINDS = (REQUEST, RESPONSE, ERROR, PING, PONG)
+
+#: magic(2s) version(B) kind(B) payload_len(I) request_id(Q)
+HEADER = struct.Struct(">2sBBIQ")
+_META_LEN = struct.Struct(">I")
+
+#: Default ceiling on one frame's payload. Large enough for a few
+#: thousand MNIST-sized images, small enough that a hostile length
+#: prefix cannot balloon a consumer.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: ndarray dtypes allowed on the wire (strict decode whitelist).
+WIRE_DTYPES = frozenset(
+    {
+        "float64",
+        "float32",
+        "int64",
+        "int32",
+        "int16",
+        "int8",
+        "uint8",
+        "uint16",
+        "uint32",
+        "uint64",
+        "bool",
+    }
+)
+
+# ----------------------------------------------------------------------
+# Error codes carried by ERROR frames.
+ERR_QUEUE_FULL = "queue-full"  # daemon admission shed the request
+ERR_RATE_LIMITED = "rate-limited"  # client exceeded its token bucket
+ERR_QUOTA = "quota-exceeded"  # too many in-flight on one connection
+ERR_BAD_REQUEST = "bad-request"  # payload cannot execute (fatal)
+ERR_PROTOCOL = "protocol-error"  # framing violation (connection dies)
+ERR_CLOSING = "server-closing"  # server is shutting down
+ERR_INTERNAL = "internal"  # execution failed server-side
+
+#: Codes a well-behaved client may retry after a back-off.
+RETRYABLE_CODES = frozenset({ERR_QUEUE_FULL, ERR_RATE_LIMITED, ERR_QUOTA, ERR_CLOSING})
+
+
+class ProtocolError(ValueError):
+    """A frame that violates the wire protocol. Connection-fatal on the
+    decode side: once raised, the stream offset is unrecoverable."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A length prefix beyond ``max_frame_bytes`` — rejected before any
+    payload buffering, so a hostile prefix cannot trigger allocation."""
+
+
+# ----------------------------------------------------------------------
+# Decoded frame types.
+@dataclass
+class RequestFrame:
+    """One inference request: a batched image array, optional aligned
+    labels, and an optional explicit plan seed (the daemon pins the
+    request's shard plan to ``new_rng(seed)``, making the response
+    bit-identical to ``Session(engine, seed=seed).run(images)``)."""
+
+    request_id: int
+    images: np.ndarray
+    labels: Optional[np.ndarray] = None
+    seed: Optional[int] = None
+    kind: int = REQUEST
+
+
+@dataclass
+class ResponseFrame:
+    """One resolved request: logits plus the flat result summary."""
+
+    request_id: int
+    logits: np.ndarray
+    summary: Dict = field(default_factory=dict)
+    kind: int = RESPONSE
+
+
+@dataclass
+class ErrorFrame:
+    """A failed request (or connection-level protocol violation)."""
+
+    request_id: int
+    code: str
+    message: str
+    retryable: bool = False
+    kind: int = ERROR
+
+
+@dataclass
+class ControlFrame:
+    """PING/PONG liveness frames (empty payload)."""
+
+    request_id: int
+    kind: int = PING
+
+
+Frame = Union[RequestFrame, ResponseFrame, ErrorFrame, ControlFrame]
+
+
+# ----------------------------------------------------------------------
+# Encoding
+def _array_blobs(arrays: List[Tuple[str, np.ndarray]]) -> Tuple[List[dict], List[bytes]]:
+    specs: List[dict] = []
+    blobs: List[bytes] = []
+    for name, array in arrays:
+        array = np.ascontiguousarray(array)
+        dtype = array.dtype.name
+        if dtype not in WIRE_DTYPES:
+            raise ProtocolError(f"dtype {dtype!r} is not wire-encodable")
+        specs.append({"name": name, "dtype": dtype, "shape": list(array.shape)})
+        blobs.append(array.tobytes())
+    return specs, blobs
+
+
+def _encode(kind: int, request_id: int, meta: dict, blobs: List[bytes]) -> bytes:
+    meta_bytes = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+    payload_len = _META_LEN.size + len(meta_bytes) + sum(len(b) for b in blobs)
+    parts = [
+        HEADER.pack(MAGIC, VERSION, kind, payload_len, request_id),
+        _META_LEN.pack(len(meta_bytes)),
+        meta_bytes,
+    ]
+    parts.extend(blobs)
+    return b"".join(parts)
+
+
+def encode_request(
+    request_id: int,
+    images: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    *,
+    seed: Optional[int] = None,
+) -> bytes:
+    """Encode one inference request frame."""
+    arrays = [("images", np.asarray(images))]
+    if labels is not None:
+        arrays.append(("labels", np.asarray(labels)))
+    specs, blobs = _array_blobs(arrays)
+    meta = {"seed": None if seed is None else int(seed), "arrays": specs}
+    return _encode(REQUEST, request_id, meta, blobs)
+
+
+def encode_response(request_id: int, logits: np.ndarray, summary: dict) -> bytes:
+    """Encode one resolved request's response frame."""
+    specs, blobs = _array_blobs([("logits", np.asarray(logits))])
+    meta = {"summary": dict(summary), "arrays": specs}
+    return _encode(RESPONSE, request_id, meta, blobs)
+
+
+def encode_error(
+    request_id: int, code: str, message: str, *, retryable: Optional[bool] = None
+) -> bytes:
+    """Encode an error frame; ``retryable`` defaults from the code."""
+    if retryable is None:
+        retryable = code in RETRYABLE_CODES
+    meta = {"code": str(code), "message": str(message), "retryable": bool(retryable)}
+    return _encode(ERROR, request_id, meta, [])
+
+
+def encode_ping(request_id: int) -> bytes:
+    return HEADER.pack(MAGIC, VERSION, PING, 0, request_id)
+
+
+def encode_pong(request_id: int) -> bytes:
+    return HEADER.pack(MAGIC, VERSION, PONG, 0, request_id)
+
+
+# ----------------------------------------------------------------------
+# Decoding
+def parse_header(
+    header: bytes, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Tuple[int, int, int]:
+    """Validate a 16-byte header; returns ``(kind, payload_len,
+    request_id)``. Raises :class:`ProtocolError` on a bad magic,
+    version, or kind, and :class:`FrameTooLarge` on an oversize length
+    prefix — before any payload is read or buffered."""
+    if len(header) != HEADER.size:
+        raise ProtocolError(
+            f"short header: {len(header)} bytes, need {HEADER.size}"
+        )
+    magic, version, kind, payload_len, request_id = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r} (want {MAGIC!r})")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version} (speak {VERSION})")
+    if kind not in _KINDS:
+        raise ProtocolError(f"unknown frame kind {kind}")
+    if payload_len > max_frame_bytes:
+        raise FrameTooLarge(
+            f"frame payload of {payload_len} bytes exceeds the "
+            f"{max_frame_bytes}-byte ceiling"
+        )
+    if kind in (PING, PONG) and payload_len != 0:
+        raise ProtocolError(f"control frame kind {kind} must have an empty payload")
+    return kind, payload_len, request_id
+
+
+def _decode_meta(payload: bytes) -> Tuple[dict, bytes]:
+    if len(payload) < _META_LEN.size:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes cannot hold a meta length"
+        )
+    (meta_len,) = _META_LEN.unpack_from(payload)
+    body = payload[_META_LEN.size :]
+    if meta_len > len(body):
+        raise ProtocolError(
+            f"meta length {meta_len} exceeds remaining payload ({len(body)} bytes)"
+        )
+    try:
+        meta = json.loads(body[:meta_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"meta is not valid UTF-8 JSON: {exc}") from None
+    if not isinstance(meta, dict):
+        raise ProtocolError(f"meta must be a JSON object, got {type(meta).__name__}")
+    return meta, body[meta_len:]
+
+
+def _decode_arrays(meta: dict, blob: bytes) -> Dict[str, np.ndarray]:
+    specs = meta.get("arrays")
+    if not isinstance(specs, list):
+        raise ProtocolError("meta 'arrays' must be a list")
+    arrays: Dict[str, np.ndarray] = {}
+    offset = 0
+    for spec in specs:
+        if not isinstance(spec, dict):
+            raise ProtocolError("array spec must be a JSON object")
+        name = spec.get("name")
+        dtype = spec.get("dtype")
+        shape = spec.get("shape")
+        if not isinstance(name, str) or name in arrays:
+            raise ProtocolError(f"bad or duplicate array name {name!r}")
+        if dtype not in WIRE_DTYPES:
+            raise ProtocolError(f"dtype {dtype!r} is not on the wire whitelist")
+        if not isinstance(shape, list) or not all(
+            isinstance(d, int) and 0 <= d for d in shape
+        ):
+            raise ProtocolError(f"bad shape {shape!r} for array {name!r}")
+        itemsize = np.dtype(dtype).itemsize
+        count = 1
+        for d in shape:
+            count *= d
+        nbytes = count * itemsize
+        if offset + nbytes > len(blob):
+            raise ProtocolError(
+                f"array {name!r} declares {nbytes} bytes but only "
+                f"{len(blob) - offset} remain in the payload"
+            )
+        arrays[name] = np.frombuffer(
+            blob, dtype=dtype, count=count, offset=offset
+        ).reshape(shape)
+        offset += nbytes
+    if offset != len(blob):
+        raise ProtocolError(
+            f"{len(blob) - offset} trailing garbage bytes after the declared arrays"
+        )
+    return arrays
+
+
+def decode_payload(kind: int, request_id: int, payload: bytes) -> Frame:
+    """Decode one validated header's payload into a frame object.
+
+    Raises :class:`ProtocolError` on any structural violation; numpy
+    arrays are zero-copy views over the payload buffer (read-only).
+    """
+    if kind in (PING, PONG):
+        return ControlFrame(request_id=request_id, kind=kind)
+    meta, blob = _decode_meta(payload)
+    if kind == ERROR:
+        code, message = meta.get("code"), meta.get("message")
+        if not isinstance(code, str) or not isinstance(message, str):
+            raise ProtocolError("error frame meta needs string 'code' and 'message'")
+        if blob:
+            raise ProtocolError("error frame must not carry array bytes")
+        return ErrorFrame(
+            request_id=request_id,
+            code=code,
+            message=message,
+            retryable=bool(meta.get("retryable", code in RETRYABLE_CODES)),
+        )
+    arrays = _decode_arrays(meta, blob)
+    if kind == REQUEST:
+        if "images" not in arrays:
+            raise ProtocolError("request frame is missing the 'images' array")
+        unknown = set(arrays) - {"images", "labels"}
+        if unknown:
+            raise ProtocolError(f"request frame has unknown arrays {sorted(unknown)}")
+        seed = meta.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise ProtocolError(f"request seed must be an integer, got {seed!r}")
+        if seed is not None and not (0 <= seed < 2**63):
+            raise ProtocolError(f"request seed {seed} outside [0, 2**63)")
+        return RequestFrame(
+            request_id=request_id,
+            images=arrays["images"],
+            labels=arrays.get("labels"),
+            seed=seed,
+        )
+    # RESPONSE
+    if "logits" not in arrays or set(arrays) != {"logits"}:
+        raise ProtocolError("response frame must carry exactly the 'logits' array")
+    summary = meta.get("summary", {})
+    if not isinstance(summary, dict):
+        raise ProtocolError("response summary must be a JSON object")
+    return ResponseFrame(
+        request_id=request_id, logits=arrays["logits"], summary=summary
+    )
+
+
+class FrameDecoder:
+    """Incremental frame decoder for a byte stream.
+
+    Feed arbitrarily-chunked bytes; complete frames come back in order.
+    Any violation raises :class:`ProtocolError` and poisons the decoder
+    — the stream offset is unrecoverable, so the owning connection must
+    close (after sending a final error frame, if it is a server).
+    """
+
+    def __init__(self, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buffer = bytearray()
+        self._pending: Optional[Tuple[int, int, int]] = None  # validated header
+        self._poisoned = False
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Buffer ``data``; return every frame it completes."""
+        if self._poisoned:
+            raise ProtocolError("decoder is poisoned by an earlier violation")
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        try:
+            while True:
+                if self._pending is None:
+                    if len(self._buffer) < HEADER.size:
+                        break
+                    header = bytes(self._buffer[: HEADER.size])
+                    del self._buffer[: HEADER.size]
+                    self._pending = parse_header(
+                        header, max_frame_bytes=self.max_frame_bytes
+                    )
+                kind, payload_len, request_id = self._pending
+                if len(self._buffer) < payload_len:
+                    break
+                payload = bytes(self._buffer[:payload_len])
+                del self._buffer[:payload_len]
+                self._pending = None
+                frames.append(decode_payload(kind, request_id, payload))
+        except ProtocolError:
+            self._poisoned = True
+            raise
+        return frames

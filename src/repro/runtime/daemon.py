@@ -1,13 +1,23 @@
 """Long-lived queued serving with deadline-based batch coalescing.
 
 :class:`ServingDaemon` is the runtime's serving loop: a bounded request
-queue, one consumer thread, and a coalescing window. Requests that
-arrive within ``coalesce_window_s`` of each other are merged into one
-**wave** — their activation buffers concatenated, their shard plans
+queue, a two-stage consumer pipeline, and a coalescing window. Requests
+that arrive within ``coalesce_window_s`` of each other are merged into
+one **wave** — their activation buffers concatenated, their shard plans
 appended — and executed in a single sweep through the scheduler, which
 amortizes lock round-trips, pool submissions, and pipeline warmup
 across requests (the single biggest lever for the RNG-bound stochastic
 path, per the kernel benchmarks).
+
+The pipeline has two consumer threads: the **assembler** pulls queued
+requests, coalesces them into waves, and draws every request's shard
+plan (and therefore its seeds) in arrival order; the **executor** pulls
+planned waves from a small bounded handoff queue and runs them. Wave
+*k + 1* therefore assembles while wave *k* executes, hiding coalescing
+and planning latency behind execution. The split cannot perturb
+results: all generator draws happen on the assembler in arrival order
+(exactly the serial draw sequence), and the handoff queue is FIFO, so
+execution order matches assembly order.
 
 Coalescing is a *scheduling* decision, never a semantics change. Each
 request keeps its own shard boundaries and its own seeds: the wave plan
@@ -64,6 +74,9 @@ from repro.utils.rng import SeedLike, new_rng
 #: circular import (the daemon is below the api facade).
 _INHERIT = object()
 
+#: Assembler -> executor handoff sentinel: no more waves are coming.
+_SENTINEL = object()
+
 
 @dataclass
 class DaemonStats:
@@ -77,6 +90,12 @@ class DaemonStats:
     executed waves by the plan-level mode the chooser picked — the
     telemetry that shows coalescing flipping small serial requests into
     fanned-out waves.
+
+    ``queue_depth`` and ``in_flight`` are *live gauges*, not lifetime
+    counters: requests sitting in the admission queue right now, and
+    requests accepted but not yet resolved (queued + assembling +
+    executing). The network tier reads them to shed load before the
+    bounded queue would block its event loop.
     """
 
     submitted: int = 0
@@ -91,6 +110,8 @@ class DaemonStats:
     retries: int = 0  # pool attempts re-submitted by the recovery loop
     recoveries: int = 0  # requests that completed via retry or fallback
     consumer_restarts: int = 0  # supervisor restarts of a crashed consumer
+    queue_depth: int = 0  # gauge: requests in the admission queue now
+    in_flight: int = 0  # gauge: accepted but unresolved requests now
     recovery: Optional[dict] = None  # latest wave's RecoveryLog
     decisions: Optional[List[dict]] = None  # latest wave's stage decisions
     mode_waves: Dict[str, int] = field(default_factory=dict)
@@ -238,14 +259,31 @@ class ServingDaemon:
         self._serial = SerialScheduler()
         self._stats = DaemonStats()
         self._stats_lock = threading.Lock()
+        self._inflight = 0
         self._closing = False
         self._drain = True
         self._closed = False
+        self._abort = False
         self._wave_recovery: Optional[dict] = None
-        self._thread = threading.Thread(
-            target=self._supervise, name="repro-serving-daemon", daemon=True
+        # Two-stage consumer pipeline: the assembler coalesces + plans
+        # (all generator draws, in arrival order), the executor runs
+        # planned waves — wave k+1 assembles while wave k executes. A
+        # small handoff bound keeps planning at most two waves ahead.
+        self._handoff: "queue.Queue" = queue.Queue(maxsize=2)
+        self._assembler = threading.Thread(
+            target=self._supervise,
+            args=(self._assemble_loop,),
+            name="repro-daemon-assembler",
+            daemon=True,
         )
-        self._thread.start()
+        self._executor = threading.Thread(
+            target=self._supervise,
+            args=(self._execute_loop,),
+            name="repro-daemon-executor",
+            daemon=True,
+        )
+        self._assembler.start()
+        self._executor.start()
 
     # ------------------------------------------------------------------
     # Submission side
@@ -268,6 +306,42 @@ class ServingDaemon:
         Malformed requests (non-batched arrays) are rejected here, in
         the caller's thread.
         """
+        return self._enqueue(
+            images,
+            labels,
+            seed=seed,
+            block=self.admission == "block",
+            timeout=timeout,
+        )
+
+    def try_submit(
+        self,
+        images: np.ndarray,
+        labels=None,
+        *,
+        seed: Optional[int] = None,
+    ) -> Future:
+        """Non-blocking :meth:`submit`: enqueue if there is room *right
+        now*, raise :class:`~repro.runtime.recovery.QueueFull`
+        otherwise — regardless of the daemon's ``admission`` policy.
+
+        This is the submission path for callers that must never stall
+        (the asyncio network tier bridges every decoded request through
+        here, turning a full queue into a retryable wire error instead
+        of a blocked event loop). Rejections count in
+        :attr:`DaemonStats.rejected`.
+        """
+        return self._enqueue(images, labels, seed=seed, block=False, timeout=None)
+
+    def _enqueue(
+        self,
+        images: np.ndarray,
+        labels,
+        *,
+        seed: Optional[int],
+        block: bool,
+        timeout: Optional[float],
+    ) -> Future:
         if self._closing or self._closed:
             raise RuntimeError("cannot submit to a closed ServingDaemon")
         x = np.asarray(images)
@@ -282,10 +356,10 @@ class ServingDaemon:
             seed=None if seed is None else int(seed),
         )
         try:
-            if self.admission == "reject":
-                self._queue.put_nowait(request)
-            else:
+            if block:
                 self._queue.put(request, timeout=timeout)
+            else:
+                self._queue.put_nowait(request)
         except queue.Full:
             with self._stats_lock:
                 self._stats.rejected += 1
@@ -296,6 +370,7 @@ class ServingDaemon:
             ) from None
         with self._stats_lock:
             self._stats.submitted += 1
+            self._inflight += 1
             self._stats.queue_high_water = max(
                 self._stats.queue_high_water, self._queue.qsize()
             )
@@ -342,20 +417,20 @@ class ServingDaemon:
     # ------------------------------------------------------------------
     # Consumer side
     # ------------------------------------------------------------------
-    def _supervise(self) -> None:
-        """Consumer thread target: keep the consumer loop alive.
+    def _supervise(self, loop_fn) -> None:
+        """Consumer thread target: keep one pipeline stage alive.
 
-        A consumer crash (anything an individual wave's own error
-        handling did not absorb) is counted, and the loop restarts —
-        requests already queued stay queued and are served by the
-        reincarnation. ``BaseException`` (``KeyboardInterrupt``,
-        ``SystemExit``) stops the daemon instead: queued requests are
-        failed so no caller is left holding a future that can never
-        resolve.
+        A stage crash (anything an individual wave's own error handling
+        did not absorb) is counted, and the loop restarts — requests
+        already queued stay queued and are served by the reincarnation.
+        ``BaseException`` (``KeyboardInterrupt``, ``SystemExit``) stops
+        the daemon instead: the abort flag is raised and everything
+        still queued or handed off is failed, so no caller is left
+        holding a future that can never resolve.
         """
         while True:
             try:
-                self._consume()
+                loop_fn()
                 return
             except Exception:  # noqa: BLE001 - the supervisor's job
                 if self._closing or self._closed:
@@ -363,23 +438,34 @@ class ServingDaemon:
                 with self._stats_lock:
                     self._stats.consumer_restarts += 1
             except BaseException as exc:
+                self._abort = True
                 self._abort_queued(exc)
                 raise
 
     def _abort_queued(self, exc: BaseException) -> None:
-        """Fail everything still queued (consumer is going away)."""
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                return
-            self._fail(
-                item,
-                RuntimeError(f"ServingDaemon consumer aborted: {exc!r}"),
-            )
+        """Fail everything still queued or handed off (a pipeline stage
+        is going away for good)."""
+        for source in (self._queue, self._handoff):
+            while True:
+                try:
+                    item = source.get_nowait()
+                except queue.Empty:
+                    break
+                wave = item if isinstance(item, list) else [item]
+                for request in wave:
+                    if isinstance(request, _Request):
+                        self._fail(
+                            request,
+                            RuntimeError(
+                                f"ServingDaemon consumer aborted: {exc!r}"
+                            ),
+                        )
 
-    def _consume(self) -> None:
-        while True:
+    # -- stage 1: assembler --------------------------------------------
+    def _assemble_loop(self) -> None:
+        """Coalesce queued requests into waves, draw their plans in
+        arrival order, and hand the planned waves to the executor."""
+        while not self._abort:
             faults.fault_point("daemon.consumer")
             try:
                 first = self._queue.get(timeout=0.02)
@@ -401,26 +487,75 @@ class ServingDaemon:
                     break
                 wave.append(item)
                 rows += item.images.shape[0]
-            self._guarded_wave(wave)
+            self._plan_and_hand_off(wave)
         # Drain or fail whatever is still queued after the stop signal.
-        while True:
+        while not self._abort:
             try:
                 item = self._queue.get_nowait()
             except queue.Empty:
                 break
             if self._drain:
-                self._guarded_wave([item])
+                self._plan_and_hand_off([item])
             else:
                 self._fail(item, RuntimeError("ServingDaemon closed"))
+        self._hand_off(_SENTINEL)
 
-    def _guarded_wave(self, wave: List[_Request]) -> None:
-        """Run one wave; an exception that escapes the wave's own error
-        handling fails that wave's futures before propagating to the
-        supervisor — a consumer crash must never strand a caller."""
+    def _plan_and_hand_off(self, wave: List[_Request]) -> None:
+        """Plan one wave; a failure that escapes per-request planning
+        fails the whole wave's futures before propagating — a consumer
+        crash must never strand a caller."""
         try:
-            self._run_wave(wave)
+            ready = self._plan_wave(wave)
         except BaseException as exc:
             for item in wave:
+                self._fail(item, classified(exc))
+            raise
+        if ready:
+            self._hand_off(ready)
+
+    def _hand_off(self, ready) -> None:
+        """Blocking put into the bounded handoff queue, with an escape
+        hatch: if the executor has aborted for good, fail the wave
+        instead of blocking forever."""
+        while True:
+            try:
+                self._handoff.put(ready, timeout=0.1)
+                return
+            except queue.Full:
+                if self._abort:
+                    if isinstance(ready, list):
+                        for item in ready:
+                            self._fail(
+                                item,
+                                RuntimeError(
+                                    "ServingDaemon executor aborted"
+                                ),
+                            )
+                    return
+
+    # -- stage 2: executor ---------------------------------------------
+    def _execute_loop(self) -> None:
+        """Run planned waves in handoff (FIFO = assembly) order."""
+        while True:
+            try:
+                ready = self._handoff.get(timeout=0.02)
+            except queue.Empty:
+                if self._abort:
+                    return
+                if self._closing and not self._assembler.is_alive():
+                    # Backstop: the assembler died without a sentinel
+                    # (its supervisor gave up mid-close).
+                    return
+                continue
+            if ready is _SENTINEL:
+                return
+            self._guarded_execute(ready)
+
+    def _guarded_execute(self, ready: List[_Request]) -> None:
+        try:
+            self._execute_wave(ready)
+        except BaseException as exc:
+            for item in ready:
                 self._fail(item, classified(exc))
             raise
 
@@ -487,9 +622,11 @@ class ServingDaemon:
             return plan_shards(n, self.micro_batch, rng=new_rng(None))
         return plan_shards(n, self.micro_batch)
 
-    def _run_wave(self, wave: List[_Request]) -> None:
-        # 1. Plan every request in arrival order (isolating per-request
-        # failures so a bad payload cannot consume a neighbour's seeds).
+    def _plan_wave(self, wave: List[_Request]) -> List[_Request]:
+        """Plan every request in arrival order (isolating per-request
+        failures so a bad payload cannot consume a neighbour's seeds).
+        Runs on the assembler — the only thread that ever draws from
+        the daemon generator."""
         ready: List[_Request] = []
         for item in wave:
             try:
@@ -507,17 +644,18 @@ class ServingDaemon:
                 ready.append(item)
             except Exception as exc:  # noqa: BLE001 - forwarded to caller
                 self._fail(item, classified(exc))
-        if not ready:
-            return
-        with self._stats_lock:
-            self._stats.waves += 1
-            self._stats.max_wave_requests = max(
-                self._stats.max_wave_requests, len(ready)
-            )
-            if len(ready) > 1:
-                self._stats.coalesced_requests += len(ready)
+        if ready:
+            with self._stats_lock:
+                self._stats.waves += 1
+                self._stats.max_wave_requests = max(
+                    self._stats.max_wave_requests, len(ready)
+                )
+                if len(ready) > 1:
+                    self._stats.coalesced_requests += len(ready)
+        return ready
 
-        # 2. One coalesced execution; on any failure fall back to
+    def _execute_wave(self, ready: List[_Request]) -> None:
+        # One coalesced execution; on any failure fall back to
         # request-by-request execution of the already-drawn plans so
         # only the offending request fails. (The scheduler has already
         # retried / serially rescued everything retryable by the time
@@ -656,21 +794,39 @@ class ServingDaemon:
         with self._stats_lock:
             self._stats.completed += 1
             self._stats.total_images += item.rows
+            self._inflight -= 1
         if not item.future.done():
             item.future.set_result(result)
 
     def _fail(self, item: _Request, exc: BaseException) -> None:
         with self._stats_lock:
             self._stats.failed += 1
+            self._inflight -= 1
         if not item.future.done():
             item.future.set_exception(exc)
 
     # ------------------------------------------------------------------
     @property
-    def stats(self) -> DaemonStats:
-        """A snapshot of the daemon's counters."""
+    def queue_depth(self) -> int:
+        """Live gauge: requests in the admission queue right now."""
+        return self._queue.qsize()
+
+    @property
+    def in_flight(self) -> int:
+        """Live gauge: requests accepted but not yet resolved (queued,
+        assembling, or executing)."""
         with self._stats_lock:
-            return DaemonStats(**self._stats.as_dict())
+            return self._inflight
+
+    @property
+    def stats(self) -> DaemonStats:
+        """A snapshot of the daemon's counters (plus the live
+        ``queue_depth`` / ``in_flight`` gauges at snapshot time)."""
+        with self._stats_lock:
+            snapshot = DaemonStats(**self._stats.as_dict())
+            snapshot.in_flight = self._inflight
+        snapshot.queue_depth = self._queue.qsize()
+        return snapshot
 
     def close(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Stop the daemon. ``drain=True`` (default) finishes every
@@ -681,9 +837,12 @@ class ServingDaemon:
             return
         self._drain = drain
         self._closing = True
-        self._thread.join(timeout=timeout)
-        if self._thread.is_alive():  # pragma: no cover - pathological
-            raise RuntimeError("ServingDaemon consumer did not stop in time")
+        self._assembler.join(timeout=timeout)
+        self._executor.join(timeout=timeout)
+        if (
+            self._assembler.is_alive() or self._executor.is_alive()
+        ):  # pragma: no cover - pathological
+            raise RuntimeError("ServingDaemon consumers did not stop in time")
         self._closed = True
         if self._owns_strategy and hasattr(self._strategy, "close"):
             self._strategy.close()

@@ -1,0 +1,314 @@
+"""Wire protocol: round-trip fidelity, incremental decoding, and the
+strict-validation guarantee — a malformed byte stream always raises
+:class:`ProtocolError` (or waits for more bytes), never crashes, never
+allocates from a hostile length prefix, and never yields a frame that
+lies about its contents."""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.net import protocol
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ERROR,
+    HEADER,
+    MAGIC,
+    PING,
+    REQUEST,
+    VERSION,
+    ControlFrame,
+    ErrorFrame,
+    FrameDecoder,
+    FrameTooLarge,
+    ProtocolError,
+    RequestFrame,
+    ResponseFrame,
+    decode_payload,
+    encode_error,
+    encode_ping,
+    encode_pong,
+    encode_request,
+    encode_response,
+    parse_header,
+)
+
+
+def decode_one(data: bytes):
+    """Decode exactly one frame from a complete byte string."""
+    frames = FrameDecoder().feed(data)
+    assert len(frames) == 1
+    return frames[0]
+
+
+class TestRoundTrip:
+    def test_request_round_trip(self):
+        rng = np.random.default_rng(0)
+        images = rng.standard_normal((5, 64))
+        labels = rng.integers(0, 10, size=5)
+        frame = decode_one(encode_request(42, images, labels, seed=7))
+        assert isinstance(frame, RequestFrame)
+        assert frame.request_id == 42
+        assert frame.seed == 7
+        np.testing.assert_array_equal(frame.images, images)
+        np.testing.assert_array_equal(frame.labels, labels)
+
+    def test_request_without_labels_or_seed(self):
+        images = np.zeros((2, 8), dtype=np.float32)
+        frame = decode_one(encode_request(1, images))
+        assert frame.labels is None
+        assert frame.seed is None
+        assert frame.images.dtype == np.float32
+
+    def test_response_round_trip(self):
+        logits = np.random.default_rng(1).standard_normal((3, 10))
+        summary = {"backend": "stochastic", "wall_time_s": 0.25, "accuracy": 0.5}
+        frame = decode_one(encode_response(9, logits, summary))
+        assert isinstance(frame, ResponseFrame)
+        assert frame.request_id == 9
+        assert frame.summary == summary
+        np.testing.assert_array_equal(frame.logits, logits)
+
+    def test_error_round_trip(self):
+        frame = decode_one(encode_error(3, protocol.ERR_QUEUE_FULL, "busy"))
+        assert isinstance(frame, ErrorFrame)
+        assert frame.code == "queue-full"
+        assert frame.message == "busy"
+        assert frame.retryable is True
+        fatal = decode_one(encode_error(4, protocol.ERR_BAD_REQUEST, "nope"))
+        assert fatal.retryable is False
+
+    def test_ping_pong_round_trip(self):
+        ping = decode_one(encode_ping(11))
+        pong = decode_one(encode_pong(12))
+        assert isinstance(ping, ControlFrame) and ping.kind == protocol.PING
+        assert isinstance(pong, ControlFrame) and pong.kind == protocol.PONG
+        assert (ping.request_id, pong.request_id) == (11, 12)
+
+    @pytest.mark.parametrize(
+        "dtype", ["float64", "float32", "int64", "int32", "uint8", "bool"]
+    )
+    def test_whitelisted_dtypes_survive(self, dtype):
+        rng = np.random.default_rng(2)
+        images = (rng.standard_normal((3, 4)) * 10).astype(dtype)
+        frame = decode_one(encode_request(1, images))
+        assert frame.images.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(frame.images, images)
+
+    def test_property_random_shapes_round_trip_chunked(self):
+        """Property sweep: random shapes and chunk sizes; arrays come
+        back bit-identical no matter how the stream is fragmented."""
+        rng = np.random.default_rng(3)
+        for case in range(20):
+            shape = tuple(int(rng.integers(1, 9)) for _ in range(int(rng.integers(1, 4))))
+            images = rng.standard_normal(shape)
+            seed = int(rng.integers(0, 2**62))
+            data = encode_request(case, images, seed=seed)
+            chunk = int(rng.integers(1, 37))
+            decoder = FrameDecoder()
+            frames = []
+            for offset in range(0, len(data), chunk):
+                frames.extend(decoder.feed(data[offset : offset + chunk]))
+            assert len(frames) == 1
+            assert frames[0].seed == seed
+            np.testing.assert_array_equal(frames[0].images, images)
+
+    def test_back_to_back_frames_in_one_feed(self):
+        images = np.ones((2, 4))
+        data = encode_request(1, images) + encode_ping(2) + encode_error(3, "internal", "x")
+        frames = FrameDecoder().feed(data)
+        assert [type(f) for f in frames] == [RequestFrame, ControlFrame, ErrorFrame]
+
+    def test_empty_batch_round_trips(self):
+        frame = decode_one(encode_request(1, np.zeros((0, 8))))
+        assert frame.images.shape == (0, 8)
+
+
+class TestHeaderValidation:
+    def test_bad_magic_rejected(self):
+        header = HEADER.pack(b"XX", VERSION, REQUEST, 0, 1)
+        with pytest.raises(ProtocolError, match="magic"):
+            parse_header(header)
+
+    def test_unsupported_version_rejected(self):
+        header = HEADER.pack(MAGIC, VERSION + 1, REQUEST, 0, 1)
+        with pytest.raises(ProtocolError, match="version"):
+            parse_header(header)
+
+    def test_unknown_kind_rejected(self):
+        header = HEADER.pack(MAGIC, VERSION, 99, 0, 1)
+        with pytest.raises(ProtocolError, match="kind"):
+            parse_header(header)
+
+    def test_oversize_length_prefix_rejected_before_allocation(self):
+        """A hostile 4 GiB length prefix dies on the 16 header bytes
+        alone — the decoder never buffers toward it."""
+        header = HEADER.pack(MAGIC, VERSION, REQUEST, 2**32 - 1, 1)
+        with pytest.raises(FrameTooLarge):
+            parse_header(header)
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        with pytest.raises(FrameTooLarge):
+            decoder.feed(header)
+        assert len(decoder._buffer) == 0, "nothing may be buffered for the frame"
+
+    def test_control_frame_with_payload_rejected(self):
+        header = HEADER.pack(MAGIC, VERSION, PING, 4, 1)
+        with pytest.raises(ProtocolError, match="empty payload"):
+            parse_header(header)
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ProtocolError, match="short header"):
+            parse_header(b"RB\x01")
+
+
+def _payload_frame(kind: int, payload: bytes, request_id: int = 1) -> bytes:
+    return HEADER.pack(MAGIC, VERSION, kind, len(payload), request_id) + payload
+
+
+def _meta_payload(meta: dict, blob: bytes = b"") -> bytes:
+    meta_bytes = json.dumps(meta).encode()
+    return struct.pack(">I", len(meta_bytes)) + meta_bytes + blob
+
+
+class TestMalformedPayloads:
+    def test_truncated_frame_is_incomplete_not_an_error(self):
+        data = encode_request(1, np.ones((4, 8)))
+        decoder = FrameDecoder()
+        assert decoder.feed(data[:-5]) == []
+        frames = decoder.feed(data[-5:])
+        assert len(frames) == 1  # completes once the tail arrives
+
+    def test_garbage_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(_payload_frame(REQUEST, b"\xde\xad\xbe\xef" * 4))
+
+    def test_meta_length_beyond_payload_rejected(self):
+        payload = struct.pack(">I", 10_000) + b"{}"
+        with pytest.raises(ProtocolError, match="meta length"):
+            FrameDecoder().feed(_payload_frame(REQUEST, payload))
+
+    def test_non_json_meta_rejected(self):
+        payload = struct.pack(">I", 4) + b"\xff\xfe\x00\x01"
+        with pytest.raises(ProtocolError, match="JSON"):
+            FrameDecoder().feed(_payload_frame(REQUEST, payload))
+
+    def test_non_object_meta_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            FrameDecoder().feed(
+                _payload_frame(REQUEST, struct.pack(">I", 2) + b"[]")
+            )
+
+    def test_unlisted_dtype_rejected(self):
+        meta = {"arrays": [{"name": "images", "dtype": "object", "shape": [1]}]}
+        with pytest.raises(ProtocolError, match="whitelist"):
+            decode_payload(REQUEST, 1, _meta_payload(meta, b"\x00" * 8))
+
+    def test_negative_shape_rejected(self):
+        meta = {"arrays": [{"name": "images", "dtype": "float64", "shape": [-1, 8]}]}
+        with pytest.raises(ProtocolError, match="shape"):
+            decode_payload(REQUEST, 1, _meta_payload(meta))
+
+    def test_shape_exceeding_payload_rejected(self):
+        meta = {"arrays": [{"name": "images", "dtype": "float64", "shape": [1000, 1000]}]}
+        with pytest.raises(ProtocolError, match="declares"):
+            decode_payload(REQUEST, 1, _meta_payload(meta, b"\x00" * 64))
+
+    def test_trailing_garbage_rejected(self):
+        meta = {"arrays": [{"name": "images", "dtype": "float64", "shape": [1, 1]}]}
+        with pytest.raises(ProtocolError, match="trailing garbage"):
+            decode_payload(REQUEST, 1, _meta_payload(meta, b"\x00" * 8 + b"xx"))
+
+    def test_duplicate_array_name_rejected(self):
+        spec = {"name": "images", "dtype": "float64", "shape": [1]}
+        meta = {"arrays": [spec, dict(spec)]}
+        with pytest.raises(ProtocolError, match="duplicate"):
+            decode_payload(REQUEST, 1, _meta_payload(meta, b"\x00" * 16))
+
+    def test_request_missing_images_rejected(self):
+        with pytest.raises(ProtocolError, match="images"):
+            decode_payload(REQUEST, 1, _meta_payload({"arrays": []}))
+
+    def test_request_with_unknown_array_rejected(self):
+        meta = {
+            "arrays": [
+                {"name": "images", "dtype": "float64", "shape": [1]},
+                {"name": "weights", "dtype": "float64", "shape": [1]},
+            ]
+        }
+        with pytest.raises(ProtocolError, match="unknown arrays"):
+            decode_payload(REQUEST, 1, _meta_payload(meta, b"\x00" * 16))
+
+    @pytest.mark.parametrize("seed", ["7", -1, 2**63, 1.5])
+    def test_bad_request_seed_rejected(self, seed):
+        meta = {
+            "seed": seed,
+            "arrays": [{"name": "images", "dtype": "float64", "shape": [1]}],
+        }
+        with pytest.raises(ProtocolError, match="seed"):
+            decode_payload(REQUEST, 1, _meta_payload(meta, b"\x00" * 8))
+
+    def test_error_frame_with_array_bytes_rejected(self):
+        meta = {"code": "internal", "message": "x"}
+        with pytest.raises(ProtocolError, match="array bytes"):
+            decode_payload(ERROR, 1, _meta_payload(meta, b"\x00"))
+
+    def test_error_frame_without_code_rejected(self):
+        with pytest.raises(ProtocolError, match="code"):
+            decode_payload(ERROR, 1, _meta_payload({"message": "x"}))
+
+    def test_response_without_logits_rejected(self):
+        with pytest.raises(ProtocolError, match="logits"):
+            decode_payload(protocol.RESPONSE, 1, _meta_payload({"arrays": []}))
+
+    def test_poisoned_decoder_refuses_more_bytes(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(_payload_frame(REQUEST, b"junkjunk"))
+        with pytest.raises(ProtocolError, match="poisoned"):
+            decoder.feed(encode_ping(1))
+
+    def test_fuzz_random_bytes_never_crash(self):
+        """Deterministic garbage fuzz: every outcome is either 'need
+        more bytes' or ProtocolError — no other exception, no frame."""
+        rng = np.random.default_rng(1234)
+        for _ in range(200):
+            blob = rng.integers(0, 256, size=int(rng.integers(1, 200))).astype(
+                np.uint8
+            ).tobytes()
+            decoder = FrameDecoder(max_frame_bytes=4096)
+            try:
+                frames = decoder.feed(blob)
+            except ProtocolError:
+                continue
+            assert frames == []
+
+    def test_fuzz_bitflipped_valid_frames(self):
+        """Flip one byte of a valid frame at every offset: decode either
+        raises ProtocolError or yields a frame (when the flip lands in
+        array bytes, which are opaque) — never any other failure."""
+        images = np.arange(12, dtype=np.float64).reshape(3, 4)
+        data = bytearray(encode_request(5, images, seed=3))
+        for offset in range(len(data)):
+            corrupt = bytearray(data)
+            corrupt[offset] ^= 0xFF
+            decoder = FrameDecoder(max_frame_bytes=4096)
+            try:
+                decoder.feed(bytes(corrupt))
+            except ProtocolError:
+                pass
+
+
+class TestLimits:
+    def test_default_ceiling_is_sane(self):
+        assert 2**20 <= DEFAULT_MAX_FRAME_BYTES <= 2**31
+
+    def test_unencodable_dtype_refused_at_encode_time(self):
+        with pytest.raises(ProtocolError, match="wire-encodable"):
+            encode_request(1, np.array([object()], dtype=object))
+
+    def test_non_contiguous_arrays_are_encoded_correctly(self):
+        images = np.arange(64, dtype=np.float64).reshape(8, 8)[::2, ::2]
+        frame = decode_one(encode_request(1, images))
+        np.testing.assert_array_equal(frame.images, images)

@@ -358,6 +358,62 @@ class TestDaemonFaultHandling:
         assert outcomes[0] is not None, "the in-flight wave always finishes"
 
 
+class TestNetworkChaos:
+    def test_disconnect_and_worker_kill_under_network_load(
+        self, small_engine, request_data
+    ):
+        """The network tier's worst afternoon: one client ships a
+        request and vanishes, a pool worker is killed mid-wave, and a
+        surviving client keeps going. The daemon recovers via pool
+        rebuild, the orphaned response is dropped (not crashed on), and
+        the survivor's logits stay bit-identical to a serial Session."""
+        from repro.net import NetworkClient, ServerThread
+
+        reference = Session(small_engine, seed=123).run(request_data[:16])
+        plan = FaultPlan(
+            [FaultSpec(site="worker.shard", action="kill", match={"shard": 1})]
+        )
+        scheduler = ShardParallelScheduler(workers=2)
+        try:
+            with fault_injection(plan):
+                daemon = ServingDaemon(
+                    small_engine,
+                    seed=9,
+                    scheduler=scheduler,
+                    coalesce_window_s=0.05,
+                )
+                try:
+                    thread = ServerThread(daemon)
+                    host, port = thread.start()
+                    try:
+                        victim = NetworkClient(host, port)
+                        victim.send(request_data[16:32], seed=124)
+                        # leave before the wave resolves (the kill +
+                        # pool rebuild guarantee it has not yet)
+                        victim.close()
+                        with NetworkClient(host, port, timeout=120.0) as client:
+                            result = client.infer(request_data[:16], seed=123)
+                        deadline = time.monotonic() + 30.0
+                        while (
+                            thread.server.stats.disconnected_inflight < 1
+                            and time.monotonic() < deadline
+                        ):
+                            time.sleep(0.05)
+                        server_stats = thread.server.stats
+                    finally:
+                        thread.close()
+                    stats = daemon.stats
+                finally:
+                    daemon.close(drain=True)
+        finally:
+            scheduler.close()
+        np.testing.assert_array_equal(result.logits, reference.logits)
+        assert stats.retries >= 1, "the worker kill must actually have fired"
+        assert stats.recoveries >= 1
+        assert server_stats.disconnected_inflight == 1
+        assert stats.failed == 0, "recovery, not failure, serves the survivors"
+
+
 class TestNoOrphanedWorkers:
     def test_keyboard_interrupt_leaves_no_orphaned_pool_processes(
         self, small_engine, request_data

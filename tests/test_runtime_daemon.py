@@ -2,6 +2,7 @@
 shutdown semantics, and Session lifecycle guarantees."""
 
 import queue
+import time
 
 import numpy as np
 import pytest
@@ -224,16 +225,20 @@ class TestServingEdgeCases:
             max_wave_images=1,
         )
         try:
-            # Stall the consumer mid-wave by holding the engine's
-            # execution lock from this thread; the queue then fills.
+            # Stall the executor mid-wave by holding the engine's
+            # execution lock from this thread; the pipeline then fills:
+            # one wave blocked in the executor, two planned waves in
+            # the handoff queue, one wave in the assembler's hand
+            # (blocked on the handoff put), and one request in the
+            # admission queue — five slots with max_wave_images=1.
             with small_engine._exec_lock:
-                daemon.submit(images[:8])  # wave in flight, blocked on the lock
-                daemon.submit(images[:8], timeout=5.0)  # fills the only slot
-                with pytest.raises(queue.Full):  # no room for a third
+                for _ in range(5):
+                    daemon.submit(images[:8], timeout=5.0)
+                with pytest.raises(queue.Full):  # no room for a sixth
                     daemon.submit(images[:8], timeout=0.05)
             # lock released: everything in flight completes on drain
             daemon.close(drain=True)
-            assert daemon.stats.completed == 2
+            assert daemon.stats.completed == 5
         finally:
             daemon.close(drain=False)
 
@@ -247,6 +252,71 @@ class TestServingEdgeCases:
         assert stats.total_images == 16
         assert stats.waves >= 1
         assert stats.as_dict()["submitted"] == 2
+
+
+class TestBackpressureGauges:
+    """try_submit + the live queue-depth/in-flight gauges the network
+    tier sheds load with."""
+
+    def test_try_submit_never_blocks_and_gauges_track_saturation(
+        self, small_engine, request_data
+    ):
+        from repro.runtime.recovery import QueueFull
+
+        images, _ = request_data
+        daemon = ServingDaemon(
+            small_engine, seed=0, max_queue=1, coalesce_window_s=0.0,
+            max_wave_images=1,
+        )
+        try:
+            with small_engine._exec_lock:  # stall the executor
+                accepted = []
+                rejections = consecutive = 0
+                deadline = time.monotonic() + 20.0
+                # A rejection before saturation is transient (the
+                # assembler just has not drained the slot yet); five in
+                # a row spanning 100ms means the pipeline is truly full.
+                while consecutive < 5 and time.monotonic() < deadline:
+                    try:
+                        accepted.append(daemon.try_submit(images[:8]))
+                        consecutive = 0
+                    except QueueFull:
+                        rejections += 1
+                        consecutive += 1
+                        time.sleep(0.02)
+                assert consecutive == 5, "try_submit must shed, not block"
+                stats = daemon.stats
+                # pipeline capacity: executor 1 + handoff 2 + assembler
+                # hand 1 + admission queue 1 (see the bounded-queue test)
+                assert len(accepted) == 5
+                assert stats.in_flight == 5
+                assert stats.queue_depth == 1
+                assert stats.rejected == rejections
+            daemon.close(drain=True)
+            for future in accepted:
+                assert future.result(timeout=30).batch_size == 8
+            stats = daemon.stats
+            assert stats.in_flight == 0
+            assert stats.queue_depth == 0
+            assert stats.completed == 5
+        finally:
+            daemon.close(drain=False)
+
+    def test_gauges_are_zero_when_idle(self, small_engine, request_data):
+        images, _ = request_data
+        with ServingDaemon(small_engine, seed=0, coalesce_window_s=0.0) as daemon:
+            daemon.submit(images[:8]).result(timeout=30)
+            stats = daemon.stats
+        assert stats.in_flight == 0
+        assert stats.queue_depth == 0
+        assert stats.as_dict()["in_flight"] == 0
+
+    def test_try_submit_rejected_after_close(self, small_engine, request_data):
+        images, _ = request_data
+        daemon = ServingDaemon(small_engine, seed=0)
+        daemon.close()
+        with pytest.raises(RuntimeError):
+            daemon.try_submit(images[:8])
 
 
 class TestSessionLifecycle:
