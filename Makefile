@@ -3,7 +3,12 @@
 # the tier-1 tests (the one command to run before pushing); `make check
 # FAST=1` skips the repeat-averaged statistical benches (the fig10
 # bit-stream sweep and the integration window sweep) for quick
-# pre-commit runs; `make check-runtime` runs the parallel/daemon tests
+# pre-commit runs; `make lint-static` runs the AST-based contract
+# checker (repro.analysis: determinism, layering, fault-site catalog,
+# env discipline, asyncio hygiene, registry contracts, exception
+# taxonomy) over src/tests/benchmarks/examples and fails on any finding
+# not grandfathered in lint-static.baseline.json;
+# `make check-runtime` runs the parallel/daemon tests
 # alone with a 2-worker pool cap (REPRO_MAX_POOL_WORKERS) and a hard
 # timeout, so a pool/queue deadlock fails the build fast instead of
 # hanging the whole suite (GNU `timeout` when available, otherwise an
@@ -60,7 +65,7 @@ CHAOS_TIMEOUT ?= 600
 CHAOS_TESTS := tests/test_runtime_faults.py tests/test_runtime_chaos.py
 TIMEOUT_BIN := $(shell command -v timeout 2>/dev/null)
 
-.PHONY: test bench bench-serving lint check check-runtime check-chaos coverage
+.PHONY: test bench bench-serving lint lint-static check check-runtime check-chaos coverage
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q $(PYTEST_FLAGS)
@@ -85,7 +90,7 @@ else
 		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest $(CHAOS_TESTS) -q $(PYTEST_EXTRA)
 endif
 
-check: lint check-runtime check-chaos test
+check: lint lint-static check-runtime check-chaos test
 
 coverage:
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
@@ -110,3 +115,11 @@ bench-serving:
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
+
+# The static contract checker. Exits non-zero on any finding not
+# grandfathered in lint-static.baseline.json; LINT_JSON=path also dumps
+# the machine-readable report (the CI artifact).
+LINT_JSON ?=
+lint-static:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli lint-static \
+		$(if $(LINT_JSON),--json $(LINT_JSON),)

@@ -1,0 +1,61 @@
+"""``repro.analysis`` — the static contract checker ("repro-lint").
+
+An AST/import-graph analysis subsystem that mechanically enforces the
+invariants the rest of the repo only promised in docstrings:
+
+- **determinism** — no unseeded RNG or wall-clock reads in the
+  seed/plan-derivation paths (:mod:`repro.analysis.rules.determinism`);
+- **layering** — acyclic, downward-only module imports per the declared
+  layer table (:mod:`repro.analysis.rules.layering`);
+- **fault-site** — every ``fault_point``/``FaultSpec`` site matches
+  ``repro.runtime.faults.KNOWN_SITES``
+  (:mod:`repro.analysis.rules.faultsites`);
+- **env-discipline** — every ``REPRO_*`` read goes through
+  :mod:`repro.runtime.env` and its declared catalog
+  (:mod:`repro.analysis.rules.envdiscipline`);
+- **async-hygiene** — no blocking calls inside ``async def`` in the
+  network tier (:mod:`repro.analysis.rules.asynchygiene`);
+- **registry-contract** — registered backends/schedulers statically
+  implement their protocols (:mod:`repro.analysis.rules.registries`);
+- **exception-taxonomy** — runtime raises stay classifiable and broad
+  handlers re-classify or annotate
+  (:mod:`repro.analysis.rules.taxonomy`).
+
+Entry points: ``repro.cli lint-static`` / ``make lint-static`` (chained
+into ``make check`` and CI). Programmatic use::
+
+    from repro.analysis import run_analysis
+    report = run_analysis(repo_root)
+    assert report.clean, report.render()
+
+Grandfathered violations live in ``lint-static.baseline.json`` (see
+:mod:`repro.analysis.baseline`); deliberate per-line departures use
+``lint-static: allow[<rule>]`` waiver comments.
+"""
+
+from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
+from repro.analysis.core import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    available_rules,
+    get_rule,
+    register_rule,
+)
+from repro.analysis.runner import DEFAULT_PATHS, AnalysisReport, run_analysis
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "DEFAULT_BASELINE",
+    "DEFAULT_PATHS",
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "available_rules",
+    "get_rule",
+    "register_rule",
+    "run_analysis",
+]

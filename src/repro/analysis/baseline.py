@@ -1,0 +1,104 @@
+"""Grandfathered-violation baseline for the static contract checker.
+
+The baseline is the escape hatch that lets ``lint-static`` gate CI from
+day one without requiring every historical violation to be fixed in the
+same commit: findings whose stable key appears in the baseline file are
+*tolerated* (reported, not fatal), while anything new fails the build.
+The committed baseline is expected to stay empty or near-empty — every
+entry is debt with a name on it.
+
+Semantics:
+
+- a finding whose :attr:`~repro.analysis.core.Finding.key` matches a
+  baseline entry is **suppressed** (it does not fail the run);
+- a baseline entry matching no current finding is **stale** — reported
+  so the file gets pruned, tolerated so an honest fix never *breaks*
+  the build; ``update()`` (CLI ``--update-baseline``) rewrites the file
+  to exactly the current finding set, which is both the "add" and the
+  "expire" path of the round trip.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+from repro.analysis.core import Finding
+
+#: Default baseline location, repo-root relative.
+DEFAULT_BASELINE = "lint-static.baseline.json"
+
+_VERSION = 1
+
+
+class Baseline:
+    """The set of grandfathered finding keys."""
+
+    def __init__(self, entries: Iterable[dict] = ()) -> None:
+        self.entries: List[dict] = [dict(e) for e in entries]
+        self._keys = {e["key"] for e in self.entries}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load ``path``; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {path} (expected {_VERSION})"
+            )
+        entries = payload.get("entries", [])
+        for entry in entries:
+            if "key" not in entry:
+                raise ValueError(f"baseline entry without a key in {path}: {entry!r}")
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "entries": sorted(self.entries, key=lambda e: e["key"]),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------------
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.key in self._keys
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def split(self, findings: Sequence[Finding]):
+        """Partition ``findings`` into ``(new, baselined)`` and compute
+        the stale entry list in one pass."""
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        seen_keys = set()
+        for finding in findings:
+            seen_keys.add(finding.key)
+            (baselined if finding.key in self._keys else new).append(finding)
+        stale = [e for e in self.entries if e["key"] not in seen_keys]
+        return new, baselined, stale
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """A baseline grandfathering exactly ``findings`` (the
+        ``--update-baseline`` path)."""
+        entries = [
+            {
+                "key": f.key,
+                "rule": f.rule,
+                "path": f.path,
+                "message": f.message,
+            }
+            for f in findings
+        ]
+        # One entry per key: repeated identical messages collapse.
+        unique = {e["key"]: e for e in entries}
+        return cls(unique.values())

@@ -1,0 +1,341 @@
+"""Core model of the static contract checker ("repro-lint").
+
+Every reproducibility guarantee this repo ships — bit-identical-to-
+serial scheduling, seeded per-shard RNG, the ``fault_point`` site
+catalog, the ``REPRO_*`` env knobs, the recovery exception taxonomy,
+the sc → mapping/models → api → runtime → net layering — is *declared
+data* somewhere (`KNOWN_SITES`, `ENV_CATALOG`, the backend/scheduler
+registries, the layer table in :mod:`repro.analysis.rules.layering`).
+This module supplies the machinery that verifies the code against those
+declarations on every commit:
+
+- :class:`Finding` — one violation: rule id, severity, file:line, a
+  message, and a fix hint. Findings carry a *stable key* (rule + path +
+  message fingerprint) so the baseline file survives unrelated edits.
+- the rule registry — string-keyed classes registered via
+  :func:`register_rule`, deliberately mirroring
+  :func:`repro.api.backends.register_backend` and
+  :func:`repro.runtime.scheduler.register_scheduler`: rules are
+  pluggable strategy objects selected by name.
+- :class:`SourceFile` / :class:`Project` — a parsed-once AST snapshot
+  of the tree shared by every rule, so a full run stays well under the
+  10-second budget.
+
+Inline waivers: a finding whose source line (or the line above it)
+contains ``lint-static: allow[<rule>]`` is suppressed at the source.
+They are for *deliberate* contract departures — a unit test exercising
+an unknown fault site on purpose — and should name their reason in the
+surrounding code; accidental violations belong in the baseline file
+(see :mod:`repro.analysis.baseline`) only while being burned down.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+#: Severity ladder. Both levels fail the build when not baselined;
+#: "warning" marks findings where the checker cannot statically prove
+#: the violation (e.g. a non-literal fault site) but a human should look.
+SEVERITIES = ("error", "warning")
+
+_WAIVER_RE = re.compile(r"lint-static:\s*allow\[([a-z0-9_,\- ]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation at a specific source location."""
+
+    rule: str
+    severity: str
+    path: str  # repo-relative, posix separators
+    line: int
+    message: str
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {', '.join(SEVERITIES)}; "
+                f"got {self.severity!r}"
+            )
+
+    @property
+    def key(self) -> str:
+        """Stable baseline key: deliberately excludes the line number so
+        a grandfathered finding survives unrelated edits above it."""
+        digest = hashlib.sha256(self.message.encode("utf-8")).hexdigest()[:12]
+        return f"{self.rule}:{self.path}:{digest}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+            "key": self.key,
+        }
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.severity}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+class SourceFile:
+    """One parsed source file: text, line table, and AST.
+
+    ``module`` is the dotted import name for files under ``src/``
+    (``repro.runtime.plan``) and a pseudo-dotted name rooted at the
+    scan directory otherwise (``tests.test_analysis``) — rules use it
+    to scope themselves to packages.
+    """
+
+    def __init__(self, root: Path, path: Path) -> None:
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.text = path.read_text(encoding="utf-8")
+        self.lines = self.text.splitlines()
+        self.module = _module_name(self.rel)
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree: Optional[ast.AST] = ast.parse(self.text, filename=self.rel)
+        except SyntaxError as exc:  # pragma: no cover - compileall gates this
+            self.tree = None
+            self.parse_error = exc
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def waived(self, rule: str, line: int) -> bool:
+        """True when an inline ``lint-static: allow[rule]`` waiver covers
+        ``line`` (same line or the line directly above)."""
+        for candidate in (line, line - 1):
+            match = _WAIVER_RE.search(self.line_text(candidate))
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")}
+                if rule in rules or "*" in rules:
+                    return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SourceFile {self.rel}>"
+
+
+def _module_name(rel: str) -> str:
+    parts = rel.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return ""
+    last = parts[-1]
+    if last.endswith(".py"):
+        last = last[: -len(".py")]
+    if last == "__init__":
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1] + [last]
+    return ".".join(parts)
+
+
+class Project:
+    """The parsed tree every rule runs over.
+
+    Built once per analysis run; rules treat it as read-only. Helper
+    accessors centralize the lookups several rules share (module → file,
+    class indexes)."""
+
+    def __init__(self, root: Path, files: Sequence[SourceFile]) -> None:
+        self.root = Path(root)
+        self.files: List[SourceFile] = list(files)
+        self.by_module: Dict[str, SourceFile] = {
+            f.module: f for f in self.files if f.module
+        }
+
+    @classmethod
+    def load(cls, root: Path, paths: Sequence[str]) -> "Project":
+        """Parse every ``*.py`` under ``root``-relative ``paths``
+        (files or directories), skipping ``__pycache__``."""
+        root = Path(root)
+        seen: Dict[Path, None] = {}
+        for entry in paths:
+            target = root / entry
+            if target.is_file() and target.suffix == ".py":
+                seen.setdefault(target.resolve(), None)
+            elif target.is_dir():
+                for path in sorted(target.rglob("*.py")):
+                    if "__pycache__" in path.parts:
+                        continue
+                    seen.setdefault(path.resolve(), None)
+        files = [SourceFile(root.resolve(), path) for path in seen]
+        return cls(root, files)
+
+    # ------------------------------------------------------------------
+    def repro_files(self, *prefixes: str) -> List[SourceFile]:
+        """Files whose dotted module name starts with any of
+        ``prefixes`` (no prefixes = every ``repro.*`` module)."""
+        wanted = prefixes or ("repro",)
+        out = []
+        for f in self.files:
+            if not f.module:
+                continue
+            for prefix in wanted:
+                if f.module == prefix or f.module.startswith(prefix + "."):
+                    out.append(f)
+                    break
+        return out
+
+    def classes(self) -> Dict[str, List[Tuple[SourceFile, ast.ClassDef]]]:
+        """Index of every class definition in the project by bare name
+        (one name can be defined in several modules)."""
+        index: Dict[str, List[Tuple[SourceFile, ast.ClassDef]]] = {}
+        for f in self.files:
+            if f.tree is None:
+                continue
+            for node in ast.walk(f.tree):
+                if isinstance(node, ast.ClassDef):
+                    index.setdefault(node.name, []).append((f, node))
+        return index
+
+
+# ----------------------------------------------------------------------
+# The rule registry — same shape as the backend/scheduler registries.
+# ----------------------------------------------------------------------
+_RULES: Dict[str, Type] = {}
+
+
+def register_rule(name: str, *, summary: str = ""):
+    """Class decorator registering a lint rule under ``name``.
+
+    The class must provide ``check(project) -> Iterable[Finding]``; the
+    runner handles inline waivers and baseline filtering, so rules just
+    emit every violation they see.
+    """
+
+    def decorator(cls):
+        if name in _RULES:
+            raise ValueError(f"lint rule {name!r} is already registered")
+        cls.name = name
+        if summary:
+            cls.summary = summary
+        _RULES[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_rules() -> List[str]:
+    """Registered rule names, sorted."""
+    return sorted(_RULES)
+
+
+def get_rule(name: str):
+    cls = _RULES.get(name)
+    if cls is None:
+        raise KeyError(
+            f"unknown lint rule {name!r}; registered: {', '.join(available_rules())}"
+        )
+    return cls()
+
+
+class Rule:
+    """Base class for lint rules (subclassing is optional)."""
+
+    name = "?"
+    summary = ""
+
+    def check(self, project: Project) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<rule {self.name}>"
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers used by several rules.
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def literal_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def module_scope_nodes(tree: ast.AST) -> Iterable[ast.stmt]:
+    """Statements that execute at import time: the module body plus the
+    bodies of module-level ``if``/``try`` blocks — but *not* function or
+    class-method bodies, and not ``if TYPE_CHECKING`` blocks (those
+    never run)."""
+    stack: List[ast.stmt] = list(getattr(tree, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.If) and _is_type_checking(node.test):
+            stack.extend(node.orelse)
+            continue
+        yield node
+        for child_field in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(node, child_field, []) or [])
+        for handler in getattr(node, "handlers", []) or []:
+            stack.extend(handler.body)
+
+
+def _is_type_checking(test: ast.AST) -> bool:
+    name = dotted_name(test)
+    return name in ("TYPE_CHECKING", "typing.TYPE_CHECKING")
+
+
+@dataclass
+class FunctionContext:
+    """One (async or sync) function visited by :func:`walk_functions`."""
+
+    node: ast.AST
+    is_async: bool
+    qualname: str
+    ancestors: Tuple[ast.AST, ...] = field(default_factory=tuple)
+
+
+def walk_functions(tree: ast.AST) -> Iterable[FunctionContext]:
+    """Yield every function/async-function definition with a readable
+    qualname (``Class.method``)."""
+
+    def visit(node: ast.AST, prefix: str, ancestors: Tuple[ast.AST, ...]):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield FunctionContext(
+                    child,
+                    isinstance(child, ast.AsyncFunctionDef),
+                    qual,
+                    ancestors,
+                )
+                yield from visit(child, qual + ".", ancestors + (child,))
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(
+                    child, f"{prefix}{child.name}.", ancestors + (child,)
+                )
+            else:
+                yield from visit(child, prefix, ancestors)
+
+    yield from visit(tree, "", ())

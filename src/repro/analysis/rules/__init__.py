@@ -1,0 +1,24 @@
+"""The shipped rule set. Importing this package registers every rule
+with the registry in :mod:`repro.analysis.core` — the same
+import-for-side-effect idiom the backend and scheduler registries use.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    asynchygiene,
+    determinism,
+    envdiscipline,
+    faultsites,
+    layering,
+    registries,
+    taxonomy,
+)
+
+__all__ = [
+    "asynchygiene",
+    "determinism",
+    "envdiscipline",
+    "faultsites",
+    "layering",
+    "registries",
+    "taxonomy",
+]

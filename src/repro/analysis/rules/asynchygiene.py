@@ -1,0 +1,149 @@
+"""Asyncio hygiene rule: no blocking calls inside ``async def`` in the
+network tier.
+
+The PR 7 serving contract is that the asyncio front-end never stalls
+the event loop — a full daemon queue becomes a retryable error frame
+via ``try_submit``, never a blocked coroutine; daemon futures resolve
+through ``call_soon_threadsafe``, never ``Future.result()``. One
+blocking call inside a coroutine silently serializes every connection
+behind it, which is exactly the failure mode this rule makes
+mechanical. Inside any ``async def`` under ``repro.net`` (and any
+``repro.*`` module that grows coroutines later) it flags:
+
+- ``time.sleep(...)`` — use ``await asyncio.sleep``;
+- ``<anything>.result()`` — a concurrent.futures blocking read; bridge
+  through ``asyncio.wrap_future`` or a done-callback instead;
+- non-awaited ``.get(...)`` / ``.put(...)`` / ``.join(...)`` on
+  queue-ish receivers (name contains ``queue``/``outbox``/``inbox``/
+  ``handoff``) — the sync ``queue.Queue`` API blocks; ``*_nowait``
+  variants and awaited ``asyncio.Queue`` calls are fine;
+- sync socket construction (``socket.socket`` /
+  ``socket.create_connection``) and subprocess waits
+  (``subprocess.run`` / ``check_output`` / ``.wait()`` on processes).
+
+Nested *sync* ``def`` bodies inside a coroutine (helpers handed to
+executors or ``call_soon``) are excluded — they run off-loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    Rule,
+    dotted_name,
+    register_rule,
+    walk_functions,
+)
+
+SCOPE = ("repro",)
+
+_QUEUEISH = ("queue", "outbox", "inbox", "handoff")
+_BLOCKING_QUEUE_METHODS = {"get", "put", "join"}
+_BLOCKING_MODULE_CALLS = {
+    "time.sleep": "await asyncio.sleep(...) instead",
+    "socket.socket": "use asyncio streams (open_connection/start_server)",
+    "socket.create_connection": "use asyncio.open_connection",
+    "subprocess.run": "use asyncio.create_subprocess_exec",
+    "subprocess.call": "use asyncio.create_subprocess_exec",
+    "subprocess.check_call": "use asyncio.create_subprocess_exec",
+    "subprocess.check_output": "use asyncio.create_subprocess_exec",
+}
+
+
+@register_rule(
+    "async-hygiene",
+    summary="blocking calls inside async def in the network tier are errors",
+)
+class AsyncHygieneRule(Rule):
+    def check(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for f in project.repro_files(*SCOPE):
+            if f.tree is None:
+                continue
+            for ctx in walk_functions(f.tree):
+                if not ctx.is_async:
+                    continue
+                findings.extend(self._check_coroutine(f, ctx.node, ctx.qualname))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_coroutine(self, f, func: ast.AST, qualname: str):
+        awaited: Set[int] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+                awaited.add(id(node.value))
+        for node in self._coroutine_body_walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _BLOCKING_MODULE_CALLS:
+                yield self._finding(
+                    f,
+                    node,
+                    f"blocking call {name}() inside async def {qualname}",
+                    _BLOCKING_MODULE_CALLS[name],
+                )
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            method = node.func.attr
+            if method == "result" and not node.args and not node.keywords:
+                receiver = dotted_name(node.func.value) or "<expr>"
+                yield self._finding(
+                    f,
+                    node,
+                    f"blocking Future.result() on {receiver} inside async "
+                    f"def {qualname}",
+                    "resolve futures off-loop (add_done_callback + "
+                    "call_soon_threadsafe) or asyncio.wrap_future",
+                )
+                continue
+            if (
+                method in _BLOCKING_QUEUE_METHODS
+                and id(node) not in awaited
+                and self._queueish(node.func.value)
+                and not any(kw.arg == "timeout" for kw in node.keywords)
+            ):
+                receiver = dotted_name(node.func.value) or "<expr>"
+                yield self._finding(
+                    f,
+                    node,
+                    f"non-awaited, timeout-less {receiver}.{method}() inside "
+                    f"async def {qualname}",
+                    "await an asyncio.Queue, use the *_nowait variant, or "
+                    "pass a timeout and handle queue.Empty/queue.Full",
+                )
+
+    @staticmethod
+    def _coroutine_body_walk(func: ast.AST):
+        """Walk the coroutine body without descending into nested *sync*
+        function definitions (they run off-loop)."""
+        stack = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _queueish(receiver: ast.AST) -> bool:
+        name = dotted_name(receiver)
+        if name is None:
+            return False
+        lowered = name.lower()
+        return any(token in lowered for token in _QUEUEISH)
+
+    def _finding(self, f, node: ast.AST, message: str, hint: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            severity="error",
+            path=f.rel,
+            line=node.lineno,
+            message=message,
+            hint=hint,
+        )

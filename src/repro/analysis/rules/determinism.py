@@ -1,0 +1,159 @@
+"""Determinism rule: no unseeded entropy or wall-clock reads in the
+seed/plan-derivation paths.
+
+The reproducibility contract every scheduler keeps — N-worker logits
+bit-identical to serial for the same session seed — holds only if all
+randomness flows from the session generator (or an explicit seed) and
+never from process entropy or the wall clock. This rule scopes itself
+to the packages where seeds and plans are derived and executed
+(``repro.runtime``, ``repro.api``, ``repro.net``, ``repro.sc``,
+``repro.mapping``) and flags:
+
+- legacy global-state NumPy RNG calls (``np.random.rand`` /
+  ``np.random.seed`` / …) — these draw from an ambient stream no
+  session owns;
+- argless ``np.random.default_rng()`` — fresh OS entropy, silently
+  voiding bit-identity;
+- stdlib ``random.*`` calls;
+- wall-clock reads (``time.time`` / ``datetime.now`` / …) — monotonic
+  and perf-counter clocks are fine (telemetry), calendar time is not.
+
+:mod:`repro.utils.rng` is the *declared entropy boundary* — the one
+module allowed to mint unseeded generators (the documented legacy
+behaviour of unseeded sessions) — and is exempt, exactly like
+``repro.runtime.env`` is exempt from the env-discipline rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.core import Finding, Project, Rule, dotted_name, register_rule
+
+#: Packages where seed/plan derivation lives.
+SCOPE = ("repro.runtime", "repro.api", "repro.net", "repro.sc", "repro.mapping")
+
+#: The declared entropy boundary: the only module allowed to create
+#: unseeded generators.
+EXEMPT_MODULES = ("repro.utils.rng",)
+
+#: np.random.<attr> calls that are *constructors taking explicit seeds
+#: or states* — fine to call. Everything else on np.random is the
+#: legacy global-state API.
+_NP_RANDOM_OK = {
+    "default_rng",  # checked separately for arglessness
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+#: Wall-clock reads (calendar time). Monotonic/perf_counter are allowed.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "date.today",
+}
+
+
+@register_rule(
+    "determinism",
+    summary="no unseeded RNG or wall-clock reads in seed/plan-derivation paths",
+)
+class DeterminismRule(Rule):
+    def check(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for f in project.repro_files(*SCOPE):
+            if f.tree is None or f.module in EXEMPT_MODULES:
+                continue
+            imports_random = self._imports_stdlib_random(f.tree)
+            for node in ast.walk(f.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                findings.extend(
+                    self._check_call(f, node, name, imports_random)
+                )
+        return findings
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _imports_stdlib_random(tree: ast.AST) -> bool:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                if any(alias.name == "random" for alias in node.names):
+                    return True
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                return True
+        return False
+
+    def _check_call(self, f, node: ast.Call, name: str, imports_random: bool):
+        tail = name.split(".")
+        # numpy global-state RNG: np.random.X(...) / numpy.random.X(...)
+        if len(tail) >= 3 and tail[-3] in ("np", "numpy") and tail[-2] == "random":
+            attr = tail[-1]
+            if attr == "default_rng":
+                if not node.args and not node.keywords:
+                    yield self._finding(
+                        f,
+                        node,
+                        f"argless np.random.default_rng() mints fresh OS "
+                        f"entropy in {f.module}",
+                        "seed it from the session generator or an explicit "
+                        "seed (repro.utils.rng.new_rng); unseeded entropy "
+                        "belongs only in repro.utils.rng",
+                    )
+            elif attr not in _NP_RANDOM_OK:
+                yield self._finding(
+                    f,
+                    node,
+                    f"legacy global-state RNG call np.random.{attr}() in "
+                    f"{f.module}",
+                    "draw from an explicitly seeded np.random.Generator "
+                    "owned by the session/plan instead",
+                )
+            return
+        # stdlib random module
+        if imports_random and len(tail) == 2 and tail[0] == "random":
+            yield self._finding(
+                f,
+                node,
+                f"stdlib random.{tail[1]}() draws from ambient global "
+                f"state in {f.module}",
+                "use a seeded np.random.Generator from repro.utils.rng",
+            )
+            return
+        # wall clock
+        if name in _WALL_CLOCK:
+            yield self._finding(
+                f,
+                node,
+                f"wall-clock read {name}() in seed/plan-derivation path "
+                f"{f.module}",
+                "use time.monotonic()/time.perf_counter() for intervals; "
+                "calendar time must never influence plans or seeds",
+            )
+
+    def _finding(self, f, node: ast.AST, message: str, hint: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            severity="error",
+            path=f.rel,
+            line=node.lineno,
+            message=message,
+            hint=hint,
+        )

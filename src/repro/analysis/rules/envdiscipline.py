@@ -1,0 +1,164 @@
+"""Env-discipline rule: every ``REPRO_*`` knob is declared once and
+read only through the typed accessors.
+
+The runtime grew ~9 environment knobs across five modules, each with
+its own ad-hoc parsing and error wording — which is how a mis-set CI
+variable turns into an opaque crash three layers deep.
+:mod:`repro.runtime.env` is now the single boundary: a declared
+``ENV_CATALOG`` (name, type, default, consumer — the source of the
+generated ``docs/ENVIRONMENT.md``) plus typed accessors that fail
+loudly with the variable's own name. This rule keeps it that way:
+
+- any raw environment read (``os.environ.get`` / ``os.getenv`` /
+  ``os.environ[...]`` / ``"X" in os.environ``) inside ``src/repro``
+  outside the accessor module is an error — *every* knob goes through
+  the boundary, not just the ``REPRO_*`` ones;
+- in ``tests/`` and ``benchmarks/`` only raw reads of ``REPRO_*``
+  names are flagged (test harnesses legitimately poke other
+  variables); *writes* (monkeypatch, ``os.environ[k] = v``) are always
+  fine — the discipline is about reads;
+- an accessor call naming a variable missing from ``ENV_CATALOG`` is
+  an error: using a knob means declaring it, exactly like registering
+  a backend.
+
+The catalog is parsed statically from the AST of ``env.py`` (the
+checker never imports what it checks).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Set
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    Rule,
+    dotted_name,
+    literal_str,
+    register_rule,
+)
+
+ENV_MODULE = "repro.runtime.env"
+CATALOG_NAME = "ENV_CATALOG"
+PREFIX = "REPRO_"
+
+_ACCESSORS = {
+    "env_raw",
+    "env_str",
+    "env_int",
+    "env_float",
+    "env_bool",
+    "env_path",
+}
+
+
+def declared_env_vars(project: Project) -> Optional[Set[str]]:
+    """Keys of the ``ENV_CATALOG`` dict literal in ``env.py``."""
+    f = project.by_module.get(ENV_MODULE)
+    if f is None or f.tree is None:
+        return None
+    for node in ast.walk(f.tree):
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            targets = [node.target.id]
+            value = node.value
+        else:
+            continue
+        if CATALOG_NAME in targets and isinstance(value, ast.Dict):
+            names = set()
+            for key in value.keys:
+                text = None if key is None else literal_str(key)
+                if text is not None:
+                    names.add(text)
+            return names
+    return None
+
+
+@register_rule(
+    "env-discipline",
+    summary="REPRO_* reads go through repro.runtime.env and its declared catalog",
+)
+class EnvDisciplineRule(Rule):
+    def check(self, project: Project) -> Iterable[Finding]:
+        declared = declared_env_vars(project)
+        if declared is None:
+            yield Finding(
+                rule=self.name,
+                severity="error",
+                path=f"src/{ENV_MODULE.replace('.', '/')}.py",
+                line=1,
+                message=f"could not statically read {CATALOG_NAME} from {ENV_MODULE}",
+                hint=f"keep {CATALOG_NAME} a module-level dict literal with "
+                f"string keys in env.py",
+            )
+            return
+        for f in project.files:
+            if f.tree is None or f.module == ENV_MODULE:
+                continue
+            in_src = f.module.startswith("repro.") or f.module == "repro"
+            for node in ast.walk(f.tree):
+                yield from self._check_node(f, node, declared, in_src)
+
+    # ------------------------------------------------------------------
+    def _check_node(self, f, node: ast.AST, declared: Set[str], in_src: bool):
+        # os.environ.get("X") / os.getenv("X")
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func) or ""
+            if name in ("os.environ.get", "os.getenv", "environ.get", "getenv"):
+                key = literal_str(node.args[0]) if node.args else None
+                yield from self._raw_read(f, node, key, in_src)
+                return
+            tail = name.rsplit(".", 1)[-1]
+            if tail in _ACCESSORS:
+                key = None
+                if node.args:
+                    key = literal_str(node.args[0])
+                for kw in node.keywords:
+                    if kw.arg == "name":
+                        key = literal_str(kw.value)
+                if key is not None and key not in declared:
+                    yield Finding(
+                        rule=self.name,
+                        severity="error",
+                        path=f.rel,
+                        line=node.lineno,
+                        message=f"accessor {tail}({key!r}) reads a variable "
+                        f"missing from {ENV_MODULE}.{CATALOG_NAME}",
+                        hint="declare the variable (type, default, consumer) "
+                        "in ENV_CATALOG; the docs catalog is generated from it",
+                    )
+            return
+        # os.environ["X"] — reads only (Store/Del are writes/cleanup)
+        if isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Load):
+            name = dotted_name(node.value) or ""
+            if name in ("os.environ", "environ"):
+                key = literal_str(node.slice)
+                yield from self._raw_read(f, node, key, in_src)
+            return
+        # "X" in os.environ
+        if isinstance(node, ast.Compare) and any(
+            isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+        ):
+            for comparator in node.comparators:
+                if (dotted_name(comparator) or "") in ("os.environ", "environ"):
+                    key = literal_str(node.left)
+                    yield from self._raw_read(f, node, key, in_src)
+            return
+
+    def _raw_read(self, f, node: ast.AST, key: Optional[str], in_src: bool):
+        if not in_src and (key is None or not key.startswith(PREFIX)):
+            return  # tests may read non-REPRO variables raw
+        shown = key if key is not None else "<dynamic>"
+        yield Finding(
+            rule=self.name,
+            severity="error",
+            path=f.rel,
+            line=node.lineno,
+            message=f"raw environment read of {shown} bypasses the typed "
+            f"accessors in {ENV_MODULE}",
+            hint="use env_str/env_int/env_float/env_bool/env_path from "
+            "repro.runtime.env (and declare the variable in ENV_CATALOG)",
+        )

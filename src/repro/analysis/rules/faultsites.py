@@ -1,0 +1,157 @@
+"""Fault-site catalog rule: every injection site named anywhere must be
+declared in ``repro.runtime.faults.KNOWN_SITES``.
+
+The chaos tier only means something if the sites it arms actually
+exist: a typo'd ``FaultSpec(site="worker.shards")`` never fires, the
+test silently stops testing recovery, and the reliability claim it
+backed goes stale. This rule closes the loop between the *declared*
+site registry (the ``KNOWN_SITES`` tuple exported from
+:mod:`repro.runtime.faults`) and every use:
+
+- ``fault_point("<literal>")`` calls in ``src/`` must name a declared
+  site — an instrumented site missing from the catalog is as wrong as
+  a misspelled one (the catalog is documentation *and* contract);
+- ``FaultSpec(site="<literal>")`` constructions and ``{"site": ...}``
+  dict payloads (the JSON wire form) in ``src/`` and ``tests/`` must
+  name a declared site;
+- a non-literal site expression cannot be checked statically and is
+  reported as a warning so a human confirms it.
+
+Unit tests that exercise the *plan machinery itself* with toy sites
+waive individual lines with ``lint-static: allow[fault-site]``.
+
+The catalog is read **statically** from the AST of ``faults.py`` — the
+checker never imports the modules it checks, so it cannot be fooled by
+import-time monkeying and runs without pulling in numpy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    Rule,
+    dotted_name,
+    literal_str,
+    register_rule,
+)
+
+FAULTS_MODULE = "repro.runtime.faults"
+CATALOG_NAME = "KNOWN_SITES"
+
+
+def declared_sites(project: Project) -> Optional[Tuple[str, ...]]:
+    """Parse ``KNOWN_SITES`` out of the faults module AST."""
+    f = project.by_module.get(FAULTS_MODULE)
+    if f is None or f.tree is None:
+        return None
+    for node in ast.walk(f.tree):
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if CATALOG_NAME in targets and isinstance(
+                node.value, (ast.Tuple, ast.List)
+            ):
+                sites = []
+                for element in node.value.elts:
+                    value = literal_str(element)
+                    if value is not None:
+                        sites.append(value)
+                return tuple(sites)
+    return None
+
+
+@register_rule(
+    "fault-site",
+    summary="fault_point()/FaultSpec sites must match the declared KNOWN_SITES catalog",
+)
+class FaultSiteRule(Rule):
+    def check(self, project: Project) -> Iterable[Finding]:
+        sites = declared_sites(project)
+        if sites is None:
+            yield Finding(
+                rule=self.name,
+                severity="error",
+                path=f"src/{FAULTS_MODULE.replace('.', '/')}.py",
+                line=1,
+                message=(
+                    f"could not statically read {CATALOG_NAME} from "
+                    f"{FAULTS_MODULE}"
+                ),
+                hint=f"keep {CATALOG_NAME} a module-level tuple of string "
+                f"literals in faults.py",
+            )
+            return
+        catalog = set(sites)
+        for f in project.files:
+            if f.tree is None or f.module == FAULTS_MODULE:
+                continue
+            for node in ast.walk(f.tree):
+                yield from self._check_node(f, node, catalog)
+
+    # ------------------------------------------------------------------
+    def _check_node(self, f, node: ast.AST, catalog: set):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func) or ""
+            tail = name.rsplit(".", 1)[-1]
+            if tail == "fault_point":
+                yield from self._check_site_arg(
+                    f,
+                    node,
+                    node.args[0] if node.args else None,
+                    "fault_point",
+                    catalog,
+                )
+            elif tail == "FaultSpec":
+                site = None
+                if node.args:
+                    site = node.args[0]
+                for kw in node.keywords:
+                    if kw.arg == "site":
+                        site = kw.value
+                yield from self._check_site_arg(
+                    f, node, site, "FaultSpec", catalog
+                )
+        elif isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if key is not None and literal_str(key) == "site":
+                    yield from self._check_site_arg(
+                        f, value, value, 'a {"site": ...} payload', catalog
+                    )
+
+    def _check_site_arg(
+        self,
+        f,
+        node: ast.AST,
+        site: Optional[ast.AST],
+        what: str,
+        catalog: set,
+    ):
+        if site is None:
+            return
+        literal = literal_str(site)
+        if literal is None:
+            # f-strings / variables: not statically checkable.
+            yield Finding(
+                rule=self.name,
+                severity="warning",
+                path=f.rel,
+                line=node.lineno,
+                message=f"{what} site is not a string literal; cannot be "
+                f"checked against KNOWN_SITES",
+                hint="use a literal site name so the catalog check applies",
+            )
+            return
+        if literal not in catalog:
+            known = ", ".join(sorted(catalog))
+            yield Finding(
+                rule=self.name,
+                severity="error",
+                path=f.rel,
+                line=node.lineno,
+                message=f"{what} names undeclared fault site {literal!r}",
+                hint=f"declare it in {FAULTS_MODULE}.{CATALOG_NAME} or fix "
+                f"the typo (known: {known})",
+            )

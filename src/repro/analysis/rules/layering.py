@@ -1,0 +1,217 @@
+"""Layering rule: the import graph must stay acyclic and flow downward.
+
+The architecture every PR since the seed has grown is a layered stack —
+foundation utilities at the bottom, then the modelling/compilation
+tier, the execution-strategy tier (``api.backends`` / ``api.results``),
+the runtime scheduler subsystem on top of those, the session/serving
+facade above the runtime, the network tier above everything, and the
+CLI/analysis entry points at the very top. The contract: a module may
+import *downward* (or sideways within its own layer), never upward, and
+the module-level import graph stays acyclic.
+
+The layer table below is the declared form of that contract, at module
+granularity where package granularity lies (``repro.api`` is genuinely
+split: ``backends``/``results`` sit *below* the runtime that consumes
+them, while ``engine``/``serving``/``parallel`` sit *above* it). Rules
+of engagement:
+
+- only **module-scope** imports count: a function-local (lazy) import
+  is the sanctioned escape hatch for deprecated shims and optional
+  integrations — it cannot create an import-time cycle;
+- ``if TYPE_CHECKING:`` imports never execute and are ignored;
+- equal ranks may import each other; the cycle check still rejects
+  genuine module-level loops inside a layer;
+- every ``repro.*`` module must match a prefix in the table — growing a
+  new package means declaring where it sits, exactly like registering a
+  backend.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.core import Finding, Project, Rule, register_rule
+
+#: The declared layering: (module prefix, rank). Longest prefix wins.
+#: Lower rank = lower layer; imports must point to equal-or-lower rank.
+LAYERS: Tuple[Tuple[str, int], ...] = (
+    # foundation: pure utilities, device physics, packed bit kernels
+    ("repro.utils", 10),
+    ("repro.autograd", 10),
+    ("repro.device", 10),
+    ("repro.data", 10),
+    ("repro.circuits", 12),
+    ("repro.sc", 14),
+    # modelling / compilation tier
+    ("repro.hardware", 20),
+    ("repro.core", 22),
+    ("repro.models", 22),
+    ("repro.mapping", 24),
+    ("repro.baselines", 26),
+    # execution strategies: consumed by the runtime, so below it
+    ("repro.api.backends", 30),
+    ("repro.api.results", 30),
+    # the runtime scheduler subsystem
+    ("repro.runtime", 35),
+    # session / serving facade over the runtime
+    ("repro.api", 40),
+    ("repro.experiments", 45),
+    # network tier
+    ("repro.net", 50),
+    # entry points
+    ("repro.cli", 60),
+    ("repro.analysis", 60),
+    ("repro", 60),  # the root facade re-exports the public API
+)
+
+
+def layer_rank(module: str) -> Optional[int]:
+    """Rank for ``module`` by longest declared prefix, None if the
+    module is outside the table (non-repro)."""
+    if module != "repro" and not module.startswith("repro."):
+        return None
+    best: Tuple[int, Optional[int]] = (-1, None)
+    for prefix, rank in LAYERS:
+        if module == prefix or module.startswith(prefix + "."):
+            if len(prefix) > best[0]:
+                best = (len(prefix), rank)
+    return best[1]
+
+
+def module_imports(f, known: frozenset = frozenset()) -> List[Tuple[str, int]]:
+    """``(imported repro module, line)`` pairs for every *module-scope*
+    import in ``f`` (lazy and TYPE_CHECKING imports excluded).
+
+    ``from pkg import name`` resolves per alias: when ``pkg.name`` is a
+    module in ``known``, the edge targets the *submodule* — which is
+    what Python binds (the package ``__init__`` re-export pattern works
+    precisely because the submodule, not the partially-initialised
+    package namespace, satisfies the import)."""
+    from repro.analysis.core import module_scope_nodes
+
+    out: List[Tuple[str, int]] = []
+    if f.tree is None:
+        return out
+    for node in module_scope_nodes(f.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    out.append((alias.name, node.lineno))
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            module = node.module or ""
+            if module == "repro" or module.startswith("repro."):
+                for alias in node.names:
+                    child = f"{module}.{alias.name}"
+                    out.append((child if child in known else module, node.lineno))
+    return out
+
+
+@register_rule(
+    "layering",
+    summary="acyclic downward-only module imports per the declared layer table",
+)
+class LayeringRule(Rule):
+    def check(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        graph: Dict[str, List[Tuple[str, int]]] = {}
+        known = frozenset(f.module for f in project.repro_files())
+        for f in project.repro_files():
+            imports = module_imports(f, known)
+            graph[f.module] = imports
+            importer_rank = layer_rank(f.module)
+            if importer_rank is None:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        severity="warning",
+                        path=f.rel,
+                        line=1,
+                        message=(
+                            f"module {f.module} is not covered by the "
+                            f"declared layer table"
+                        ),
+                        hint="add its package to LAYERS in "
+                        "repro/analysis/rules/layering.py",
+                    )
+                )
+                continue
+            for imported, line in imports:
+                imported_rank = layer_rank(imported)
+                if imported_rank is None:
+                    continue
+                if imported_rank > importer_rank:
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            severity="error",
+                            path=f.rel,
+                            line=line,
+                            message=(
+                                f"upward import: {f.module} (layer "
+                                f"{importer_rank}) imports {imported} "
+                                f"(layer {imported_rank}) at module scope"
+                            ),
+                            hint="invert the dependency, move the shared "
+                            "piece down a layer, or make the import lazy "
+                            "(function-scoped) if it is a compatibility shim",
+                        )
+                    )
+        findings.extend(self._cycles(project, graph))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _cycles(self, project: Project, graph: Dict[str, List[Tuple[str, int]]]):
+        """Module-level cycle detection (iterative DFS, three colours).
+
+        Edge targets come pre-resolved by :func:`module_imports`
+        (submodule-accurate), so only genuine module-level loops — the
+        kind that can actually deadlock a Python import — are reported.
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {m: WHITE for m in graph}
+        reported = set()
+        for start in sorted(graph):
+            if colour[start] != WHITE:
+                continue
+            stack: List[Tuple[str, Iterable]] = [(start, iter(graph[start]))]
+            path = [start]
+            colour[start] = GREY
+            while stack:
+                module, edges = stack[-1]
+                advanced = False
+                for imported, _line in edges:
+                    target = imported if imported in graph else None
+                    if (
+                        target is None
+                        or target == module
+                        or colour.get(target, BLACK) == BLACK
+                    ):
+                        continue
+                    if colour[target] == GREY:
+                        cycle = tuple(path[path.index(target) :] + [target])
+                        if frozenset(cycle) not in reported:
+                            reported.add(frozenset(cycle))
+                            f = project.by_module[module]
+                            yield Finding(
+                                rule=self.name,
+                                severity="error",
+                                path=f.rel,
+                                line=1,
+                                message=(
+                                    "import cycle at module scope: "
+                                    + " -> ".join(cycle)
+                                ),
+                                hint="break the cycle with a lazy import or "
+                                "by moving the shared definition down a layer",
+                            )
+                        continue
+                    colour[target] = GREY
+                    path.append(target)
+                    stack.append((target, iter(graph[target])))
+                    advanced = True
+                    break
+                if not advanced:
+                    colour[module] = BLACK
+                    stack.pop()
+                    path.pop()

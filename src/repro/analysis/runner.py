@@ -1,0 +1,143 @@
+"""Analysis runner: load the tree once, run every rule, apply waivers
+and the baseline, render JSON/human reports.
+
+This is the piece ``repro.cli lint-static`` and ``make lint-static``
+drive. The committed tree is expected to come back clean — the
+acceptance bar is "exits non-zero on any non-baselined finding", which
+is also what the CI job enforces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
+from repro.analysis.core import Finding, Project, available_rules, get_rule
+
+# Importing the rules package registers every rule.
+import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+#: Default scan set — matches the acceptance criteria ("src/, tests/,
+#: and benchmarks/"); examples/ ride along because they demonstrate the
+#: same contracts.
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one run produced."""
+
+    root: str
+    paths: List[str]
+    rules: List[str]
+    files_scanned: int
+    elapsed_s: float
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List[dict] = field(default_factory=list)
+    waived: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing non-baselined was found (stale baseline
+        entries are tolerated — they get pruned by --update-baseline)."""
+        return not self.new
+
+    def as_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "paths": list(self.paths),
+            "rules": list(self.rules),
+            "files_scanned": self.files_scanned,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "clean": self.clean,
+            "findings": [f.as_dict() for f in self.new],
+            "baselined": [f.as_dict() for f in self.baselined],
+            "stale_baseline": list(self.stale_baseline),
+            "waived": self.waived,
+        }
+
+    def render(self) -> str:
+        out: List[str] = []
+        for finding in self.new:
+            out.append(finding.render())
+        for finding in self.baselined:
+            out.append(f"(baselined) {finding.render()}")
+        for entry in self.stale_baseline:
+            out.append(
+                f"stale baseline entry {entry['key']} matches no current "
+                f"finding; prune with --update-baseline"
+            )
+        counts = (
+            f"{len(self.new)} finding(s), {len(self.baselined)} baselined, "
+            f"{len(self.stale_baseline)} stale baseline entr(ies), "
+            f"{self.waived} waived inline"
+        )
+        status = "clean" if self.clean else "FAILED"
+        out.append(
+            f"lint-static: {status} — {counts}; {self.files_scanned} files, "
+            f"{len(self.rules)} rules in {self.elapsed_s:.2f}s"
+        )
+        return "\n".join(out)
+
+
+def run_analysis(
+    root: Path,
+    *,
+    paths: Sequence[str] = DEFAULT_PATHS,
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+    baseline_path: Optional[Path] = None,
+) -> AnalysisReport:
+    """Run ``rules`` (default: all registered) over ``paths`` under
+    ``root`` and partition the findings against the baseline."""
+    start = time.perf_counter()
+    root = Path(root)
+    if baseline is None:
+        baseline = Baseline.load(
+            Path(baseline_path)
+            if baseline_path is not None
+            else root / DEFAULT_BASELINE
+        )
+    selected = list(rules) if rules is not None else available_rules()
+    project = Project.load(root, list(paths))
+    by_rel = {f.rel: f for f in project.files}
+
+    findings: List[Finding] = []
+    waived = 0
+    for name in selected:
+        rule = get_rule(name)
+        for finding in rule.check(project):
+            source = by_rel.get(finding.path)
+            if source is not None and source.waived(finding.rule, finding.line):
+                waived += 1
+                continue
+            findings.append(finding)
+    # Parse failures surface regardless of rule selection.
+    for f in project.files:
+        if f.parse_error is not None:  # pragma: no cover - compileall gates
+            findings.append(
+                Finding(
+                    rule="parse",
+                    severity="error",
+                    path=f.rel,
+                    line=f.parse_error.lineno or 1,
+                    message=f"syntax error: {f.parse_error.msg}",
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    new, baselined, stale = baseline.split(findings)
+    return AnalysisReport(
+        root=str(root),
+        paths=list(paths),
+        rules=selected,
+        files_scanned=len(project.files),
+        elapsed_s=time.perf_counter() - start,
+        new=new,
+        baselined=baselined,
+        stale_baseline=stale,
+        waived=waived,
+    )

@@ -185,7 +185,7 @@ class Session:
                 f"images must be batched (N, ...), got shape {x.shape}"
             )
         if self._seeded:
-            ghost = np.random.default_rng()
+            ghost = new_rng(0)  # state is overwritten on the next line
             ghost.bit_generator.state = self.rng.bit_generator.state
             shard_plan = plan_shards(x.shape[0], self.micro_batch, rng=ghost)
         else:

@@ -676,6 +676,60 @@ def _cmd_fig12(args) -> int:
     return 0
 
 
+def _cmd_lint_static(args) -> int:
+    import json as json_mod
+    from pathlib import Path
+
+    from repro.analysis import (
+        DEFAULT_BASELINE,
+        DEFAULT_PATHS,
+        Baseline,
+        available_rules,
+        get_rule,
+        run_analysis,
+    )
+
+    root = Path(args.root).resolve()
+    if args.list_rules:
+        for name in available_rules():
+            print(f"{name:20s} {get_rule(name).summary}")
+        return 0
+
+    if args.write_env_docs:
+        from repro.runtime.env import catalog_markdown
+
+        target = root / "docs" / "ENVIRONMENT.md"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(catalog_markdown(), encoding="utf-8")
+        print(f"wrote {target}")
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+    report = run_analysis(
+        root,
+        paths=tuple(args.paths) if args.paths else DEFAULT_PATHS,
+        rules=args.rules or None,
+        baseline_path=baseline_path,
+    )
+
+    if args.update_baseline:
+        updated = Baseline.from_findings(report.new + report.baselined)
+        updated.save(baseline_path)
+        print(
+            f"lint-static: baseline rewritten with {len(updated)} entr(ies) "
+            f"at {baseline_path}"
+        )
+        return 0
+
+    if args.json:
+        Path(args.json).write_text(
+            json_mod.dumps(report.as_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+    print(report.render())
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SupeRBNN reproduction CLI"
@@ -882,6 +936,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_server_policy_args(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "lint-static",
+        help="run the static contract checker (repro.analysis)",
+    )
+    p.add_argument(
+        "--root",
+        default=".",
+        help="repository root to scan (default: current directory)",
+    )
+    p.add_argument(
+        "--paths",
+        nargs="+",
+        default=None,
+        metavar="DIR",
+        help="root-relative paths to scan (default: src tests benchmarks examples)",
+    )
+    p.add_argument(
+        "--rules",
+        nargs="+",
+        default=None,
+        metavar="RULE",
+        help="run only these rules (default: all registered)",
+    )
+    p.add_argument(
+        "--baseline",
+        default="lint-static.baseline.json",
+        help="baseline file (root-relative unless absolute)",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the full report as JSON to PATH",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        dest="update_baseline",
+        help="rewrite the baseline to exactly the current finding set",
+    )
+    p.add_argument(
+        "--write-env-docs",
+        action="store_true",
+        dest="write_env_docs",
+        help="regenerate docs/ENVIRONMENT.md from the REPRO_* catalog",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        dest="list_rules",
+        help="list registered rules and exit",
+    )
+    p.set_defaults(func=_cmd_lint_static)
 
     return parser
 

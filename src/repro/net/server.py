@@ -243,6 +243,7 @@ class NetworkServer:
             conn.outbox.put_nowait(_CLOSE)
             try:
                 await asyncio.wait_for(sender, timeout=5.0)
+            # taxonomy: fatal — teardown; any failure just cancels the sender
             except (asyncio.TimeoutError, asyncio.CancelledError, Exception):
                 sender.cancel()
             writer.close()
@@ -433,6 +434,7 @@ class ServerThread:
         server = NetworkServer(self._daemon, **self._kwargs)
         try:
             loop.run_until_complete(server.start())
+        # taxonomy: fatal — startup failure is re-raised to the caller
         except BaseException as exc:  # noqa: BLE001 - reported to starter
             self._startup_error = exc
             self._started.set()

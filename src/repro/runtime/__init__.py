@@ -32,6 +32,10 @@ facade and the layer-level execution backends
   exponential backoff and per-request deadlines, and the
   :func:`run_with_recovery` loop whose outcomes surface as
   :class:`RecoveryLog`.
+* :mod:`repro.runtime.env` — the typed accessor boundary for every
+  ``REPRO_*`` environment knob, declared in :data:`ENV_CATALOG` (the
+  source of the generated ``docs/ENVIRONMENT.md``) and enforced by the
+  ``env-discipline`` rule of :mod:`repro.analysis`.
 
 The :mod:`repro.api` surface (Engine / Session / Serving /
 StochasticParallelBackend) is a facade over this package; existing
@@ -49,7 +53,20 @@ from repro.runtime.costmodel import (
     load_cost_model,
 )
 from repro.runtime.daemon import DaemonStats, ServingDaemon
+from repro.runtime.env import (
+    ENV_CATALOG,
+    EnvError,
+    EnvVar,
+    UndeclaredEnvVar,
+    declared_variables,
+    env_bool,
+    env_float,
+    env_int,
+    env_path,
+    env_str,
+)
 from repro.runtime.faults import (
+    KNOWN_SITES,
     FaultInjected,
     FaultPlan,
     FaultSpec,
@@ -118,12 +135,23 @@ __all__ = [
     "TransportUnavailable",
     "ServingDaemon",
     "DaemonStats",
+    "KNOWN_SITES",
     "FaultInjected",
     "FaultPlan",
     "FaultSpec",
     "fault_injection",
     "fault_point",
     "install_fault_plan",
+    "ENV_CATALOG",
+    "EnvError",
+    "EnvVar",
+    "UndeclaredEnvVar",
+    "declared_variables",
+    "env_bool",
+    "env_float",
+    "env_int",
+    "env_path",
+    "env_str",
     "DeadlineExceeded",
     "PoisonedPayload",
     "QueueFull",

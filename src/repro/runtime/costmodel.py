@@ -45,6 +45,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.runtime.env import env_path
 from repro.runtime.plan import ExecutionPlan
 
 #: Plan-level execution modes the adaptive chooser can select.
@@ -528,9 +529,9 @@ def load_cost_model(source=None) -> CostModel:
     if isinstance(source, CostCoefficients):
         return CostModel(source)
     if source is None:
-        env_path = os.environ.get("REPRO_COST_COEFFICIENTS")
-        if env_path:
-            return CostModel(CostCoefficients.load(env_path))
+        configured = env_path("REPRO_COST_COEFFICIENTS")
+        if configured:
+            return CostModel(CostCoefficients.load(configured))
         return CostModel()
     if isinstance(source, (str, os.PathLike)):
         return CostModel(CostCoefficients.load(source))

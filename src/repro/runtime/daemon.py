@@ -432,11 +432,13 @@ class ServingDaemon:
             try:
                 loop_fn()
                 return
+            # taxonomy: retryable — any consumer crash restarts the loop
             except Exception:  # noqa: BLE001 - the supervisor's job
                 if self._closing or self._closed:
                     return
                 with self._stats_lock:
                     self._stats.consumer_restarts += 1
+            # taxonomy: fatal — KeyboardInterrupt/SystemExit stop the daemon
             except BaseException as exc:
                 self._abort = True
                 self._abort_queued(exc)
@@ -673,7 +675,9 @@ class ServingDaemon:
             outputs = self._execute_shards(x, combined)
             wall = time.perf_counter() - start
             self._slice_results(ready, outputs, wall)
-        except Exception:
+        # taxonomy: retryable — falls back to per-request execution,
+        # where _run_single classifies each failure individually
+        except Exception:  # taxonomy: see above
             for item in ready:
                 if not item.future.done():
                     self._run_single(item)

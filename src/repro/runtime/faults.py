@@ -66,6 +66,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.runtime.env import env_str
 from repro.runtime.recovery import DeadlineExceeded, PoisonedPayload
 
 #: Documented injection sites (informational — unknown sites are legal,
@@ -282,9 +283,8 @@ def active_fault_plan() -> Optional[FaultPlan]:
         with _INSTALL_LOCK:
             if _ACTIVE is None and not _ENV_CHECKED:
                 _ENV_CHECKED = True
-                raw = os.environ.get("REPRO_FAULT_PLAN")
-                if raw and raw.strip():
-                    text = raw.strip()
+                text = env_str("REPRO_FAULT_PLAN")
+                if text is not None:
                     if not text.startswith("{"):
                         with open(text) as fh:
                             text = fh.read()

@@ -23,12 +23,13 @@ it took, which surfaces as
 
 from __future__ import annotations
 
-import os
 import queue
 import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
+
+from repro.runtime.env import env_bool, env_float, env_int
 
 
 class DeadlineExceeded(TimeoutError):
@@ -108,19 +109,6 @@ def classified(exc: BaseException) -> BaseException:
 
 
 # ----------------------------------------------------------------------
-def _env_float(name: str) -> Optional[float]:
-    raw = os.environ.get(name)
-    if raw is None or not raw.strip():
-        return None
-    try:
-        value = float(raw)
-    except ValueError:
-        raise ValueError(f"{name} must be a number, got {raw!r}") from None
-    if value < 0:
-        raise ValueError(f"{name} must be >= 0, got {value}")
-    return value
-
-
 @dataclass(frozen=True)
 class RetryPolicy:
     """How hard the runtime fights before giving up on an attempt.
@@ -166,28 +154,18 @@ class RetryPolicy:
         / ``REPRO_REQUEST_DEADLINE_S`` / ``REPRO_SERIAL_FALLBACK``
         (each optional; defaults otherwise)."""
         kwargs = {}
-        raw = os.environ.get("REPRO_MAX_RETRIES")
-        if raw and raw.strip():
-            try:
-                kwargs["max_retries"] = int(raw)
-            except ValueError:
-                raise ValueError(
-                    f"REPRO_MAX_RETRIES must be an integer, got {raw!r}"
-                ) from None
-        backoff = _env_float("REPRO_RETRY_BACKOFF_S")
+        retries = env_int("REPRO_MAX_RETRIES")
+        if retries is not None:
+            kwargs["max_retries"] = retries
+        backoff = env_float("REPRO_RETRY_BACKOFF_S", minimum=0.0)
         if backoff is not None:
             kwargs["backoff_base_s"] = backoff
-        deadline = _env_float("REPRO_REQUEST_DEADLINE_S")
+        deadline = env_float("REPRO_REQUEST_DEADLINE_S", minimum=0.0)
         if deadline is not None and deadline > 0:
             kwargs["deadline_s"] = deadline
-        raw = os.environ.get("REPRO_SERIAL_FALLBACK")
-        if raw and raw.strip():
-            kwargs["serial_fallback"] = raw.strip().lower() not in (
-                "0",
-                "false",
-                "no",
-                "off",
-            )
+        fallback = env_bool("REPRO_SERIAL_FALLBACK")
+        if fallback is not None:
+            kwargs["serial_fallback"] = fallback
         return cls(**kwargs)
 
 

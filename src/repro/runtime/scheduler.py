@@ -56,6 +56,7 @@ import numpy as np
 from repro.api.backends import get_backend
 from repro.api.results import LayerTelemetry, merge_telemetry
 from repro.runtime import faults, transport
+from repro.runtime.env import env_int, env_str
 from repro.runtime.costmodel import (
     ADAPTIVE_MODES,
     AdaptiveChoice,
@@ -76,6 +77,7 @@ from repro.runtime.recovery import (
     RetryPolicy,
     run_with_recovery,
 )
+from repro.utils.rng import new_rng
 
 #: (logits, per-stage telemetry) for one shard — every scheduler's unit
 #: of output.
@@ -142,19 +144,9 @@ def _worker_cap(workers: int) -> int:
     the process pool (a mis-set CI variable should stop the build with
     a message that names itself).
     """
-    cap = os.environ.get("REPRO_MAX_POOL_WORKERS")
-    if cap is None or not cap.strip():
+    value = env_int("REPRO_MAX_POOL_WORKERS", minimum=1)
+    if value is None:
         return workers
-    try:
-        value = int(cap)
-    except ValueError:
-        raise ValueError(
-            f"REPRO_MAX_POOL_WORKERS must be a positive integer, got {cap!r}"
-        ) from None
-    if value < 1:
-        raise ValueError(
-            f"REPRO_MAX_POOL_WORKERS must be >= 1, got {value}"
-        )
     return max(1, min(workers, value))
 
 
@@ -236,7 +228,10 @@ class SerialScheduler:
                     rng if shard.seed is None else seed_shard(network, shard.seed)
                 )
                 if shard_rng is None:  # pragma: no cover - defensive
-                    shard_rng = np.random.default_rng()
+                    raise ValueError(
+                        "seedless shard requires an explicit rng; refusing "
+                        "to draw fresh entropy inside a plan execution path"
+                    )
                 telemetry: List[LayerTelemetry] = []
                 logits = run_stages(network, chunk, strategy, shard_rng, telemetry)
             outputs.append((logits, telemetry))
@@ -419,7 +414,7 @@ class ShardParallelScheduler:
                 network,
                 np.asarray(x[0:0], dtype=np.float64),
                 get_backend(self.inner, allow_override=False),
-                np.random.default_rng(),
+                new_rng(0),  # zero rows draw nothing; any fixed seed works
                 telemetry,
             )
             return [(logits, telemetry)]
@@ -958,9 +953,7 @@ class AdaptiveScheduler:
             backend_name=getattr(strategy, "name", None),
             deterministic=getattr(strategy, "deterministic", False),
         )
-        force = os.environ.get("REPRO_FORCE_SCHEDULER")
-        if force is not None:
-            force = force.strip() or None
+        force = env_str("REPRO_FORCE_SCHEDULER")
         if force is not None and force not in ADAPTIVE_MODES:
             raise ValueError(
                 f"REPRO_FORCE_SCHEDULER must be one of "

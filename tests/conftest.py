@@ -20,18 +20,16 @@ from repro.data.loaders import DataLoader
 from repro.data.synthetic import make_mnist_like
 from repro.hardware.config import HardwareConfig
 from repro.models.mlp import Mlp
+from repro.runtime.env import env_float
 
 
 def pytest_configure(config):
-    ceiling = os.environ.get("REPRO_TEST_TIMEOUT")
-    if not ceiling or not ceiling.strip():
-        return
     try:
-        seconds = float(ceiling)
-    except ValueError:
-        raise pytest.UsageError(
-            f"REPRO_TEST_TIMEOUT must be a number of seconds, got {ceiling!r}"
-        )
+        seconds = env_float("REPRO_TEST_TIMEOUT")
+    except ValueError as exc:
+        raise pytest.UsageError(str(exc))
+    if seconds is None:
+        return
     if seconds <= 0:
         raise pytest.UsageError(
             f"REPRO_TEST_TIMEOUT must be > 0, got {seconds}"

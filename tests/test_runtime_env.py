@@ -1,0 +1,119 @@
+"""Tests for the typed environment-variable boundary
+(:mod:`repro.runtime.env`).
+
+The accessors are the single sanctioned read path for every ``REPRO_*``
+knob (enforced by the ``env-discipline`` lint rule); these tests pin
+their parsing semantics: unset/blank means "not configured", errors are
+:class:`EnvError` (a :class:`ValueError`) naming the variable, and an
+undeclared variable cannot be read at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.env import (
+    ENV_CATALOG,
+    EnvError,
+    UndeclaredEnvVar,
+    catalog_markdown,
+    declared_variables,
+    env_bool,
+    env_float,
+    env_int,
+    env_path,
+    env_raw,
+    env_str,
+)
+
+VAR = "REPRO_MAX_POOL_WORKERS"  # any declared name works
+
+
+class TestRawAndStr:
+    def test_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv(VAR, raising=False)
+        assert env_raw(VAR) is None
+        assert env_str(VAR) is None
+        assert env_str(VAR, "fallback") == "fallback"
+
+    def test_blank_means_unset(self, monkeypatch):
+        monkeypatch.setenv(VAR, "   ")
+        assert env_raw(VAR) is None
+
+    def test_value_is_stripped(self, monkeypatch):
+        monkeypatch.setenv(VAR, "  7  ")
+        assert env_raw(VAR) == "7"
+
+    def test_undeclared_variable_refused(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NOT_A_KNOB", "1")
+        with pytest.raises(UndeclaredEnvVar, match="REPRO_NOT_A_KNOB"):
+            env_raw("REPRO_NOT_A_KNOB")  # lint-static: allow[env-discipline]
+
+
+class TestTypedParsing:
+    def test_int(self, monkeypatch):
+        monkeypatch.setenv(VAR, "4")
+        assert env_int(VAR) == 4
+        monkeypatch.delenv(VAR)
+        assert env_int(VAR, 9) == 9
+
+    def test_int_error_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(VAR, "banana")
+        with pytest.raises(ValueError, match=VAR):
+            env_int(VAR)
+        with pytest.raises(EnvError, match="integer"):
+            env_int(VAR)
+
+    def test_int_minimum(self, monkeypatch):
+        monkeypatch.setenv(VAR, "0")
+        with pytest.raises(EnvError, match=">= 1"):
+            env_int(VAR, minimum=1)
+
+    def test_float(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF_S", "0.25")
+        assert env_float("REPRO_RETRY_BACKOFF_S") == 0.25
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF_S", "-1")
+        with pytest.raises(EnvError, match="REPRO_RETRY_BACKOFF_S"):
+            env_float("REPRO_RETRY_BACKOFF_S", minimum=0.0)
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("1", True), ("true", True), ("YES", True), ("on", True),
+        ("0", False), ("False", False), ("no", False), ("OFF", False),
+    ])
+    def test_bool_spellings(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("REPRO_SERIAL_FALLBACK", raw)
+        assert env_bool("REPRO_SERIAL_FALLBACK") is expected
+
+    def test_bool_rejects_other_spellings(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERIAL_FALLBACK", "maybe")
+        with pytest.raises(EnvError, match="REPRO_SERIAL_FALLBACK"):
+            env_bool("REPRO_SERIAL_FALLBACK")
+        monkeypatch.delenv("REPRO_SERIAL_FALLBACK")
+        assert env_bool("REPRO_SERIAL_FALLBACK", True) is True
+
+    def test_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COST_COEFFICIENTS", "/tmp/coeffs.json")
+        assert env_path("REPRO_COST_COEFFICIENTS") == "/tmp/coeffs.json"
+
+    def test_env_error_is_a_value_error(self):
+        # Pre-existing callers match ValueError; the subclass keeps them.
+        assert issubclass(EnvError, ValueError)
+
+
+class TestCatalog:
+    def test_every_entry_is_consistent(self):
+        for name, var in ENV_CATALOG.items():
+            assert name == var.name
+            assert name.startswith("REPRO_")
+            assert var.kind in ("int", "float", "bool", "str", "path")
+            assert var.description and var.consumer
+
+    def test_declared_variables_sorted(self):
+        names = declared_variables()
+        assert list(names) == sorted(names)
+        assert set(names) == set(ENV_CATALOG)
+
+    def test_markdown_covers_every_variable(self):
+        text = catalog_markdown()
+        for name in ENV_CATALOG:
+            assert f"`{name}`" in text

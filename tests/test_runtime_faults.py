@@ -205,14 +205,16 @@ class TestFaultPoint:
         fault_point("worker.shard", shard=0)  # must not raise
 
     def test_raise_default_and_named(self):
+        # Toy sites on purpose: this exercises the plan machinery, not
+        # the instrumented call sites.  lint-static: allow[fault-site]
         with fault_injection(FaultPlan([FaultSpec(site="a")])):
             with pytest.raises(FaultInjected, match="injected fault at a"):
-                fault_point("a")
+                fault_point("a")  # lint-static: allow[fault-site]
         with fault_injection(
-            FaultPlan([FaultSpec(site="b", error="ValueError")])
+            FaultPlan([FaultSpec(site="b", error="ValueError")])  # lint-static: allow[fault-site]
         ):
             with pytest.raises(ValueError):
-                fault_point("b")
+                fault_point("b")  # lint-static: allow[fault-site]
 
     def test_poison_raises_poisoned_payload(self):
         with fault_injection(
@@ -223,11 +225,11 @@ class TestFaultPoint:
 
     def test_delay_sleeps(self):
         plan = FaultPlan(
-            [FaultSpec(site="w", action="delay", delay_s=0.05)]
+            [FaultSpec(site="w", action="delay", delay_s=0.05)]  # lint-static: allow[fault-site]
         )
         with fault_injection(plan):
             start = time.monotonic()
-            fault_point("w")
+            fault_point("w")  # lint-static: allow[fault-site]
             assert time.monotonic() - start >= 0.04
 
 
