@@ -65,7 +65,7 @@ CHAOS_TIMEOUT ?= 600
 CHAOS_TESTS := tests/test_runtime_faults.py tests/test_runtime_chaos.py
 TIMEOUT_BIN := $(shell command -v timeout 2>/dev/null)
 
-.PHONY: test bench bench-serving lint lint-static check check-runtime check-chaos coverage
+.PHONY: test bench bench-serving bench-smoke lint lint-static check check-runtime check-chaos coverage
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q $(PYTEST_FLAGS)
@@ -100,8 +100,20 @@ coverage:
 		echo "pytest-cov is not installed; skipping coverage (pip install pytest-cov)"; \
 	fi
 
+# BENCH_LABEL labels the run entry appended to BENCH_kernels.json (the
+# conftest derives one from git HEAD when unset, so every appended run
+# is attributable). Label a run '... [skip-bench-smoke]' to exempt it
+# from the bench-smoke regression gate.
+BENCH_LABEL ?=
 bench:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/test_kernel_performance.py -q --bench-json=BENCH_kernels.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/test_kernel_performance.py -q --bench-json=BENCH_kernels.json $(if $(BENCH_LABEL),--bench-label='$(BENCH_LABEL)',)
+
+# Standard-burst smoke gate: the warm-pool adaptive row must still be
+# chosen by the cost model (no forcing), stay bit-identical to serial,
+# and its pooled/serial ratio must not drift >20% from the committed
+# BENCH_kernels.json trajectory. Machine-independent (ratio-based).
+bench-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_smoke.py
 
 # Network serving latency/throughput sweep: N concurrent clients drive
 # the asyncio front-end over the framed wire protocol (in-process

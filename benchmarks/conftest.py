@@ -7,6 +7,7 @@ from __future__ import annotations
 import datetime
 import json
 import pathlib
+import subprocess
 
 import pytest
 
@@ -25,6 +26,44 @@ def pytest_addoption(parser):
             "entry, so the file accumulates the perf trajectory."
         ),
     )
+    parser.addoption(
+        "--bench-label",
+        action="store",
+        default=None,
+        metavar="TEXT",
+        help=(
+            "Label recorded on the run entry appended by --bench-json. "
+            "Without it the label is derived from the current git HEAD, "
+            "so every appended run is attributable — the trajectory file "
+            "is only useful when each row says what code produced it."
+        ),
+    )
+
+
+def _derived_label() -> str:
+    """A git-derived fallback label: short sha + HEAD subject (plus a
+    dirty marker), so unlabeled ``make bench`` runs still record which
+    code produced them."""
+    try:
+        here = pathlib.Path(__file__).parent
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=here, capture_output=True, text=True, timeout=10,
+        ).stdout.strip()
+        subject = subprocess.run(
+            ["git", "log", "-1", "--format=%s"],
+            cwd=here, capture_output=True, text=True, timeout=10,
+        ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=here, capture_output=True, text=True, timeout=10,
+        ).stdout.strip()
+        if not sha:
+            return "unlabeled (no git metadata)"
+        mark = "+dirty" if dirty else ""
+        return f"auto @ {sha}{mark}: {subject}"
+    except (OSError, subprocess.SubprocessError):
+        return "unlabeled (no git metadata)"
 
 
 def _stats_summary(bench) -> dict:
@@ -52,11 +91,13 @@ def pytest_sessionfinish(session, exitstatus):
             runs = json.loads(target.read_text()).get("runs", [])
         except (json.JSONDecodeError, AttributeError):
             runs = []
+    label = session.config.getoption("--bench-label") or _derived_label()
     runs.append(
         {
             "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
                 timespec="seconds"
             ),
+            "label": label,
             "benchmarks": {
                 bench.name: _stats_summary(bench)
                 for bench in bench_session.benchmarks

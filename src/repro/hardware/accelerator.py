@@ -32,7 +32,8 @@ import numpy as np
 from repro.hardware.config import HardwareConfig
 from repro.hardware.crossbar import CrossbarArray, check_activation_alphabet
 from repro.sc.accumulate import ScAccumulationModule
-from repro.utils.rng import RngMixin, SeedLike, spawn_rng
+from repro.sc.binomial import DrawBatch
+from repro.utils.rng import RngMixin, SeedLike
 
 
 class TiledLinearLayer(RngMixin):
@@ -75,7 +76,11 @@ class TiledLinearLayer(RngMixin):
             np.asarray(threshold_ua, dtype=np.float64), (self.out_features,)
         )
 
-        child_rngs = spawn_rng(self.rng, self.n_row_tiles * self.n_col_tiles)
+        # Child seeds in one vectorized draw; the tiles build their
+        # generators lazily on first use (RngMixin), so layer setup and
+        # reseeding never pay K*J eager PCG64 constructions. The draw
+        # order and per-seed streams match the old spawn_rng exactly.
+        child_seeds = self.rng.integers(0, 2**63 - 1, size=self.n_row_tiles * self.n_col_tiles)
         self.tiles: List[List[CrossbarArray]] = []
         for i in range(self.n_row_tiles):
             row: List[CrossbarArray] = []
@@ -87,7 +92,7 @@ class TiledLinearLayer(RngMixin):
                     w[rows_slice, cols_slice],
                     # Eq. 16 threshold split evenly over the K row tiles.
                     threshold_ua=thresholds[cols_slice] / self.n_row_tiles,
-                    seed=child_rngs[i * self.n_col_tiles + j],
+                    seed=int(child_seeds[i * self.n_col_tiles + j]),
                 )
                 row.append(tile)
             self.tiles.append(row)
@@ -110,7 +115,7 @@ class TiledLinearLayer(RngMixin):
                 config,
                 w[: min(cs, self.in_features), :],
                 threshold_ua=thresholds / self.n_row_tiles,
-                seed=spawn_rng(self.rng, 1)[0],
+                seed=int(self.rng.integers(0, 2**63 - 1, size=1)[0]),
                 _allow_wide=True,
             )
             padded = np.zeros(
@@ -241,6 +246,67 @@ class TiledLinearLayer(RngMixin):
         self.n_inferences += n
         return self.module.accumulate_counts(counts)
 
+    def supports_batched_draws(self) -> bool:
+        """Whether :meth:`forward_batched` can take pre-drawn uniforms.
+
+        True when the fused path is active *and* the window is short
+        enough for the cached inverse-CDF tables — the
+        ``Generator.binomial`` fallback for very long windows cannot
+        consume caller-supplied uniforms.
+        """
+        return (
+            self._fused_sampler is not None
+            and self._fused_sampler.supports_batched_draws(self.config.window_bits)
+        )
+
+    def forward_batched(
+        self,
+        activations: np.ndarray,
+        validate=None,
+        rng: Optional[np.random.Generator] = None,
+        uniforms: Optional[DrawBatch] = None,
+    ) -> np.ndarray:
+        """Fused-count execution on caller-owned uniforms.
+
+        The ``"stochastic-batched"`` backend's layer pass: identical
+        math to :meth:`_forward_fused` (batched matmul + vectorized
+        inverse-CDF against the cached quantile tables), but the
+        uniforms driving the count sampler come from the *caller* —
+        either ``uniforms`` (a :class:`~repro.sc.binomial.DrawBatch`
+        pre-drawn for the whole shard pass, one ``Generator.random``
+        call total) or ``rng`` (one draw per layer pass). The sampled
+        counts are bit-identical for the same generator either way (the
+        DrawBatch slices are the same doubles the per-pass draws would
+        produce); only the number of generator invocations changes.
+        """
+        if self._fused_sampler is None:
+            raise ValueError(
+                "forward_batched requires an exact APC "
+                f"(approximate_layers={self.module.apc.approximate_layers}); "
+                "use forward_packed for the bit-level path"
+            )
+        values, n = self._fused_values(activations, validate)
+        sampler = self._fused_sampler
+        bits = self.config.window_bits
+        gen = self.rng if rng is None else rng
+        if sampler._count_cdf_table(bits) is None:
+            # Long-window fallback: Generator.binomial owns its own
+            # draws, so batched uniforms cannot apply here.
+            if uniforms is not None:
+                raise ValueError(
+                    "pre-drawn uniforms require cached CDF tables; check "
+                    "supports_batched_draws() before building a DrawBatch"
+                )
+            counts = gen.binomial(bits, sampler._probabilities_from_values(values))
+        else:
+            u = uniforms.take(values.shape) if uniforms is not None else gen.random(
+                values.shape
+            )
+            counts = sampler._sample_counts_for_values(values, bits, u=u)
+        self.n_passes += self.n_row_tiles * self.n_col_tiles
+        self.n_inferences += n
+        return self.module.accumulate_counts(counts)
+
     def _fused_values(self, activations: np.ndarray, validate=None):
         """Shared fused-path prologue: ``(K, N, out)`` column values.
 
@@ -273,12 +339,14 @@ class TiledLinearLayer(RngMixin):
         use. :class:`repro.api.Session` uses this to own RNG state.
         """
         self.reseed(seed)
-        children = spawn_rng(self.rng, self.n_row_tiles * self.n_col_tiles + 1)
+        children = self.rng.integers(
+            0, 2**63 - 1, size=self.n_row_tiles * self.n_col_tiles + 1
+        )
         for i in range(self.n_row_tiles):
             for j in range(self.n_col_tiles):
-                self.tiles[i][j].reseed(children[i * self.n_col_tiles + j])
+                self.tiles[i][j].reseed(int(children[i * self.n_col_tiles + j]))
         if self._fused_sampler is not None:
-            self._fused_sampler.reseed(children[-1])
+            self._fused_sampler.reseed(int(children[-1]))
 
     def _forward_fused(self, activations: np.ndarray, validate=None) -> np.ndarray:
         """Fused-count execution: batched matmul + one Binomial draw.

@@ -31,6 +31,12 @@ import numpy as np
 from scipy import special
 
 from repro.hardware.config import HardwareConfig
+from repro.sc.binomial import (
+    QUANT_BINS as _QUANT_BINS,
+    counts_by_quantile,
+    counts_by_search,
+    quantile_table,
+)
 from repro.sc.packed import PackedStream
 from repro.utils.rng import RngMixin, SeedLike, binomial_cdf
 
@@ -41,11 +47,10 @@ _SQRT_PI = math.sqrt(math.pi)
 #: of caching ``(2 * rows + 1, cols, L + 1)`` CDF levels.
 _MAX_COUNT_TABLE_ELEMENTS = 2_000_000
 
-#: Number of uniform bins in the quantized quantile table, and the cap
-#: on its size in bytes (uint8 entries). Within the cap, count sampling
-#: is a single table gather per element plus an exact fix-up for the
-#: rare bins a CDF level falls inside.
-_QUANT_BINS = 256
+#: Cap on the quantized quantile table's size in bytes (uint8 entries,
+#: ``repro.sc.binomial.QUANT_BINS`` uniform bins). Within the cap,
+#: count sampling is a single table gather per element plus an exact
+#: fix-up for the rare bins a CDF level falls inside.
 _MAX_QUANT_TABLE_BYTES = 4_000_000
 
 
@@ -72,38 +77,6 @@ def check_activation_alphabet(
         ok = bool(np.all((a == 0.0) | (a * a == 1.0)))
     if not ok:
         raise ValueError("crossbar activations must be in {-1, 0, +1}")
-
-
-def _quantile_table(cdf: np.ndarray, m_bins: int) -> np.ndarray:
-    """Quantize inverse-CDF lookup into ``m_bins`` uniform bins.
-
-    For each CDF row, entry ``m`` holds ``count(m / M)`` — the inverse
-    CDF at the bin's left edge — in the low 7 bits, with bit 7 set when
-    some CDF level falls strictly inside the bin (so the count steps
-    within it and the caller must resolve that element exactly).
-    Requires ``n <= 127`` counts to fit the payload bits.
-    """
-    n = cdf.shape[-1] - 1
-    rows = cdf[..., :n].reshape(-1, n)
-    vc = rows.shape[0]
-    s = rows * m_bins
-    # First bin edge at/above each CDF level: count(m/M) counts the
-    # levels with ceil(s_k) <= m.
-    m0 = np.clip(np.ceil(s).astype(np.int64), 0, m_bins)
-    hist = np.bincount(
-        (np.arange(vc)[:, None] * (m_bins + 1) + m0).ravel(),
-        minlength=vc * (m_bins + 1),
-    ).reshape(vc, m_bins + 1)
-    start = np.cumsum(hist, axis=1)[:, :m_bins].astype(np.uint8)
-    # A level strictly inside bin floor(s_k) makes that bin stepped.
-    f = np.floor(s)
-    interior = (s > f) & (f < m_bins)
-    stepped = np.bincount(
-        (np.arange(vc)[:, None] * m_bins + np.where(interior, f, 0).astype(np.int64)).ravel(),
-        weights=interior.ravel(),
-        minlength=vc * m_bins,
-    ).reshape(vc, m_bins) > 0
-    return start | (stepped.astype(np.uint8) << 7)
 
 
 class CrossbarArray(RngMixin):
@@ -166,7 +139,6 @@ class CrossbarArray(RngMixin):
         self._count_tables = {}
         self._quant_tables = {}
         self._col_ids = np.arange(w.shape[1])
-        self._col_quant_offsets = self._col_ids * _QUANT_BINS
 
     # ------------------------------------------------------------------
     @property
@@ -289,9 +261,20 @@ class CrossbarArray(RngMixin):
             cdf = self._count_cdf_table(bits)
             if cdf is None:
                 return None
-            table = _quantile_table(cdf, _QUANT_BINS)
+            table = quantile_table(cdf, _QUANT_BINS)
             self._quant_tables[bits] = table
         return table
+
+    def supports_batched_draws(self, window_bits: Optional[int] = None) -> bool:
+        """Whether caller-supplied uniforms can drive the count sampler.
+
+        True when the inverse-CDF tables fit the caches; False means
+        count sampling falls back to ``Generator.binomial``, which
+        consumes the stream in a shape-dependent way no pre-drawn batch
+        can reproduce.
+        """
+        bits = self.config.window_bits if window_bits is None else window_bits
+        return self._count_cdf_table(bits) is not None
 
     def sample_window_counts(
         self,
@@ -318,14 +301,28 @@ class CrossbarArray(RngMixin):
         v = self.column_values(activations, validate=validate)
         return self._sample_counts_for_values(v, bits)
 
-    def _sample_counts_for_values(self, v: np.ndarray, bits: int) -> np.ndarray:
+    def _sample_counts_for_values(
+        self, v: np.ndarray, bits: int, u: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Window counts for precomputed integer column values ``v``.
 
         ``v`` may carry extra leading axes (the tiled layer batches all
         its row strips through one call); its last axis must be columns.
+        ``u`` optionally supplies the uniforms (shape of ``v``, in
+        ``[0, 1)``) so a caller can own the randomness — the batched
+        backend and the grouped shard executor pass pre-drawn batches
+        here; without it the sampler draws from its own generator,
+        exactly as before. The inverse-CDF math itself lives in
+        :mod:`repro.sc.binomial`.
         """
         cdf = self._count_cdf_table(bits)
         if cdf is None:
+            if u is not None:
+                raise ValueError(
+                    "pre-drawn uniforms require the cached inverse-CDF "
+                    "tables; this geometry/window falls back to "
+                    "Generator.binomial (see supports_batched_draws)"
+                )
             return self.rng.binomial(bits, self._probabilities_from_values(v))
         # Column values of valid activations are exactly integral floats,
         # so truncation is exact; with validation disabled, garbage is
@@ -336,57 +333,12 @@ class CrossbarArray(RngMixin):
         np.clip(idx, 0, 2 * self.rows, out=idx)
         quant = self._count_quant_table(bits)
         if quant is None:
-            return self._counts_by_search(cdf, idx)
-        return self._counts_by_quantile(quant, cdf, idx)
-
-    def _counts_by_quantile(
-        self, quant: np.ndarray, cdf: np.ndarray, idx: np.ndarray
-    ) -> np.ndarray:
-        """One gather per element against the quantized inverse CDF.
-
-        Unstepped bins return the exact count directly; the rare
-        elements whose uniform lands in a stepped bin (a CDF level
-        inside the bin) are resolved against the full CDF row, so the
-        sample stays exactly Binomial.
-        """
-        n = cdf.shape[-1] - 1
-        u = self.rng.random(idx.shape)
-        bins = (u * _QUANT_BINS).astype(np.intp)
-        np.minimum(bins, _QUANT_BINS - 1, out=bins)
-        bins += idx * (self.cols * _QUANT_BINS)
-        bins += self._col_quant_offsets
-        entry = quant.reshape(-1)[bins]
-        counts = (entry & 0x7F).astype(np.int64)
-        flagged = entry >= 0x80
-        if flagged.any():
-            cell = (idx * self.cols + self._col_ids)[flagged]
-            rows = cdf.reshape(-1, n + 1)[cell]
-            counts[flagged] = (rows[:, :n] <= u[flagged][:, None]).sum(axis=-1)
-        return counts
-
-    def _counts_by_search(self, cdf: np.ndarray, idx: np.ndarray) -> np.ndarray:
-        """Inverse-CDF sample via branchless binary search on the table.
-
-        ``count = #{k < L : cdf_k <= u}`` — since each CDF row is
-        sorted, the count is found in ``ceil(log2(L))`` gather/compare
-        rounds instead of materializing the per-element CDF row. Used
-        when the window is too long for the quantile table.
-        """
-        n = cdf.shape[-1] - 1
-        flat = cdf.reshape(-1)
-        row_len = n + 1
-        base = idx * (self.cols * row_len) + self._col_ids * row_len
-        u = self.rng.random(idx.shape)
-        pos = np.zeros(idx.shape, dtype=np.intp)
-        b = 1
-        while (b << 1) <= n:
-            b <<= 1
-        while b:
-            cand = pos + b
-            levels = flat[base + np.minimum(cand, n) - 1]
-            pos += np.where((cand <= n) & (levels <= u), b, 0)
-            b >>= 1
-        return pos
+            if u is None:
+                u = self.rng.random(idx.shape)
+            return counts_by_search(cdf, idx, u, self._col_ids)
+        if u is None:
+            u = self.rng.random(idx.shape)
+        return counts_by_quantile(quant, cdf, idx, u, self._col_ids)
 
     def ideal_sign_output(self, activations) -> np.ndarray:
         """Noise-free reference: sign of the column value vs threshold."""

@@ -194,6 +194,18 @@ class ServingDaemon:
         decisions surface in :attr:`DaemonStats.decisions` /
         :attr:`DaemonStats.mode_waves`. ``None`` keeps the classic
         strategy-driven execution.
+    prewarm:
+        True builds the scheduler's worker pool (and shm ring) at
+        construction, before any traffic — pool spin-up costs tens of
+        milliseconds, and paying it at startup keeps it out of the
+        first wave's latency *and* out of the adaptive chooser's
+        predictions (a warm pool competes on marginal cost, so the
+        chooser can route the very first wave to the pool). Requires a
+        pool-backed scheduler (e.g. ``"adaptive"``). The pool persists
+        across waves: its generation (see
+        :meth:`~repro.runtime.scheduler.ShardParallelScheduler.pool_generation`)
+        stays constant for the daemon's lifetime unless a worker crash
+        forces a rebuild.
     """
 
     def __init__(
@@ -210,6 +222,7 @@ class ServingDaemon:
         coalesce_window_s: float = 0.002,
         max_wave_images: int = 4096,
         scheduler=None,
+        prewarm: bool = False,
     ) -> None:
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
@@ -245,6 +258,18 @@ class ServingDaemon:
                     f"shard-level (run_plan only)"
                 )
             self._align_pool_scheduler(backend)
+        if prewarm:
+            warm = getattr(self._scheduler, "warm", None)
+            if warm is None:
+                raise ValueError(
+                    "prewarm=True needs a pool-backed scheduler (e.g. "
+                    "'adaptive' or a ShardParallelScheduler instance), got "
+                    f"{getattr(self._scheduler, 'name', scheduler)!r}"
+                )
+            try:
+                warm(engine.network, inner=self.backend)
+            except TypeError:  # plain pool schedulers take no inner
+                warm(engine.network)
         self.micro_batch = (
             engine.micro_batch if micro_batch is _INHERIT else micro_batch
         )

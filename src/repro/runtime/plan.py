@@ -51,7 +51,8 @@ from repro.mapping.compiler import (
     ThermometerStage,
 )
 from repro.mapping.tiling import conv_output_geometry
-from repro.utils.rng import new_rng, spawn_rng
+from repro.sc.binomial import DrawBatch
+from repro.utils.rng import new_rng
 
 _INT8_ONE = np.int8(1)
 _INT8_MINUS_ONE = np.int8(-1)
@@ -188,8 +189,14 @@ def seed_shard(
         return new_rng(None)
     rng = new_rng(seed)
     layers = network.tiled_layers
-    for layer, child in zip(layers, spawn_rng(rng, len(layers))):
-        layer.reseed_sampling(child)
+    # One vectorized child-seed draw (identical stream consumption to
+    # the old per-layer spawn); the layers rebuild their tile/fused
+    # generators lazily from the integer seeds, so re-pinning a shard
+    # costs a handful of integer draws instead of one eager PCG64
+    # construction per tile.
+    children = rng.integers(0, 2**63 - 1, size=len(layers))
+    for layer, child in zip(layers, children):
+        layer.reseed_sampling(int(child))
     return rng
 
 
@@ -212,6 +219,13 @@ def run_stages(
     merge = bool(telemetry)
     deterministic = getattr(strategy, "deterministic", False)
     n = x.shape[0]
+    # Shard-scoped backend setup: a strategy exposing ``begin_shard``
+    # (the ``"stochastic-batched"`` backend) gets one look at the whole
+    # micro-batch before the stage walk — where it pre-draws every
+    # uniform the shard will consume in a single generator call.
+    begin = getattr(strategy, "begin_shard", None)
+    if begin is not None:
+        begin(network, x, rng)
     trusted = False
     for index, stage in enumerate(network.stages):
         t0 = time.perf_counter()
@@ -289,6 +303,290 @@ def run_stages(
         else:
             telemetry.append(record)
     return x
+
+
+# ----------------------------------------------------------------------
+# Grouped shard execution — the warm-pool fast path. Several contiguous
+# shards of one request run through the stage pipeline *stage-major*:
+# every numpy pass (im2col, the fused matmul, the vectorized inverse-CDF
+# gather) covers all rows of the group at once, while the per-shard
+# uniforms are drawn separately, in shard order, from each shard's own
+# derived generator chain and concatenated along the batch axis. Because
+# every stage is row-independent (shards never exchange data) and each
+# shard's generator chain is reproduced exactly, the grouped result is
+# bit-identical to running the shards one by one through `run_stages` —
+# the amortization changes how many numpy/RNG invocations are made,
+# never what any shard draws.
+# ----------------------------------------------------------------------
+
+#: Backends whose per-shard draw chains `run_stages_group` can
+#: reproduce externally (their crossbar passes route through the fused
+#: inverse-CDF sampler, whose uniforms can be caller-supplied).
+GROUP_VECTOR_BACKENDS = frozenset({"stochastic", "stochastic-batched"})
+
+
+def batched_draw_elements(
+    network: CompiledNetwork, input_shape, rows: int
+) -> Optional[int]:
+    """Total uniforms one ``rows``-row shard consumes across the plan.
+
+    The ``"stochastic-batched"`` backend sizes its per-shard
+    :class:`~repro.sc.binomial.DrawBatch` with this: one fused crossbar
+    pass draws ``n_row_tiles * rows * positions * out_features``
+    uniforms (the column-value tensor's element count). Returns None
+    when any crossbar stage cannot take pre-drawn uniforms (no fused
+    sampler, or a window too long for the cached CDF tables) — callers
+    then fall back to per-pass draws.
+
+    The count is linear in ``rows``, and the geometry walk costs more
+    than a shard pass can afford when repeated per shard, so the
+    per-row total is memoized on the network (keyed by ``input_shape``;
+    compiled pipelines are structurally immutable, and whether a layer
+    supports batched draws is a function of its fixed geometry).
+    """
+    key = tuple(int(d) for d in input_shape)
+    cache = getattr(network, "_draw_elements_per_row", None)
+    if cache is None:
+        cache = network._draw_elements_per_row = {}
+    if key not in cache:
+        per_row: Optional[int] = 0
+        for kind, positions, layer in _stage_geometry(network, key):
+            if layer is None:
+                continue
+            if not layer.supports_batched_draws():
+                per_row = None
+                break
+            per_row += layer.n_row_tiles * positions * layer.out_features
+        cache[key] = per_row
+    per_row = cache[key]
+    if per_row is None:
+        return None
+    return per_row * rows
+
+
+def group_vectorizable(network, strategy, shards=None) -> bool:
+    """Whether :func:`run_stages_group` can execute shards of this
+    network under ``strategy`` in one stage-major vectorized pass.
+
+    Requires a backend whose draw chain the group executor reproduces
+    (:data:`GROUP_VECTOR_BACKENDS`), every crossbar stage on the fused
+    inverse-CDF path with cached tables, and — when ``shards`` is given
+    — a real seed on every shard (``seed=None`` means "the worker's own
+    entropy", which cannot be replayed externally).
+    """
+    if getattr(strategy, "name", None) not in GROUP_VECTOR_BACKENDS:
+        return False
+    layers = network.tiled_layers
+    if not layers:
+        return False
+    if not all(layer.supports_batched_draws() for layer in layers):
+        return False
+    if shards is not None and any(s.seed is None for s in shards):
+        return False
+    return True
+
+
+class _FusedChainDraws:
+    """Per-shard uniforms for the ``"stochastic"`` dispatch backend.
+
+    Reproduces the exact generator chain serial execution walks: shard
+    seed -> per-layer children (one vectorized draw, as in
+    :func:`seed_shard`) -> per-layer tile children -> the fused
+    sampler's seed (the *last* child, as in
+    ``TiledLinearLayer.reseed_sampling``). Each fused generator makes
+    exactly one ``.random(shape)`` call per serial layer pass, so
+    building it on demand and drawing once reproduces the stream.
+    """
+
+    def __init__(self, layers, seed: int) -> None:
+        rng = new_rng(seed)
+        layer_seeds = rng.integers(0, 2**63 - 1, size=len(layers))
+        self._fused_seeds = []
+        for layer, layer_seed in zip(layers, layer_seeds):
+            lrng = np.random.default_rng(int(layer_seed))
+            children = lrng.integers(
+                0, 2**63 - 1, size=layer.n_row_tiles * layer.n_col_tiles + 1
+            )
+            self._fused_seeds.append(int(children[-1]))
+
+    def take(self, layer_index: int, shape) -> np.ndarray:
+        return np.random.default_rng(self._fused_seeds[layer_index]).random(shape)
+
+
+class _BatchedChainDraws:
+    """Per-shard uniforms for the ``"stochastic-batched"`` backend.
+
+    Serial chain: ``seed_shard`` burns one vectorized child-seed draw on
+    the shard generator, then ``begin_shard`` pre-draws the whole
+    shard's uniforms in one ``random(total)`` call. Consecutive slices
+    of that call are bit-identical to the per-stage draws (the
+    :class:`DrawBatch` contract).
+    """
+
+    def __init__(self, network, layers, seed: int, input_shape, rows: int) -> None:
+        rng = new_rng(seed)
+        rng.integers(0, 2**63 - 1, size=len(layers))  # seed_shard's draw
+        total = batched_draw_elements(network, input_shape, rows)
+        self._draws = DrawBatch(rng, total)
+
+    def take(self, layer_index: int, shape) -> np.ndarray:
+        return self._draws.take(shape)
+
+
+def run_stages_group(
+    network: CompiledNetwork,
+    x: np.ndarray,
+    shard_specs: Sequence[Tuple[Optional[int], int, int]],
+    strategy,
+) -> List[Tuple[np.ndarray, List[LayerTelemetry]]]:
+    """Several contiguous shards through the pipeline in one vectorized
+    pass; bit-identical to per-shard :func:`run_stages` execution.
+
+    ``x`` is the group's row slab; ``shard_specs`` lists ``(seed,
+    start, stop)`` row ranges into it — contiguous, ordered, covering
+    the slab. Check :func:`group_vectorizable` first. Returns one
+    ``(logits, telemetry)`` pair per spec, in order.
+    """
+    name = getattr(strategy, "name", None)
+    if name not in GROUP_VECTOR_BACKENDS:  # pragma: no cover - defensive
+        raise ValueError(f"backend {name!r} is not group-vectorizable")
+    layers = network.tiled_layers
+    specs = specs_list(shard_specs)
+    n = x.shape[0]
+    input_shape = x.shape[1:]
+    if name == "stochastic":
+        sources = [_FusedChainDraws(layers, seed) for seed, _, _ in specs]
+    else:
+        sources = [
+            _BatchedChainDraws(network, layers, seed, input_shape, stop - start)
+            for seed, start, stop in specs
+        ]
+
+    telemetry: List[List[LayerTelemetry]] = [[] for _ in specs]
+    row_counts = [stop - start for _, start, stop in specs]
+    total_rows = max(n, 1)
+    layer_index = 0
+    trusted = False
+
+    def crossbar_pass(layer, flat, validate, rows_scale):
+        """One fused crossbar pass over the group slab.
+
+        ``rows_scale`` maps shard rows to rows of ``flat`` (the conv
+        ``positions`` factor); shard blocks are contiguous along the
+        batch axis, so the per-shard uniforms concatenate there.
+        """
+        values, _count = layer._fused_values(flat, validate)
+        k = values.shape[0]
+        out = values.shape[-1]
+        pieces = [
+            src.take(layer_index, (k, rows * rows_scale, out))
+            for src, rows in zip(sources, row_counts)
+        ]
+        u = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=1)
+        counts = layer._fused_sampler._sample_counts_for_values(
+            values, layer.config.window_bits, u=u
+        )
+        layer.n_passes += layer.n_row_tiles * layer.n_col_tiles * len(specs)
+        layer.n_inferences += flat.shape[0]
+        return layer.module.accumulate_counts(counts)
+
+    for index, stage in enumerate(network.stages):
+        t0 = time.perf_counter()
+        records = [LayerTelemetry(index=index, kind="?") for _ in specs]
+        if isinstance(stage, SignStage):
+            x = np.where(x >= 0, _INT8_ONE, _INT8_MINUS_ONE)
+            trusted = True
+            for record in records:
+                record.kind = "encode"
+        elif isinstance(stage, ThermometerStage):
+            planes = [
+                np.where(x - t >= 0, _INT8_ONE, _INT8_MINUS_ONE)
+                for t in stage.thresholds
+            ]
+            x = np.concatenate(planes, axis=1)
+            trusted = True
+            for record in records:
+                record.kind = "encode"
+        elif isinstance(stage, ConvStage):
+            validate = None if not trusted else False
+            h, w = x.shape[2], x.shape[3]
+            h_out, w_out = conv_output_geometry(
+                h, w, stage.kernel, stage.stride, stage.padding
+            )
+            cols, _ = im2col(x, stage.kernel, stage.stride, stage.padding)
+            fan_in = cols.shape[1]
+            flat = cols.transpose(0, 2, 1).reshape(-1, fan_in)
+            out = crossbar_pass(stage.layer, flat, validate, h_out * w_out)
+            out = out.reshape(n, h_out * w_out, stage.out_channels).transpose(
+                0, 2, 1
+            )
+            x = out.reshape(n, stage.out_channels, h_out, w_out)
+            x = x.astype(np.int8, copy=False)
+            trusted = True
+            layer_index += 1
+            for record, rows in zip(records, row_counts):
+                record.kind = "conv"
+                record.in_features = stage.layer.in_features
+                record.out_features = stage.layer.out_features
+                record.positions = h_out * w_out
+                record.windows = (
+                    rows
+                    * record.positions
+                    * stage.layer.n_row_tiles
+                    * stage.layer.n_col_tiles
+                )
+        elif isinstance(stage, LinearStage):
+            validate = None if not trusted else False
+            if x.ndim > 2:
+                x = x.reshape(x.shape[0], int(np.prod(x.shape[1:])))
+            x = crossbar_pass(stage.layer, x, validate, 1)
+            x = x.astype(np.int8, copy=False)
+            trusted = True
+            layer_index += 1
+            for record, rows in zip(records, row_counts):
+                record.kind = "linear"
+                record.in_features = stage.layer.in_features
+                record.out_features = stage.layer.out_features
+                record.windows = (
+                    rows * stage.layer.n_row_tiles * stage.layer.n_col_tiles
+                )
+        elif isinstance(stage, PoolStage):
+            x = _run_pool(stage, x)
+            for record in records:
+                record.kind = "pool"
+        elif isinstance(stage, HeadStage):
+            if x.ndim > 2:
+                x = x.reshape(x.shape[0], int(np.prod(x.shape[1:])))
+            x = stage.logits(x)
+            for record, rows in zip(records, row_counts):
+                record.kind = "head"
+                record.in_features = stage.weight.shape[1]
+                record.out_features = stage.weight.shape[0]
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown stage {type(stage).__name__}")
+        elapsed = time.perf_counter() - t0
+        # Stage wall time apportioned by row share — the group ran the
+        # stage once; per-shard telemetry keeps the serial schema.
+        for i, (record, rows) in enumerate(zip(records, row_counts)):
+            record.wall_time_s = elapsed * (rows / total_rows)
+            telemetry[i].append(record)
+
+    return [
+        (x[start:stop], telemetry[i])
+        for i, (_seed, start, stop) in enumerate(specs)
+    ]
+
+
+def specs_list(shard_specs) -> List[Tuple[Optional[int], int, int]]:
+    """Normalize ``shard_specs`` (tuples or :class:`Shard`-likes)."""
+    out: List[Tuple[Optional[int], int, int]] = []
+    for spec in shard_specs:
+        if isinstance(spec, tuple):
+            seed, start, stop = spec
+        else:
+            seed, start, stop = spec.seed, spec.start, spec.stop
+        out.append((seed, int(start), int(stop)))
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -431,7 +729,28 @@ def compile_plan(
     geometry the :class:`~repro.api.results.LayerTelemetry` workload
     records report after the fact — so a scheduler's view of the plan
     matches what the telemetry will measure.
+
+    Tasks and workloads depend only on the network geometry, the shard
+    row layout, and the input shape — never on the seeds — so they are
+    memoized on the network: an adaptive session re-planning the same
+    request shape every run rebuilds nothing but the (cheap) plan
+    wrapper around its freshly seeded shards.
     """
+    key = (
+        tuple(shard.rows for shard in shard_plan.shards),
+        tuple(int(d) for d in (input_shape or ())),
+    )
+    cache = getattr(network, "_task_graph_cache", None)
+    if cache is None:
+        cache = network._task_graph_cache = {}
+    cached = cache.get(key)
+    if cached is not None:
+        tasks, workloads = cached
+        return ExecutionPlan(
+            shard_plan=shard_plan,
+            tasks=tasks,
+            stage_workloads=workloads,
+        )
     geometry = _stage_geometry(network, input_shape)
     workloads: List[Optional[LayerWorkload]] = []
     for (kind, positions, layer), stage in zip(geometry, network.stages):
@@ -486,8 +805,9 @@ def compile_plan(
                 tasks.append(task)
                 current.append(task.id)
             previous = tuple(current)
+    cache[key] = (tuple(tasks), tuple(workloads))
     return ExecutionPlan(
         shard_plan=shard_plan,
-        tasks=tuple(tasks),
-        stage_workloads=tuple(workloads),
+        tasks=cache[key][0],
+        stage_workloads=cache[key][1],
     )

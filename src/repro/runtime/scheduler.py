@@ -46,6 +46,7 @@ import os
 import sys
 import threading
 import time
+from dataclasses import replace
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -68,7 +69,9 @@ from repro.runtime.plan import (
     ExecutionPlan,
     ShardPlan,
     compile_plan,
+    group_vectorizable,
     run_stages,
+    run_stages_group,
     seed_shard,
 )
 from repro.runtime.recovery import (
@@ -159,7 +162,16 @@ def _shard_plan_of(plan) -> ShardPlan:
 def _pool_context():
     """The multiprocessing context worker pools are built from.
 
-    ``forkserver`` when the platform offers it: serving front-ends
+    ``fork`` whenever the creating process is still single-threaded:
+    the worker then *shares* the parent's physical pages (network
+    weights, cached sampler tables, warmed bytecode) copy-on-write
+    instead of carrying its own unpickled copies. On small-cache
+    machines that halves the combined working set — measured here as a
+    ~2x per-wave speedup of the group executor over a forkserver
+    worker running the identical code, which is the difference between
+    pooled dispatch beating serial and losing to it.
+
+    ``forkserver`` once any other thread exists: serving front-ends
     create pools lazily from worker *threads*, and a plain ``fork``
     there occasionally snapshots another thread's held lock into the
     child, deadlocking the pool initializer (the flaky check-runtime
@@ -171,6 +183,8 @@ def _pool_context():
     (``python - <<...`` / piped-stdin scripts, whose recorded path is
     the literal ``<stdin>``).
     """
+    if threading.active_count() == 1 and "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
     main = sys.modules.get("__main__")
     main_file = getattr(main, "__file__", None)
     if main_file is not None and not os.path.exists(main_file):
@@ -253,7 +267,13 @@ class SerialScheduler:
 _WORKER_STATE: dict = {}
 
 
-def _worker_init(network, inner_backend: str, fault_plan: Optional[dict] = None) -> None:
+def _worker_init(
+    network,
+    inner_backend: str,
+    fault_plan: Optional[dict] = None,
+    lane_conns: Optional[list] = None,
+    lane_parent_fds: Optional[list] = None,
+) -> None:
     """Pool initializer: receive the network once, resolve the inner
     strategy. Runs in the worker process. The inner resolution bypasses
     any dispatch override a forked worker inherited from the parent —
@@ -261,9 +281,23 @@ def _worker_init(network, inner_backend: str, fault_plan: Optional[dict] = None)
     another pool. ``fault_plan`` (a serialized
     :class:`~repro.runtime.faults.FaultPlan`) arms the chaos harness in
     this worker; only the scheduler's *first* pool generation ships one,
-    so rebuilt pools come up healthy."""
+    so rebuilt pools come up healthy.
+
+    ``lane_conns`` are the worker ends of the express-lane pipes (fork
+    context only — they ride the fork snapshot, never a pickle); this
+    worker parks on one of them when :func:`_worker_lane` runs.
+    ``lane_parent_fds`` are the fork-inherited duplicates of the
+    *scheduler's* ends, closed here so a worker can never hold a lane's
+    parent side open — EOF detection in both directions depends on
+    exactly one owner per end."""
     _WORKER_STATE["network"] = network
     _WORKER_STATE["strategy"] = get_backend(inner_backend, allow_override=False)
+    _WORKER_STATE["lane_conns"] = lane_conns
+    for fd in lane_parent_fds or []:
+        try:
+            os.close(fd)
+        except OSError:  # pragma: no cover - already closed
+            pass
     if fault_plan is not None:
         faults.install_fault_plan(faults.FaultPlan.from_dict(fault_plan))
     else:
@@ -301,6 +335,151 @@ def _worker_run_shard_shm(
     """Shared-memory shard task: only the ticket crossed the pipe; the
     activations are read straight out of the ring slot."""
     return _run_shard_local(transport.load(ticket), seed, index)
+
+
+def _worker_warmup() -> int:
+    """Warm one worker end to end (runs in the worker process).
+
+    Builds the fused samplers' cached inverse-CDF tables for the
+    shipped network — the dominant first-shard cost after process
+    spawn — so a prewarmed pool's first real wave pays compute only.
+    Returns the worker's pid (which also proves the process exists:
+    ``ProcessPoolExecutor`` spawns lazily on first submit).
+    """
+    network = _WORKER_STATE["network"]
+    for layer in network.tiled_layers:
+        sampler = getattr(layer, "_fused_sampler", None)
+        if sampler is not None:
+            bits = layer.config.window_bits
+            if sampler.supports_batched_draws(bits):
+                sampler._count_quant_table(bits)
+        # One micro-batch-sized pass per layer: initializes the worker's
+        # BLAS state, faults the weight pages in (a forked worker pays a
+        # copy-on-write storm on first touch otherwise), and sizes the
+        # sampler's scratch allocations. Real shards reseed via
+        # seed_shard, so advancing this copy's sampler streams (and its
+        # pass counters) is invisible to every actual request.
+        layer.forward(np.ones((64, layer.in_features)))
+    return os.getpid()
+
+
+def _run_group_local(slab: np.ndarray, specs) -> List[ShardResult]:
+    """Execute one contiguous shard *group* in this worker.
+
+    ``specs`` is a tuple of ``(seed, start, stop, index)`` rows relative
+    to ``slab``. When the inner strategy's draw chain can be reproduced
+    externally (:func:`~repro.runtime.plan.group_vectorizable`), the
+    whole group runs stage-major through
+    :func:`~repro.runtime.plan.run_stages_group` — one numpy pass per
+    stage over all the group's rows, per-shard uniforms drawn in shard
+    order — which is bit-identical to the per-shard loop it replaces.
+    Otherwise (bit-level backends, seedless shards) the group falls
+    back to that loop.
+    """
+    network = _WORKER_STATE["network"]
+    strategy = _WORKER_STATE["strategy"]
+    slab = np.asarray(slab, dtype=np.float64)
+    if len(specs) > 1 and all(s[0] is not None for s in specs) and group_vectorizable(
+        network, strategy
+    ):
+        for seed, start, stop, index in specs:
+            faults.fault_point("worker.shard", shard=index, rows=int(stop - start))
+        return run_stages_group(
+            network,
+            slab,
+            [(seed, start, stop) for seed, start, stop, _index in specs],
+            strategy,
+        )
+    return [
+        _run_shard_local(slab[start:stop], seed, index)
+        for seed, start, stop, index in specs
+    ]
+
+
+def _split_groups(shards, k: int) -> List[List[Tuple[int, object]]]:
+    """Split the shard sequence into at most ``k`` contiguous, balanced
+    groups of ``(positional_index, shard)`` pairs.
+
+    Contiguity matters twice: one shm ticket (or one pickled slab) can
+    cover a whole group's rows, and the stage-major group executor
+    needs shard rows to be consecutive blocks of its slab.
+    """
+    indexed = list(enumerate(shards))
+    n = len(indexed)
+    k = max(1, min(int(k), n))
+    base, extra = divmod(n, k)
+    groups: List[List[Tuple[int, object]]] = []
+    pos = 0
+    for i in range(k):
+        size = base + (1 if i < extra else 0)
+        groups.append(indexed[pos : pos + size])
+        pos += size
+    return groups
+
+
+def _worker_run_group(slab: np.ndarray, specs) -> List[ShardResult]:
+    """Pickled-transport group task: the group's row slab rode the
+    pool's IPC pipe."""
+    return _run_group_local(slab, specs)
+
+
+def _worker_run_group_shm(ticket: transport.ShmTicket, specs) -> List[ShardResult]:
+    """Shared-memory group task: one ticket covers the whole group's
+    contiguous rows."""
+    return _run_group_local(transport.load(ticket), specs)
+
+
+def _worker_lane(index: int) -> int:
+    """Park this worker on express lane ``index`` (runs in the worker).
+
+    The lane occupies the worker for the life of the pool: waves arrive
+    as ``(wave_id, (kind, payload), specs)`` straight off the
+    scheduler's pipe and every reply echoes the ``wave_id``, so the
+    scheduler can discard a straggler's late reply from an abandoned
+    wave instead of mistaking it for the current one. Task failures are
+    shipped back as ``(wave_id, False, exc)`` — the lane survives them,
+    exactly like a pool future carrying an exception. EOF on the pipe
+    (the scheduler closed or rebuilt the pool) releases the worker back
+    into the executor loop so ``shutdown`` can join it.
+    """
+    conns = _WORKER_STATE.get("lane_conns") or []
+    conn = conns[index]
+    # Sibling lane ends rode the same fork snapshot; close them so each
+    # lane's worker end lives in exactly one process — a worker death
+    # must EOF its own lane, not keep a sibling's half-open.
+    for other_index, other in enumerate(conns):
+        if other_index != index:
+            other.close()
+    _WORKER_STATE["lane_conns"] = [
+        conn if i == index else None for i in range(len(conns))
+    ]
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return index
+        if message is None:
+            return index
+        wave_id, (kind, payload), specs = message
+        try:
+            if kind == "shm":
+                body = _worker_run_group_shm(payload, specs)
+            else:
+                body = _worker_run_group(payload, specs)
+            reply = (wave_id, True, body)
+        except BaseException as exc:  # taxonomy: shipped to the scheduler, classified there by run_with_recovery
+            reply = (wave_id, False, exc)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return index
+        except Exception as exc:  # taxonomy: unpicklable reply body, summarized and re-shipped
+            # The body would not pickle (an exotic exception payload);
+            # ship a summary rather than severing the lane.
+            try:
+                conn.send((wave_id, False, RuntimeError(repr(exc))))
+            except Exception:  # taxonomy: reply channel unusable, lane retires (parent sees EOF)
+                return index
 
 
 @register_scheduler(
@@ -371,6 +550,15 @@ class ShardParallelScheduler:
         self._pool_generation = 0
         self._serial = SerialScheduler()
         self._lock = threading.Lock()
+        # Express lanes (see :meth:`warm`): one duplex pipe per worker,
+        # created with a fork-context pool and activated when ``warm``
+        # parks every worker on its lane. ``_lane_pending`` holds the
+        # scheduler ends between pool construction and activation;
+        # ``_lane_lock`` serializes waves over the parked workers.
+        self._lanes: Optional[list] = None
+        self._lane_pending: Optional[list] = None
+        self._lane_wave = 0
+        self._lane_lock = threading.Lock()
         # Per-thread recovery telemetry, mirroring the adaptive
         # scheduler's decision telemetry: serving threads sharing one
         # scheduler each see their own wave's log.
@@ -445,8 +633,17 @@ class ShardParallelScheduler:
         shard_plan: ShardPlan,
         remaining: Optional[float],
     ) -> List[ShardResult]:
-        """One pool attempt: publish, fan out, gather under the
-        remaining deadline budget."""
+        """One pool attempt: publish, fan out *groups*, gather under
+        the remaining deadline budget.
+
+        Shards are batched into at most ``workers`` contiguous groups —
+        one pool submission (and one shm ticket) per group instead of
+        one per shard, so the per-task dispatch constant is paid
+        ``min(workers, shards)`` times per wave. Inside a worker the
+        group executes stage-major and vectorized when the inner
+        backend allows it (see :func:`_run_group_local`), bit-identical
+        to per-shard execution either way.
+        """
         pool = self._ensure_pool(network)
         lease = None
         if self.transport == "shm":
@@ -460,26 +657,39 @@ class ShardParallelScheduler:
         futures = []
         abandoned = False
         try:
-            if lease is not None:
-                futures = [
-                    pool.submit(
-                        _worker_run_shard_shm,
-                        lease.ticket(shard.start, shard.stop),
-                        shard.seed,
-                        index,
+            groups = _split_groups(shard_plan.shards, self.workers)
+            lanes = self._lanes
+            if lanes is not None and len(groups) <= len(lanes):
+                try:
+                    return self._run_lanes(lanes, lease, x, groups, deadline)
+                except BaseException:  # taxonomy: re-raised for run_with_recovery after marking the lease
+                    # A lane may still be reading the slab (a straggler,
+                    # a dead worker's half-read) — never recycle the
+                    # slot under it.
+                    abandoned = True
+                    raise
+            for group in groups:
+                base = group[0][1].start
+                specs = tuple(
+                    (shard.seed, shard.start - base, shard.stop - base, index)
+                    for index, shard in group
+                )
+                if lease is not None:
+                    futures.append(
+                        pool.submit(
+                            _worker_run_group_shm,
+                            lease.ticket(base, group[-1][1].stop),
+                            specs,
+                        )
                     )
-                    for index, shard in enumerate(shard_plan.shards)
-                ]
-            else:
-                futures = [
-                    pool.submit(
-                        _worker_run_shard,
-                        x[shard.start : shard.stop],
-                        shard.seed,
-                        index,
+                else:
+                    futures.append(
+                        pool.submit(
+                            _worker_run_group,
+                            x[base : group[-1][1].stop],
+                            specs,
+                        )
                     )
-                    for index, shard in enumerate(shard_plan.shards)
-                ]
             outputs: List[ShardResult] = []
             for future in futures:
                 budget = None if deadline is None else deadline - time.monotonic()
@@ -488,7 +698,7 @@ class ShardParallelScheduler:
                         "wave deadline exhausted while gathering shards"
                     )
                 try:
-                    outputs.append(future.result(timeout=budget))
+                    outputs.extend(future.result(timeout=budget))
                 except (FuturesTimeout, TimeoutError):
                     raise DeadlineExceeded(
                         "wave deadline exhausted while gathering shards"
@@ -517,6 +727,80 @@ class ShardParallelScheduler:
                     wait(futures)
                     lease.release()
 
+    def _run_lanes(
+        self,
+        lanes: list,
+        lease,
+        x: np.ndarray,
+        groups,
+        deadline: Optional[float],
+    ) -> List[ShardResult]:
+        """One wave over the express lanes: direct pipe send/recv to the
+        parked workers (see :meth:`warm`), no executor machinery on the
+        per-wave path.
+
+        The executor's submit/gather crosses its management thread and
+        call-queue feeder on the way in and the result queue plus the
+        management thread on the way out — ~6 scheduler hops per wave,
+        each paying run-queue latency on a contended host. A lane is one
+        write and one read on a dedicated pipe: the worker wakes
+        directly, computes, and wakes the caller directly. Replies are
+        wave-tagged, so a straggler's reply from a deadline-abandoned
+        wave is discarded on the next wave instead of corrupting it. A
+        severed lane (dead worker) surfaces as ``BrokenProcessPool``,
+        which the recovery policy repairs exactly like an executor
+        crash: rebuild the pool and retry (the rebuilt pool runs
+        executor-dispatch until the next ``warm``).
+        """
+        with self._lane_lock:
+            self._lane_wave += 1
+            wave_id = self._lane_wave
+            live = []
+            try:
+                for slot, group in enumerate(groups):
+                    base = group[0][1].start
+                    specs = tuple(
+                        (shard.seed, shard.start - base, shard.stop - base, index)
+                        for index, shard in group
+                    )
+                    if lease is not None:
+                        payload = ("shm", lease.ticket(base, group[-1][1].stop))
+                    else:
+                        payload = ("pickle", x[base : group[-1][1].stop])
+                    lanes[slot].send((wave_id, payload, specs))
+                    live.append(slot)
+            except (BrokenPipeError, OSError) as exc:
+                raise BrokenProcessPool(
+                    f"express lane severed mid-send: {exc}"
+                ) from exc
+            outputs: List[ShardResult] = []
+            for slot in live:
+                while True:
+                    budget = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if budget is not None and budget <= 0:
+                        raise DeadlineExceeded(
+                            "wave deadline exhausted while gathering shards"
+                        )
+                    try:
+                        if not lanes[slot].poll(budget):
+                            raise DeadlineExceeded(
+                                "wave deadline exhausted while gathering shards"
+                            )
+                        got_wave, ok, body = lanes[slot].recv()
+                    except (EOFError, OSError) as exc:
+                        raise BrokenProcessPool(
+                            f"express lane severed mid-wave: {exc}"
+                        ) from exc
+                    if got_wave != wave_id:
+                        continue  # stale reply from an abandoned wave
+                    if not ok:
+                        raise body
+                    outputs.extend(body)
+                    break
+            return outputs
+
     def _repair(self, exc: BaseException) -> Optional[str]:
         """Fix the broken resource before a retry; returns the action
         label recorded in the :class:`RecoveryLog`."""
@@ -528,10 +812,25 @@ class ShardParallelScheduler:
             return "pickle-transport"
         return None
 
+    def _close_lanes(self) -> None:
+        """Tear down the express lanes (idempotent). Closing the
+        scheduler ends EOFs every parked worker back into the executor
+        loop, which is what lets ``shutdown(wait=True)`` join a pool
+        whose workers were parked on lanes."""
+        with self._lane_lock:
+            for conn in (self._lanes or []) + (self._lane_pending or []):
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+            self._lanes = None
+            self._lane_pending = None
+
     def _rebuild_pool(self) -> None:
         """Tear down a broken pool so the next attempt builds a fresh
         one (generation > 0, so no fault plan ships to its workers)."""
         with self._lock:
+            self._close_lanes()
             if self._pool is not None:
                 # The pool is broken — its workers are gone; waiting on
                 # it can only block.
@@ -585,6 +884,7 @@ class ShardParallelScheduler:
         """
         with self._lock:
             if self._pool is not None and self._pool_network is not network:
+                self._close_lanes()
                 self._pool.shutdown(wait=True)
                 self._pool = None
             if self._pool is None:
@@ -594,13 +894,39 @@ class ShardParallelScheduler:
                     if plan is not None and self._pool_generation == 0
                     else None
                 )
+                context = _pool_context()
+                # Express-lane pipes must exist before the workers fork
+                # so the worker ends ride the fork snapshot (Connection
+                # objects never cross a pickle). Spawn-based contexts
+                # cannot inherit them — those pools simply have no
+                # lanes and keep executor dispatch.
+                lane_pairs = []
+                if context.get_start_method() == "fork":
+                    lane_pairs = [
+                        context.Pipe(duplex=True) for _ in range(self.workers)
+                    ]
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
-                    mp_context=_pool_context(),
+                    mp_context=context,
                     initializer=_worker_init,
-                    initargs=(network, self.inner, shipped),
+                    initargs=(
+                        network,
+                        self.inner,
+                        shipped,
+                        [child for _parent, child in lane_pairs] or None,
+                        [parent.fileno() for parent, _child in lane_pairs]
+                        or None,
+                    ),
                 )
                 self._prespawn_workers(self._pool)
+                # The workers hold their fork-inherited copies now;
+                # drop ours so a worker death EOFs its lane.
+                for _parent, child in lane_pairs:
+                    child.close()
+                with self._lane_lock:
+                    self._lane_pending = [
+                        parent for parent, _child in lane_pairs
+                    ] or None
                 self._pool_network = network
                 self._pool_generation += 1
             return self._pool
@@ -633,9 +959,74 @@ class ShardParallelScheduler:
             return self._ring
 
     # ------------------------------------------------------------------
+    @property
+    def pool_generation(self) -> int:
+        """How many pools this scheduler has built (0 = none yet).
+
+        A stable generation across waves is the observable proof that
+        the warm pool was *reused* rather than rebuilt — the daemon
+        warm-pool tests assert on it.
+        """
+        return self._pool_generation
+
+    def warm(self, network) -> int:
+        """Build the worker pool (and shm ring) before any traffic.
+
+        Pool construction — forkserver spin-up, shipping the network to
+        every worker, warm numpy imports — costs tens of milliseconds;
+        paying it at daemon startup instead of inside the first
+        request's deadline is what makes the first wave's latency look
+        like every other wave's. Idempotent: a live pool for the same
+        network is left untouched. Returns the pool generation.
+
+        On a fork-context pool, warming also activates the *express
+        lanes*: every worker parks on a dedicated duplex pipe, and
+        subsequent waves are dispatched straight over those pipes (one
+        write, one read per group) instead of through the executor's
+        management-thread/queue machinery — see :meth:`_run_lanes`.
+        """
+        with self._lock:
+            if (
+                self._pool is not None
+                and self._pool_network is network
+                and self._lanes is not None
+            ):
+                # Already warm AND parked: the workers are occupied by
+                # their lane loops, so a second round of warmup tasks
+                # would wait forever. The idempotency contract covers
+                # this — there is nothing left to warm.
+                return self._pool_generation
+        self._ensure_pool(network)
+        if self.transport == "shm":
+            try:
+                self._ensure_ring()
+            except transport.TransportUnavailable:
+                self.transport = "pickle"
+        # ProcessPoolExecutor spawns its processes lazily on first
+        # submit; force every worker up *now* and have each build its
+        # sampler tables, so no real request pays spawn or table cost.
+        futures = [self._pool.submit(_worker_warmup) for _ in range(self.workers)]
+        for future in futures:
+            future.result()
+        with self._lock:
+            if self._pool is not None and self._pool_network is network:
+                with self._lane_lock:
+                    pending, self._lane_pending = self._lane_pending, None
+                if pending is not None and self._lanes is None:
+                    # Park every worker on its lane. The N lane tasks
+                    # are claimed by N distinct workers because a
+                    # parked worker never returns to take another.
+                    for index in range(len(pending)):
+                        self._pool.submit(_worker_lane, index)
+                    with self._lane_lock:
+                        self._lanes = pending
+        return self._pool_generation
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
         """Shut the worker pool and activation ring down (idempotent)."""
         with self._lock:
+            self._close_lanes()
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
@@ -881,6 +1272,14 @@ class AdaptiveScheduler:
         # shared across serving threads reports each request's own
         # choice to the thread that ran it.
         self._decisions = threading.local()
+        # Repeated identical requests (a session re-running the same
+        # burst, a daemon's steady-state wave shape) re-derive the exact
+        # same chooser outcome: predictions depend only on the memoized
+        # task graph and the chooser inputs, never on the shard seeds.
+        # Memoize on those and rebuild only the (mutable) per-run
+        # telemetry records, so steady-state dispatch skips the
+        # prediction walk entirely.
+        self._choice_memo: Dict[tuple, AdaptiveChoice] = {}
 
     @property
     def last_choice(self) -> Optional[AdaptiveChoice]:
@@ -948,9 +1347,10 @@ class AdaptiveScheduler:
         return outputs
 
     def _choose(self, plan: ExecutionPlan, strategy) -> AdaptiveChoice:
+        name = getattr(strategy, "name", None)
         modes = candidate_modes(
             plan,
-            backend_name=getattr(strategy, "name", None),
+            backend_name=name,
             deterministic=getattr(strategy, "deterministic", False),
         )
         force = env_str("REPRO_FORCE_SCHEDULER")
@@ -959,8 +1359,37 @@ class AdaptiveScheduler:
                 f"REPRO_FORCE_SCHEDULER must be one of "
                 f"{', '.join(ADAPTIVE_MODES)}; got {force!r}"
             )
-        return self.cost_model.choose(
-            plan, workers=self.workers, modes=modes, force=force
+        # A live pool for this backend means shard-parallel predictions
+        # skip the one-time warmup charge — prewarmed daemons (and any
+        # session after its first pooled run) compete on marginal cost.
+        warm = (self.pool_generation(name) or 0) > 0 if name else False
+        # plan.tasks is the task-graph tuple compile_plan memoizes on
+        # the network (seed-independent, alive as long as the network),
+        # so its identity keys equivalent plans across runs.
+        key = (
+            id(plan.tasks),
+            id(self.cost_model.coefficients),
+            name,
+            tuple(modes),
+            force,
+            warm,
+        )
+        cached = self._choice_memo.get(key)
+        if cached is None:
+            if len(self._choice_memo) >= 128:
+                self._choice_memo.clear()
+            cached = self._choice_memo[key] = self.cost_model.choose(
+                plan, workers=self.workers, modes=modes, force=force, warm=warm
+            )
+        # Fresh telemetry records per run: _record_measured fills
+        # measured_s in place, and each InferenceResult must keep its
+        # own copies.
+        return AdaptiveChoice(
+            mode=cached.mode,
+            predictions=dict(cached.predictions),
+            stages=[replace(s, measured_s=None) for s in cached.stages],
+            forced=cached.forced,
+            reason=cached.reason,
         )
 
     @staticmethod
@@ -992,6 +1421,20 @@ class AdaptiveScheduler:
             if self._tile is None:
                 self._tile = TileParallelScheduler(workers=self.workers)
             return self._tile
+
+    # ------------------------------------------------------------------
+    def warm(self, network, inner: str = "stochastic") -> int:
+        """Pre-build the shard-parallel pool for ``inner`` so the first
+        request the chooser sends to the pool pays no construction cost
+        (the daemon calls this at startup). Returns the pool generation."""
+        return self._ensure_shard(inner).warm(network)
+
+    def pool_generation(self, inner: str = "stochastic") -> Optional[int]:
+        """The shard pool's generation for ``inner`` (None before any
+        pool exists for that backend)."""
+        with self._lock:
+            scheduler = self._shards.get(inner)
+        return None if scheduler is None else scheduler.pool_generation
 
     # ------------------------------------------------------------------
     def close(self) -> None:

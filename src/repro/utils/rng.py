@@ -63,19 +63,37 @@ def binomial_cdf(p: np.ndarray, n: int) -> np.ndarray:
 
 
 class RngMixin:
-    """Mixin giving a class a lazily created, seedable ``.rng`` attribute."""
+    """Mixin giving a class a lazily created, seedable ``.rng`` attribute.
+
+    Generator construction is deferred until the first ``.rng`` access:
+    seeding a ``PCG64`` generator costs ~7us, and a tiled layer holds
+    one sampler per tile, so eager construction used to dominate
+    ``seed_shard`` in the shard-parallel hot path. Components that
+    never draw (e.g. samplers on a shard that only runs the fused path)
+    now never pay it. The stream contract is unchanged — the generator
+    a given seed produces is the same, only *when* it is built moves.
+    """
 
     def __init__(self, seed: SeedLike = None) -> None:
-        self._rng: Optional[np.random.Generator] = (
-            None if seed is None else new_rng(seed)
-        )
+        self._rng: Optional[np.random.Generator] = None
+        self._rng_seed: SeedLike = None
+        if isinstance(seed, np.random.Generator):
+            self._rng = seed
+        else:
+            self._rng_seed = seed
 
     @property
     def rng(self) -> np.random.Generator:
         if self._rng is None:
-            self._rng = np.random.default_rng()
+            self._rng = np.random.default_rng(self._rng_seed)
+            self._rng_seed = None
         return self._rng
 
     def reseed(self, seed: SeedLike) -> None:
         """Replace the generator (used by tests to pin randomness)."""
-        self._rng = new_rng(seed)
+        if isinstance(seed, np.random.Generator):
+            self._rng = seed
+            self._rng_seed = None
+        else:
+            self._rng = None
+            self._rng_seed = seed

@@ -140,6 +140,35 @@ class TestDeterminismRule:
         )
         assert new == []
 
+    def test_sc_kernel_package_is_in_scope(self, tmp_path):
+        # The vendored sampling kernels (repro.sc.binomial) sit squarely
+        # in the bit-identity contract: a sneaky unseeded draw there
+        # must be a finding, not a blind spot.
+        new = findings_of(
+            tmp_path,
+            {
+                "src/repro/sc/kernel.py": """
+                import numpy as np
+
+                def draw():
+                    return np.random.default_rng().random(4)
+                """
+            },
+            ["determinism"],
+        )
+        assert len(new) == 1
+        assert "argless np.random.default_rng" in new[0].message
+
+    def test_real_kernel_module_is_scanned(self):
+        # Guard against a future SCOPE edit silently dropping the
+        # kernel package from the determinism sweep.
+        from repro.analysis.core import Project
+        from repro.analysis.rules.determinism import SCOPE
+
+        project = Project.load(REPO_ROOT, ["src"])
+        modules = {f.module for f in project.repro_files(*SCOPE)}
+        assert "repro.sc.binomial" in modules
+
 
 class TestLayeringRule:
     def test_upward_import_is_error(self, tmp_path):

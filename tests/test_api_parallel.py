@@ -155,6 +155,68 @@ class TestShardPlan:
         assert all(s.seed is None for s in plan.shards)
 
 
+class TestExpressLanes:
+    """``warm()`` on a fork-context pool parks every worker on a
+    dedicated pipe lane; waves then bypass the executor's dispatch
+    machinery. The lanes must change *only* the transport, never the
+    bits, and a severed lane must take the normal rebuild-and-retry
+    recovery path."""
+
+    def _warmed(self, network, **kwargs):
+        from repro.runtime import ShardParallelScheduler
+
+        scheduler = ShardParallelScheduler(**kwargs)
+        scheduler.warm(network)
+        if scheduler._lanes is None:  # spawn-context host/thread state
+            scheduler.close()
+            pytest.skip("fork start method unavailable; no lanes to test")
+        return scheduler
+
+    def test_lane_wave_bit_identical_to_executor_wave(
+        self, small_engine, request_data
+    ):
+        images, _ = request_data
+        network = small_engine.network
+        plan_seed = 13
+        with self._warmed(network, workers=2) as warmed:
+            plan = plan_shards(len(images), 8, rng=new_rng(plan_seed))
+            lane_logits, _ = warmed.run_plan(network, images, plan)
+        from repro.runtime import ShardParallelScheduler
+
+        with ShardParallelScheduler(workers=2) as cold:  # executor path
+            plan = plan_shards(len(images), 8, rng=new_rng(plan_seed))
+            pool_logits, _ = cold.run_plan(network, images, plan)
+        np.testing.assert_array_equal(lane_logits, pool_logits)
+
+    def test_severed_lane_rebuilds_and_recovers(self, small_engine, request_data):
+        import os as _os
+        import signal
+
+        images, _ = request_data
+        network = small_engine.network
+        with self._warmed(network, workers=1) as scheduler:
+            plan = plan_shards(len(images), 8, rng=new_rng(5))
+            baseline, _ = scheduler.run_plan(network, images, plan)
+            generation = scheduler.pool_generation
+            for proc in scheduler._pool._processes.values():
+                _os.kill(proc.pid, signal.SIGKILL)
+            plan = plan_shards(len(images), 8, rng=new_rng(5))
+            recovered, _ = scheduler.run_plan(network, images, plan)
+            log = scheduler.last_recovery
+            assert log is not None and log.recovered
+            assert any(
+                entry["action"] == "rebuild-pool" for entry in log.retries
+            )
+            assert scheduler.pool_generation > generation
+            np.testing.assert_array_equal(recovered, baseline)
+            # Re-warming the rebuilt pool re-parks the lanes.
+            scheduler.warm(network)
+            assert scheduler._lanes is not None
+            plan = plan_shards(len(images), 8, rng=new_rng(5))
+            relaned, _ = scheduler.run_plan(network, images, plan)
+            np.testing.assert_array_equal(relaned, baseline)
+
+
 class TestServing:
     def test_results_in_submission_order_with_accuracy(
         self, small_engine, request_data

@@ -17,6 +17,7 @@ from repro.api import (
 from repro.hardware.accelerator import TiledLinearLayer
 from repro.hardware.config import HardwareConfig
 from repro.mapping.compiler import CompiledNetwork, HeadStage, LinearStage, SignStage
+from repro.runtime import ShardParallelScheduler
 from repro.utils.rng import new_rng
 
 
@@ -317,6 +318,36 @@ class TestBackpressureGauges:
         daemon.close()
         with pytest.raises(RuntimeError):
             daemon.try_submit(images[:8])
+
+
+class TestWarmPoolReuse:
+    """The prewarmed worker pool persists across waves: a stable pool
+    generation is the observable proof that no wave paid a pool rebuild
+    (or a re-warmup) after startup."""
+
+    def test_prewarm_builds_pool_once_and_waves_reuse_it(
+        self, small_engine, request_data
+    ):
+        images, _ = request_data
+        requests = [images[:16], images[16:32], images[32:48]]
+        reference = Session(small_engine, seed=11).run_many(requests)
+        with ShardParallelScheduler(workers=1) as scheduler:
+            assert scheduler.pool_generation == 0
+            with ServingDaemon(
+                small_engine,
+                seed=11,
+                scheduler=scheduler,
+                prewarm=True,
+                coalesce_window_s=0.0,
+            ) as daemon:
+                generation = scheduler.pool_generation
+                assert generation == 1, "prewarm must build the pool up front"
+                results = [daemon.submit(r).result() for r in requests]
+                assert daemon.stats.waves >= 1
+            # Every wave ran on the same pool the prewarm built.
+            assert scheduler.pool_generation == generation
+        for got, want in zip(results, reference):
+            np.testing.assert_array_equal(got.logits, want.logits)
 
 
 class TestSessionLifecycle:
