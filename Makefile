@@ -16,8 +16,12 @@
 # so minimal CI containers still get the ceiling; the tier includes the
 # network serving tests, which drive real sockets through the asyncio
 # front-end); `make bench-serving` sweeps the network tier's offered
-# load with SERVE_CLIENTS concurrent connections and writes the
-# latency/saturation rows to BENCH_serving.json; `make check-chaos`
+# load with SERVE_CLIENTS concurrent connections — against the single
+# daemon and a 2-replica DaemonRouter (SERVE_REPLICAS) — and writes the
+# latency/saturation rows to BENCH_serving.json; `make docs-sync`
+# asserts docs/PROTOCOL.md + docs/ARCHITECTURE.md against the source
+# constants and docs/ENVIRONMENT.md against ENV_CATALOG (the CI
+# docs-sync job); `make check-chaos`
 # runs the fault-injection tier the same way — deterministic worker
 # kills, transport outages, blown deadlines, and poisoned payloads
 # against real process pools (tests/test_runtime_faults.py +
@@ -56,7 +60,7 @@ PYTEST_FLAGS := $(if $(FAST),$(FAST_DESELECTS),) $(PYTEST_EXTRA)
 RUNTIME_TIMEOUT ?= 600
 RUNTIME_TESTS := tests/test_api_parallel.py tests/test_runtime_plan.py \
 	tests/test_runtime_daemon.py tests/test_runtime_adaptive.py \
-	tests/test_net_serving.py
+	tests/test_net_serving.py tests/test_net_router.py
 
 # The chaos tier: deterministic fault injection against real pools.
 # Bounded the same way as the runtime tier — a recovery path that
@@ -65,7 +69,7 @@ CHAOS_TIMEOUT ?= 600
 CHAOS_TESTS := tests/test_runtime_faults.py tests/test_runtime_chaos.py
 TIMEOUT_BIN := $(shell command -v timeout 2>/dev/null)
 
-.PHONY: test bench bench-serving bench-smoke lint lint-static check check-runtime check-chaos coverage
+.PHONY: test bench bench-serving bench-smoke lint lint-static check check-runtime check-chaos coverage docs-sync
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q $(PYTEST_FLAGS)
@@ -117,16 +121,27 @@ bench-smoke:
 
 # Network serving latency/throughput sweep: N concurrent clients drive
 # the asyncio front-end over the framed wire protocol (in-process
-# server), verify every response bit-identical to serial Sessions, and
-# write the p50/p95/p99 + saturation rows to BENCH_serving.json.
+# server) against each topology in SERVE_REPLICAS (single daemon, then
+# a routed replica cluster), verify every response — including
+# reassembled streamed responses — bit-identical to serial Sessions,
+# and write the p50/p95/p99 + saturation rows to BENCH_serving.json.
 SERVE_CLIENTS ?= 8
+SERVE_REPLICAS ?= 1 2
 bench-serving:
 	REPRO_MAX_POOL_WORKERS=2 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli \
 		serve-bench --clients $(SERVE_CLIENTS) --connect \
+		--replicas $(SERVE_REPLICAS) \
 		--requests 16 --batch 32 --epochs 2 --json BENCH_serving.json
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
+
+# Docs drift gate: the PROTOCOL.md / ARCHITECTURE.md tables are parsed
+# and asserted against the source constants they document, and the
+# generated docs/ENVIRONMENT.md must match ENV_CATALOG exactly.
+docs-sync:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_docs_sync.py -q $(PYTEST_EXTRA)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli lint-static --check-env-docs
 
 # The static contract checker. Exits non-zero on any finding not
 # grandfathered in lint-static.baseline.json; LINT_JSON=path also dumps

@@ -5,22 +5,29 @@ sync + async clients, back-pressure, and bit-identity over TCP.
 The network tier (:mod:`repro.net`) puts a real socket boundary in
 front of the :class:`~repro.runtime.daemon.ServingDaemon`::
 
-    clients ──frames──▶ asyncio server ──try_submit──▶ daemon queue
-       ▲                                                 │ waves
-       └───────────── response frames ◀── futures ───────┘
+    clients ──frames──▶ asyncio server ──try_submit──▶ router ──▶ replicas
+       ▲                                                │ waves
+       └── response / PARTIAL / PROGRESS frames ◀───────┘
 
 Every request carries an explicit seed, so a response that crossed the
-wire, was coalesced into a wave with strangers, and came back on a
-multiplexed connection is still **bit-identical** to
-``Session(engine, seed).run(images)`` in-process. This example:
+wire, was coalesced into a wave with strangers, was routed to any of N
+replica daemons, and came back on a multiplexed connection — whole or
+as streamed row-slices — is still **bit-identical** to
+``Session(engine, seed).run(images)`` in-process (the contract
+``docs/PROTOCOL.md`` and ``docs/ARCHITECTURE.md`` document). This
+example:
 
 1. trains a small randomized MLP (same recipe as ``quickstart.py``),
 2. starts the asyncio server on an ephemeral port (background thread),
 3. runs blocking-client requests and verifies wire == in-process,
 4. multiplexes concurrent requests on one async connection,
-5. shows policed back-pressure: a rate-limited client sees a retryable
+5. consumes a **streamed** response: PROGRESS lifecycle markers, then
+   contiguous PARTIAL slices reassembled bit-identically,
+6. routes over **two replica daemons** with a :class:`DaemonRouter`
+   and shows the topology is invisible on the wire,
+7. shows policed back-pressure: a rate-limited client sees a retryable
    error frame instead of a hung socket,
-6. sweeps offered load with the multi-client generator and prints the
+8. sweeps offered load with the multi-client generator and prints the
    p50/p95/p99 latency rows that ``serve-bench --connect`` records.
 
 Run:  python examples/network_serving.py
@@ -35,9 +42,12 @@ from repro.api import Engine, ServingDaemon, Session
 from repro.data import DataLoader, make_mnist_like
 from repro.net import (
     AsyncNetworkClient,
+    DaemonRouter,
     NetworkClient,
     RemoteError,
     ServerThread,
+    StreamPartial,
+    StreamProgress,
     run_load_point,
 )
 
@@ -59,7 +69,9 @@ def main() -> None:
 
     # 2. Daemon + asyncio server on an ephemeral port ------------------
     daemon = ServingDaemon(engine, seed=0, coalesce_window_s=0.01)
-    with ServerThread(daemon) as (host, port):
+    # stream_chunk_rows: slice streamed responses into 8-row PARTIALs
+    # (default REPRO_STREAM_CHUNK_ROWS=32 would fit this batch in one).
+    with ServerThread(daemon, stream_chunk_rows=8) as (host, port):
         print(f"server: {host}:{port}")
 
         # 3. Blocking client: wire response == in-process session ------
@@ -92,7 +104,24 @@ def main() -> None:
         )
         print(f"6 multiplexed requests, all bit-identical: {identical}")
 
-        # 6. Load sweep: what serve-bench --connect measures -----------
+        # 5. Streamed consumption: PROGRESS markers + PARTIAL slices ---
+        def on_event(event):
+            if isinstance(event, StreamProgress):
+                print(f"  progress: {event.stage} {event.detail}")
+            elif isinstance(event, StreamPartial):
+                print(
+                    f"  partial:  seq={event.seq} offset={event.offset} "
+                    f"rows={event.logits.shape[0]}"
+                )
+
+        with NetworkClient(host, port) as client:
+            streamed = client.infer_streamed(batch, seed=42, on_event=on_event)
+        print(
+            f"reassembled stream == in-process: "
+            f"{np.array_equal(streamed.logits, local.logits)}"
+        )
+
+        # 8. Load sweep: what serve-bench --connect measures -----------
         point, _ = run_load_point(
             host, port, clients=4, n_requests=16, pool=[batch], seed_base=500
         )
@@ -105,7 +134,34 @@ def main() -> None:
         )
     daemon.close(drain=True)
 
-    # 5. Policed back-pressure: retryable error frames -----------------
+    # 6. Router: two replica daemons behind the same server ------------
+    # Each replica compiles from the same trained model (fixed compile
+    # seed), so any replica answers any seed bit-identically; the
+    # router routes sticky by seed, spills past full queues, and fails
+    # over evicted replicas transparently.
+    router = DaemonRouter.build(
+        [engine, Engine.from_model(model, micro_batch=32)],
+        seed=0,
+        coalesce_window_s=0.01,
+    )
+    with ServerThread(router) as (host, port):
+        with NetworkClient(host, port) as client:
+            routed = [client.infer(batch, seed=s) for s in (7, 8, 42)]
+        identical = all(
+            np.array_equal(
+                r.logits, Session(engine, seed=s).run(batch).logits
+            )
+            for r, s in zip(routed, (7, 8, 42))
+        )
+        stats = router.stats
+        print(
+            f"routed over {stats.replicas} replicas "
+            f"({ {n: s['dispatched'] for n, s in stats.per_replica.items()} }), "
+            f"all bit-identical: {identical}"
+        )
+    router.close(drain=True)
+
+    # 7. Policed back-pressure: retryable error frames -----------------
     daemon = ServingDaemon(engine, seed=0, coalesce_window_s=0.01)
     with ServerThread(daemon, rate_limit_rps=0.01, rate_burst=1) as (host, port):
         with NetworkClient(host, port) as client:

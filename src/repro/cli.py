@@ -161,7 +161,14 @@ def _bench_hardware(args):
 
 
 def _bench_engine(args):
-    """Train the shared reference model and wrap it in an Engine."""
+    """Train the shared reference model and wrap it in an Engine.
+
+    Also returns the trained model itself so multi-replica topologies
+    can compile *additional* engines from it: ``Engine.from_model``
+    compiles with a fixed seed, so every engine built from the same
+    model carries identical weights and compile-time state — any
+    replica's seeded response is bit-identical to any other's.
+    """
     from repro.api import Engine
     from repro.experiments.common import trained_mlp
 
@@ -171,7 +178,7 @@ def _bench_engine(args):
     )
     engine = Engine.from_model(model)
     print(f"software accuracy: {software_accuracy:.3f}; engine: {engine}")
-    return engine, test, software_accuracy
+    return engine, test, software_accuracy, model
 
 
 def _request_pool(args, test):
@@ -225,7 +232,7 @@ def _cmd_serve_bench(args) -> int:
     from repro.api import Serving, ServingDaemon
     from repro.api.parallel import StochasticParallelBackend
 
-    engine, test, software_accuracy = _bench_engine(args)
+    engine, test, software_accuracy, _ = _bench_engine(args)
     requests, labels = _request_pool(args, test)
 
     window_s = args.window_ms / 1e3
@@ -308,36 +315,37 @@ def _cmd_serve_bench(args) -> int:
 def _serve_bench_network(args) -> int:
     """``serve-bench --clients N --connect``: drive the asyncio network
     front-end over the framed wire protocol, sweep offered load, and
-    verify every response bit-identical to serial ``Session`` runs."""
+    verify every response — streamed ones reassembled from PARTIAL
+    slices — bit-identical to serial ``Session`` runs.
+
+    ``--replicas`` takes one or more counts (``--replicas 1 2``): each
+    count gets its own in-process server run — a single daemon for 1, a
+    :class:`~repro.net.router.DaemonRouter` over that many replica
+    daemons otherwise — so one report compares topologies on the same
+    machine, same model, same request pool.
+    """
     import numpy as np
 
-    from repro.api import ServingDaemon, Session
-    from repro.net import ServerThread, sweep_load
+    from repro.api import Engine, ServingDaemon, Session
+    from repro.net import DaemonRouter, ServerThread, sweep_load
+    from repro.runtime.env import env_int
 
-    engine, test, software_accuracy = _bench_engine(args)
+    engine, test, software_accuracy, model = _bench_engine(args)
     pool, labels_pool = _request_pool(args, test)
 
     in_process = args.connect == "auto"
     verify = in_process and not args.no_verify
-    daemon = server_thread = None
-    server_stats = daemon_stats = {}
     seed_base = 10_000 + args.seed
-    if in_process:
-        daemon = ServingDaemon(
-            engine,
-            backend="stochastic",
-            seed=args.seed,
-            coalesce_window_s=args.window_ms / 1e3,
-            max_queue=args.max_queue,
-        )
-        server_thread = ServerThread(
-            daemon,
-            max_inflight_per_client=args.quota,
-            rate_limit_rps=args.rate_limit,
-        )
-        host, port = server_thread.start()
-        print(f"in-process network server on {host}:{port}")
-    else:
+    stream_every = max(0, args.stream_every)
+    points_per_run = 1 + len(args.load_fractions)
+    daemon_kwargs = dict(
+        backend="stochastic",
+        coalesce_window_s=args.window_ms / 1e3,
+        max_queue=args.max_queue,
+    )
+
+    runs = []  # one entry per topology: replica count, points, stats
+    if not in_process:
         host, sep, port_text = args.connect.rpartition(":")
         if not sep or not port_text.isdigit():
             print(
@@ -351,8 +359,6 @@ def _serve_bench_network(args) -> int:
             f"external server {host}:{port}: bit-identity verification "
             f"is skipped (the remote model is not inspectable)"
         )
-
-    try:
         points = sweep_load(
             host,
             port,
@@ -363,68 +369,170 @@ def _serve_bench_network(args) -> int:
             seed_base=seed_base,
             load_fractions=tuple(args.load_fractions),
             keep_logits=verify,
+            stream_every=stream_every,
         )
-    finally:
-        if server_thread is not None:
-            server_stats = server_thread.server.stats.as_dict()
-            server_thread.close()
-        if daemon is not None:
-            daemon.close(drain=True)
-            daemon_stats = daemon.stats.as_dict()
+        runs.append(
+            {
+                "replicas": 0,  # unknown: remote topology
+                "points": points,
+                "server_stats": {},
+                "daemon_stats": {},
+                "router_stats": None,
+            }
+        )
+    else:
+        replica_counts = list(
+            args.replicas or [env_int("REPRO_ROUTER_REPLICAS", 1, minimum=1)]
+        )
+        for n_replicas in replica_counts:
+            if n_replicas < 1:
+                print(f"--replicas must be >= 1, got {n_replicas}", file=sys.stderr)
+                return 2
+            router = None
+            if n_replicas == 1:
+                target = ServingDaemon(
+                    engine, name="replica-0", seed=args.seed, **daemon_kwargs
+                )
+            else:
+                # Replica 0 reuses the reference engine; the rest are
+                # compiled fresh from the same trained model (identical
+                # weights + compile seed => identical seeded responses).
+                engines = [engine] + [
+                    Engine.from_model(model) for _ in range(n_replicas - 1)
+                ]
+                router = DaemonRouter.build(engines, seed=args.seed, **daemon_kwargs)
+                target = router
+            server_thread = ServerThread(
+                target,
+                max_inflight_per_client=args.quota,
+                rate_limit_rps=args.rate_limit,
+            )
+            server_stats = daemon_stats = {}
+            router_stats = None
+            try:
+                host, port = server_thread.start()
+                print(
+                    f"\nin-process network server on {host}:{port} "
+                    f"({n_replicas} replica{'s' if n_replicas != 1 else ''})"
+                )
+                points = sweep_load(
+                    host,
+                    port,
+                    clients=args.clients,
+                    requests_per_point=args.requests,
+                    pool=pool,
+                    labels_pool=labels_pool,
+                    seed_base=seed_base,
+                    load_fractions=tuple(args.load_fractions),
+                    keep_logits=verify,
+                    stream_every=stream_every,
+                )
+            finally:
+                if server_thread.server is not None:
+                    server_stats = server_thread.server.stats.as_dict()
+                server_thread.close()
+                target.close(drain=True)
+                if router is not None:
+                    daemon_stats = router.aggregate_daemon_stats().as_dict()
+                    router_stats = router.stats.as_dict()
+                else:
+                    daemon_stats = target.stats.as_dict()
+            seed_base += points_per_run * args.requests
+            runs.append(
+                {
+                    "replicas": n_replicas,
+                    "points": points,
+                    "server_stats": server_stats,
+                    "daemon_stats": daemon_stats,
+                    "router_stats": router_stats,
+                }
+            )
 
-    print(
-        f"\n{'point':<14} {'offered(r/s)':>12} {'done':>5} {'shed':>5} "
-        f"{'fail':>5} {'ach(r/s)':>9} {'img/s':>9} {'p50(ms)':>8} "
-        f"{'p95(ms)':>8} {'p99(ms)':>8}"
-    )
-    for point, _ in points:
-        row = point.as_row()
-        offered = "closed" if not row["offered_rps"] else f"{row['offered_rps']:.1f}"
-        print(
-            f"{row['label']:<14} {offered:>12} {row['completed']:>5} "
-            f"{row['rejected']:>5} {row['failed']:>5} "
-            f"{row['achieved_rps']:>9.2f} {row['images_per_s']:>9.1f} "
-            f"{row['latency_p50_ms']:>8.1f} {row['latency_p95_ms']:>8.1f} "
-            f"{row['latency_p99_ms']:>8.1f}"
+    for run in runs:
+        tag = (
+            "remote"
+            if run["replicas"] == 0
+            else f"{run['replicas']} replica{'s' if run['replicas'] != 1 else ''}"
         )
-    saturation = points[0][0]
-    print(
-        f"\nsaturation: {saturation.achieved_rps:.2f} req/s "
-        f"({saturation.images_per_s:.1f} img/s) with {args.clients} clients"
-    )
+        print(
+            f"\n[{tag}] {'point':<14} {'offered(r/s)':>12} {'done':>5} "
+            f"{'shed':>5} {'fail':>5} {'ach(r/s)':>9} {'img/s':>9} "
+            f"{'p50(ms)':>8} {'p95(ms)':>8} {'p99(ms)':>8}"
+        )
+        for point, _ in run["points"]:
+            row = point.as_row()
+            offered = (
+                "closed" if not row["offered_rps"] else f"{row['offered_rps']:.1f}"
+            )
+            print(
+                f"{'':>{len(tag) + 3}}{row['label']:<14} {offered:>12} "
+                f"{row['completed']:>5} {row['rejected']:>5} {row['failed']:>5} "
+                f"{row['achieved_rps']:>9.2f} {row['images_per_s']:>9.1f} "
+                f"{row['latency_p50_ms']:>8.1f} {row['latency_p95_ms']:>8.1f} "
+                f"{row['latency_p99_ms']:>8.1f}"
+            )
+        saturation = run["points"][0][0]
+        print(
+            f"  saturation[{tag}]: {saturation.achieved_rps:.2f} req/s "
+            f"({saturation.images_per_s:.1f} img/s) with {args.clients} clients"
+        )
+    if len(runs) > 1:
+        base = runs[0]["points"][0][0].achieved_rps
+        for run in runs[1:]:
+            rate = run["points"][0][0].achieved_rps
+            if base > 0:
+                print(
+                    f"scaling: {run['replicas']} replicas at {rate:.2f} req/s "
+                    f"= {rate / base:.2f}x the {runs[0]['replicas']}-replica "
+                    f"saturation ({base:.2f} req/s)"
+                )
 
     verification = None
     exit_code = 0
     if verify:
-        checked = matched = 0
-        for _, records in points:
-            for record in records:
-                if not record.ok or record.logits is None:
-                    continue
-                want = Session(engine, seed=record.seed).run(
-                    pool[record.pool_index]
-                )
-                checked += 1
-                if np.array_equal(record.logits, want.logits):
-                    matched += 1
+        checked = matched = streamed_checked = 0
+        for run in runs:
+            for _, records in run["points"]:
+                for record in records:
+                    if not record.ok or record.logits is None:
+                        continue
+                    want = Session(engine, seed=record.seed).run(
+                        pool[record.pool_index]
+                    )
+                    checked += 1
+                    if record.streamed:
+                        streamed_checked += 1
+                    if np.array_equal(record.logits, want.logits):
+                        matched += 1
         verification = {
             "checked": checked,
             "matched": matched,
+            "streamed_checked": streamed_checked,
             "bit_identical": bool(checked) and matched == checked,
         }
         print(
-            f"bit-identity: {matched}/{checked} wire responses match "
-            f"serial in-process Session runs with the same seeds"
+            f"bit-identity: {matched}/{checked} wire responses "
+            f"({streamed_checked} reassembled from streams) match serial "
+            f"in-process Session runs with the same seeds"
         )
         if matched != checked:
             print("BIT-IDENTITY VIOLATION", file=sys.stderr)
             exit_code = 1
 
+    rows = []
+    for run in runs:
+        for point, _ in run["points"]:
+            row = point.as_row()
+            row["replicas"] = run["replicas"]
+            rows.append(row)
+    last = runs[-1]
     out_path = args.json or "BENCH_serving.json"
     payload = {
         "config": {
             "clients": args.clients,
             "connect": args.connect,
+            "replicas": [run["replicas"] for run in runs],
+            "stream_every": stream_every,
             "requests_per_point": args.requests,
             "batch": args.batch,
             "epochs": args.epochs,
@@ -436,10 +544,19 @@ def _serve_bench_network(args) -> int:
             "seed_base": seed_base,
             "software_accuracy": software_accuracy,
         },
-        "rows": [point.as_row() for point, _ in points],
+        "rows": rows,
         "verification": verification,
-        "server_stats": _to_jsonable(server_stats),
-        "daemon_stats": _to_jsonable(daemon_stats),
+        "server_stats": _to_jsonable(last["server_stats"]),
+        "daemon_stats": _to_jsonable(last["daemon_stats"]),
+        "runs": [
+            {
+                "replicas": run["replicas"],
+                "server_stats": _to_jsonable(run["server_stats"]),
+                "daemon_stats": _to_jsonable(run["daemon_stats"]),
+                "router_stats": _to_jsonable(run["router_stats"]),
+            }
+            for run in runs
+        ],
     }
     with open(out_path, "w") as fh:
         fh.write(json.dumps(payload, indent=2) + "\n")
@@ -448,26 +565,47 @@ def _serve_bench_network(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    """Run the asyncio network serving front-end in the foreground."""
+    """Run the asyncio network serving front-end in the foreground.
+
+    ``--replicas N`` (default from ``REPRO_ROUTER_REPLICAS``, 1) serves
+    through a :class:`~repro.net.router.DaemonRouter` over N replica
+    daemons instead of a single daemon."""
     import asyncio
 
-    from repro.api import ServingDaemon
+    from repro.api import Engine, ServingDaemon
     from repro.api.parallel import StochasticParallelBackend
-    from repro.net import NetworkServer
+    from repro.net import DaemonRouter, NetworkServer
+    from repro.runtime.env import env_int
 
-    engine, _, _ = _bench_engine(args)
+    engine, _, _, model = _bench_engine(args)
     backend = (
         "stochastic"
         if args.serve_workers <= 1
         else StochasticParallelBackend(workers=args.serve_workers)
     )
-    daemon = ServingDaemon(
-        engine,
+    n_replicas = (
+        args.replicas
+        if args.replicas is not None
+        else env_int("REPRO_ROUTER_REPLICAS", 1, minimum=1)
+    )
+    if n_replicas < 1:
+        print(f"--replicas must be >= 1, got {n_replicas}", file=sys.stderr)
+        return 2
+    daemon_kwargs = dict(
         backend=backend,
-        seed=args.seed,
         coalesce_window_s=args.window_ms / 1e3,
         max_queue=args.max_queue,
     )
+    if n_replicas == 1:
+        daemon = ServingDaemon(
+            engine, name="replica-0", seed=args.seed, **daemon_kwargs
+        )
+    else:
+        engines = [engine] + [
+            Engine.from_model(model) for _ in range(n_replicas - 1)
+        ]
+        daemon = DaemonRouter.build(engines, seed=args.seed, **daemon_kwargs)
+        print(f"routing over {n_replicas} replica daemons")
 
     async def _amain() -> None:
         server = NetworkServer(
@@ -695,6 +833,23 @@ def _cmd_lint_static(args) -> int:
             print(f"{name:20s} {get_rule(name).summary}")
         return 0
 
+    if args.check_env_docs:
+        from repro.runtime.env import catalog_markdown
+
+        target = root / "docs" / "ENVIRONMENT.md"
+        want = catalog_markdown()
+        have = target.read_text(encoding="utf-8") if target.exists() else ""
+        if have != want:
+            print(
+                f"lint-static: {target} has drifted from "
+                f"repro.runtime.env.ENV_CATALOG — regenerate it with "
+                f"`python -m repro.cli lint-static --write-env-docs`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"lint-static: {target} matches ENV_CATALOG")
+        return 0
+
     if args.write_env_docs:
         from repro.runtime.env import catalog_markdown
 
@@ -906,6 +1061,25 @@ def build_parser() -> argparse.ArgumentParser:
         dest="no_verify",
         help="skip the per-response bit-identity check (network mode)",
     )
+    p.add_argument(
+        "--replicas",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="replica counts to benchmark in network mode (e.g. "
+        "'--replicas 1 2' compares a single daemon against a 2-replica "
+        "router in one report; default: REPRO_ROUTER_REPLICAS or 1)",
+    )
+    p.add_argument(
+        "--stream-every",
+        type=int,
+        default=4,
+        dest="stream_every",
+        metavar="K",
+        help="request every K-th network request as a streamed (PARTIAL) "
+        "response, reassembled client-side and bit-verified (0 = never)",
+    )
     _add_server_policy_args(p)
     p.set_defaults(func=_cmd_serve_bench)
 
@@ -922,6 +1096,14 @@ def build_parser() -> argparse.ArgumentParser:
         dest="serve_workers",
         metavar="N",
         help="execute waves on an N-process pool (1 = in-process)",
+    )
+    p.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve through a router over N replica daemons "
+        "(default: REPRO_ROUTER_REPLICAS or 1)",
     )
     p.add_argument("--epochs", type=int, default=8, help="reference-model training epochs")
     p.add_argument("--crossbar-size", type=int, default=16, dest="crossbar_size")
@@ -982,6 +1164,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="write_env_docs",
         help="regenerate docs/ENVIRONMENT.md from the REPRO_* catalog",
+    )
+    p.add_argument(
+        "--check-env-docs",
+        action="store_true",
+        dest="check_env_docs",
+        help="exit 1 if docs/ENVIRONMENT.md has drifted from the "
+        "REPRO_* catalog (the docs-sync CI mode; runs no other rules)",
     )
     p.add_argument(
         "--list-rules",

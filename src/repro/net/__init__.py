@@ -3,26 +3,40 @@
 The ingestion edge in front of the runtime's
 :class:`~repro.runtime.daemon.ServingDaemon`::
 
-    clients ──frames──▶ asyncio server ──try_submit──▶ daemon queue
-       ▲                                                 │ waves
-       └───────────── response frames ◀── futures ───────┘
+    clients ──frames──▶ asyncio server ──try_submit──▶ router ──▶ replica daemons
+       ▲                                                │ waves
+       └── response / PARTIAL / PROGRESS frames ◀───────┘
 
 * :mod:`repro.net.protocol` — the length-prefixed framed wire protocol
   (versioned header, request ids, ndarray payloads, typed error
-  frames) with strict decode validation.
+  frames, opt-in streaming kinds) with strict decode validation.
+  Documented in ``docs/PROTOCOL.md``.
 * :mod:`repro.net.server` — :class:`NetworkServer`, the asyncio TCP
-  front-end with per-connection token-bucket rate limiting and
-  in-flight quotas; :class:`ServerThread` runs it from sync code.
+  front-end with per-connection token-bucket rate limiting, in-flight
+  quotas, and streamed (PROGRESS/PARTIAL) delivery;
+  :class:`ServerThread` runs it from sync code.
+* :mod:`repro.net.router` — :class:`DaemonRouter`, seed-sticky routing
+  over N daemon replicas with spillover, classified failover, health
+  eviction, and probe-driven re-admission. Duck-types the daemon
+  surface, so the server sits over either.
 * :mod:`repro.net.client` — :class:`NetworkClient` (blocking) and
   :class:`AsyncNetworkClient` (multiplexed asyncio) plus
-  :class:`RemoteResult` / :class:`RemoteError`.
+  :class:`RemoteResult` / :class:`RemoteError` and the
+  ``infer_stream`` consumers.
 * :mod:`repro.net.loadgen` — the multi-client load generator behind
   ``repro serve-bench --clients N --connect``: closed-loop saturation
   probe + paced sweep, p50/p95/p99 latency, ``BENCH_serving.json``
   rows, deterministic per-request seeds for bit-identity verification.
 """
 
-from repro.net.client import AsyncNetworkClient, NetworkClient, RemoteError, RemoteResult
+from repro.net.client import (
+    AsyncNetworkClient,
+    NetworkClient,
+    RemoteError,
+    RemoteResult,
+    StreamPartial,
+    StreamProgress,
+)
 from repro.net.loadgen import (
     LoadPoint,
     RequestRecord,
@@ -33,8 +47,10 @@ from repro.net.loadgen import (
 from repro.net.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     ERROR,
+    PARTIAL,
     PING,
     PONG,
+    PROGRESS,
     REQUEST,
     RESPONSE,
     RETRYABLE_CODES,
@@ -43,17 +59,22 @@ from repro.net.protocol import (
     ErrorFrame,
     FrameDecoder,
     FrameTooLarge,
+    PartialFrame,
+    ProgressFrame,
     ProtocolError,
     RequestFrame,
     ResponseFrame,
     decode_payload,
     encode_error,
+    encode_partial,
     encode_ping,
     encode_pong,
+    encode_progress,
     encode_request,
     encode_response,
     parse_header,
 )
+from repro.net.router import DaemonRouter, ReplicaHandle, RouterStats
 from repro.net.server import NetworkServer, ServerStats, ServerThread, TokenBucket
 
 __all__ = [
@@ -63,12 +84,16 @@ __all__ = [
     "ERROR",
     "PING",
     "PONG",
+    "PROGRESS",
+    "PARTIAL",
     "DEFAULT_MAX_FRAME_BYTES",
     "RETRYABLE_CODES",
     "RequestFrame",
     "ResponseFrame",
     "ErrorFrame",
     "ControlFrame",
+    "ProgressFrame",
+    "PartialFrame",
     "FrameDecoder",
     "ProtocolError",
     "FrameTooLarge",
@@ -77,16 +102,23 @@ __all__ = [
     "encode_error",
     "encode_ping",
     "encode_pong",
+    "encode_progress",
+    "encode_partial",
     "decode_payload",
     "parse_header",
     "NetworkServer",
     "ServerThread",
     "ServerStats",
     "TokenBucket",
+    "DaemonRouter",
+    "ReplicaHandle",
+    "RouterStats",
     "NetworkClient",
     "AsyncNetworkClient",
     "RemoteResult",
     "RemoteError",
+    "StreamProgress",
+    "StreamPartial",
     "LoadPoint",
     "RequestRecord",
     "run_load_point",

@@ -9,6 +9,15 @@ its own request id and awaits its own response while a single reader
 task dispatches frames as they arrive (responses may come back out of
 order; the id match makes that safe).
 
+Both clients can consume **streamed** responses: ``infer_stream``
+(a generator on the sync client, an async generator on the asyncio
+client) opts the request in with ``stream=True`` and yields
+:class:`StreamProgress` lifecycle events and :class:`StreamPartial`
+row-slices as they arrive, finishing with the fully reassembled
+:class:`RemoteResult` — validated for contiguity (each slice's
+``offset``/``seq`` must continue the previous one) and byte-identical
+to what a plain ``infer`` would have returned.
+
 Server-side failures surface as :class:`RemoteError` carrying the wire
 error code and its retryable flag — ``queue-full`` / ``rate-limited`` /
 ``quota-exceeded`` mean *back off and resend*, ``bad-request`` means
@@ -62,6 +71,112 @@ class RemoteResult:
         return None if value is None else float(value)
 
 
+@dataclass
+class StreamProgress:
+    """A streamed lifecycle marker: the request hit ``stage``
+    (``queued`` / ``planned`` / ``executing``) server-side."""
+
+    request_id: int
+    stage: str
+    detail: Dict = field(default_factory=dict)
+
+
+@dataclass
+class StreamPartial:
+    """One contiguous row-slice of a streamed response (rows
+    ``offset .. offset + len(logits)`` of the full logits)."""
+
+    request_id: int
+    logits: np.ndarray
+    offset: int
+    seq: int
+    last: bool = False
+
+
+class _StreamAssembler:
+    """Shared sync/async stream consumer: turns the wire frames of one
+    streamed request into events, validating slice contiguity, and
+    reassembles the final :class:`RemoteResult`.
+
+    :meth:`feed` returns a :class:`StreamProgress`, a
+    :class:`StreamPartial`, the final :class:`RemoteResult` (assembly
+    complete), or ``None`` (frame consumed, nothing to surface);
+    it raises :class:`RemoteError` for error frames and
+    :class:`~repro.net.protocol.ProtocolError` for stream violations.
+    """
+
+    def __init__(self, request_id: int) -> None:
+        self.request_id = request_id
+        self._parts: list = []
+        self._rows = 0
+        self._seq = 0
+
+    def feed(self, frame: protocol.Frame):
+        if frame.request_id != self.request_id:
+            raise protocol.ProtocolError(
+                f"stream assembler for request {self.request_id} was fed "
+                f"a frame for request {frame.request_id}"
+            )
+        if isinstance(frame, protocol.ErrorFrame):
+            raise RemoteError(
+                frame.code,
+                frame.message,
+                retryable=frame.retryable,
+                request_id=frame.request_id,
+            )
+        if isinstance(frame, protocol.ProgressFrame):
+            return StreamProgress(
+                request_id=frame.request_id,
+                stage=frame.stage,
+                detail=dict(frame.detail),
+            )
+        if isinstance(frame, protocol.ResponseFrame):
+            # A non-streaming server (or proxy) answered plainly; a
+            # whole response is a degenerate one-slice stream.
+            if self._parts:
+                raise protocol.ProtocolError(
+                    "plain RESPONSE arrived mid-stream after "
+                    f"{len(self._parts)} partial slices"
+                )
+            return _frame_to_result(frame)
+        if not isinstance(frame, protocol.PartialFrame):
+            raise protocol.ProtocolError(
+                f"unexpected frame kind {frame.kind} in a response stream"
+            )
+        if frame.seq != self._seq:
+            raise protocol.ProtocolError(
+                f"stream slice out of order: got seq {frame.seq}, "
+                f"expected {self._seq}"
+            )
+        if frame.offset != self._rows:
+            raise protocol.ProtocolError(
+                f"stream slice not contiguous: got offset {frame.offset}, "
+                f"expected {self._rows}"
+            )
+        logits = np.array(frame.logits)  # own the buffer past the frame
+        self._parts.append(logits)
+        self._rows += logits.shape[0] if logits.ndim else 0
+        self._seq += 1
+        if not frame.last:
+            return StreamPartial(
+                request_id=frame.request_id,
+                logits=logits,
+                offset=frame.offset,
+                seq=frame.seq,
+                last=False,
+            )
+        full = (
+            np.concatenate(self._parts, axis=0)
+            if len(self._parts) > 1
+            else self._parts[0]
+        )
+        return RemoteResult(
+            request_id=self.request_id,
+            logits=full,
+            summary=dict(frame.summary),
+        )
+
+
 def _frame_to_result(frame: protocol.Frame) -> RemoteResult:
     if isinstance(frame, protocol.ErrorFrame):
         raise RemoteError(
@@ -112,26 +227,34 @@ class NetworkClient:
         labels: Optional[np.ndarray] = None,
         *,
         seed: Optional[int] = None,
+        stream: bool = False,
     ) -> int:
-        """Ship one request frame; returns its request id."""
+        """Ship one request frame; returns its request id.
+        ``stream=True`` opts in to a streamed response — consume it
+        with :meth:`infer_stream` / :meth:`infer_streamed` rather than
+        :meth:`recv`."""
         if self._closed:
             raise RuntimeError("client is closed")
         request_id = self._next_id
         self._next_id += 1
         self._sock.sendall(
-            protocol.encode_request(request_id, images, labels, seed=seed)
+            protocol.encode_request(request_id, images, labels, seed=seed, stream=stream)
         )
         return request_id
 
-    def recv(self) -> RemoteResult:
-        """Block for the next response frame (any request id); raises
-        :class:`RemoteError` if it is an error frame."""
+    def _read_frame(self) -> protocol.Frame:
+        """The next decoded frame (from the buffer or the socket)."""
         while not self._ready:
             data = self._sock.recv(65536)
             if not data:
                 raise ConnectionError("server closed the connection")
             self._ready.extend(self._decoder.feed(data))
-        return _frame_to_result(self._ready.pop(0))
+        return self._ready.pop(0)
+
+    def recv(self) -> RemoteResult:
+        """Block for the next response frame (any request id); raises
+        :class:`RemoteError` if it is an error frame."""
+        return _frame_to_result(self._read_frame())
 
     def infer(
         self,
@@ -150,6 +273,59 @@ class NetworkClient:
                 f"overlapping requests"
             )
         return result
+
+    def infer_stream(
+        self,
+        images: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        *,
+        seed: Optional[int] = None,
+    ):
+        """One request, streamed response: a generator yielding
+        :class:`StreamProgress` and :class:`StreamPartial` events as
+        they arrive, finishing with the reassembled
+        :class:`RemoteResult` (always its last item).
+
+        Frames belonging to *other* pipelined requests are buffered for
+        their own ``recv`` — but do not run two streams at once on one
+        blocking client (their slices would interleave in one buffer;
+        use :class:`AsyncNetworkClient` for concurrent streams).
+        """
+        request_id = self.send(images, labels, seed=seed, stream=True)
+        assembler = _StreamAssembler(request_id)
+        while True:
+            frame = self._read_frame()
+            if frame.request_id != request_id or isinstance(
+                frame, protocol.ControlFrame
+            ):
+                self._ready.append(frame)
+                continue
+            event = assembler.feed(frame)
+            if event is None:
+                continue
+            yield event
+            if isinstance(event, RemoteResult):
+                return
+
+    def infer_streamed(
+        self,
+        images: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        *,
+        seed: Optional[int] = None,
+        on_event=None,
+    ) -> RemoteResult:
+        """Drain :meth:`infer_stream` to completion and return the
+        reassembled result; ``on_event`` (if given) observes every
+        intermediate :class:`StreamProgress` / :class:`StreamPartial`."""
+        for event in self.infer_stream(images, labels, seed=seed):
+            if isinstance(event, RemoteResult):
+                return event
+            if on_event is not None:
+                on_event(event)
+        raise protocol.ProtocolError(
+            "stream ended without a final result"
+        )  # pragma: no cover - infer_stream always ends with a result
 
     def ping(self) -> float:
         """Round-trip a PING; returns the RTT in seconds."""
@@ -211,6 +387,7 @@ class AsyncNetworkClient:
         self._writer = writer
         self._max_frame_bytes = max_frame_bytes
         self._pending: Dict[int, asyncio.Future] = {}
+        self._streams: Dict[int, asyncio.Queue] = {}
         self._next_id = 1
         self._closed = False
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
@@ -239,6 +416,12 @@ class AsyncNetworkClient:
                     else b""
                 )
                 frame = protocol.decode_payload(kind, request_id, payload)
+                queue = self._streams.get(request_id)
+                if queue is not None:
+                    # Streamed request: every frame goes to its
+                    # consumer; assembly happens generator-side.
+                    queue.put_nowait(frame)
+                    continue
                 future = self._pending.pop(request_id, None)
                 if future is None or future.done():
                     continue  # late response for an abandoned request
@@ -261,6 +444,9 @@ class AsyncNetworkClient:
         for future in pending.values():
             if not future.done():
                 future.set_exception(exc)
+        streams, self._streams = self._streams, {}
+        for queue in streams.values():
+            queue.put_nowait(exc)
 
     async def infer(
         self,
@@ -280,6 +466,66 @@ class AsyncNetworkClient:
         )
         await self._writer.drain()
         return await future
+
+    async def infer_stream(
+        self,
+        images: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        *,
+        seed: Optional[int] = None,
+    ):
+        """One request, streamed response: an async generator yielding
+        :class:`StreamProgress` / :class:`StreamPartial` events and
+        finally the reassembled :class:`RemoteResult`. Streams
+        multiplex like plain ``infer`` calls — any number may run
+        concurrently on one connection (the request id routes each
+        frame to its own consumer queue)."""
+        if self._closed:
+            raise RuntimeError("client is closed")
+        request_id = self._next_id
+        self._next_id += 1
+        queue: asyncio.Queue = asyncio.Queue()
+        self._streams[request_id] = queue
+        assembler = _StreamAssembler(request_id)
+        try:
+            self._writer.write(
+                protocol.encode_request(
+                    request_id, images, labels, seed=seed, stream=True
+                )
+            )
+            await self._writer.drain()
+            while True:
+                frame = await queue.get()
+                if isinstance(frame, BaseException):
+                    raise frame
+                event = assembler.feed(frame)
+                if event is None:
+                    continue
+                yield event
+                if isinstance(event, RemoteResult):
+                    return
+        finally:
+            self._streams.pop(request_id, None)
+
+    async def infer_streamed(
+        self,
+        images: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        *,
+        seed: Optional[int] = None,
+        on_event=None,
+    ) -> RemoteResult:
+        """Drain :meth:`infer_stream` to completion; returns the
+        reassembled result (``on_event`` observes the intermediate
+        events)."""
+        async for event in self.infer_stream(images, labels, seed=seed):
+            if isinstance(event, RemoteResult):
+                return event
+            if on_event is not None:
+                on_event(event)
+        raise protocol.ProtocolError(
+            "stream ended without a final result"
+        )  # pragma: no cover - infer_stream always ends with a result
 
     async def aclose(self) -> None:
         if self._closed:

@@ -36,6 +36,10 @@ import numpy as np
 
 from repro.net.client import NetworkClient, RemoteError
 
+#: Wire error codes the generator counts as shed load (back-pressure),
+#: everything else being a failure.
+_SHED_CODES = ("queue-full", "rate-limited", "quota-exceeded")
+
 
 def percentile(values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile (``q`` in [0, 100]); 0.0 when empty."""
@@ -57,6 +61,7 @@ class RequestRecord:
     ok: bool = False
     code: str = ""  # wire error code when not ok
     logits: Optional[np.ndarray] = None
+    streamed: bool = False  # delivered as reassembled PARTIAL slices
 
 
 @dataclass
@@ -70,6 +75,7 @@ class LoadPoint:
     completed: int = 0
     rejected: int = 0  # retryable wire errors (shed load)
     failed: int = 0  # fatal wire/connection errors
+    streamed: int = 0  # completions delivered as PARTIAL streams
     total_images: int = 0
     wall_time_s: float = 0.0
     latencies_s: List[float] = field(default_factory=list)
@@ -94,6 +100,7 @@ class LoadPoint:
             "completed": int(self.completed),
             "rejected": int(self.rejected),
             "failed": int(self.failed),
+            "streamed": int(self.streamed),
             "total_images": int(self.total_images),
             "wall_time_s": float(self.wall_time_s),
             "achieved_rps": float(self.achieved_rps),
@@ -119,6 +126,7 @@ def run_load_point(
     label: Optional[str] = None,
     keep_logits: bool = True,
     timeout: float = 120.0,
+    stream_every: int = 0,
 ) -> Tuple[LoadPoint, List[RequestRecord]]:
     """Run one load level; returns the aggregate point + per-request
     records (in global index order).
@@ -129,6 +137,12 @@ def run_load_point(
     scheduling. Retryable wire errors (queue-full / rate-limited /
     quota) are counted as shed load, not retried — retrying inside the
     generator would hide the server's back-pressure from the benchmark.
+
+    ``stream_every=k`` (k > 0) requests every k-th request (by global
+    index) as a **streamed** response, consumed with
+    ``infer_streamed`` and reassembled client-side — so the benchmark
+    exercises PARTIAL delivery and the bit-identity verification
+    covers reassembled streams too. 0 disables streaming.
     """
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients}")
@@ -166,14 +180,23 @@ def run_load_point(
                     if delay > 0:
                         time.sleep(delay)
                 sent = time.perf_counter()
+                streamed = stream_every > 0 and record.index % stream_every == 0
+                request_labels = (
+                    None if labels_pool is None else labels_pool[record.pool_index]
+                )
                 try:
-                    result = client.infer(
-                        pool[record.pool_index],
-                        None
-                        if labels_pool is None
-                        else labels_pool[record.pool_index],
-                        seed=record.seed,
-                    )
+                    if streamed:
+                        result = client.infer_streamed(
+                            pool[record.pool_index],
+                            request_labels,
+                            seed=record.seed,
+                        )
+                    else:
+                        result = client.infer(
+                            pool[record.pool_index],
+                            request_labels,
+                            seed=record.seed,
+                        )
                 except RemoteError as exc:
                     record.latency_s = time.perf_counter() - sent
                     record.code = exc.code
@@ -183,6 +206,7 @@ def run_load_point(
                     return
                 record.latency_s = time.perf_counter() - sent
                 record.ok = True
+                record.streamed = streamed
                 if keep_logits:
                     record.logits = result.logits
         finally:
@@ -211,9 +235,11 @@ def run_load_point(
     for record in records:
         if record.ok:
             point.completed += 1
+            if record.streamed:
+                point.streamed += 1
             point.total_images += int(pool[record.pool_index].shape[0])
             point.latencies_s.append(record.latency_s)
-        elif record.code in ("queue-full", "rate-limited", "quota-exceeded"):
+        elif record.code in _SHED_CODES:
             point.rejected += 1
         else:
             point.failed += 1
@@ -231,6 +257,7 @@ def sweep_load(
     seed_base: int = 0,
     load_fractions: Sequence[float] = (0.5, 0.9),
     keep_logits: bool = True,
+    stream_every: int = 0,
 ) -> List[Tuple[LoadPoint, List[RequestRecord]]]:
     """Closed-loop saturation probe, then paced points at fractions of
     the measured saturation rate. Seeds stay globally unique across the
@@ -247,6 +274,7 @@ def sweep_load(
         offered_rps=None,
         label="closed-loop",
         keep_logits=keep_logits,
+        stream_every=stream_every,
     )
     points.append((saturation, records))
     seed_base += requests_per_point
@@ -266,6 +294,7 @@ def sweep_load(
             offered_rps=offered,
             label=f"paced-{fraction:.2f}x",
             keep_logits=keep_logits,
+            stream_every=stream_every,
         )
         points.append((point, records))
         seed_base += requests_per_point

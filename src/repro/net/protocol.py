@@ -13,7 +13,7 @@ Every message on the wire is one **frame**::
 * ``v`` — protocol version (currently :data:`VERSION` = 1); a version
   the peer does not speak is rejected with an error frame.
 * ``k`` — frame kind: :data:`REQUEST`, :data:`RESPONSE`, :data:`ERROR`,
-  :data:`PING`, :data:`PONG`.
+  :data:`PING`, :data:`PONG`, :data:`PROGRESS`, :data:`PARTIAL`.
 * ``length`` — payload byte count (big-endian u32), bounded by
   ``max_frame_bytes``; an oversize length prefix is rejected *before*
   any allocation happens.
@@ -35,6 +35,21 @@ never make a consumer allocate unbounded memory or crash. ERROR frames
 carry ``{"code", "message", "retryable"}`` so a client can distinguish
 back-off-and-retry conditions (queue full, rate limited) from fatal
 ones (malformed request, protocol violation).
+
+**Streaming** is opt-in per request: a REQUEST whose meta carries
+``"stream": true`` tells the server it may answer with interleaved
+:data:`PROGRESS` frames (meta-only lifecycle markers — ``queued`` /
+``planned`` / ``executing``) and a sequence of :data:`PARTIAL` frames,
+each carrying a contiguous row-slice of the logits (meta ``{"offset",
+"seq", "last"}``; the final slice sets ``"last": true`` and carries the
+result summary). Reassembling the partial slices in ``seq`` order
+yields byte-for-byte the logits a plain RESPONSE would have carried —
+streaming changes delivery, never results. A server never sends
+PROGRESS/PARTIAL to a client that did not opt in, which is why these
+kinds ride under the same :data:`VERSION`: old clients never see them.
+Versioning rule: new *opt-in* frame kinds extend a version; any change
+to the header layout or to the meaning of existing kinds bumps
+:data:`VERSION` (and the peer rejects a version it does not speak).
 
 The module is deliberately dependency-free (struct + json + numpy):
 both the asyncio server and the blocking sync client speak it through
@@ -59,7 +74,9 @@ RESPONSE = 2
 ERROR = 3
 PING = 4
 PONG = 5
-_KINDS = (REQUEST, RESPONSE, ERROR, PING, PONG)
+PROGRESS = 6  # streamed lifecycle marker (meta only; opt-in)
+PARTIAL = 7  # streamed row-slice of a response (opt-in)
+_KINDS = (REQUEST, RESPONSE, ERROR, PING, PONG, PROGRESS, PARTIAL)
 
 #: magic(2s) version(B) kind(B) payload_len(I) request_id(Q)
 HEADER = struct.Struct(">2sBBIQ")
@@ -118,12 +135,14 @@ class RequestFrame:
     """One inference request: a batched image array, optional aligned
     labels, and an optional explicit plan seed (the daemon pins the
     request's shard plan to ``new_rng(seed)``, making the response
-    bit-identical to ``Session(engine, seed=seed).run(images)``)."""
+    bit-identical to ``Session(engine, seed=seed).run(images)``).
+    ``stream=True`` opts in to PROGRESS/PARTIAL delivery."""
 
     request_id: int
     images: np.ndarray
     labels: Optional[np.ndarray] = None
     seed: Optional[int] = None
+    stream: bool = False
     kind: int = REQUEST
 
 
@@ -156,7 +175,41 @@ class ControlFrame:
     kind: int = PING
 
 
-Frame = Union[RequestFrame, ResponseFrame, ErrorFrame, ControlFrame]
+@dataclass
+class ProgressFrame:
+    """A streamed lifecycle marker for one in-flight request (sent only
+    to clients that requested ``stream=True``)."""
+
+    request_id: int
+    stage: str
+    detail: Dict = field(default_factory=dict)
+    kind: int = PROGRESS
+
+
+@dataclass
+class PartialFrame:
+    """One contiguous row-slice of a streamed response. ``offset`` is
+    the slice's starting row in the full logits, ``seq`` its 0-based
+    position in the stream; the final slice sets ``last=True`` and
+    carries the result ``summary`` a plain RESPONSE would have."""
+
+    request_id: int
+    logits: np.ndarray
+    offset: int
+    seq: int
+    last: bool = False
+    summary: Dict = field(default_factory=dict)
+    kind: int = PARTIAL
+
+
+Frame = Union[
+    RequestFrame,
+    ResponseFrame,
+    ErrorFrame,
+    ControlFrame,
+    ProgressFrame,
+    PartialFrame,
+]
 
 
 # ----------------------------------------------------------------------
@@ -192,13 +245,18 @@ def encode_request(
     labels: Optional[np.ndarray] = None,
     *,
     seed: Optional[int] = None,
+    stream: bool = False,
 ) -> bytes:
-    """Encode one inference request frame."""
+    """Encode one inference request frame. ``stream=True`` opts in to
+    PROGRESS/PARTIAL delivery (the key is omitted otherwise, so the
+    frame stays byte-identical for non-streaming peers)."""
     arrays = [("images", np.asarray(images))]
     if labels is not None:
         arrays.append(("labels", np.asarray(labels)))
     specs, blobs = _array_blobs(arrays)
     meta = {"seed": None if seed is None else int(seed), "arrays": specs}
+    if stream:
+        meta["stream"] = True
     return _encode(REQUEST, request_id, meta, blobs)
 
 
@@ -217,6 +275,37 @@ def encode_error(
         retryable = code in RETRYABLE_CODES
     meta = {"code": str(code), "message": str(message), "retryable": bool(retryable)}
     return _encode(ERROR, request_id, meta, [])
+
+
+def encode_progress(request_id: int, stage: str, detail: Optional[dict] = None) -> bytes:
+    """Encode a streamed lifecycle marker (meta-only frame)."""
+    meta = {"stage": str(stage), "detail": {} if detail is None else dict(detail)}
+    return _encode(PROGRESS, request_id, meta, [])
+
+
+def encode_partial(
+    request_id: int,
+    logits: np.ndarray,
+    *,
+    offset: int,
+    seq: int,
+    last: bool = False,
+    summary: Optional[dict] = None,
+) -> bytes:
+    """Encode one streamed row-slice. The final slice must pass
+    ``last=True`` (and should carry the response ``summary``)."""
+    if offset < 0 or seq < 0:
+        raise ProtocolError(f"partial offset/seq must be >= 0, got {offset}/{seq}")
+    specs, blobs = _array_blobs([("logits", np.asarray(logits))])
+    meta = {
+        "offset": int(offset),
+        "seq": int(seq),
+        "last": bool(last),
+        "arrays": specs,
+    }
+    if last:
+        meta["summary"] = {} if summary is None else dict(summary)
+    return _encode(PARTIAL, request_id, meta, blobs)
 
 
 def encode_ping(request_id: int) -> bytes:
@@ -327,6 +416,15 @@ def decode_payload(kind: int, request_id: int, payload: bytes) -> Frame:
     if kind in (PING, PONG):
         return ControlFrame(request_id=request_id, kind=kind)
     meta, blob = _decode_meta(payload)
+    if kind == PROGRESS:
+        stage, detail = meta.get("stage"), meta.get("detail", {})
+        if not isinstance(stage, str):
+            raise ProtocolError("progress frame meta needs a string 'stage'")
+        if not isinstance(detail, dict):
+            raise ProtocolError("progress 'detail' must be a JSON object")
+        if blob:
+            raise ProtocolError("progress frame must not carry array bytes")
+        return ProgressFrame(request_id=request_id, stage=stage, detail=detail)
     if kind == ERROR:
         code, message = meta.get("code"), meta.get("message")
         if not isinstance(code, str) or not isinstance(message, str):
@@ -351,11 +449,36 @@ def decode_payload(kind: int, request_id: int, payload: bytes) -> Frame:
             raise ProtocolError(f"request seed must be an integer, got {seed!r}")
         if seed is not None and not (0 <= seed < 2**63):
             raise ProtocolError(f"request seed {seed} outside [0, 2**63)")
+        stream = meta.get("stream", False)
+        if not isinstance(stream, bool):
+            raise ProtocolError(f"request 'stream' must be a boolean, got {stream!r}")
         return RequestFrame(
             request_id=request_id,
             images=arrays["images"],
             labels=arrays.get("labels"),
             seed=seed,
+            stream=stream,
+        )
+    if kind == PARTIAL:
+        if "logits" not in arrays or set(arrays) != {"logits"}:
+            raise ProtocolError("partial frame must carry exactly the 'logits' array")
+        offset, seq, last = meta.get("offset"), meta.get("seq"), meta.get("last", False)
+        if not isinstance(offset, int) or offset < 0:
+            raise ProtocolError(f"partial 'offset' must be an int >= 0, got {offset!r}")
+        if not isinstance(seq, int) or seq < 0:
+            raise ProtocolError(f"partial 'seq' must be an int >= 0, got {seq!r}")
+        if not isinstance(last, bool):
+            raise ProtocolError(f"partial 'last' must be a boolean, got {last!r}")
+        summary = meta.get("summary", {})
+        if not isinstance(summary, dict):
+            raise ProtocolError("partial summary must be a JSON object")
+        return PartialFrame(
+            request_id=request_id,
+            logits=arrays["logits"],
+            offset=offset,
+            seq=seq,
+            last=last,
+            summary=summary,
         )
     # RESPONSE
     if "logits" not in arrays or set(arrays) != {"logits"}:

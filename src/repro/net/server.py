@@ -21,6 +21,18 @@ errors come back as error frames classified retryable/fatal by
 :mod:`repro.runtime.recovery`. The server itself holds no execution
 state — kill it and the daemon keeps draining.
 
+**Streaming** (``stream=True`` on a request frame) interleaves
+PROGRESS lifecycle frames — bridged off the daemon's ``progress`` hook
+with ``call_soon_threadsafe`` — and delivers the logits as a sequence
+of PARTIAL row-slices (``REPRO_STREAM_CHUNK_ROWS`` rows each, the last
+one carrying the summary). Reassembled slices are byte-identical to
+the plain RESPONSE: streaming changes delivery, never results.
+
+The server is topology-agnostic: ``daemon`` may be a single
+:class:`~repro.runtime.daemon.ServingDaemon` or a
+:class:`~repro.net.router.DaemonRouter` fanning over N replicas — both
+expose the same non-blocking submission surface.
+
 :class:`ServerThread` runs the whole event loop in a background thread
 for synchronous contexts (tests, examples, the ``repro serve`` CLI).
 """
@@ -36,6 +48,7 @@ from typing import Optional, Set, Tuple
 import numpy as np
 
 from repro.net import protocol
+from repro.runtime.env import env_int
 from repro.runtime.recovery import QueueFull, classify
 
 #: Sentinel closing a connection's outbox.
@@ -87,6 +100,9 @@ class ServerStats:
     bad_requests: int = 0  # payloads the daemon refused (fatal)
     protocol_errors: int = 0  # framing violations (connection died)
     disconnected_inflight: int = 0  # responses dropped: client left early
+    streamed_responses: int = 0  # requests answered with PARTIAL slices
+    partials_sent: int = 0  # PARTIAL frames written
+    progress_sent: int = 0  # PROGRESS frames written
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -128,6 +144,9 @@ class NetworkServer:
         burst size). ``None`` disables rate limiting.
     max_frame_bytes:
         Frame payload ceiling enforced before any buffering.
+    stream_chunk_rows:
+        Rows per PARTIAL frame for streamed responses (default from
+        ``REPRO_STREAM_CHUNK_ROWS``, 32). Must be >= 1.
     """
 
     def __init__(
@@ -140,6 +159,7 @@ class NetworkServer:
         rate_limit_rps: Optional[float] = None,
         rate_burst: Optional[float] = None,
         max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+        stream_chunk_rows: Optional[int] = None,
     ) -> None:
         if max_inflight_per_client < 1:
             raise ValueError(
@@ -152,6 +172,13 @@ class NetworkServer:
         self.rate_limit_rps = rate_limit_rps
         self.rate_burst = rate_burst
         self.max_frame_bytes = int(max_frame_bytes)
+        if stream_chunk_rows is None:
+            stream_chunk_rows = env_int("REPRO_STREAM_CHUNK_ROWS", 32, minimum=1)
+        if stream_chunk_rows < 1:
+            raise ValueError(
+                f"stream_chunk_rows must be >= 1, got {stream_chunk_rows}"
+            )
+        self.stream_chunk_rows = int(stream_chunk_rows)
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stats = ServerStats()
@@ -315,8 +342,18 @@ class NetworkServer:
         # convert freely while the buffer is recycled.
         images = np.array(frame.images)
         labels = None if frame.labels is None else np.array(frame.labels)
+        progress = None
+        if frame.stream:
+            loop = self._loop
+
+            def progress(stage, detail, c=conn, r=rid):
+                # Runs on daemon threads; hop to the loop to write.
+                loop.call_soon_threadsafe(self._progress, c, r, stage, detail)
+
         try:
-            future = self.daemon.try_submit(images, labels=labels, seed=frame.seed)
+            future = self.daemon.try_submit(
+                images, labels=labels, seed=frame.seed, progress=progress
+            )
         except QueueFull:
             self._bump("rejected_queue_full")
             self._send_error(
@@ -336,12 +373,23 @@ class NetworkServer:
         conn.inflight += 1
         loop = self._loop
         future.add_done_callback(
-            lambda fut, c=conn, r=rid: loop.call_soon_threadsafe(
-                self._resolved, c, r, fut
+            lambda fut, c=conn, r=rid, s=frame.stream: loop.call_soon_threadsafe(
+                self._resolved, c, r, fut, s
             )
         )
 
-    def _resolved(self, conn: _Connection, request_id: int, future) -> None:
+    def _progress(
+        self, conn: _Connection, request_id: int, stage: str, detail: dict
+    ) -> None:
+        """Write one streamed lifecycle marker (on the event loop)."""
+        if conn.closed:
+            return
+        self._bump("progress_sent")
+        conn.send(protocol.encode_progress(request_id, stage, detail))
+
+    def _resolved(
+        self, conn: _Connection, request_id: int, future, stream: bool = False
+    ) -> None:
         """Runs on the event loop once the daemon resolves a future."""
         conn.inflight -= 1
         if conn.closed:
@@ -370,12 +418,40 @@ class NetworkServer:
             return
         result = future.result()
         self._bump("responses")
+        if stream:
+            self._stream_result(conn, request_id, result)
+            return
         # Defer the (logits -> bytes) encode to the sender coroutine.
         conn.send(
             lambda r=result, rid=request_id: protocol.encode_response(
                 rid, r.logits, _wire_summary(r)
             )
         )
+
+    def _stream_result(self, conn: _Connection, request_id: int, result) -> None:
+        """Deliver one result as PARTIAL row-slices (the last slice
+        carries the summary). Slices are queued in order on the
+        single-writer outbox, so they arrive contiguous and in
+        sequence; encoding stays deferred to the sender coroutine."""
+        self._bump("streamed_responses")
+        chunk = self.stream_chunk_rows
+        total = result.logits.shape[0]
+        offsets = list(range(0, total, chunk)) or [0]
+        for seq, offset in enumerate(offsets):
+            last = seq == len(offsets) - 1
+            self._bump("partials_sent")
+            conn.send(
+                lambda r=result, rid=request_id, o=offset, s=seq, l=last, c=chunk: (
+                    protocol.encode_partial(
+                        rid,
+                        r.logits[o : o + c],
+                        offset=o,
+                        seq=s,
+                        last=l,
+                        summary=_wire_summary(r) if l else None,
+                    )
+                )
+            )
 
 
 def _wire_summary(result) -> dict:

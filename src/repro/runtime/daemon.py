@@ -58,7 +58,7 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -136,6 +136,10 @@ class _Request:
     seed: Optional[int] = None  # explicit per-request seed (optional)
     plan: Optional[ShardPlan] = None  # assigned at wave assembly
     rows: int = 0
+    #: Optional lifecycle hook: called with (stage, detail) at "queued"
+    #: (admission), "planned" (shard plan drawn), and "executing" (wave
+    #: dispatched). The network tier turns these into PROGRESS frames.
+    progress: Optional[Callable[[str, dict], None]] = None
 
 
 class ServingDaemon:
@@ -206,6 +210,11 @@ class ServingDaemon:
         :meth:`~repro.runtime.scheduler.ShardParallelScheduler.pool_generation`)
         stays constant for the daemon's lifetime unless a worker crash
         forces a rebuild.
+    name:
+        A label for this daemon instance. Routers serving several
+        replicas name each one (``replica-0`` ...); the name is part of
+        the ``daemon.request`` fault-point context, so a fault plan can
+        target one replica (``match={"daemon": "replica-1"}``).
     """
 
     def __init__(
@@ -223,6 +232,7 @@ class ServingDaemon:
         max_wave_images: int = 4096,
         scheduler=None,
         prewarm: bool = False,
+        name: str = "daemon",
     ) -> None:
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
@@ -237,6 +247,7 @@ class ServingDaemon:
                 f"coalesce_window_s must be >= 0, got {coalesce_window_s}"
             )
         self.engine = engine
+        self.name = str(name)
         source = backend if backend is not None else engine.backend
         self._strategy, self._owns_strategy = resolve_strategy(source)
         self.backend = getattr(self._strategy, "name", str(source))
@@ -320,6 +331,7 @@ class ServingDaemon:
         *,
         seed: Optional[int] = None,
         timeout: Optional[float] = None,
+        progress: Optional[Callable[[str, dict], None]] = None,
     ) -> Future:
         """Enqueue one request; returns a Future of its
         :class:`~repro.api.results.InferenceResult`.
@@ -330,6 +342,13 @@ class ServingDaemon:
         ``admission="reject"`` raises ``QueueFull`` immediately.
         Malformed requests (non-batched arrays) are rejected here, in
         the caller's thread.
+
+        ``progress`` is an optional lifecycle hook called with
+        ``(stage, detail)`` as the request moves through the pipeline —
+        ``"queued"`` on admission, ``"planned"`` when its shard plan has
+        been drawn, ``"executing"`` as its wave is dispatched. It runs
+        on daemon threads and must be cheap and non-blocking; the
+        network tier bridges it into PROGRESS frames.
         """
         return self._enqueue(
             images,
@@ -337,6 +356,7 @@ class ServingDaemon:
             seed=seed,
             block=self.admission == "block",
             timeout=timeout,
+            progress=progress,
         )
 
     def try_submit(
@@ -345,6 +365,7 @@ class ServingDaemon:
         labels=None,
         *,
         seed: Optional[int] = None,
+        progress: Optional[Callable[[str, dict], None]] = None,
     ) -> Future:
         """Non-blocking :meth:`submit`: enqueue if there is room *right
         now*, raise :class:`~repro.runtime.recovery.QueueFull`
@@ -356,7 +377,9 @@ class ServingDaemon:
         of a blocked event loop). Rejections count in
         :attr:`DaemonStats.rejected`.
         """
-        return self._enqueue(images, labels, seed=seed, block=False, timeout=None)
+        return self._enqueue(
+            images, labels, seed=seed, block=False, timeout=None, progress=progress
+        )
 
     def _enqueue(
         self,
@@ -366,6 +389,7 @@ class ServingDaemon:
         seed: Optional[int],
         block: bool,
         timeout: Optional[float],
+        progress: Optional[Callable[[str, dict], None]] = None,
     ) -> Future:
         if self._closing or self._closed:
             raise RuntimeError("cannot submit to a closed ServingDaemon")
@@ -379,6 +403,7 @@ class ServingDaemon:
             labels=None if labels is None else np.asarray(labels),
             future=Future(),
             seed=None if seed is None else int(seed),
+            progress=progress,
         )
         try:
             if block:
@@ -399,7 +424,20 @@ class ServingDaemon:
             self._stats.queue_high_water = max(
                 self._stats.queue_high_water, self._queue.qsize()
             )
+        self._notify(request, "queued", {"rows": x.shape[0]})
         return request.future
+
+    @staticmethod
+    def _notify(item: _Request, stage: str, detail: dict) -> None:
+        """Fire a request's progress hook, swallowing its errors — a
+        broken observer must never fail the request it watches."""
+        if item.progress is None:
+            return
+        try:
+            item.progress(stage, detail)
+        # taxonomy: fatal — observer bugs are dropped, never propagated
+        except Exception:  # noqa: BLE001 - observer isolation
+            pass
 
     def run_many(
         self,
@@ -580,6 +618,10 @@ class ServingDaemon:
 
     def _guarded_execute(self, ready: List[_Request]) -> None:
         try:
+            for item in ready:
+                self._notify(
+                    item, "executing", {"wave_requests": len(ready)}
+                )
             self._execute_wave(ready)
         except BaseException as exc:
             for item in ready:
@@ -667,7 +709,12 @@ class ServingDaemon:
                 # After the plan (and therefore this request's seeds)
                 # has been drawn: a poisoned request must never perturb
                 # its neighbours' randomness.
-                faults.fault_point("daemon.request", rows=item.rows)
+                faults.fault_point(
+                    "daemon.request", rows=item.rows, daemon=self.name
+                )
+                self._notify(
+                    item, "planned", {"shards": len(item.plan)}
+                )
                 ready.append(item)
             except Exception as exc:  # noqa: BLE001 - forwarded to caller
                 self._fail(item, classified(exc))
@@ -846,6 +893,31 @@ class ServingDaemon:
         assembling, or executing)."""
         with self._stats_lock:
             return self._inflight
+
+    @property
+    def healthy(self) -> bool:
+        """True while the daemon can accept and serve requests: open,
+        not aborted, both pipeline stages alive. Routers poll this to
+        evict dead replicas and re-admit recovered ones."""
+        return (
+            not self._closed
+            and not self._closing
+            and not self._abort
+            and self._assembler.is_alive()
+            and self._executor.is_alive()
+        )
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every accepted request has resolved (``in_flight``
+        reaches 0) without closing the daemon — the router's
+        quiesce-before-handoff hook. Returns False if ``timeout``
+        seconds pass first."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.in_flight > 0:
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.002)
+        return True
 
     @property
     def stats(self) -> DaemonStats:

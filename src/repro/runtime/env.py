@@ -138,6 +138,41 @@ ENV_CATALOG: Dict[str, EnvVar] = {
         ),
         consumer="repro.runtime.recovery",
     ),
+    "REPRO_ROUTER_REPLICAS": EnvVar(
+        name="REPRO_ROUTER_REPLICAS",
+        kind="int",
+        default="unset (1 — no router)",
+        description=(
+            "Default replica count for the network serving CLI "
+            "(`repro serve` / `serve-bench --connect`): values >= 2 put "
+            "a DaemonRouter over that many ServingDaemon replicas. "
+            "Explicit --replicas flags win. Must be >= 1."
+        ),
+        consumer="repro.cli",
+    ),
+    "REPRO_ROUTER_PROBE_INTERVAL_S": EnvVar(
+        name="REPRO_ROUTER_PROBE_INTERVAL_S",
+        kind="float",
+        default="0.25",
+        description=(
+            "Seconds between the DaemonRouter's health-probe sweeps "
+            "over its replicas (eviction of unhealthy replicas happens "
+            "inline on failure; the probe handles re-admission). Must "
+            "be > 0."
+        ),
+        consumer="repro.net.router",
+    ),
+    "REPRO_STREAM_CHUNK_ROWS": EnvVar(
+        name="REPRO_STREAM_CHUNK_ROWS",
+        kind="int",
+        default="32",
+        description=(
+            "Row count per PARTIAL frame when a client requests a "
+            "streamed response (NetworkServer slices the resolved "
+            "logits into chunks of this many rows). Must be >= 1."
+        ),
+        consumer="repro.net.server",
+    ),
     "REPRO_TEST_TIMEOUT": EnvVar(
         name="REPRO_TEST_TIMEOUT",
         kind="float",

@@ -300,6 +300,96 @@ class TestMalformedPayloads:
                 pass
 
 
+class TestStreamingKinds:
+    def test_stream_flag_round_trips(self):
+        images = np.ones((2, 4))
+        frame = decode_one(encode_request(1, images, stream=True))
+        assert frame.stream is True
+        assert decode_one(encode_request(1, images)).stream is False
+
+    def test_stream_false_is_byte_identical_to_legacy_encoding(self):
+        """``stream=False`` must not add the key at all, so pre-streaming
+        peers see exactly the bytes they always saw."""
+        images = np.arange(8, dtype=np.float64).reshape(2, 4)
+        assert encode_request(7, images, seed=3) == encode_request(
+            7, images, seed=3, stream=False
+        )
+
+    def test_non_boolean_stream_flag_rejected(self):
+        meta = {
+            "stream": 1,
+            "arrays": [{"name": "images", "dtype": "float64", "shape": [1]}],
+        }
+        with pytest.raises(ProtocolError, match="stream"):
+            decode_payload(REQUEST, 1, _meta_payload(meta, b"\x00" * 8))
+
+    def test_progress_round_trip(self):
+        frame = decode_one(
+            protocol.encode_progress(5, "executing", {"wave_requests": 3})
+        )
+        assert isinstance(frame, protocol.ProgressFrame)
+        assert frame.request_id == 5
+        assert frame.stage == "executing"
+        assert frame.detail == {"wave_requests": 3}
+        bare = decode_one(protocol.encode_progress(6, "queued"))
+        assert bare.detail == {}
+
+    def test_progress_with_array_bytes_rejected(self):
+        meta = {"stage": "queued", "detail": {}}
+        with pytest.raises(ProtocolError, match="array bytes"):
+            decode_payload(protocol.PROGRESS, 1, _meta_payload(meta, b"\x00"))
+
+    def test_progress_without_stage_rejected(self):
+        with pytest.raises(ProtocolError, match="stage"):
+            decode_payload(protocol.PROGRESS, 1, _meta_payload({"detail": {}}))
+
+    def test_partial_round_trip(self):
+        logits = np.random.default_rng(4).standard_normal((3, 10))
+        frame = decode_one(
+            protocol.encode_partial(9, logits, offset=32, seq=1)
+        )
+        assert isinstance(frame, protocol.PartialFrame)
+        assert (frame.offset, frame.seq, frame.last) == (32, 1, False)
+        assert frame.summary == {}
+        np.testing.assert_array_equal(frame.logits, logits)
+
+    def test_last_partial_carries_summary(self):
+        logits = np.zeros((1, 10))
+        frame = decode_one(
+            protocol.encode_partial(
+                9, logits, offset=64, seq=2, last=True, summary={"n_images": 65}
+            )
+        )
+        assert frame.last is True
+        assert frame.summary == {"n_images": 65}
+
+    def test_negative_partial_coordinates_refused_at_encode_time(self):
+        logits = np.zeros((1, 10))
+        with pytest.raises(ProtocolError, match="offset/seq"):
+            protocol.encode_partial(1, logits, offset=-1, seq=0)
+        with pytest.raises(ProtocolError, match="offset/seq"):
+            protocol.encode_partial(1, logits, offset=0, seq=-1)
+
+    def test_partial_without_coordinates_rejected(self):
+        meta = {"arrays": [{"name": "logits", "dtype": "float64", "shape": [1, 1]}]}
+        with pytest.raises(ProtocolError, match="offset"):
+            decode_payload(protocol.PARTIAL, 1, _meta_payload(meta, b"\x00" * 8))
+
+    def test_partial_with_wrong_array_rejected(self):
+        meta = {
+            "offset": 0,
+            "seq": 0,
+            "arrays": [{"name": "images", "dtype": "float64", "shape": [1, 1]}],
+        }
+        with pytest.raises(ProtocolError, match="logits"):
+            decode_payload(protocol.PARTIAL, 1, _meta_payload(meta, b"\x00" * 8))
+
+    def test_streaming_kinds_are_registered(self):
+        assert protocol.PROGRESS in protocol._KINDS
+        assert protocol.PARTIAL in protocol._KINDS
+        assert len(set(protocol._KINDS)) == len(protocol._KINDS)
+
+
 class TestLimits:
     def test_default_ceiling_is_sane(self):
         assert 2**20 <= DEFAULT_MAX_FRAME_BYTES <= 2**31

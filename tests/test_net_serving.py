@@ -26,6 +26,8 @@ from repro.net import (
     NetworkClient,
     RemoteError,
     ServerThread,
+    StreamPartial,
+    StreamProgress,
     protocol,
 )
 from repro.net.loadgen import percentile, run_load_point
@@ -181,6 +183,127 @@ class TestWireBitIdentity:
         with serving_stack(small_engine) as (host, port, _):
             with NetworkClient(host, port) as client:
                 assert client.ping() < 5.0
+
+
+class TestStreamingDelivery:
+    """Opt-in PROGRESS/PARTIAL delivery: reassembled streams are
+    bit-identical to the plain response (streaming changes delivery,
+    never results), slices are contiguous, and plain requests on the
+    same connection never see the new kinds."""
+
+    def test_streamed_response_reassembles_bit_identical(
+        self, small_engine, request_data
+    ):
+        images, labels = request_data
+        want = Session(small_engine, seed=7).run(images[:16], labels=labels[:16])
+        events = []
+        with serving_stack(small_engine, stream_chunk_rows=5) as (host, port, _):
+            with NetworkClient(host, port) as client:
+                got = client.infer_streamed(
+                    images[:16], labels[:16], seed=7, on_event=events.append
+                )
+        np.testing.assert_array_equal(got.logits, want.logits)
+        assert got.accuracy == want.accuracy
+        # The last slice (offset 15) becomes the final RemoteResult, so
+        # on_event observes the three non-final slices.
+        partials = [e for e in events if isinstance(e, StreamPartial)]
+        assert len(partials) == 3, "16 rows / chunk 5 -> 4 slices, 3 intermediate"
+        assert [p.offset for p in partials] == [0, 5, 10]
+        assert [p.seq for p in partials] == [0, 1, 2]
+        assert all(not p.last for p in partials)
+        progress = [e for e in events if isinstance(e, StreamProgress)]
+        assert {p.stage for p in progress} <= {"queued", "planned", "executing"}
+        assert any(p.stage == "queued" for p in progress)
+
+    def test_streamed_and_plain_interleave_on_one_connection(
+        self, small_engine, request_data
+    ):
+        """A pipelined plain request and a stream share the connection:
+        the stream consumer re-buffers the plain response for recv(),
+        and both results are bit-identical to serial sessions."""
+        images, _ = request_data
+        plain_want = Session(small_engine, seed=21).run(images[:8])
+        stream_want = Session(small_engine, seed=22).run(images[8:24])
+        with serving_stack(small_engine, stream_chunk_rows=4) as (host, port, _):
+            with NetworkClient(host, port) as client:
+                plain_id = client.send(images[:8], seed=21)
+                streamed = client.infer_streamed(images[8:24], seed=22)
+                plain = client.recv()
+        assert plain.request_id == plain_id
+        np.testing.assert_array_equal(plain.logits, plain_want.logits)
+        np.testing.assert_array_equal(streamed.logits, stream_want.logits)
+
+    def test_async_concurrent_streams_multiplex_one_connection(
+        self, small_engine, request_data
+    ):
+        images, _ = request_data
+        batches = [images[:16], images[16:32], images[32:48]]
+        reference = [
+            Session(small_engine, seed=300 + i).run(b)
+            for i, b in enumerate(batches)
+        ]
+
+        async def drive(host, port):
+            client = await AsyncNetworkClient.connect(host, port)
+            try:
+                return await asyncio.gather(
+                    client.infer_streamed(batches[0], seed=300),
+                    client.infer_streamed(batches[1], seed=301),
+                    client.infer(batches[2], seed=302),  # plain, same conn
+                )
+            finally:
+                await client.aclose()
+
+        with serving_stack(small_engine, stream_chunk_rows=4) as (host, port, _):
+            results = asyncio.run(drive(host, port))
+        for got, want in zip(results, reference):
+            np.testing.assert_array_equal(got.logits, want.logits)
+
+    def test_server_counts_streamed_delivery(self, small_engine, request_data):
+        images, _ = request_data
+        with serving_stack(small_engine, stream_chunk_rows=4) as (
+            host,
+            port,
+            thread,
+        ):
+            with NetworkClient(host, port) as client:
+                client.infer_streamed(images[:8], seed=1)
+                client.infer(images[:8], seed=2)
+            stats = thread.server.stats
+        assert stats.streamed_responses == 1
+        assert stats.partials_sent == 2, "8 rows / chunk 4 -> 2 slices"
+        assert stats.progress_sent >= 1
+        assert stats.responses >= 1, "the plain request stays plain"
+
+    def test_streaming_through_router_stays_bit_identical(
+        self, small_engine, request_data
+    ):
+        """The server over a 2-replica DaemonRouter: streamed and plain
+        responses both replay serially — topology is invisible on the
+        wire."""
+        from repro.net import DaemonRouter
+
+        images, _ = request_data
+        router = DaemonRouter.build(
+            [small_engine, small_engine],
+            seed=0,
+            coalesce_window_s=0.01,
+            probe_interval_s=0.05,
+        )
+        thread = ServerThread(router, stream_chunk_rows=8)
+        try:
+            host, port = thread.start()
+            with NetworkClient(host, port) as client:
+                for seed in (40, 41, 42, 43):
+                    want = Session(small_engine, seed=seed).run(images[:24])
+                    streamed = client.infer_streamed(images[:24], seed=seed)
+                    plain = client.infer(images[:24], seed=seed)
+                    np.testing.assert_array_equal(streamed.logits, want.logits)
+                    np.testing.assert_array_equal(plain.logits, want.logits)
+            assert router.stats.routed >= 8
+        finally:
+            thread.close()
+            router.close(drain=True)
 
 
 class TestAdmissionPolicing:
@@ -399,7 +522,7 @@ class TestLoadGenerator:
         row = point.as_row()
         expected = {
             "label", "clients", "offered_rps", "n_requests", "completed",
-            "rejected", "failed", "total_images", "wall_time_s",
+            "rejected", "failed", "streamed", "total_images", "wall_time_s",
             "achieved_rps", "images_per_s", "latency_mean_ms",
             "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
             "latency_max_ms",

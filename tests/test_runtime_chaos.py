@@ -414,6 +414,84 @@ class TestNetworkChaos:
         assert stats.failed == 0, "recovery, not failure, serves the survivors"
 
 
+class TestRouterChaos:
+    def test_replica_outage_mid_burst_fails_over_then_readmits(
+        self, small_engine, request_data
+    ):
+        """One replica of a 2-replica router starts failing every
+        request (matched by daemon name): the router evicts it and
+        transparently re-submits — every caller future resolves
+        (failed == 0) with logits bit-identical to a serial Session.
+        While the fault is live, the seeded health probe keeps failing,
+        so the replica stays evicted; once the outage clears, the probe
+        proves recovery and re-admits it, and sticky traffic lands on
+        it again, still bit-identical."""
+        from repro.net.router import DaemonRouter
+
+        images = request_data[:16]
+        reference = {
+            seed: Session(small_engine, seed=seed).run(images)
+            for seed in range(8)
+        }
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    site="daemon.request",
+                    action="raise",
+                    error="OSError",
+                    times=None,  # every hit while installed
+                    match={"daemon": "replica-1"},
+                )
+            ]
+        )
+        router = DaemonRouter.build(
+            [small_engine, small_engine],
+            seed=0,
+            coalesce_window_s=0.0,
+            probe_interval_s=0.05,
+            probe_images=images[:2],
+        )
+        try:
+            with fault_injection(plan):
+                futures = {
+                    seed: router.try_submit(images, seed=seed)
+                    for seed in range(8)
+                }
+                for seed, future in futures.items():
+                    got = future.result(timeout=120)  # nobody fails
+                    np.testing.assert_array_equal(
+                        got.logits,
+                        reference[seed].logits,
+                        err_msg=f"seed {seed} under replica outage",
+                    )
+                stats = router.stats
+                assert stats.failovers >= 1, "the outage must have fired"
+                assert stats.evictions >= 1
+                assert stats.per_replica["replica-1"]["admitted"] is False, (
+                    "while the fault is live the probe cannot prove "
+                    "recovery, so the replica stays out of the rotation"
+                )
+            # Outage over (plan uninstalled): the probe re-admits.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if router.stats.per_replica["replica-1"]["admitted"]:
+                    break
+                time.sleep(0.05)
+            stats = router.stats
+            assert stats.per_replica["replica-1"]["admitted"] is True
+            assert stats.readmissions >= 1
+            assert stats.probes >= 1, "re-admission must be probe-proven"
+            # Sticky traffic returns to the recovered replica,
+            # bit-identical as ever.
+            sticky = 9  # 9 % 2 == 1 -> replica-1
+            want = Session(small_engine, seed=sticky).run(images)
+            got = router.try_submit(images, seed=sticky).result(timeout=120)
+            np.testing.assert_array_equal(got.logits, want.logits)
+            assert router.stats.per_replica["replica-1"]["dispatched"] >= 1
+        finally:
+            router.close()
+
+
 class TestNoOrphanedWorkers:
     def test_keyboard_interrupt_leaves_no_orphaned_pool_processes(
         self, small_engine, request_data
