@@ -335,7 +335,7 @@ def _serve_bench_network(args) -> int:
 
     in_process = args.connect == "auto"
     verify = in_process and not args.no_verify
-    seed_base = 10_000 + args.seed
+    seed_base = first_seed_base = 10_000 + args.seed
     stream_every = max(0, args.stream_every)
     points_per_run = 1 + len(args.load_fractions)
     daemon_kwargs = dict(
@@ -375,6 +375,7 @@ def _serve_bench_network(args) -> int:
             {
                 "replicas": 0,  # unknown: remote topology
                 "points": points,
+                "seed_base": seed_base,
                 "server_stats": {},
                 "daemon_stats": {},
                 "router_stats": None,
@@ -437,16 +438,17 @@ def _serve_bench_network(args) -> int:
                     router_stats = router.stats.as_dict()
                 else:
                     daemon_stats = target.stats.as_dict()
-            seed_base += points_per_run * args.requests
             runs.append(
                 {
                     "replicas": n_replicas,
                     "points": points,
+                    "seed_base": seed_base,
                     "server_stats": server_stats,
                     "daemon_stats": daemon_stats,
                     "router_stats": router_stats,
                 }
             )
+            seed_base += points_per_run * args.requests
 
     for run in runs:
         tag = (
@@ -541,7 +543,10 @@ def _serve_bench_network(args) -> int:
             "coalesce_window_ms": args.window_ms,
             "load_fractions": list(args.load_fractions),
             "seed": args.seed,
-            "seed_base": seed_base,
+            # The base used by the FIRST topology run (each later run
+            # starts at the previous base + points_per_run * requests;
+            # the per-run base is recorded in each runs[] entry).
+            "seed_base": first_seed_base,
             "software_accuracy": software_accuracy,
         },
         "rows": rows,
@@ -551,6 +556,7 @@ def _serve_bench_network(args) -> int:
         "runs": [
             {
                 "replicas": run["replicas"],
+                "seed_base": run["seed_base"],
                 "server_stats": _to_jsonable(run["server_stats"]),
                 "daemon_stats": _to_jsonable(run["daemon_stats"]),
                 "router_stats": _to_jsonable(run["router_stats"]),

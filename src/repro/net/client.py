@@ -293,19 +293,31 @@ class NetworkClient:
         """
         request_id = self.send(images, labels, seed=seed, stream=True)
         assembler = _StreamAssembler(request_id)
-        while True:
-            frame = self._read_frame()
-            if frame.request_id != request_id or isinstance(
-                frame, protocol.ControlFrame
-            ):
-                self._ready.append(frame)
-                continue
-            event = assembler.feed(frame)
-            if event is None:
-                continue
-            yield event
-            if isinstance(event, RemoteResult):
-                return
+        # Foreign frames are stashed locally, NOT back into
+        # self._ready: _read_frame only recv()s when _ready is empty,
+        # so re-queueing them there would busy-loop on the same frames
+        # while this stream's next frame sits in the socket.
+        deferred: list = []
+        try:
+            while True:
+                frame = self._read_frame()
+                if frame.request_id != request_id or isinstance(
+                    frame, protocol.ControlFrame
+                ):
+                    deferred.append(frame)
+                    continue
+                event = assembler.feed(frame)
+                if event is None:
+                    continue
+                yield event
+                if isinstance(event, RemoteResult):
+                    return
+        finally:
+            # Splice deferred frames back in arrival order (they were
+            # popped from the front of _ready / the socket before
+            # anything still sitting in _ready) so recv() sees them.
+            if deferred:
+                self._ready[:0] = deferred
 
     def infer_streamed(
         self,

@@ -492,7 +492,7 @@ class DaemonRouter:
         self._closed = True
         self._probe_stop.set()
         self._probe_thread.join(timeout=5.0)
-        errors: List[BaseException] = []
+        errors: List[Exception] = []
         for handle in self.replicas:
             try:
                 handle.daemon.close(drain=drain, timeout=timeout)
@@ -500,7 +500,11 @@ class DaemonRouter:
             except Exception as exc:  # noqa: BLE001 - re-raised below
                 errors.append(exc)
         if errors:
-            raise errors[0]
+            raise ExceptionGroup(
+                f"{len(errors)} of {len(self.replicas)} replica daemons "
+                f"failed to close",
+                errors,
+            )
 
     def __enter__(self) -> "DaemonRouter":
         return self

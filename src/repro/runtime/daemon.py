@@ -137,8 +137,9 @@ class _Request:
     plan: Optional[ShardPlan] = None  # assigned at wave assembly
     rows: int = 0
     #: Optional lifecycle hook: called with (stage, detail) at "queued"
-    #: (admission), "planned" (shard plan drawn), and "executing" (wave
-    #: dispatched). The network tier turns these into PROGRESS frames.
+    #: (submission, before enqueue), "planned" (shard plan drawn), and
+    #: "executing" (wave dispatched). The network tier turns these into
+    #: PROGRESS frames.
     progress: Optional[Callable[[str, dict], None]] = None
 
 
@@ -345,10 +346,12 @@ class ServingDaemon:
 
         ``progress`` is an optional lifecycle hook called with
         ``(stage, detail)`` as the request moves through the pipeline —
-        ``"queued"`` on admission, ``"planned"`` when its shard plan has
-        been drawn, ``"executing"`` as its wave is dispatched. It runs
-        on daemon threads and must be cheap and non-blocking; the
-        network tier bridges it into PROGRESS frames.
+        ``"queued"`` at submission (just before the request enters the
+        queue, so it always precedes later stages; if admission then
+        rejects the request no further stages fire), ``"planned"`` when
+        its shard plan has been drawn, ``"executing"`` as its wave is
+        dispatched. It runs on daemon threads and must be cheap and
+        non-blocking; the network tier bridges it into PROGRESS frames.
         """
         return self._enqueue(
             images,
@@ -405,6 +408,12 @@ class ServingDaemon:
             seed=None if seed is None else int(seed),
             progress=progress,
         )
+        # "queued" must fire before the put: once the request is on the
+        # queue the assembler thread can emit "planned"/"executing", and
+        # notifying afterwards would let those overtake "queued". If
+        # admission then rejects the request, QueueFull propagates and
+        # no further stages fire.
+        self._notify(request, "queued", {"rows": x.shape[0]})
         try:
             if block:
                 self._queue.put(request, timeout=timeout)
@@ -424,7 +433,6 @@ class ServingDaemon:
             self._stats.queue_high_water = max(
                 self._stats.queue_high_water, self._queue.qsize()
             )
-        self._notify(request, "queued", {"rows": x.shape[0]})
         return request.future
 
     @staticmethod

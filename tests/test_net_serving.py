@@ -10,6 +10,7 @@ Run via ``make check-runtime`` (bounded workers + a hard timeout).
 
 import asyncio
 import socket
+import threading
 import time
 from contextlib import contextmanager
 
@@ -232,6 +233,87 @@ class TestStreamingDelivery:
         assert plain.request_id == plain_id
         np.testing.assert_array_equal(plain.logits, plain_want.logits)
         np.testing.assert_array_equal(streamed.logits, stream_want.logits)
+
+    def test_stream_survives_foreign_frame_in_its_own_recv_batch(self):
+        """Regression: a foreign (plain) response landing alone in one
+        recv batch, with the stream's frames still in transit, must not
+        livelock ``infer_stream`` — the foreign frame is deferred while
+        the socket is drained, then handed back to ``recv()``.
+
+        Uses a scripted socket so the batch boundaries are exact; over
+        a real socket the interleave test above only hits this split
+        nondeterministically."""
+
+        class ScriptedSocket:
+            def __init__(self, chunks):
+                self._chunks = list(chunks)
+
+            def sendall(self, data):
+                pass
+
+            def recv(self, _n):
+                assert self._chunks, "client recv'd past the scripted frames"
+                return self._chunks.pop(0)
+
+            def shutdown(self, *args):
+                pass
+
+            def close(self):
+                pass
+
+        plain_logits = np.arange(6, dtype=np.float64).reshape(2, 3)
+        stream_logits = np.arange(12, dtype=np.float64).reshape(4, 3)
+        # The client sends the plain request (id 1) then the streamed
+        # one (id 2); the wire answers with id 1's response ALONE in the
+        # first batch, id 2's frames only in later batches.
+        chunks = [
+            protocol.encode_response(1, plain_logits, {"accuracy": 0.5}),
+            protocol.encode_progress(2, "queued", {"rows": 4})
+            + protocol.encode_partial(2, stream_logits[:2], offset=0, seq=0),
+            protocol.encode_partial(
+                2, stream_logits[2:], offset=2, seq=1, last=True, summary={}
+            ),
+        ]
+        client = NetworkClient.__new__(NetworkClient)
+        client._sock = ScriptedSocket(chunks)
+        client._decoder = FrameDecoder()
+        client._ready = []
+        client._next_id = 1
+        client._closed = False
+
+        outcome = {}
+
+        # Issue the plain request first so it owns id 1, matching the
+        # scripted wire; then stream as id 2.
+        def scenario():
+            try:
+                plain_id = client.send(np.zeros((2, 3)), seed=21)
+                events = []
+                outcome["streamed"] = client.infer_streamed(
+                    np.zeros((4, 3)), seed=22, on_event=events.append
+                )
+                outcome["events"] = events
+                outcome["plain_id"] = plain_id
+                outcome["plain"] = client.recv()
+            except BaseException as exc:  # surfaced after the join
+                outcome["error"] = exc
+
+        worker = threading.Thread(target=scenario, daemon=True)
+        worker.start()
+        worker.join(timeout=10.0)
+        assert not worker.is_alive(), (
+            "infer_stream livelocked on a foreign frame in its own "
+            "recv batch"
+        )
+        if "error" in outcome:
+            raise outcome["error"]
+        np.testing.assert_array_equal(
+            outcome["streamed"].logits, stream_logits
+        )
+        assert [e.stage for e in outcome["events"] if isinstance(e, StreamProgress)] == ["queued"]
+        plain = outcome["plain"]
+        assert plain.request_id == outcome["plain_id"]
+        np.testing.assert_array_equal(plain.logits, plain_logits)
 
     def test_async_concurrent_streams_multiplex_one_connection(
         self, small_engine, request_data
